@@ -1,0 +1,67 @@
+"""Result formatting shared by all benchmarks.
+
+Every benchmark regenerates one table/figure of the paper and emits a
+plain-text report: the measured series next to the paper's expectation,
+saved under ``benchmarks/results/`` and printed to the terminal.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+class Report:
+    """Accumulates one experiment's table and writes it out."""
+
+    def __init__(self, experiment_id: str, title: str, expectation: str):
+        self.experiment_id = experiment_id
+        self.title = title
+        self.expectation = expectation
+        self._lines: list = []
+
+    def line(self, text: str = "") -> None:
+        self._lines.append(text)
+
+    def table(self, headers: list, rows: list) -> None:
+        """Append an aligned text table."""
+        cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+        def fmt(row):
+            return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+
+        self._lines.append(fmt(cells[0]))
+        self._lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            self._lines.append(fmt(row))
+
+    def render(self) -> str:
+        header = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper expectation: {self.expectation}",
+            "",
+        ]
+        return "\n".join(header + self._lines) + "\n"
+
+    def save_and_print(self, name: str) -> str:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        text = self.render()
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text)
+        print("\n" + text)
+        return path
+
+
+def fmt_ber(value: float) -> str:
+    return f"{value:.2e}"
+
+
+def fmt_mbps(bps: float) -> str:
+    return f"{bps / 1e6:.3f}"
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.1f}"

@@ -1,0 +1,88 @@
+"""E-F1: Fig. 1 — traffic statistics in public WLANs.
+
+(a) concurrent downlink requests (mean 7.63 active STAs per AP),
+(b) frame-size CDFs of the SIGCOMM and library traces,
+(c) downlink traffic-volume ratios (80 % / 83.4 % / 89.2 %).
+"""
+
+import numpy as np
+
+from _report import Report
+from repro.mac.frames import Direction
+from repro.traffic import (
+    LIBRARY,
+    SIGCOMM04,
+    SIGCOMM08,
+    active_sta_timeseries,
+    sample_frame_sizes,
+    trace_mixed_arrivals,
+)
+from repro.util.rng import RngStream
+
+
+def _run_fig1a():
+    counts = active_sta_timeseries(300, RngStream(1))
+    return counts
+
+
+def _run_fig1b():
+    rng = RngStream(2)
+    sizes = {}
+    for model in (SIGCOMM08, LIBRARY):
+        sizes[model.name] = sample_frame_sizes(model, 50_000, rng.child(model.name))
+    return sizes
+
+
+def _run_fig1c():
+    rng = RngStream(3)
+    stations = [f"sta{i}" for i in range(10)]
+    ratios = {}
+    for model in (SIGCOMM04, SIGCOMM08, LIBRARY):
+        arrivals = trace_mixed_arrivals(stations, 120.0, rng.child(model.name), model)
+        down = sum(a.size_bytes for a in arrivals if a.direction == Direction.DOWNLINK)
+        total = sum(a.size_bytes for a in arrivals)
+        ratios[model.name] = down / total
+    return ratios
+
+
+def test_fig01_traffic_statistics(benchmark):
+    counts = benchmark.pedantic(_run_fig1a, rounds=1, iterations=1)
+    sizes = _run_fig1b()
+    ratios = _run_fig1c()
+
+    report = Report(
+        "E-F1",
+        "Fig. 1 — traffic statistics in public WLANs",
+        "mean ≈7.63 active STAs/AP; >50 % (SIGCOMM) and >90 % (library) of "
+        "frames ≤300 B; downlink ratios 80 % / 83.4 % / 89.2 %",
+    )
+    report.line("(a) concurrent downlink requests over 300 s:")
+    report.table(
+        ["metric", "measured", "paper"],
+        [
+            ["mean active STAs", f"{counts.mean():.2f}", "7.63"],
+            ["min", str(counts.min()), "≈2"],
+            ["max", str(counts.max()), "≈14"],
+        ],
+    )
+    report.line()
+    report.line("(b) frame-size CDF:")
+    rows = []
+    for name, samples in sizes.items():
+        for point in (100, 300, 1000, 1500):
+            rows.append([name, point, f"{(samples <= point).mean():.3f}"])
+    report.table(["trace", "size ≤ (B)", "CDF"], rows)
+    report.line()
+    report.line("(c) downlink traffic-volume ratio:")
+    paper = {"SIGCOMM'04": 0.80, "SIGCOMM'08": 0.834, "Library": 0.892}
+    report.table(
+        ["trace", "measured", "paper"],
+        [[n, f"{r:.3f}", f"{paper[n]:.3f}"] for n, r in ratios.items()],
+    )
+    report.save_and_print("fig01_traffic")
+
+    assert abs(counts.mean() - 7.63) < 1.0
+    assert (sizes["Library"] <= 300).mean() > 0.88
+    assert (sizes["SIGCOMM'08"] <= 300).mean() > 0.45
+    for name, ratio in ratios.items():
+        assert abs(ratio - paper[name]) < 0.04

@@ -1,0 +1,48 @@
+"""E-F12: Fig. 12 — side-channel BER vs data-channel BER.
+
+1 KB frames per power setting; the 1-bit phase-offset channel is compared
+against BPSK data subcarriers and the 2-bit channel against QPSK. Because
+each phase offset is demodulated from four pilot tones jointly, the side
+channel should beat the equal-order data modulation (paper Fig. 12).
+"""
+
+from _report import Report, fmt_ber
+from repro.analysis import side_channel_vs_data_ber
+from repro.channel import POWER_MAGNITUDES
+
+TRIALS = 40
+
+
+def _run():
+    results = {}
+    for power in POWER_MAGNITUDES:
+        results[(1, power)] = side_channel_vs_data_ber(1, power, TRIALS)
+        results[(2, power)] = side_channel_vs_data_ber(2, power, TRIALS)
+    return results
+
+
+def test_fig12_side_channel_reliability(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    report = Report(
+        "E-F12",
+        "Fig. 12 — BER of the phase-offset side channel vs the data channel",
+        "1-bit offset beats BPSK; 2-bit offset well below QPSK in most "
+        "settings (pilots are demodulated jointly)",
+    )
+    rows = []
+    for (bits, power), (side, data) in results.items():
+        reference = "BPSK" if bits == 1 else "QPSK"
+        rows.append([f"{bits}-bit", power, fmt_ber(side), f"{reference} {fmt_ber(data)}"])
+    report.table(["scheme", "power", "side-channel BER", "data BER"], rows)
+    report.save_and_print("fig12_side_channel_reliability")
+
+    wins = 0
+    comparable = 0
+    for (bits, power), (side, data) in results.items():
+        if data > 1e-4:  # only meaningful where the data channel errs at all
+            comparable += 1
+            if side <= data:
+                wins += 1
+    assert comparable >= 4
+    assert wins == comparable, "side channel must not lose to equal-order PSK"

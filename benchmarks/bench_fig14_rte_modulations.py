@@ -1,0 +1,71 @@
+"""E-F14: Fig. 14 — RTE vs standard BER across modulations and powers.
+
+Power magnitudes 0.05 and 0.2, all four modulations. The paper observes
+that RTE's gains concentrate on the higher-order modulations (QAM16/64),
+which are the ones sensitive to channel drift.
+"""
+
+from _report import Report, fmt_ber
+from repro.analysis import LinkConfig, ber_by_symbol_index
+
+MODULATIONS = ("BPSK-1/2", "QPSK-1/2", "QAM16-3/4", "QAM64-3/4")
+POWERS = (0.05, 0.2)
+TRIALS = 30
+
+
+def _run():
+    results = {}
+    for power in POWERS:
+        link = LinkConfig(seed=14).with_power(power)
+        for mcs in MODULATIONS:
+            std = ber_by_symbol_index(mcs, 4090, TRIALS, use_rte=False, link=link)
+            rte = ber_by_symbol_index(mcs, 4090, TRIALS, use_rte=True, link=link)
+            results[(power, mcs)] = (std.mean_ber, rte.mean_ber)
+    return results
+
+
+def test_fig14_rte_across_modulations(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    report = Report(
+        "E-F14",
+        "Fig. 14 — BER of RTE vs standard estimation by modulation/power",
+        "RTE gains are largest in *absolute* terms for QAM16/QAM64 (the "
+        "drift-sensitive modulations); BPSK/QPSK see marginal gains",
+    )
+    for power in POWERS:
+        report.line(f"power magnitude = {power}:")
+        rows = []
+        for mcs in MODULATIONS:
+            std, rte = results[(power, mcs)]
+            rows.append([mcs, fmt_ber(std), fmt_ber(rte), fmt_ber(std - rte)])
+        report.table(["modulation", "Standard", "RTE", "absolute gain"], rows)
+        report.line()
+    report.line(
+        "Deviation note: at power 0.05 our drift-dominated channel gives "
+        "BPSK/QPSK large RTE gains (their symbols still decode, feeding "
+        "clean data pilots) while QAM16/64 sit below working SNR under "
+        "both schemes; the paper's low-power regime is noise-dominated "
+        "instead, making its low-order gains look marginal."
+    )
+    report.save_and_print("fig14_rte_modulations")
+
+    # At the high-power setting RTE must improve *every* modulation, and
+    # must deliver a several-fold BER reduction somewhere above QPSK —
+    # the headline of Fig. 14 ("several times lower BERs for higher-order
+    # modulation schemes").
+    for mcs in MODULATIONS:
+        std, rte = results[(0.2, mcs)]
+        assert rte <= std, f"RTE must not hurt {mcs} at power 0.2"
+    std16, rte16 = results[(0.2, "QAM16-3/4")]
+    assert rte16 < 0.5 * std16, "RTE must cut QAM16 BER several-fold"
+    # At the low-power setting, modulations operating above their working
+    # SNR (BPSK/QPSK) gain from RTE; QAM16/64 sit below it under *both*
+    # schemes (as in the paper's Fig. 14(a) where both curves are ≈1e-1)
+    # and RTE must not make them catastrophically worse.
+    for mcs in ("BPSK-1/2", "QPSK-1/2"):
+        std, rte = results[(0.05, mcs)]
+        assert rte < std
+    for mcs in ("QAM16-3/4", "QAM64-3/4"):
+        std, rte = results[(0.05, mcs)]
+        assert rte < 1.6 * std

@@ -1,0 +1,101 @@
+"""E-F17: Fig. 17 — goodput vs latency requirement and vs frame size.
+
+(a) 30 STAs/AP, CBR downlink, latency requirement swept 10–200 ms: the
+requirement is both the aggregation deadline and the usefulness bound.
+Carpool's gain over A-MPDU is largest at tight bounds and shrinks as the
+bound loosens (paper: 1.9–9.8×).
+
+(b) latency fixed at 10 ms, frame size swept 100–1500 B: Carpool holds a
+multi-× goodput gain over A-MPDU and 802.11 across sizes (paper: 2.8–3.6×
+and 5–6.4×).
+"""
+
+from _report import Report, fmt_mbps
+from repro.mac import AmpduProtocol, CarpoolProtocol, Dot11Protocol
+from repro.mac.scenarios import CbrScenario
+
+DURATION = 6.0
+LATENCIES = (0.010, 0.050, 0.100, 0.200)
+FRAME_SIZES = (100, 200, 400, 800, 1500)
+
+
+def _run_latency_sweep():
+    results = {}
+    for latency in LATENCIES:
+        scenario = CbrScenario(
+            num_stations=30, duration=DURATION, frame_bytes=120,
+            frames_per_second=100.0, latency_requirement=latency,
+        )
+        for cls in (AmpduProtocol, CarpoolProtocol):
+            results[(latency, cls.name)] = scenario.run(cls)
+    return results
+
+
+def _run_size_sweep():
+    results = {}
+    for size in FRAME_SIZES:
+        scenario = CbrScenario(
+            num_stations=30, duration=DURATION, frame_bytes=size,
+            frames_per_second=100.0, latency_requirement=0.010,
+        )
+        for cls in (Dot11Protocol, AmpduProtocol, CarpoolProtocol):
+            results[(size, cls.name)] = scenario.run(cls)
+    return results
+
+
+def test_fig17a_latency_requirements(benchmark):
+    results = benchmark.pedantic(_run_latency_sweep, rounds=1, iterations=1)
+
+    report = Report(
+        "E-F17a",
+        "Fig. 17(a) — goodput vs latency requirement (30 STAs)",
+        "Carpool 1.9–9.8× the A-MPDU goodput; the gain shrinks as the "
+        "latency bound loosens",
+    )
+    rows = []
+    gains = []
+    for latency in LATENCIES:
+        carpool = results[(latency, "Carpool")].measured_ap_useful_goodput_bps
+        ampdu = results[(latency, "A-MPDU")].measured_ap_useful_goodput_bps
+        gain = carpool / max(ampdu, 1.0)
+        gains.append(gain)
+        rows.append([f"{latency * 1e3:.0f} ms", fmt_mbps(carpool), fmt_mbps(ampdu),
+                     f"{gain:.2f}x"])
+    report.table(["latency req", "Carpool", "A-MPDU", "gain"], rows)
+    report.save_and_print("fig17a_latency")
+
+    assert gains[0] > 1.3, "Carpool must win clearly at the tightest bound"
+    assert gains[0] > gains[-1], "gain shrinks as the bound loosens"
+
+
+def test_fig17b_frame_sizes(benchmark):
+    results = benchmark.pedantic(_run_size_sweep, rounds=1, iterations=1)
+
+    report = Report(
+        "E-F17b",
+        "Fig. 17(b) — goodput vs frame size (10 ms latency requirement)",
+        "Carpool sustains a multi-× goodput gain over A-MPDU (paper: "
+        "2.8–3.6×) and 802.11 (paper: 5–6.4×) across frame sizes",
+    )
+    rows = []
+    for size in FRAME_SIZES:
+        carpool = results[(size, "Carpool")].measured_ap_goodput_bps
+        ampdu = results[(size, "A-MPDU")].measured_ap_goodput_bps
+        dot11 = results[(size, "802.11")].measured_ap_goodput_bps
+        rows.append([size, fmt_mbps(carpool), fmt_mbps(ampdu), fmt_mbps(dot11),
+                     f"{carpool / max(ampdu, 1.0):.2f}x",
+                     f"{carpool / max(dot11, 1.0):.2f}x"])
+    report.table(
+        ["frame B", "Carpool", "A-MPDU", "802.11", "vs A-MPDU", "vs 802.11"], rows
+    )
+    report.save_and_print("fig17b_frame_size")
+
+    for size in FRAME_SIZES:
+        carpool = results[(size, "Carpool")].measured_ap_goodput_bps
+        ampdu = results[(size, "A-MPDU")].measured_ap_goodput_bps
+        dot11 = results[(size, "802.11")].measured_ap_goodput_bps
+        assert carpool > ampdu, f"Carpool must beat A-MPDU at {size} B"
+        assert carpool > 2.0 * dot11, f"Carpool must beat 802.11 clearly at {size} B"
+    # A-MPDU's reliability collapses at large aggregates; Carpool's does not.
+    assert (results[(1500, "Carpool")].measured_ap_goodput_bps
+            > 3.0 * results[(1500, "A-MPDU")].measured_ap_goodput_bps)

@@ -1,0 +1,86 @@
+"""E-AGG: aggregation-scheme ablation (§9's design space).
+
+One axis of the paper's argument is *which failure granularity and which
+receiver scope* an aggregation scheme has. This ablation pins all four
+combinations against the same bursty single-AP workload under the
+BER-bias error model:
+
+  * A-MSDU — one receiver, one CRC for the whole aggregate;
+  * A-MPDU — one receiver, per-MPDU CRC;
+  * MU-Aggregation — many receivers, per-subframe CRC, no RTE;
+  * Carpool — many receivers, per-subframe CRC, RTE.
+"""
+
+from _report import Report, fmt_mbps
+from repro.mac import (
+    AmpduProtocol,
+    CarpoolProtocol,
+    DEFAULT_PARAMETERS,
+    MuAggregationProtocol,
+    WlanSimulator,
+)
+from repro.mac.engine import AP_NAME
+from repro.mac.error_model import BerCurveErrorModel
+from repro.mac.frames import Arrival, Direction
+from repro.mac.protocols.amsdu import AmsduProtocol
+from repro.mac.protocols.base import AggregationLimits
+from repro.util.rng import RngStream
+
+DURATION = 3.0
+N_STAS = 6
+
+
+def _arrivals():
+    """Bursts for six stations: deep backlogs, maximum aggregates."""
+    out = []
+    for burst in range(int(DURATION / 0.02)):
+        for i in range(30):
+            out.append(Arrival(time=0.02 * burst + 1e-6 * i + 1e-4,
+                               source=AP_NAME, destination=f"sta{i % N_STAS}",
+                               size_bytes=700, direction=Direction.DOWNLINK))
+    return out
+
+
+def _run():
+    results = {}
+    for cls in (AmsduProtocol, AmpduProtocol, MuAggregationProtocol, CarpoolProtocol):
+        sim = WlanSimulator(
+            cls(DEFAULT_PARAMETERS, AggregationLimits(max_latency=0.004)),
+            N_STAS, _arrivals(),
+            error_model=BerCurveErrorModel(), rng=RngStream(66),
+        )
+        results[cls.name] = sim.run(DURATION)
+    return results
+
+
+def test_sec9_aggregation_ablation(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    report = Report(
+        "E-AGG",
+        "Aggregation design space: failure granularity × receiver scope",
+        "A-MSDU's whole-frame CRC collapses under the BER bias; per-MPDU "
+        "CRC recovers goodput but wastes retransmissions; Carpool matches "
+        "the best goodput with ~30× fewer retransmitted subframes (RTE)",
+    )
+    rows = []
+    for name, summary in results.items():
+        rows.append([name, fmt_mbps(summary.downlink_goodput_bps),
+                     f"{summary.downlink_mean_delay * 1e3:.1f}",
+                     summary.retransmitted_subframes, summary.dropped_frames])
+    report.table(["scheme", "goodput ↓ (Mbit/s)", "delay (ms)", "retx", "drops"], rows)
+    report.save_and_print("sec9_aggregation_ablation")
+
+    amsdu = results["A-MSDU"].downlink_goodput_bps
+    ampdu = results["A-MPDU"].downlink_goodput_bps
+    carpool = results["Carpool"].downlink_goodput_bps
+    mu = results["MU-Aggregation"].downlink_goodput_bps
+    assert amsdu < 0.5 * ampdu, "whole-aggregate CRC must lose to per-MPDU CRC"
+    assert carpool >= 0.99 * ampdu, "multi-receiver + RTE must not lose goodput"
+    assert carpool >= mu, "RTE must not lose to the same scheme without it"
+    # In this downlink-only (uncontended) setting the schemes that keep up
+    # all deliver the offered load; Carpool's edge shows in the waste —
+    # an order of magnitude fewer retransmitted subframes.
+    assert (results["Carpool"].retransmitted_subframes
+            < 0.2 * results["A-MPDU"].retransmitted_subframes)
+    assert results["Carpool"].dropped_frames == 0

@@ -1,0 +1,48 @@
+"""E-T1: Table 1 — phase-offset modulation map.
+
+Round-trips every bit pattern through the side channel's phase mapping and
+checks the exact degree values of the paper's table.
+"""
+
+import numpy as np
+
+from _report import Report
+from repro.core.side_channel import ONE_BIT_SCHEME, TWO_BIT_SCHEME
+
+
+def _run():
+    mapping = {}
+    for scheme in (ONE_BIT_SCHEME, TWO_BIT_SCHEME):
+        rows = []
+        for label in range(1 << scheme.bits_per_symbol):
+            bits = [(label >> (scheme.bits_per_symbol - 1 - i)) & 1
+                    for i in range(scheme.bits_per_symbol)]
+            delta = scheme.encode_deltas(np.array(bits, dtype=np.uint8))[0]
+            decoded = scheme.decode_deltas(np.array([delta]))
+            rows.append((bits, np.rad2deg(delta), decoded.tolist()))
+        mapping[scheme.name] = rows
+    return mapping
+
+
+def test_tab01_phase_offset_modulation(benchmark):
+    mapping = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    report = Report(
+        "E-T1",
+        "Table 1 — phase-offset modulation",
+        "1-bit: 90°→1, −90°→0; 2-bit: 45°→11, 135°→01, −135°→00, −45°→10",
+    )
+    expected = {
+        "1-bit": {(1,): 90.0, (0,): -90.0},
+        "2-bit": {(1, 1): 45.0, (0, 1): 135.0, (0, 0): -135.0, (1, 0): -45.0},
+    }
+    rows = []
+    for name, entries in mapping.items():
+        for bits, degrees, decoded in entries:
+            want = expected[name][tuple(bits)]
+            rows.append([name, "".join(map(str, bits)), f"{degrees:+.0f}°",
+                         f"{want:+.0f}°", "ok" if decoded == bits else "MISMATCH"])
+            assert degrees == want
+            assert decoded == bits
+    report.table(["scheme", "bits", "measured offset", "paper", "round-trip"], rows)
+    report.save_and_print("tab01_phase_modulation")

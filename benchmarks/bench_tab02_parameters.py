@@ -1,0 +1,44 @@
+"""E-T2: Table 2 — PHY/MAC parameters used by the MAC evaluation.
+
+Verifies the simulator's constants against the paper's table and exercises
+the derived quantities (ACK airtime, EIFS, backoff bounds) once.
+"""
+
+from _report import Report
+from repro.mac.airtime import ack_airtime
+from repro.mac.parameters import DEFAULT_PARAMETERS
+
+
+def _run():
+    p = DEFAULT_PARAMETERS
+    return {
+        "Slot time": (p.slot_time, 9e-6),
+        "SIFS": (p.sifs, 10e-6),
+        "DIFS": (p.difs, 28e-6),
+        "Minimal contention window": (p.cw_min, 15),
+        "Maximal contention window": (p.cw_max, 1023),
+        "PLCP header": (p.plcp_header_time, 28e-6),
+        "Propagation delay": (p.propagation_delay, 1e-6),
+    }
+
+
+def test_tab02_phy_mac_parameters(benchmark):
+    values = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report = Report(
+        "E-T2",
+        "Table 2 — PHY/MAC parameters",
+        "slot 9 µs, SIFS 10 µs, DIFS 28 µs, CW 15–1023, PLCP 28 µs, "
+        "propagation 1 µs",
+    )
+    rows = []
+    for name, (measured, paper) in values.items():
+        unit = "" if isinstance(paper, int) else " µs"
+        shown = measured if isinstance(paper, int) else round(measured * 1e6, 3)
+        want = paper if isinstance(paper, int) else round(paper * 1e6, 3)
+        rows.append([name, f"{shown}{unit}", f"{want}{unit}"])
+        assert measured == paper
+    report.table(["parameter", "simulator", "paper"], rows)
+    report.line()
+    report.line(f"derived ACK airtime: {ack_airtime(DEFAULT_PARAMETERS) * 1e6:.1f} µs")
+    report.line(f"derived EIFS: {DEFAULT_PARAMETERS.eifs * 1e6:.1f} µs")
+    report.save_and_print("tab02_parameters")

@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure from the paper; DESIGN.md's
+experiment index maps IDs (E-F15, E-T1, …) to files here. Benchmarks run
+their workload once per pytest-benchmark round — the interesting output is
+the reproduction table written to ``benchmarks/results/``, not the timing.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow `import _report` regardless of how pytest resolves rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,46 @@
+"""BER bias and real-time channel estimation, end to end.
+
+Reproduces the paper's core PHY insight interactively: send long (4 KB)
+QAM64 frames over a time-varying indoor channel and watch the per-symbol
+BER grow toward the tail under standard (preamble-only) channel
+estimation — then watch Carpool's RTE flatten the curve by recycling
+correctly-decoded symbols as data pilots.
+
+Run:  python examples/ber_bias_demo.py
+"""
+
+from repro.analysis import LinkConfig, ber_by_symbol_index
+
+TRIALS = 40
+
+
+def bar(value: float, scale: float) -> str:
+    return "#" * max(1, int(value / scale)) if value > 0 else ""
+
+
+def main():
+    link = LinkConfig(seed=1)
+    print("Measuring 4 KB QAM64 frames over the simulated office link "
+          f"({TRIALS} transmissions per scheme)…\n")
+    std = ber_by_symbol_index("QAM64-3/4", 4090, TRIALS, use_rte=False, link=link)
+    rte = ber_by_symbol_index("QAM64-3/4", 4090, TRIALS, use_rte=True, link=link)
+
+    scale = max(std.ber_per_symbol.max(), 1e-9) / 40
+    print(f"{'symbols':>10s}  {'standard':>10s}  {'RTE':>10s}   standard-BER profile")
+    for start in range(0, std.ber_per_symbol.size, 10):
+        end = min(start + 10, std.ber_per_symbol.size)
+        s = std.ber_per_symbol[start:end].mean()
+        r = rte.ber_per_symbol[start:end].mean()
+        print(f"{start + 1:>4d}–{end:<5d}  {s:10.2e}  {r:10.2e}   {bar(s, scale)}")
+
+    reduction = 1 - rte.mean_ber / std.mean_ber
+    print(f"\nmean BER: standard {std.mean_ber:.2e}, RTE {rte.mean_ber:.2e} "
+          f"({reduction:.0%} lower)")
+    print(f"tail (last 10 symbols): standard {std.ber_per_symbol[-10:].mean():.2e}, "
+          f"RTE {rte.ber_per_symbol[-10:].mean():.2e}")
+    print(f"RTE symbol-CRC pass rate: {rte.crc_pass_rate:.0%}, "
+          f"side-channel bit error rate: {rte.side_bit_error_rate:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: one Carpool frame, three receivers, one transmission.
+
+Builds a Carpool PHY frame carrying payloads for three stations,
+propagates it through the simulated indoor channel once, and lets every
+station (plus one bystander) run the full Carpool receive pipeline:
+check the A-HDR Bloom filter, skip foreign subframes via their SIG
+symbols, decode the own subframe with real-time channel estimation, and
+schedule the sequential ACK.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.channel import ChannelModel
+from repro.core import (
+    AckTiming,
+    CarpoolReceiver,
+    CarpoolTransmitter,
+    MacAddress,
+    SequentialAckPlan,
+    SubframeSpec,
+)
+from repro.phy import mcs_by_name
+from repro.util.rng import RngStream
+
+
+def main():
+    rng = np.random.default_rng(7)
+
+    # Three stations, three payloads, per-subframe MCS.
+    stations = [MacAddress.from_int(i) for i in range(3)]
+    specs = [
+        SubframeSpec(stations[0], rng.bytes(300), mcs_by_name("QAM16-1/2")),
+        SubframeSpec(stations[1], rng.bytes(800), mcs_by_name("QAM64-2/3")),
+        SubframeSpec(stations[2], rng.bytes(150), mcs_by_name("QPSK-1/2")),
+    ]
+
+    # The AP aggregates everything into a single PHY frame.
+    frame = CarpoolTransmitter(coded=True).build_frame(specs)
+    print(f"Carpool frame: {frame.n_symbols} OFDM symbols, "
+          f"{len(frame.subframes)} subframes, receivers: "
+          f"{', '.join(str(m) for m in frame.receivers)}")
+
+    # One pass through the simulated office channel.
+    channel = ChannelModel(snr_db=28, rng=RngStream(42))
+    received = channel.transmit(frame.symbols)
+
+    # Every STA (and a bystander) processes the same reception.
+    for mac in stations + [MacAddress.from_int(99)]:
+        result = CarpoolReceiver(mac, coded=True).receive(received)
+        if not result.matched_positions:
+            print(f"  {mac}: no subframe for me "
+                  f"(walked {result.num_subframes_seen} subframes, dropped frame)")
+            continue
+        sf = result.subframes[0]
+        original = frame.subframe_for(mac).spec.payload
+        ok = sf.payload == original
+        print(f"  {mac}: subframe {sf.position} "
+              f"({sf.sig.mcs.name}, {sf.sig.length_bytes} B) "
+              f"decoded {'OK' if ok else 'with errors'}; "
+              f"RTE updates: {sf.rte_updates}, "
+              f"symbol-CRC pass rate: {sf.crc_pass.mean():.0%}")
+
+    # Sequential ACK schedule (Eq. 1/2): one slot per receiver.
+    timing = AckTiming(ack_duration=44e-6, sifs=10e-6)
+    plan = SequentialAckPlan(len(stations), timing)
+    print("\nSequential ACK timetable (after end of data frame):")
+    for i, mac in enumerate(stations):
+        print(f"  {mac}: ACK at t+{plan.ack_start_time(i) * 1e6:.0f} µs, "
+              f"NAV in ACK = {plan.ack_nav(i) * 1e6:.0f} µs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Per-subframe rate adaptation over the Fig. 10 office testbed.
+
+Carpool lets every subframe carry its own MCS (§4.1) — a near station
+rides QAM64 while a far one rides BPSK in the *same* PHY frame. This
+demo places stations at real testbed locations, lets the AP learn their
+SNRs, and shows the per-destination rates and the resulting Carpool
+frame composition.
+
+Run:  python examples/rate_adaptation_demo.py
+"""
+
+from repro.analysis.testbed import OfficeTestbed
+from repro.mac import (
+    AggregationLimits,
+    CarpoolProtocol,
+    DEFAULT_PARAMETERS,
+    RateTable,
+)
+from repro.mac.frames import MacFrame
+from repro.mac.node import Node
+from repro.util.rng import RngStream
+
+
+def main():
+    testbed = OfficeTestbed()
+    # Pick four stations at increasingly bad spots.
+    ranked = sorted(testbed.locations, key=testbed.snr_db, reverse=True)
+    spots = [ranked[0], ranked[10], ranked[20], ranked[-1]]
+
+    table = RateTable()
+    print("stations and their learned links:")
+    for i, spot in enumerate(spots):
+        snr = testbed.snr_db(spot)
+        table.report_snr(f"sta{i}", snr)
+        mcs = table.mcs_for(f"sta{i}")
+        print(f"  sta{i} @ ({spot.x:4.1f}, {spot.y:4.1f}) m, "
+              f"{testbed.distance(spot):4.1f} m from AP: "
+              f"{snr:5.1f} dB → {mcs.name} ({mcs.rate_mbps:g} Mbit/s class)")
+
+    protocol = CarpoolProtocol(
+        DEFAULT_PARAMETERS, AggregationLimits(max_latency=0.005), rate_table=table
+    )
+    ap = Node("ap", DEFAULT_PARAMETERS, RngStream(1).child("ap"), is_ap=True)
+    for i in range(4):
+        ap.enqueue(MacFrame(destination=f"sta{i}", size_bytes=600,
+                            arrival_time=0.001 * i))
+    tx = protocol.build(ap, 1.0)
+
+    print("\none Carpool frame, per-subframe airtime:")
+    total = 0
+    for sf in tx.subframes:
+        t = sf.n_symbols * DEFAULT_PARAMETERS.symbol_duration
+        total += t
+        print(f"  {sf.destination}: 600 B in {sf.n_symbols:3d} symbols "
+              f"({t * 1e6:6.1f} µs)")
+    print(f"  frame total (with headers): {tx.airtime * 1e6:.1f} µs, "
+          f"ACK train: {tx.ack_time * 1e6:.1f} µs")
+    print("\nsame bytes, same frame — the far station just pays more symbols,")
+    print("without slowing anyone else down to its rate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""A reliable Carpool link: everything composed, end to end.
+
+MSDUs → FCS-protected MPDU trains → Carpool aggregation (Bloom-filter
+A-HDR, per-subframe SIG, phase-offset side channel, RTE decoding) → a
+noisy fading channel → per-station salvage → BlockAcks → selective
+retransmission, looping until every byte is delivered.
+
+Run:  python examples/reliable_link_demo.py
+"""
+
+import numpy as np
+
+from repro.channel import ChannelModel, FadingProfile
+from repro.core.mac_address import MacAddress
+from repro.core.transport import CarpoolLink
+from repro.util.rng import RngStream
+
+
+def main():
+    rng = np.random.default_rng(0)
+    stations = [MacAddress.from_int(i) for i in range(4)]
+    channel = ChannelModel(
+        snr_db=14.0,  # rough enough that MPDUs die regularly
+        rng=RngStream(11),
+        profile=FadingProfile(num_taps=2, delay_spread_taps=0.35,
+                              ricean_k_db=8.0, coherence_time=30e-3),
+    )
+    link = CarpoolLink(channel, stations, max_rounds=20)
+
+    expected = {}
+    total_bytes = 0
+    for mac in stations:
+        expected[mac] = [rng.bytes(140) for _ in range(4)]
+        for payload in expected[mac]:
+            link.send(mac, payload)
+            total_bytes += len(payload)
+    print(f"queued {total_bytes} bytes across {len(stations)} stations "
+          f"over a 14 dB fading link…\n")
+
+    report = link.run()
+
+    print(f"channel accesses:        {report.transmissions}")
+    print(f"retransmitted MPDUs:     {report.retransmitted_mpdus}")
+    print(f"undelivered MSDUs:       {report.undelivered}")
+    for mac in stations:
+        ok = report.delivered[mac] == expected[mac]
+        print(f"  {mac}: {len(report.delivered[mac])}/4 MSDUs, "
+              f"in order and intact: {ok}")
+    assert report.all_delivered()
+    print("\nevery byte delivered — aggregation, side channel, RTE, "
+          "BlockAck and retransmission all pulling together.")
+
+
+if __name__ == "__main__":
+    main()

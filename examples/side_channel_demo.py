@@ -1,0 +1,62 @@
+"""The phase-offset side channel as a free covert bit pipe.
+
+Carpool uses the per-symbol phase-offset side channel to carry CRC
+checksums, but the mechanism is generic: this demo sends an arbitrary
+message through the injected phase offsets of a QPSK frame and shows that
+(a) the message survives the channel via pilot-based phase tracking and
+(b) the data payload decodes identically with and without the injection.
+
+Run:  python examples/side_channel_demo.py
+"""
+
+import numpy as np
+
+from repro.channel import ChannelModel
+from repro.core.side_channel import TWO_BIT_SCHEME
+from repro.phy import PhyReceiver, PhyTransmitter, mcs_by_name
+from repro.util.bits import bits_to_bytes, bytes_to_bits, pad_bits
+from repro.util.rng import RngStream
+
+MESSAGE = b"carpool!"
+
+
+def main():
+    mcs = mcs_by_name("QPSK-1/2")
+    payload = np.random.default_rng(0).bytes(400)
+    tx = PhyTransmitter(mcs, coded=True)
+
+    # How many side-channel bits fit? Two per payload symbol.
+    plain = tx.build_frame(payload)
+    capacity_bits = plain.n_payload_symbols * TWO_BIT_SCHEME.bits_per_symbol
+    print(f"frame: {plain.n_payload_symbols} payload symbols → "
+          f"{capacity_bits} free side-channel bits "
+          f"({capacity_bits // 8} bytes)")
+    message_bits = pad_bits(bytes_to_bits(MESSAGE), capacity_bits)[:capacity_bits]
+
+    phases = TWO_BIT_SCHEME.encode_phases(message_bits)
+    frame = tx.build_frame(payload, phases=phases)
+
+    channel = ChannelModel(snr_db=22, rng=RngStream(5))
+    received = channel.transmit(frame.symbols)
+
+    rx = PhyReceiver(coded=True).receive(received)
+    # The receiver's tracked per-symbol phases *are* the side channel; the
+    # SIG symbol (no injection) anchors the differential decoding — its
+    # phase is absorbed into the first delta, which starts from ~0 here
+    # because the CFO ramp was removed by the front end.
+    decoded_bits = TWO_BIT_SCHEME.decode_phases(rx.symbol_phases, reference_phase=0.0)
+    decoded = bits_to_bytes(decoded_bits[: 8 * len(MESSAGE)])
+
+    print(f"covert message sent:     {MESSAGE!r}")
+    print(f"covert message decoded:  {decoded!r}")
+    print(f"payload decoded intact:  {rx.payload == payload}")
+
+    # Same channel draw, no injection: payload decoding is unaffected.
+    channel_ref = ChannelModel(snr_db=22, rng=RngStream(5))
+    rx_ref = PhyReceiver(coded=True).receive(channel_ref.transmit(plain.symbols))
+    print(f"payload without side channel also intact: {rx_ref.payload == payload}")
+    assert decoded == MESSAGE
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Trace-driven calibration: PHY measurements → MAC error model.
+
+The paper feeds USRP decoding traces into its MAC simulator (§7.2.1). Our
+equivalent: run this package's PHY over the office channel, measure the
+per-symbol decode-failure curves under standard estimation and RTE, and
+fit the :class:`~repro.mac.error_model.BerCurveErrorModel` the MAC
+simulator draws subframe outcomes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.phy_experiments import LinkConfig, ber_by_symbol_index
+from repro.mac.error_model import BerCurveErrorModel, fit_ber_curve
+
+__all__ = ["symbol_failure_from_ber", "calibrate_error_model"]
+
+
+def symbol_failure_from_ber(
+    ber_per_symbol: np.ndarray,
+    coding_gain: float = 20.0,
+    bits_per_symbol: int = 288,
+) -> np.ndarray:
+    """Convert raw per-symbol BER into post-FEC symbol-decode-failure rates.
+
+    A symbol "fails" when its coded block cannot be recovered. The K=7
+    convolutional code corrects scattered errors, so only a fraction of
+    the raw error mass survives decoding; we model the failure probability
+    as 1 − (1 − BER)^(bits/coding_gain): the chance that any of the
+    symbol's *effective* (post-correction) bit positions is wrong.
+    ``coding_gain`` is the error-mass reduction factor of rate-1/2..3/4
+    Viterbi at the BERs of interest. Capped at 0.5 like the curve model.
+    """
+    ber = np.clip(np.asarray(ber_per_symbol, dtype=float), 0.0, 0.999)
+    effective_bits = bits_per_symbol / coding_gain
+    failure = 1.0 - np.power(1.0 - ber, effective_bits)
+    return np.minimum(failure, 0.5)
+
+
+def calibrate_error_model(
+    mcs_name: str = "QAM64-3/4",
+    payload_bytes: int = 4090,
+    trials: int = 30,
+    link: LinkConfig | None = None,
+    coding_gain: float = 20.0,
+) -> BerCurveErrorModel:
+    """Measure the PHY and fit the MAC-layer error model from it.
+
+    Runs the Fig. 13 experiment twice (standard vs RTE decoding of the
+    same channel draws), converts raw BER to symbol-failure probabilities,
+    and fits the linear bias curve.
+    """
+    link = link or LinkConfig()
+    standard = ber_by_symbol_index(
+        mcs_name, payload_bytes, trials, use_rte=False, link=link
+    )
+    rte = ber_by_symbol_index(mcs_name, payload_bytes, trials, use_rte=True, link=link)
+    std_fail = symbol_failure_from_ber(standard.ber_per_symbol, coding_gain)
+    rte_fail = symbol_failure_from_ber(rte.ber_per_symbol, coding_gain)
+    return fit_ber_curve(std_fail, rte_fail)

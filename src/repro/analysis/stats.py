@@ -1,0 +1,52 @@
+"""Small statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["mean_confidence_interval", "empirical_cdf", "geometric_mean"]
+
+
+def mean_confidence_interval(samples, confidence: float = 0.95):
+    """Mean and normal-approximation half-width of a sample set.
+
+    Returns ``(mean, half_width)``; half-width is 0 for fewer than two
+    samples.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("no samples")
+    mean = float(samples.mean())
+    if samples.size < 2:
+        return mean, 0.0
+    z = {0.90: 1.645, 0.95: 1.96, 0.99: 2.576}.get(confidence)
+    if z is None:
+        raise ValueError(f"unsupported confidence {confidence}")
+    half = z * float(samples.std(ddof=1)) / math.sqrt(samples.size)
+    return mean, half
+
+
+def empirical_cdf(samples):
+    """Sorted sample values and their cumulative probabilities.
+
+    >>> xs, ps = empirical_cdf([3, 1, 2])
+    >>> xs.tolist(), ps.tolist()
+    ([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])  # doctest: +SKIP
+    """
+    samples = np.sort(np.asarray(samples, dtype=float))
+    if samples.size == 0:
+        raise ValueError("no samples")
+    probs = np.arange(1, samples.size + 1) / samples.size
+    return samples, probs
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (for speedup summaries)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("no values")
+    if (values <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(values).mean()))

@@ -1,0 +1,113 @@
+"""The paper's testbed geometry (Fig. 10): a 10 m × 10 m office.
+
+The Carpool transmitter sits at the room centre; receivers occupy 30
+distinct locations. We regenerate an equivalent layout deterministically:
+a jittered grid covering the room, with every location at least half a
+metre from the transmitter. Per-location link SNR comes from the
+log-distance path-loss model, which the PHY experiments and the MAC rate
+controller both consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.path_loss import LogDistancePathLoss, link_snr_db
+from repro.util.rng import RngStream
+
+__all__ = ["Location", "OfficeTestbed"]
+
+ROOM_SIZE_M = 10.0
+NUM_LOCATIONS = 30
+
+
+@dataclass(frozen=True)
+class Location:
+    """One receiver spot in the office."""
+
+    index: int
+    x: float
+    y: float
+
+    def distance_to(self, x: float, y: float) -> float:
+        """Euclidean distance to a point in the room (metres)."""
+        return float(np.hypot(self.x - x, self.y - y))
+
+
+class OfficeTestbed:
+    """Fig. 10's layout: centre transmitter, 30 receiver locations.
+
+    Args:
+        seed: Placement jitter seed (locations are deterministic per seed).
+        path_loss: Propagation model for per-location SNR.
+    """
+
+    def __init__(self, seed: int = 10, path_loss: LogDistancePathLoss | None = None,
+                 shadowing_sigma_db: float = 6.0):
+        self.transmitter_xy = (ROOM_SIZE_M / 2.0, ROOM_SIZE_M / 2.0)
+        self.path_loss = path_loss or LogDistancePathLoss()
+        self.locations = self._place(seed)
+        # Per-location log-normal shadowing: walls, furniture and bodies
+        # make two equidistant spots differ by several dB — the spread that
+        # makes per-subframe rate adaptation worthwhile.
+        gen = RngStream(seed).child("shadowing").generator
+        self._shadowing_db = {
+            loc.index: float(gen.normal(0.0, shadowing_sigma_db))
+            for loc in self.locations
+        }
+
+    def _place(self, seed: int) -> list:
+        gen = RngStream(seed).child("testbed").generator
+        # 6 × 5 grid with jitter, clamped into the room, pushed off the TX.
+        locations = []
+        index = 0
+        tx_x, tx_y = self.transmitter_xy
+        for gx in range(6):
+            for gy in range(5):
+                x = (gx + 0.5) * ROOM_SIZE_M / 6.0 + gen.uniform(-0.5, 0.5)
+                y = (gy + 0.5) * ROOM_SIZE_M / 5.0 + gen.uniform(-0.5, 0.5)
+                x = float(np.clip(x, 0.2, ROOM_SIZE_M - 0.2))
+                y = float(np.clip(y, 0.2, ROOM_SIZE_M - 0.2))
+                distance = float(np.hypot(x - tx_x, y - tx_y))
+                if distance < 0.5:
+                    # Push radially to the 0.5 m exclusion circle.
+                    if distance < 1e-6:
+                        x, y = tx_x + 0.5, tx_y
+                    else:
+                        scale = 0.5 / distance
+                        x = tx_x + (x - tx_x) * scale
+                        y = tx_y + (y - tx_y) * scale
+                locations.append(Location(index, x, y))
+                index += 1
+        assert len(locations) == NUM_LOCATIONS
+        return locations
+
+    def distance(self, location: Location) -> float:
+        """Distance from the transmitter to ``location`` (metres)."""
+        return location.distance_to(*self.transmitter_xy)
+
+    def snr_db(self, location: Location, tx_power_dbm: float = 6.0,
+               noise_floor_dbm: float = -65.0) -> float:
+        """Link SNR at a location: path loss plus per-location shadowing.
+
+        The 6 dBm default transmit power corresponds to the paper's USRP
+        power magnitude 0.2 of the 20 dBm front-end maximum; the −65 dBm
+        effective noise floor folds in the front-end noise figure and
+        implementation loss of an SDR receive chain (thermal −101 dBm over
+        20 MHz would make every indoor link error-free, which USRP links
+        demonstrably are not).
+        """
+        base = link_snr_db(
+            self.distance(location), tx_power_dbm, noise_floor_dbm, self.path_loss
+        )
+        return base + self._shadowing_db[location.index]
+
+    def snr_map(self, **kwargs) -> dict:
+        """location index → SNR, for all 30 spots."""
+        return {loc.index: self.snr_db(loc, **kwargs) for loc in self.locations}
+
+    def distances(self) -> np.ndarray:
+        """Transmitter distance of every location, in index order."""
+        return np.array([self.distance(loc) for loc in self.locations])

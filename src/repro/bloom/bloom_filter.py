@@ -1,0 +1,62 @@
+"""A classic Bloom filter over a fixed-width bit vector."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bloom.hashing import hash_positions
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Standard Bloom filter: insert-only set membership with false positives.
+
+    >>> bf = BloomFilter(num_bits=48, num_hashes=4)
+    >>> bf.insert(b"alice")
+    >>> bf.contains(b"alice")
+    True
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int, set_index: int = 0):
+        if num_bits < 1:
+            raise ValueError("num_bits must be positive")
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self.set_index = set_index
+        self.bits = np.zeros(num_bits, dtype=np.uint8)
+        self._count = 0
+
+    def _positions(self, key: bytes) -> tuple:
+        return hash_positions(key, self.set_index, self.num_hashes, self.num_bits)
+
+    def insert(self, key: bytes) -> None:
+        """Add ``key`` to the set."""
+        for pos in self._positions(key):
+            self.bits[pos] = 1
+        self._count += 1
+
+    def contains(self, key: bytes) -> bool:
+        """Membership test: no false negatives, tunable false positives."""
+        return all(self.bits[pos] for pos in self._positions(key))
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        """Number of *inserted* keys (not distinct keys)."""
+        return self._count
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set — the load that drives false positives."""
+        return float(self.bits.mean())
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray, num_hashes: int, set_index: int = 0) -> "BloomFilter":
+        """Reconstruct a filter from a received bit vector (count unknown)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        bf = cls(bits.size, num_hashes, set_index)
+        bf.bits = bits.copy()
+        return bf

@@ -1,0 +1,98 @@
+"""The positional ("coded") Bloom filter behind Carpool's A-HDR.
+
+One shared bit vector; the i-th subframe's receiver address is inserted
+under hash set i. A receiver probes every hash set with its own address:
+set i matching means "subframe i is (probably) mine". No false negatives —
+a receiver never misses its subframe — and false positives only cost the
+energy of decoding an irrelevant subframe (paper §4.1, §8).
+
+Also provides the paper's false-positive analysis:
+
+    r_FP = (1 − e^{−hN/m})^h,   optimal h = (m/N)·ln 2
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bloom.hashing import HashSet
+
+__all__ = [
+    "PositionalBloomFilter",
+    "false_positive_ratio",
+    "optimal_num_hashes",
+]
+
+
+def false_positive_ratio(num_hashes: int, num_keys: int, num_bits: int = 48) -> float:
+    """The paper's approximation r_FP ≈ (1 − e^{−hN/m})^h for one hash set."""
+    if num_hashes < 1 or num_keys < 0 or num_bits < 1:
+        raise ValueError("invalid Bloom parameters")
+    if num_keys == 0:
+        return 0.0
+    load = num_hashes * num_keys / num_bits
+    return (1.0 - math.exp(-load)) ** num_hashes
+
+
+def optimal_num_hashes(num_keys: int, num_bits: int = 48) -> float:
+    """h* = (m/N)·ln 2 — minimiser of :func:`false_positive_ratio` over h."""
+    if num_keys < 1:
+        raise ValueError("need at least one key")
+    return (num_bits / num_keys) * math.log(2.0)
+
+
+class PositionalBloomFilter:
+    """A Bloom filter whose hash-set index encodes an item's position.
+
+    Args:
+        num_bits: Filter width; Carpool's A-HDR is 48 bits (two BPSK-1/2
+            OFDM symbols).
+        num_hashes: Functions per hash set; Carpool fixes h=4 for its ≤8
+            receiver limit.
+    """
+
+    def __init__(self, num_bits: int = 48, num_hashes: int = 4):
+        if num_bits < 1:
+            raise ValueError("num_bits must be positive")
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self.bits = np.zeros(num_bits, dtype=np.uint8)
+        self._num_positions = 0
+
+    def insert(self, key: bytes, position: int) -> None:
+        """Insert ``key`` as the item at ``position`` (0-based subframe index)."""
+        if position < 0:
+            raise ValueError("position must be non-negative")
+        hash_set = HashSet(position, self.num_hashes, self.num_bits)
+        for pos in hash_set.positions(key):
+            self.bits[pos] = 1
+        self._num_positions = max(self._num_positions, position + 1)
+
+    def matches(self, key: bytes, position: int) -> bool:
+        """Does hash set ``position`` claim ``key`` is present?"""
+        hash_set = HashSet(position, self.num_hashes, self.num_bits)
+        return all(self.bits[p] for p in hash_set.positions(key))
+
+    def matching_positions(self, key: bytes, num_positions: int) -> list:
+        """All subframe indices (0-based) that match ``key``.
+
+        The receiver decodes *every* matched subframe (paper: "decoding
+        with false positives"), so the true subframe is never missed.
+        """
+        return [i for i in range(num_positions) if self.matches(key, i)]
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray, num_hashes: int = 4) -> "PositionalBloomFilter":
+        """Rebuild from a received 48-bit vector."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        pbf = cls(bits.size, num_hashes)
+        pbf.bits = bits.copy()
+        return pbf
+
+    def to_bits(self) -> np.ndarray:
+        """A copy of the filter's 48-bit vector (what the A-HDR transmits)."""
+        return self.bits.copy()

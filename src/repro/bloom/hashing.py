@@ -1,0 +1,51 @@
+"""Hash families for the A-HDR coded Bloom filter.
+
+Carpool needs *indexed hash sets*: the i-th subframe's receiver is inserted
+with the i-th set of h hash functions, so membership under hash set i also
+reveals the subframe position (paper §4.1). We derive arbitrarily many
+independent hash functions from SHA-256 with (set_index, function_index)
+domain separation — deterministic across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["hash_positions", "HashSet"]
+
+
+def hash_positions(key: bytes, set_index: int, num_hashes: int, num_bits: int) -> tuple:
+    """Map ``key`` to ``num_hashes`` bit positions using hash set ``set_index``.
+
+    Each (set_index, j) pair selects an independent function; positions are
+    uniform over ``range(num_bits)`` and *may* collide with each other,
+    matching the standard Bloom-filter analysis the paper's false-positive
+    formula assumes.
+    """
+    if num_hashes < 1:
+        raise ValueError("need at least one hash function")
+    if num_bits < 1:
+        raise ValueError("need at least one bit")
+    positions = []
+    for j in range(num_hashes):
+        digest = hashlib.sha256(b"%d|%d|" % (set_index, j) + bytes(key)).digest()
+        positions.append(int.from_bytes(digest[:8], "big") % num_bits)
+    return tuple(positions)
+
+
+class HashSet:
+    """The ``i``-th hash set: ``h`` functions bound to a filter width."""
+
+    def __init__(self, set_index: int, num_hashes: int, num_bits: int):
+        if set_index < 0:
+            raise ValueError("set index must be non-negative")
+        self.set_index = set_index
+        self.num_hashes = num_hashes
+        self.num_bits = num_bits
+
+    def positions(self, key: bytes) -> tuple:
+        """Bit positions this hash set maps ``key`` to."""
+        return hash_positions(key, self.set_index, self.num_hashes, self.num_bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashSet(i={self.set_index}, h={self.num_hashes}, m={self.num_bits})"

@@ -1,0 +1,28 @@
+"""Additive white Gaussian noise."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import RngStream
+from repro.util.units import db_to_linear
+
+__all__ = ["noise_variance_for_snr", "add_awgn"]
+
+
+def noise_variance_for_snr(snr_db: float, signal_power: float = 1.0) -> float:
+    """Complex noise variance that yields ``snr_db`` for the given signal power."""
+    return signal_power / db_to_linear(snr_db)
+
+
+def add_awgn(symbols: np.ndarray, snr_db: float, rng: RngStream,
+             signal_power: float = 1.0) -> np.ndarray:
+    """Add circularly-symmetric complex Gaussian noise to ``symbols``.
+
+    ``signal_power`` is the reference average power per subcarrier; with
+    unit-power constellations and unit-average-power channels the default
+    of 1.0 makes ``snr_db`` the per-subcarrier SNR.
+    """
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    sigma = np.sqrt(noise_variance_for_snr(snr_db, signal_power))
+    return symbols + rng.complex_normal(scale=sigma, size=symbols.shape)

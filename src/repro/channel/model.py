@@ -1,0 +1,133 @@
+"""The composable link model: fading × CFO × AWGN, applied per OFDM symbol.
+
+This is the stand-in for the paper's over-the-air path (USRP → office →
+USRP). A :class:`ChannelModel` owns a fading process, a carrier frequency
+offset and a noise level, and transforms the (n_symbols, 52) symbol arrays
+produced by the PHY transmitter into what the receiver sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.awgn import add_awgn
+from repro.channel.fading import FadingProcess, FadingProfile
+from repro.channel.power import snr_for_power
+from repro.phy.cfo import phase_step_from_cfo
+from repro.phy.constants import (
+    FFT_SIZE,
+    SYMBOL_DURATION_20MHZ,
+    SYMBOL_SAMPLES,
+    USED_SUBCARRIER_INDICES,
+)
+from repro.util.rng import RngStream
+
+__all__ = ["ChannelModel", "ChannelTrace"]
+
+
+@dataclass
+class ChannelTrace:
+    """Ground-truth record of what the channel did to one frame.
+
+    Kept for instrumentation: the RTE evaluation compares the receiver's
+    running estimate against ``responses``.
+    """
+
+    responses: np.ndarray  # (n_symbols, 52) true frequency response per symbol
+    cfo_hz: float
+    initial_phase: float
+    snr_db: float
+
+
+class ChannelModel:
+    """A point-to-point link with time-varying fading, CFO and noise.
+
+    Args:
+        snr_db: Per-subcarrier SNR. Alternatively pass ``power_magnitude``
+            to use the paper's USRP power-knob calibration.
+        profile: Fading environment; defaults to the indoor-office profile.
+        cfo_hz: Carrier frequency offset between the node pair. The PHY
+            receiver estimates and removes most of it from the LTF; what
+            the pilots see is the residual.
+        sfo_ppm: Sampling-frequency offset in parts-per-million. SFO puts a
+            phase ramp on each subcarrier that grows with *both* the symbol
+            index and the subcarrier index, so pilot common-phase tracking
+            cannot remove it — a second real-world source of the BER bias
+            a preamble-only channel estimate suffers on long frames.
+        symbol_duration: OFDM symbol duration (4 µs at 20 MHz; the paper's
+            Fig. 13 runs a "2M channel", i.e. 40 µs symbols, to emulate
+            10× longer frames).
+        rng: Seeded random stream; fading/noise/phase each use a child.
+        continuous: If True the fading process persists across frames
+            (a single physical link observed over time); if False every
+            frame sees a fresh realisation (independent locations).
+    """
+
+    def __init__(
+        self,
+        snr_db: float | None = None,
+        *,
+        power_magnitude: float | None = None,
+        profile: FadingProfile | None = None,
+        cfo_hz: float = 300.0,
+        sfo_ppm: float = 10.0,
+        symbol_duration: float = SYMBOL_DURATION_20MHZ,
+        rng: RngStream | None = None,
+        continuous: bool = False,
+    ):
+        if (snr_db is None) == (power_magnitude is None):
+            raise ValueError("specify exactly one of snr_db / power_magnitude")
+        self.snr_db = snr_db if snr_db is not None else snr_for_power(power_magnitude)
+        self.profile = profile or FadingProfile()
+        self.cfo_hz = cfo_hz
+        self.sfo_ppm = sfo_ppm
+        self.symbol_duration = symbol_duration
+        self.continuous = continuous
+        rng = rng or RngStream(seed=0)
+        self._noise_rng = rng.child("noise")
+        self._phase_rng = rng.child("phase")
+        self._fading = FadingProcess(self.profile, symbol_duration, rng.child("fading"))
+        self.last_trace: ChannelTrace | None = None
+
+    def transmit(self, symbols: np.ndarray) -> np.ndarray:
+        """Propagate one frame; returns the received symbol array.
+
+        Applies, in order: per-symbol fading (evolving within the frame),
+        a CFO phase ramp with random initial phase, and AWGN at the model's
+        SNR.
+        """
+        symbols = np.asarray(symbols, dtype=np.complex128)
+        n = symbols.shape[0]
+        if not self.continuous:
+            self._fading.reset()
+        responses = np.empty_like(symbols)
+        faded = np.empty_like(symbols)
+        for i in range(n):
+            h = self._fading.frequency_response()
+            responses[i] = h
+            faded[i] = h * symbols[i]
+            self._fading.step()
+
+        phase_step = phase_step_from_cfo(self.cfo_hz, self.symbol_duration)
+        initial_phase = float(self._phase_rng.uniform(0.0, 2.0 * np.pi))
+        ramp = np.exp(1j * (initial_phase + phase_step * np.arange(n)))
+        faded *= ramp[:, None]
+
+        if self.sfo_ppm:
+            # Phase on logical subcarrier k at symbol index i:
+            # 2π · k · ε · i · (symbol_samples / fft_size).
+            delta = self.sfo_ppm * 1e-6 * (SYMBOL_SAMPLES / FFT_SIZE)
+            k = USED_SUBCARRIER_INDICES[None, :]
+            i = np.arange(n)[:, None]
+            faded *= np.exp(2j * np.pi * k * delta * i)
+
+        received = add_awgn(faded, self.snr_db, self._noise_rng)
+        self.last_trace = ChannelTrace(
+            responses=responses,
+            cfo_hz=self.cfo_hz,
+            initial_phase=initial_phase,
+            snr_db=self.snr_db,
+        )
+        return received

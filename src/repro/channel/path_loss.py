@@ -1,0 +1,50 @@
+"""Log-distance path loss for indoor node placement.
+
+Used by the MAC evaluation to assign per-STA link SNRs from the testbed
+geometry (Fig. 10: transmitter at the room centre, receivers at 30 spots in
+a 10 m × 10 m office).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LogDistancePathLoss", "link_snr_db"]
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss:
+    """PL(d) = PL(d0) + 10·n·log10(d/d0) dB.
+
+    Defaults follow common indoor-office measurements at 2.4 GHz:
+    free-space loss at the 1 m reference (≈40 dB) and exponent 3.0.
+    """
+
+    reference_loss_db: float = 40.0
+    exponent: float = 3.0
+    reference_distance_m: float = 1.0
+
+    def loss_db(self, distance_m: float) -> float:
+        """Path loss in dB at ``distance_m``."""
+        if distance_m <= 0:
+            raise ValueError("distance must be positive")
+        d = max(distance_m, self.reference_distance_m)
+        return self.reference_loss_db + 10.0 * self.exponent * math.log10(
+            d / self.reference_distance_m
+        )
+
+
+def link_snr_db(
+    distance_m: float,
+    tx_power_dbm: float = 20.0,
+    noise_floor_dbm: float = -90.0,
+    model: LogDistancePathLoss | None = None,
+) -> float:
+    """Received SNR for a link of ``distance_m`` metres.
+
+    The default TX power is the XCVR2450's 20 dBm maximum (§7.1.1); the
+    noise floor bundles thermal noise and receiver noise figure over 20 MHz.
+    """
+    model = model or LogDistancePathLoss()
+    return tx_power_dbm - model.loss_db(distance_m) - noise_floor_dbm

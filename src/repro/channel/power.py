@@ -1,0 +1,31 @@
+"""Calibration between USRP "power magnitude" and link SNR.
+
+The paper sweeps the UHD transmission gain as a unitless *power magnitude*
+between 0.0125 and 0.2 of the daughterboard's 20 dBm maximum (§7.1.1). We
+have no radio, so we map that knob to a per-subcarrier SNR with a
+log-linear rule calibrated so the BER curves land in the ranges Fig. 11
+reports (BPSK reaching ~1e-6 at 0.2; QAM64 unusable at 0.0125):
+
+    SNR(p) = SNR_REF + 20·log10(p / 1.0)   [dB]
+
+Transmit amplitude scales linearly with the magnitude, so received power —
+and SNR at fixed noise floor — goes with 20·log10.
+"""
+
+from __future__ import annotations
+
+__all__ = ["POWER_MAGNITUDES", "snr_for_power", "SNR_AT_UNIT_POWER_DB"]
+
+# The five power settings the paper's PHY evaluation sweeps.
+POWER_MAGNITUDES = (0.0125, 0.025, 0.05, 0.1, 0.2)
+
+SNR_AT_UNIT_POWER_DB = 40.0
+
+
+def snr_for_power(power_magnitude: float, snr_at_unit_power_db: float = SNR_AT_UNIT_POWER_DB) -> float:
+    """Per-subcarrier SNR (dB) for a USRP power-magnitude setting."""
+    if power_magnitude <= 0:
+        raise ValueError("power magnitude must be positive")
+    import math
+
+    return snr_at_unit_power_db + 20.0 * math.log10(power_magnitude)

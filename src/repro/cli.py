@@ -1,0 +1,148 @@
+"""Command-line interface: run the reproduction's experiments directly.
+
+    python -m repro list
+    python -m repro phy --mcs QAM64-3/4 --trials 30
+    python -m repro mac --stations 30 --background --duration 8
+    python -m repro testbed
+    python -m repro energy
+
+Each subcommand drives the same library code the benchmarks use, with
+knobs exposed for quick exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Carpool (ICDCS 2015) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    phy = sub.add_parser("phy", help="BER-vs-symbol-index (Fig. 3/13) experiment")
+    phy.add_argument("--mcs", default="QAM64-3/4")
+    phy.add_argument("--trials", type=int, default=30)
+    phy.add_argument("--payload", type=int, default=4090)
+    phy.add_argument("--power", type=float, default=0.2)
+    phy.add_argument("--seed", type=int, default=0)
+
+    mac = sub.add_parser("mac", help="MAC goodput/latency comparison (Fig. 15/16)")
+    mac.add_argument("--stations", type=int, default=30)
+    mac.add_argument("--duration", type=float, default=8.0)
+    mac.add_argument("--background", action="store_true")
+    mac.add_argument("--seed", type=int, default=42)
+    mac.add_argument("--protocols", nargs="*", default=None,
+                     help="subset of: 802.11 A-MPDU MU-Aggregation WiFox Carpool")
+
+    sub.add_parser("testbed", help="Fig. 10 office layout, SNRs and rates")
+    sub.add_parser("energy", help="§8 energy-overhead estimate")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    print("  phy      — BER vs symbol index, standard vs RTE (Figs. 3/13)")
+    print("  mac      — five-scheme goodput/latency comparison (Figs. 15/16)")
+    print("  testbed  — office geometry, per-location SNR and selected MCS")
+    print("  energy   — Bloom-filter false positives → energy overhead (§8)")
+    print("\nfull reproduction tables: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def _cmd_phy(args) -> int:
+    from repro.analysis import LinkConfig, ber_by_symbol_index
+
+    link = LinkConfig(seed=args.seed).with_power(args.power)
+    print(f"{args.mcs}, {args.payload} B frames, power {args.power}, "
+          f"{args.trials} trials per scheme")
+    std = ber_by_symbol_index(args.mcs, args.payload, args.trials,
+                              use_rte=False, link=link)
+    rte = ber_by_symbol_index(args.mcs, args.payload, args.trials,
+                              use_rte=True, link=link)
+    print(f"{'symbols':>10s}  {'standard':>10s}  {'RTE':>10s}")
+    for start in range(0, std.ber_per_symbol.size, 10):
+        end = min(start + 10, std.ber_per_symbol.size)
+        print(f"{start + 1:>4d}–{end:<5d}  "
+              f"{std.ber_per_symbol[start:end].mean():10.2e}  "
+              f"{rte.ber_per_symbol[start:end].mean():10.2e}")
+    print(f"\nmean: standard {std.mean_ber:.2e}, RTE {rte.mean_ber:.2e}")
+    return 0
+
+
+def _cmd_mac(args) -> int:
+    from repro.mac import PROTOCOLS
+    from repro.mac.scenarios import VoipScenario
+
+    names = args.protocols or list(PROTOCOLS)
+    unknown = [n for n in names if n not in PROTOCOLS]
+    if unknown:
+        print(f"unknown protocols: {unknown}; have {sorted(PROTOCOLS)}",
+              file=sys.stderr)
+        return 2
+    scenario = VoipScenario(num_stations=args.stations, duration=args.duration,
+                            with_background=args.background, seed=args.seed)
+    print(f"{args.stations} STAs/AP × 2 APs, {args.duration:.0f} s, "
+          f"background={'on' if args.background else 'off'}\n")
+    print(f"{'scheme':<16s} {'goodput':>10s} {'delay':>10s} {'retx':>6s}")
+    for name in names:
+        result = scenario.run(PROTOCOLS[name])
+        print(f"{result.protocol:<16s} "
+              f"{result.measured_ap_useful_goodput_bps / 1e6:8.3f} M "
+              f"{result.downlink_mean_delay * 1e3:8.1f} ms "
+              f"{result.retransmitted_subframes:>6d}")
+    return 0
+
+
+def _cmd_testbed() -> int:
+    from repro.analysis.testbed import OfficeTestbed
+    from repro.mac.rate_control import select_mcs
+
+    testbed = OfficeTestbed()
+    print("Fig. 10 office (10 m × 10 m, transmitter at centre):\n")
+    print(f"{'loc':>4s} {'x':>6s} {'y':>6s} {'dist':>6s} {'SNR':>7s}  MCS")
+    for loc in testbed.locations:
+        snr = testbed.snr_db(loc)
+        mcs = select_mcs(snr)
+        print(f"{loc.index:>4d} {loc.x:6.2f} {loc.y:6.2f} "
+              f"{testbed.distance(loc):6.2f} {snr:6.1f}dB  {mcs.name}")
+    return 0
+
+
+def _cmd_energy() -> int:
+    from repro.core.energy import carpool_energy_overhead
+
+    print(f"{'receivers':>10s} {'extra RX power':>15s} {'total overhead':>15s}")
+    for n in range(2, 9):
+        overhead = carpool_energy_overhead(num_receivers=n)
+        print(f"{n:>10d} {overhead['extra_rx_power_fraction']:>14.4%} "
+              f"{overhead['total_energy_overhead']:>14.4%}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "phy":
+        return _cmd_phy(args)
+    if args.command == "mac":
+        return _cmd_mac(args)
+    if args.command == "testbed":
+        return _cmd_testbed()
+    if args.command == "energy":
+        return _cmd_energy()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

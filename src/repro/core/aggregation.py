@@ -1,0 +1,174 @@
+"""AP-side aggregation policy: which queued frames ride in one Carpool frame.
+
+The aggregation process ends when the buffered frames reach the maximum
+frame size or the oldest frame's queueing delay reaches the latency limit
+(§7.2, "Performance with different latency requirements and frame sizes").
+Frames for the same receiver become one subframe (they are A-MPDU-merged at
+MAC level first); at most eight distinct receivers share a frame.
+
+Delay-sensitive traffic is served before delay-insensitive FIFO traffic,
+matching the priority rule of §8 (Fairness).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.ahdr import MAX_RECEIVERS
+from repro.core.mac_address import MacAddress
+
+__all__ = ["QueuedFrame", "AggregationPolicy", "AggregationBatch", "AggregationQueue"]
+
+
+@dataclass(order=True)
+class QueuedFrame:
+    """One downlink frame waiting at the AP."""
+
+    enqueue_time: float
+    receiver: MacAddress = field(compare=False)
+    size_bytes: int = field(compare=False)
+    delay_sensitive: bool = field(compare=False, default=False)
+    frame_id: int = field(compare=False, default=0)
+
+    def __post_init__(self):
+        if self.size_bytes <= 0:
+            raise ValueError("frame size must be positive")
+
+
+@dataclass(frozen=True)
+class AggregationPolicy:
+    """Limits that end the aggregation process.
+
+    Attributes:
+        max_frame_bytes: Total aggregated payload cap (64 KB in 802.11n's
+            A-MPDU; Carpool frames may approach it).
+        max_latency: Oldest-frame deadline in seconds; aggregation flushes
+            when the head frame has waited this long.
+        max_receivers: Distinct destinations per Carpool frame (≤ 8).
+        max_subframe_bytes: Per-receiver cap (SIG LENGTH is 12 bits).
+    """
+
+    max_frame_bytes: int = 65535
+    max_latency: float = 0.010
+    max_receivers: int = MAX_RECEIVERS
+    max_subframe_bytes: int = 4095
+
+    def __post_init__(self):
+        if self.max_receivers > MAX_RECEIVERS:
+            raise ValueError(f"Carpool supports at most {MAX_RECEIVERS} receivers")
+        if self.max_frame_bytes <= 0 or self.max_subframe_bytes <= 0:
+            raise ValueError("size limits must be positive")
+        if self.max_latency <= 0:
+            raise ValueError("latency limit must be positive")
+
+
+@dataclass
+class AggregationBatch:
+    """The outcome of one aggregation decision: per-receiver byte loads."""
+
+    subframes: "OrderedDict[MacAddress, list]"  # receiver → [QueuedFrame, ...]
+
+    @property
+    def receivers(self) -> list:
+        """Destinations in subframe order."""
+        return list(self.subframes.keys())
+
+    @property
+    def num_receivers(self) -> int:
+        """Distinct destinations in the batch."""
+        return len(self.subframes)
+
+    def subframe_bytes(self, receiver: MacAddress) -> int:
+        """Payload bytes destined to one receiver."""
+        return sum(f.size_bytes for f in self.subframes[receiver])
+
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate payload bytes across all subframes."""
+        return sum(f.size_bytes for frames in self.subframes.values() for f in frames)
+
+    @property
+    def frames(self) -> list:
+        """Every queued frame in the batch, subframe order."""
+        return [f for frames in self.subframes.values() for f in frames]
+
+
+class AggregationQueue:
+    """The AP's downlink buffer plus the Carpool aggregation decision.
+
+    Not thread-safe; the event-driven MAC simulator drives it from a single
+    logical clock.
+    """
+
+    def __init__(self, policy: AggregationPolicy | None = None):
+        self.policy = policy or AggregationPolicy()
+        self._queue: list = []
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes currently buffered at the AP."""
+        return sum(f.size_bytes for f in self._queue)
+
+    def enqueue(self, frame: QueuedFrame) -> None:
+        """Buffer one downlink frame."""
+        self._queue.append(frame)
+
+    def oldest_enqueue_time(self) -> float | None:
+        """Enqueue time of the oldest buffered frame (None if empty)."""
+        if not self._queue:
+            return None
+        return min(f.enqueue_time for f in self._queue)
+
+    def should_flush(self, now: float) -> bool:
+        """Has the size cap been reached or the head deadline expired?"""
+        if not self._queue:
+            return False
+        if self.pending_bytes >= self.policy.max_frame_bytes:
+            return True
+        oldest = self.oldest_enqueue_time()
+        return now - oldest >= self.policy.max_latency
+
+    def build_batch(self, now: float) -> AggregationBatch | None:
+        """Pop the next Carpool batch, or None if the queue is empty.
+
+        Selection: delay-sensitive frames first, then FIFO; frames are
+        added receiver-group by receiver-group until a limit binds. The
+        first frame is always included (a single frame larger than
+        ``max_frame_bytes`` would otherwise wedge the queue).
+        """
+        if not self._queue:
+            return None
+        ordered = sorted(
+            self._queue, key=lambda f: (not f.delay_sensitive, f.enqueue_time, f.frame_id)
+        )
+        policy = self.policy
+        chosen: "OrderedDict[MacAddress, list]" = OrderedDict()
+        total = 0
+        taken = set()
+        for frame in ordered:
+            new_receiver = frame.receiver not in chosen
+            if new_receiver and len(chosen) >= policy.max_receivers:
+                continue
+            if chosen and total + frame.size_bytes > policy.max_frame_bytes:
+                continue
+            if (
+                frame.receiver in chosen
+                and self._bytes_of(chosen[frame.receiver]) + frame.size_bytes
+                > policy.max_subframe_bytes
+            ):
+                continue
+            if new_receiver and frame.size_bytes > policy.max_subframe_bytes and chosen:
+                continue
+            chosen.setdefault(frame.receiver, []).append(frame)
+            taken.add(id(frame))
+            total += frame.size_bytes
+        self._queue = [f for f in self._queue if id(f) not in taken]
+        return AggregationBatch(subframes=chosen)
+
+    @staticmethod
+    def _bytes_of(frames: list) -> int:
+        return sum(f.size_bytes for f in frames)

@@ -1,0 +1,166 @@
+"""Backward compatibility with legacy 802.11 (§4.3).
+
+Three pieces make Carpool deployable next to legacy gear:
+
+* **AP association** — stations advertise their supported protocols when
+  associating; the AP records capabilities and speaks Carpool only to
+  stations that negotiated it (:class:`AssociationTable`).
+* **Frame classification** — a Carpool node hearing a frame must tell
+  Carpool PLCP from legacy PLCP. In a legacy frame the symbol right after
+  the preamble is a SIG (valid RATE bits + even parity); in a Carpool
+  frame that slot holds the A-HDR, which is convolutionally-coded Bloom
+  bits and fails the SIG checks — while the symbol *after* the two A-HDR
+  symbols is the first subframe's SIG. :func:`classify_frame` implements
+  exactly this test.
+* **Dual-mode reception** — :class:`DualModeReceiver` classifies and then
+  runs the matching receive pipeline, so a Carpool STA decodes legacy
+  frames (including legacy MAC aggregation) without confusion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ahdr import AHDR_SYMBOLS
+from repro.core.mac_address import MacAddress
+from repro.core.receiver import CarpoolReceiver, CarpoolRxResult
+from repro.phy.channel_estimation import equalize
+from repro.phy.frontend import acquire
+from repro.phy.ofdm import split_symbol
+from repro.phy.pilots import track_and_compensate
+from repro.phy.sig import SigDecodeError, decode_sig
+from repro.phy.transceiver import PhyReceiver, RxResult, SIG_SYMBOL_OFFSET
+
+__all__ = [
+    "FrameFormat",
+    "Capability",
+    "AssociationTable",
+    "classify_frame",
+    "DualModeReceiver",
+]
+
+
+class FrameFormat(enum.Enum):
+    """What kind of PLCP a reception carries."""
+    LEGACY = "legacy"
+    CARPOOL = "carpool"
+    UNDECODABLE = "undecodable"
+
+
+class Capability(enum.Flag):
+    """Protocol support a station advertises at association time."""
+
+    DOT11A = enum.auto()
+    DOT11N = enum.auto()
+    CARPOOL = enum.auto()
+
+
+@dataclass
+class AssociationTable:
+    """The AP's view of who speaks what (§4.3, "AP Association")."""
+
+    _entries: dict = field(default_factory=dict)
+
+    def associate(self, mac: MacAddress, capabilities: Capability) -> None:
+        """Record a station's negotiated capability set."""
+        if not capabilities & (Capability.DOT11A | Capability.DOT11N):
+            raise ValueError("station must support at least one legacy protocol")
+        self._entries[mac] = capabilities
+
+    def disassociate(self, mac: MacAddress) -> None:
+        """Forget a station (idempotent)."""
+        self._entries.pop(mac, None)
+
+    def capabilities(self, mac: MacAddress) -> Capability:
+        """A station's recorded capabilities; KeyError if unknown."""
+        if mac not in self._entries:
+            raise KeyError(f"{mac} is not associated")
+        return self._entries[mac]
+
+    def supports_carpool(self, mac: MacAddress) -> bool:
+        """Did this station negotiate Carpool? (False for unknown stations.)"""
+        return bool(self._entries.get(mac, Capability(0)) & Capability.CARPOOL)
+
+    def carpool_stations(self) -> list:
+        """All stations that negotiated Carpool."""
+        return [mac for mac, caps in self._entries.items() if caps & Capability.CARPOOL]
+
+    def legacy_stations(self) -> list:
+        """All stations running legacy protocols only."""
+        return [mac for mac, caps in self._entries.items()
+                if not caps & Capability.CARPOOL]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, mac: MacAddress) -> bool:
+        return mac in self._entries
+
+
+def _sig_decodes(used_symbol: np.ndarray, channel: np.ndarray, pilot_index: int) -> bool:
+    eq = equalize(used_symbol, channel)
+    eq, _ = track_and_compensate(eq, pilot_index)
+    points, _ = split_symbol(eq)
+    try:
+        decode_sig(points)
+    except SigDecodeError:
+        return False
+    return True
+
+
+def classify_frame(received_symbols: np.ndarray) -> FrameFormat:
+    """Decide whether a reception is a legacy or a Carpool frame.
+
+    Uses the §4.3 observation: legacy PLCP puts a SIG directly after the
+    preamble, Carpool puts the two-symbol A-HDR there and the first
+    subframe's SIG after it. Random payload or noise in the probed slots
+    fails both tests → UNDECODABLE.
+    """
+    received_symbols = np.asarray(received_symbols, dtype=np.complex128)
+    if received_symbols.shape[0] < SIG_SYMBOL_OFFSET + 1:
+        return FrameFormat.UNDECODABLE
+    front = acquire(received_symbols)
+    channel = front.channel_estimate
+    derotated = front.derotated
+
+    legacy_sig = _sig_decodes(derotated[SIG_SYMBOL_OFFSET], channel, pilot_index=0)
+    if legacy_sig:
+        return FrameFormat.LEGACY
+
+    carpool_sig_slot = SIG_SYMBOL_OFFSET + AHDR_SYMBOLS
+    if received_symbols.shape[0] > carpool_sig_slot and _sig_decodes(
+        derotated[carpool_sig_slot], channel, pilot_index=AHDR_SYMBOLS
+    ):
+        return FrameFormat.CARPOOL
+    return FrameFormat.UNDECODABLE
+
+
+@dataclass
+class DualModeResult:
+    """Outcome of a dual-mode reception."""
+
+    format: FrameFormat
+    legacy: RxResult | None = None
+    carpool: CarpoolRxResult | None = None
+
+
+class DualModeReceiver:
+    """A Carpool station that also decodes legacy frames (§4.3)."""
+
+    def __init__(self, mac: MacAddress, coded: bool = True):
+        self.mac = mac
+        self.coded = coded
+        self._legacy = PhyReceiver(coded=coded)
+        self._carpool = CarpoolReceiver(mac, coded=coded)
+
+    def receive(self, received_symbols: np.ndarray) -> DualModeResult:
+        """Classify the frame, then decode it with the matching pipeline."""
+        fmt = classify_frame(received_symbols)
+        if fmt is FrameFormat.LEGACY:
+            return DualModeResult(fmt, legacy=self._legacy.receive(received_symbols))
+        if fmt is FrameFormat.CARPOOL:
+            return DualModeResult(fmt, carpool=self._carpool.receive(received_symbols))
+        return DualModeResult(fmt)

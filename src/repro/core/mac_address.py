@@ -1,0 +1,43 @@
+"""48-bit MAC addresses, the keys Carpool hashes into the A-HDR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MacAddress"]
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """An IEEE 802 MAC address.
+
+    >>> MacAddress.from_string("02:00:00:00:00:2a").octets.hex()
+    '02000000002a'
+    """
+
+    octets: bytes
+
+    def __post_init__(self):
+        if len(self.octets) != 6:
+            raise ValueError(f"MAC address needs 6 octets, got {len(self.octets)}")
+
+    @classmethod
+    def from_string(cls, text: str) -> "MacAddress":
+        """Parse the colon-separated hex form (aa:bb:cc:dd:ee:ff)."""
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"malformed MAC address {text!r}")
+        return cls(bytes(int(p, 16) for p in parts))
+
+    @classmethod
+    def from_int(cls, value: int) -> "MacAddress":
+        """Build a (locally administered) address from a station number."""
+        if not 0 <= value < (1 << 46):
+            raise ValueError("value out of range")
+        return cls(bytes([0x02]) + int(value).to_bytes(5, "big"))
+
+    def __str__(self) -> str:
+        return ":".join(f"{b:02x}" for b in self.octets)
+
+    def __bytes__(self) -> bytes:
+        return self.octets

@@ -1,0 +1,72 @@
+"""MAC data units inside Carpool subframes.
+
+§4.1: "the MAC data can be either single data unit or aggregation data
+unit determined in IEEE 802.11 MAC aggregation (MSDU or MPDU
+aggregation)". This module implements that layer for real: a subframe's
+payload is a train of delimited 802.11 MPDUs (each a
+:class:`~repro.mac.frame_formats.DataFrame` with its own FCS), so a
+receiver can salvage intact MPDUs out of a partially-corrupted subframe
+— the per-MPDU retransmission granularity the MAC simulator models.
+
+Delimiter format (A-MPDU-style, simplified):
+
+    length(2, little endian) | 0x4E ("N") | 0x5A ("Z") | MPDU bytes
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.mac.frame_formats import DataFrame, FcsError
+
+__all__ = ["pack_mpdus", "unpack_mpdus", "DELIMITER_BYTES"]
+
+DELIMITER_BYTES = 4
+_MAGIC = b"NZ"
+_MAX_MPDU = 65535
+
+
+def pack_mpdus(frames: list) -> bytes:
+    """Serialise a list of :class:`DataFrame` into one subframe payload."""
+    if not frames:
+        raise ValueError("need at least one MPDU")
+    parts = []
+    for frame in frames:
+        raw = frame.to_bytes()
+        if len(raw) > _MAX_MPDU:
+            raise ValueError("MPDU too large for the 16-bit delimiter")
+        parts.append(struct.pack("<H", len(raw)) + _MAGIC + raw)
+    return b"".join(parts)
+
+
+def unpack_mpdus(payload: bytes) -> tuple:
+    """Recover MPDUs from a (possibly corrupted) subframe payload.
+
+    Walks the delimiter chain; on a broken delimiter it scans forward for
+    the next magic marker (the standard's delimiter-resync behaviour).
+    Returns ``(frames, salvaged, lost)`` where ``frames`` are the
+    FCS-clean :class:`DataFrame` objects, ``salvaged`` counts them and
+    ``lost`` counts delimited MPDUs that failed their FCS.
+    """
+    frames = []
+    lost = 0
+    cursor = 0
+    n = len(payload)
+    while cursor + DELIMITER_BYTES <= n:
+        (length,) = struct.unpack("<H", payload[cursor : cursor + 2])
+        magic_ok = payload[cursor + 2 : cursor + 4] == _MAGIC
+        end = cursor + DELIMITER_BYTES + length
+        if not magic_ok or length == 0 or end > n:
+            # Resync: hunt for the next delimiter magic.
+            next_magic = payload.find(_MAGIC, cursor + 1)
+            if next_magic < 2:
+                break
+            cursor = next_magic - 2
+            continue
+        raw = payload[cursor + DELIMITER_BYTES : end]
+        try:
+            frames.append(DataFrame.from_bytes(raw))
+        except (FcsError, ValueError):
+            lost += 1
+        cursor = end
+    return frames, len(frames), lost

@@ -1,0 +1,97 @@
+"""Sequential ACK: NAV arithmetic for multi-receiver acknowledgements (§4.2).
+
+All receivers of a Carpool frame decode it at (nearly) the same instant;
+simultaneous ACKs would collide at the AP. Carpool serialises them with
+modified NAV values:
+
+* the data frame reserves the medium for the whole sequence:
+      NAV_data = t_payload + N·(t_ACK + t_SIFS)
+* the receiver of subframe i waits out the earlier ACKs:
+      NAV_i = (i−1)·(t_ACK + t_SIFS)          (1-based i)
+* the j-th ACK advertises the remaining sequence:
+      NAV of ACK_j = NAV_{N−j+1}, so the last ACK carries NAV 0 — exactly
+      a legacy ACK.
+
+The AP matches received ACKs back to subframes by their arrival slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AckTiming", "SequentialAckPlan"]
+
+
+@dataclass(frozen=True)
+class AckTiming:
+    """Durations involved in the ACK sequence (seconds)."""
+
+    ack_duration: float
+    sifs: float
+
+    @property
+    def slot(self) -> float:
+        """One ACK slot: SIFS gap plus the ACK itself."""
+        return self.ack_duration + self.sifs
+
+
+class SequentialAckPlan:
+    """The timetable of a Carpool frame's ACK sequence.
+
+    Time zero is the end of the data frame.
+    """
+
+    def __init__(self, num_receivers: int, timing: AckTiming):
+        if num_receivers < 1:
+            raise ValueError("need at least one receiver")
+        self.num_receivers = num_receivers
+        self.timing = timing
+
+    def nav_data(self, payload_duration: float) -> float:
+        """NAV carried by the data frame (Eq. 1)."""
+        return payload_duration + self.num_receivers * self.timing.slot
+
+    def receiver_nav(self, position: int) -> float:
+        """NAV_i set by the receiver of subframe ``position`` (0-based) (Eq. 2)."""
+        self._check(position)
+        return position * self.timing.slot
+
+    def ack_nav(self, position: int) -> float:
+        """NAV carried *inside* the ACK of subframe ``position`` (0-based).
+
+        The j-th ACK (1-based) sets NAV_{N−j+1}; the last ACK's NAV is 0.
+        """
+        self._check(position)
+        remaining = self.num_receivers - (position + 1)
+        return remaining * self.timing.slot
+
+    def ack_start_time(self, position: int) -> float:
+        """When the ACK of subframe ``position`` starts, after the data frame."""
+        self._check(position)
+        return self.timing.sifs + position * self.timing.slot
+
+    def ack_end_time(self, position: int) -> float:
+        """When the ACK of subframe ``position`` ends."""
+        return self.ack_start_time(position) + self.timing.ack_duration
+
+    def sequence_duration(self) -> float:
+        """Total time from end of data to end of the last ACK."""
+        return self.ack_end_time(self.num_receivers - 1)
+
+    def match_ack_to_subframe(self, arrival_time: float, tolerance: float = 2e-6) -> int:
+        """Identify which subframe an ACK belongs to from its arrival time.
+
+        Mirrors the paper's timestamp matching: propagation/processing
+        deltas are far smaller than an ACK slot. Raises ``ValueError`` if
+        the timestamp matches no slot.
+        """
+        for position in range(self.num_receivers):
+            if abs(arrival_time - self.ack_start_time(position)) <= tolerance:
+                return position
+        raise ValueError(f"ACK at t={arrival_time} matches no slot")
+
+    def _check(self, position: int) -> None:
+        if not 0 <= position < self.num_receivers:
+            raise ValueError(
+                f"position {position} out of range 0..{self.num_receivers - 1}"
+            )

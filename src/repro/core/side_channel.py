@@ -1,0 +1,118 @@
+"""The phase-offset side channel (paper §5.2).
+
+The transmitter rotates every payload OFDM symbol — all data *and* pilot
+subcarriers together — by an injected phase. Because pilots and data keep
+their relative phase, the receiver's pilot-based tracking measures (and
+removes) the *total* common phase, so data decoding is untouched; but the
+sequence of tracked phases is visible to the receiver, and the *difference*
+between consecutive symbols' phases carries free bits:
+
+    1-bit scheme:  +90° → 1,  −90° → 0
+    2-bit scheme:  +45° → 11, +135° → 01, −135° → 00, −45° → 10
+
+Differential encoding makes the channel immune to the slowly-accumulating
+inherent phase of residual CFO: consecutive symbols share almost the same
+inherent offset, so it cancels in the difference (up to the small per-symbol
+CFO step, which is ≪ the 90° decision distance).
+
+Carpool spends these bits on a per-symbol CRC of the data bits, turning the
+side channel into the symbol-level error detector that real-time channel
+estimation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PhaseOffsetScheme", "ONE_BIT_SCHEME", "TWO_BIT_SCHEME", "wrap_phase", "SCHEMES"]
+
+
+def wrap_phase(phase: float) -> float:
+    """Wrap an angle in radians to (−π, π]."""
+    wrapped = (phase + np.pi) % (2.0 * np.pi) - np.pi
+    if wrapped == -np.pi:
+        wrapped = np.pi
+    return float(wrapped)
+
+
+@dataclass(frozen=True)
+class PhaseOffsetScheme:
+    """A mapping between bit patterns and phase-offset differences.
+
+    Attributes:
+        name: Scheme label.
+        bits_per_symbol: Side-channel bits carried per OFDM symbol.
+        offsets_deg: ``offsets_deg[label]`` is the injected phase-difference
+            (degrees) encoding the bit pattern with integer value ``label``
+            (MSB first).
+    """
+
+    name: str
+    bits_per_symbol: int
+    offsets_deg: tuple
+
+    def __post_init__(self):
+        if len(self.offsets_deg) != (1 << self.bits_per_symbol):
+            raise ValueError("need one offset per bit pattern")
+
+    def encode_deltas(self, bits: np.ndarray) -> np.ndarray:
+        """Map side-channel bits to per-symbol phase differences (radians).
+
+        ``bits`` length must be a multiple of ``bits_per_symbol``; each
+        group becomes one symbol's phase-offset difference.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size % self.bits_per_symbol != 0:
+            raise ValueError(
+                f"{bits.size} bits not a multiple of {self.bits_per_symbol}"
+            )
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        weights = 1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        labels = groups @ weights
+        return np.deg2rad(np.array(self.offsets_deg))[labels]
+
+    def encode_phases(self, bits: np.ndarray) -> np.ndarray:
+        """Cumulative injected phase per symbol (radians).
+
+        The phase-offset *difference* between consecutive symbols encodes
+        the bits, so injected phases accumulate (Fig. 8(b): bit sequence
+        "110" under the 1-bit scheme injects 90°, 180°, 90°).
+        """
+        deltas = self.encode_deltas(bits)
+        return np.cumsum(deltas)
+
+    def decode_deltas(self, deltas: np.ndarray) -> np.ndarray:
+        """Nearest-offset decision on measured phase differences → bits."""
+        deltas = np.atleast_1d(np.asarray(deltas, dtype=np.float64))
+        offsets = np.deg2rad(np.array(self.offsets_deg))
+        # Distance on the circle.
+        diff = deltas[:, None] - offsets[None, :]
+        dist = np.abs(np.angle(np.exp(1j * diff)))
+        labels = np.argmin(dist, axis=1)
+        shifts = np.arange(self.bits_per_symbol - 1, -1, -1)
+        bits = (labels[:, None] >> shifts) & 1
+        return bits.reshape(-1).astype(np.uint8)
+
+    def decode_phases(self, phases: np.ndarray, reference_phase: float = 0.0) -> np.ndarray:
+        """Decode tracked per-symbol total phases back to bits.
+
+        Args:
+            phases: The receiver's pilot-tracked total phase for each
+                payload symbol, radians.
+            reference_phase: Tracked phase of the last *uninjected* symbol
+                before the payload (the SIG symbol) — the differential
+                reference for the first payload symbol.
+        """
+        phases = np.asarray(phases, dtype=np.float64)
+        prev = np.concatenate([[reference_phase], phases[:-1]])
+        deltas = np.angle(np.exp(1j * (phases - prev)))
+        return self.decode_deltas(deltas)
+
+
+ONE_BIT_SCHEME = PhaseOffsetScheme("1-bit", 1, (-90.0, 90.0))  # 0 → −90°, 1 → +90°
+TWO_BIT_SCHEME = PhaseOffsetScheme("2-bit", 2, (-135.0, 135.0, -45.0, 45.0))
+# labels: 00 → −135°, 01 → +135°, 10 → −45°, 11 → +45°  (paper Table 1)
+
+SCHEMES = {s.name: s for s in (ONE_BIT_SCHEME, TWO_BIT_SCHEME)}

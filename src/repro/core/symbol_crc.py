@@ -1,0 +1,133 @@
+"""Symbol-level CRC checksums carried in the phase-offset side channel.
+
+A *group* of ``granularity`` consecutive payload symbols shares one CRC
+computed over the group's data bits; the CRC bits ride in the side-channel
+slots of those same symbols (``granularity × scheme.bits_per_symbol`` bits
+per group). The paper measured six (scheme × granularity) combinations and
+found one symbol per group with the 2-bit scheme — i.e. a CRC-2 per symbol —
+the best reliability/granularity trade-off (§5.2); that is the default used
+throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.side_channel import TWO_BIT_SCHEME, PhaseOffsetScheme
+from repro.phy.crc import crc_bits
+from repro.util.bits import int_to_bits
+
+__all__ = ["SymbolCrcConfig", "DEFAULT_CRC_CONFIG", "crc_checksum_bits"]
+
+# Small CRC polynomials by width (without the leading term).
+_POLYS = {
+    1: None,  # parity
+    2: 0x3,  # x^2 + x + 1
+    3: 0x3,  # x^3 + x + 1
+    4: 0x3,  # CRC-4-ITU: x^4 + x + 1
+    5: 0x15,  # CRC-5-USB
+    6: 0x03,  # CRC-6-ITU
+    7: 0x09,  # CRC-7
+    8: 0x07,  # CRC-8
+}
+
+
+def crc_checksum_bits(bits: np.ndarray, width: int) -> np.ndarray:
+    """CRC of ``bits`` as a ``width``-bit array (MSB first)."""
+    if width not in _POLYS:
+        raise ValueError(f"unsupported CRC width {width}")
+    bits = np.asarray(bits, dtype=np.uint8)
+    if width == 1:
+        return np.array([int(bits.sum()) & 1], dtype=np.uint8)
+    value = crc_bits(bits, poly=_POLYS[width], width=width)
+    return int_to_bits(value, width)
+
+
+@dataclass(frozen=True)
+class SymbolCrcConfig:
+    """How CRC checksums are laid onto the side channel.
+
+    Attributes:
+        scheme: Phase-offset modulation (1-bit or 2-bit per symbol).
+        granularity: Symbols per CRC group. 1 = per-symbol CRC.
+    """
+
+    scheme: PhaseOffsetScheme = TWO_BIT_SCHEME
+    granularity: int = 1
+
+    def __post_init__(self):
+        if self.granularity < 1:
+            raise ValueError("granularity must be ≥ 1")
+        if self.crc_width not in _POLYS:
+            raise ValueError(f"no CRC polynomial of width {self.crc_width}")
+
+    @property
+    def crc_width(self) -> int:
+        """CRC bits per group = side-channel capacity of the group."""
+        return self.granularity * self.scheme.bits_per_symbol
+
+    def num_groups(self, n_symbols: int) -> int:
+        """Number of CRC groups covering ``n_symbols`` payload symbols."""
+        return -(-n_symbols // self.granularity)
+
+    def group_of(self, symbol_index: int) -> int:
+        """CRC-group index of a payload symbol."""
+        return symbol_index // self.granularity
+
+    def side_bits_for(self, bit_matrix: np.ndarray) -> np.ndarray:
+        """Side-channel bits for a payload (one row per symbol).
+
+        Returns shape (n_symbols, scheme.bits_per_symbol): the CRC of each
+        group distributed across the group's symbols in order. A trailing
+        partial group is CRC'd over the symbols it actually has but still
+        uses the full CRC width (zero-padded capacity is never needed since
+        width = symbols × bits only for complete groups; partial groups pad
+        the *checksum* into the available slots, truncating the CRC — they
+        are treated as unverifiable and flagged by :meth:`verifiable`).
+        """
+        bit_matrix = np.asarray(bit_matrix, dtype=np.uint8)
+        n_symbols = bit_matrix.shape[0]
+        bps = self.scheme.bits_per_symbol
+        out = np.zeros((n_symbols, bps), dtype=np.uint8)
+        for g in range(self.num_groups(n_symbols)):
+            start = g * self.granularity
+            end = min(start + self.granularity, n_symbols)
+            group_bits = bit_matrix[start:end].reshape(-1)
+            checksum = crc_checksum_bits(group_bits, self.crc_width)
+            capacity = (end - start) * bps
+            for j in range(capacity):
+                out[start + j // bps, j % bps] = checksum[j] if j < checksum.size else 0
+        return out
+
+    def verifiable(self, group_index: int, n_symbols: int) -> bool:
+        """Whether a group carries its full CRC (complete groups only)."""
+        start = group_index * self.granularity
+        end = start + self.granularity
+        return end <= n_symbols
+
+    def check_group(self, group_index: int, bit_matrix: np.ndarray,
+                    received_side_bits: np.ndarray) -> bool:
+        """Verify one group's CRC against received side-channel bits.
+
+        Args:
+            group_index: Which CRC group.
+            bit_matrix: Hard-decision data bits, (n_symbols, n_cbps).
+            received_side_bits: Decoded side-channel bits,
+                (n_symbols, bits_per_symbol).
+
+        Returns False for partial trailing groups (not verifiable).
+        """
+        n_symbols = bit_matrix.shape[0]
+        if not self.verifiable(group_index, n_symbols):
+            return False
+        start = group_index * self.granularity
+        end = start + self.granularity
+        group_bits = np.asarray(bit_matrix[start:end], dtype=np.uint8).reshape(-1)
+        expected = crc_checksum_bits(group_bits, self.crc_width)
+        received = np.asarray(received_side_bits[start:end], dtype=np.uint8).reshape(-1)
+        return bool(np.array_equal(expected, received))
+
+
+DEFAULT_CRC_CONFIG = SymbolCrcConfig()

@@ -1,0 +1,70 @@
+"""Airtime accounting for every frame format in the evaluation.
+
+All durations are derived from the parameter set so the MAC benchmarks and
+the analytic overhead checks (§3's 59 µs-vs-20 µs example) use one source
+of truth.
+"""
+
+from __future__ import annotations
+
+from repro.core.ahdr import AHDR_SYMBOLS
+from repro.mac.parameters import PhyMacParameters
+
+__all__ = [
+    "payload_airtime",
+    "single_frame_airtime",
+    "ack_airtime",
+    "aggregated_frame_airtime",
+    "carpool_frame_airtime",
+    "sequential_ack_airtime",
+    "sig_symbol_time",
+]
+
+
+def payload_airtime(payload_bytes: int, params: PhyMacParameters) -> float:
+    """Time to send ``payload_bytes`` at the data rate (no headers)."""
+    if payload_bytes < 0:
+        raise ValueError("negative payload")
+    return 8 * payload_bytes / params.phy_rate_bps
+
+
+def sig_symbol_time(params: PhyMacParameters) -> float:
+    """One OFDM symbol — each Carpool subframe's SIG costs this."""
+    return params.symbol_duration
+
+
+def single_frame_airtime(payload_bytes: int, params: PhyMacParameters) -> float:
+    """A legacy single-destination frame: PLCP header + payload."""
+    return params.plcp_header_time + payload_airtime(payload_bytes, params)
+
+
+def ack_airtime(params: PhyMacParameters) -> float:
+    """An ACK frame: PLCP header + 14 bytes at the basic rate."""
+    return params.plcp_header_time + 8 * params.ack_bytes / params.basic_rate_bps
+
+
+def aggregated_frame_airtime(total_payload_bytes: int, params: PhyMacParameters) -> float:
+    """An A-MPDU-style aggregate: one PLCP header, merged payload.
+
+    Per-MPDU delimiters (4 B each) are folded into the payload byte count
+    by the caller.
+    """
+    return single_frame_airtime(total_payload_bytes, params)
+
+
+def carpool_frame_airtime(subframe_bytes: list, params: PhyMacParameters) -> float:
+    """A Carpool frame: PLCP preamble + A-HDR + per-subframe (SIG + payload)."""
+    if not subframe_bytes:
+        raise ValueError("need at least one subframe")
+    duration = params.plcp_header_time
+    duration += AHDR_SYMBOLS * params.symbol_duration
+    for nbytes in subframe_bytes:
+        duration += sig_symbol_time(params) + payload_airtime(nbytes, params)
+    return duration
+
+
+def sequential_ack_airtime(num_receivers: int, params: PhyMacParameters) -> float:
+    """N × (SIFS + ACK): the tail of every Carpool exchange (Eq. 1)."""
+    if num_receivers < 1:
+        raise ValueError("need at least one receiver")
+    return num_receivers * (params.sifs + ack_airtime(params))

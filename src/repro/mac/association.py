@@ -1,0 +1,183 @@
+"""Association handshake: how stations negotiate Carpool (§4.3).
+
+"STAs indicate their supported protocols, including Carpool and versions
+of legacy protocols, to APs during association." This module implements
+that exchange with byte-exact management frames:
+
+    Beacon         — AP advertises its capability set (Carpool bit).
+    AssocRequest   — STA submits its own capability set.
+    AssocResponse  — AP grants an AID and echoes the *negotiated* set
+                     (the intersection; Carpool runs only if both ends
+                     support it).
+
+:class:`ApAssociationService` is the AP-side handler that feeds the
+:class:`~repro.core.compat.AssociationTable` the Carpool protocol stack
+consults when aggregating.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.compat import AssociationTable, Capability
+from repro.core.mac_address import MacAddress
+from repro.phy.crc import crc32
+
+__all__ = [
+    "Beacon",
+    "AssocRequest",
+    "AssocResponse",
+    "ApAssociationService",
+    "negotiate",
+    "STATUS_SUCCESS",
+    "STATUS_REFUSED",
+]
+
+_FC_BEACON = 0x0080
+_FC_ASSOC_REQ = 0x0000
+_FC_ASSOC_RESP = 0x0010
+
+STATUS_SUCCESS = 0
+STATUS_REFUSED = 1
+
+
+def _caps_to_int(caps: Capability) -> int:
+    return caps.value
+
+
+def _caps_from_int(value: int) -> Capability:
+    return Capability(value)
+
+
+def _with_fcs(body: bytes) -> bytes:
+    return body + struct.pack("<I", crc32(body))
+
+
+def _check_fcs(raw: bytes, expected_fc: int) -> bytes:
+    if len(raw) < 6:
+        raise ValueError("frame too short")
+    body, fcs = raw[:-4], struct.unpack("<I", raw[-4:])[0]
+    if crc32(body) != fcs:
+        raise ValueError("FCS mismatch")
+    (fc,) = struct.unpack("<H", body[:2])
+    if fc != expected_fc:
+        raise ValueError("unexpected frame type")
+    return body
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """The AP's periodic advertisement."""
+
+    bssid: MacAddress
+    capabilities: Capability
+
+    def to_bytes(self) -> bytes:
+        """Serialise with FCS."""
+        body = struct.pack("<H", _FC_BEACON) + bytes(self.bssid)
+        body += struct.pack("<H", _caps_to_int(self.capabilities))
+        return _with_fcs(body)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Beacon":
+        """Parse and FCS-verify."""
+        body = _check_fcs(raw, _FC_BEACON)
+        return cls(
+            bssid=MacAddress(body[2:8]),
+            capabilities=_caps_from_int(struct.unpack("<H", body[8:10])[0]),
+        )
+
+
+@dataclass(frozen=True)
+class AssocRequest:
+    """A station's association request with its capability set."""
+
+    station: MacAddress
+    capabilities: Capability
+
+    def to_bytes(self) -> bytes:
+        """Serialise with FCS."""
+        body = struct.pack("<H", _FC_ASSOC_REQ) + bytes(self.station)
+        body += struct.pack("<H", _caps_to_int(self.capabilities))
+        return _with_fcs(body)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "AssocRequest":
+        """Parse and FCS-verify."""
+        body = _check_fcs(raw, _FC_ASSOC_REQ)
+        return cls(
+            station=MacAddress(body[2:8]),
+            capabilities=_caps_from_int(struct.unpack("<H", body[8:10])[0]),
+        )
+
+
+@dataclass(frozen=True)
+class AssocResponse:
+    """The AP's answer: status, AID and the negotiated capabilities."""
+
+    station: MacAddress
+    status: int
+    association_id: int
+    negotiated: Capability
+
+    def to_bytes(self) -> bytes:
+        """Serialise with FCS."""
+        body = struct.pack("<H", _FC_ASSOC_RESP) + bytes(self.station)
+        body += struct.pack("<HHH", self.status, self.association_id,
+                            _caps_to_int(self.negotiated))
+        return _with_fcs(body)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "AssocResponse":
+        """Parse and FCS-verify."""
+        body = _check_fcs(raw, _FC_ASSOC_RESP)
+        status, aid, caps = struct.unpack("<HHH", body[8:14])
+        return cls(
+            station=MacAddress(body[2:8]),
+            status=status,
+            association_id=aid,
+            negotiated=_caps_from_int(caps),
+        )
+
+
+def negotiate(ap_caps: Capability, sta_caps: Capability) -> Capability:
+    """The protocol set both ends run: the capability intersection."""
+    return ap_caps & sta_caps
+
+
+class ApAssociationService:
+    """AP-side association handling, backed by the §4.3 table."""
+
+    def __init__(self, bssid: MacAddress, capabilities: Capability,
+                 table: AssociationTable | None = None):
+        self.bssid = bssid
+        self.capabilities = capabilities
+        self.table = table or AssociationTable()
+        self._next_aid = 1
+
+    def beacon(self) -> Beacon:
+        """The AP's capability advertisement."""
+        return Beacon(bssid=self.bssid, capabilities=self.capabilities)
+
+    def handle_request(self, raw: bytes) -> AssocResponse:
+        """Process an AssocRequest; on success the station is recorded
+        with the *negotiated* capability set."""
+        request = AssocRequest.from_bytes(raw)
+        negotiated = negotiate(self.capabilities, request.capabilities)
+        if not negotiated & (Capability.DOT11A | Capability.DOT11N):
+            return AssocResponse(
+                station=request.station, status=STATUS_REFUSED,
+                association_id=0, negotiated=Capability(0),
+            )
+        self.table.associate(request.station, negotiated)
+        response = AssocResponse(
+            station=request.station, status=STATUS_SUCCESS,
+            association_id=self._next_aid, negotiated=negotiated,
+        )
+        self._next_aid += 1
+        return response
+
+    def carpool_capable_stations(self) -> list:
+        """Associated stations that negotiated Carpool."""
+        return self.table.carpool_stations()

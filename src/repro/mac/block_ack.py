@@ -1,0 +1,93 @@
+"""BlockAck: selective acknowledgement of aggregated MPDUs.
+
+802.11n acknowledges an A-MPDU with a compressed BlockAck — a starting
+sequence number plus a 64-bit bitmap, one bit per MPDU of the window.
+Carpool inherits the mechanism per subframe: each receiver's sequential
+ACK slot can carry a BlockAck for the MPDUs inside its subframe, so only
+the genuinely lost MPDUs retransmit.
+
+This module provides the receiver-side scoreboard, the BlockAck record
+itself (with byte-exact serialisation), and the transmitter-side
+reconciliation that decides what to retransmit.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = ["BLOCK_ACK_WINDOW", "BlockAck", "ReorderScoreboard", "missing_sequences"]
+
+BLOCK_ACK_WINDOW = 64
+_SEQ_MODULO = 1 << 12
+
+
+@dataclass(frozen=True)
+class BlockAck:
+    """A compressed BlockAck: start sequence + 64-bit bitmap."""
+
+    start_sequence: int
+    bitmap: int
+
+    def __post_init__(self):
+        if not 0 <= self.start_sequence < _SEQ_MODULO:
+            raise ValueError("sequence numbers are 12 bits")
+        if not 0 <= self.bitmap < (1 << BLOCK_ACK_WINDOW):
+            raise ValueError("bitmap is 64 bits")
+
+    def acknowledges(self, sequence: int) -> bool:
+        """Is ``sequence`` inside the window and marked received?"""
+        offset = (sequence - self.start_sequence) % _SEQ_MODULO
+        if offset >= BLOCK_ACK_WINDOW:
+            return False
+        return bool((self.bitmap >> offset) & 1)
+
+    def to_bytes(self) -> bytes:
+        """Starting-sequence control (2 B) + bitmap (8 B), little endian."""
+        return struct.pack("<HQ", self.start_sequence << 4, self.bitmap)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "BlockAck":
+        """Parse the 10-byte compressed BlockAck body."""
+        if len(raw) != 10:
+            raise ValueError("a compressed BlockAck body is 10 bytes")
+        ssc, bitmap = struct.unpack("<HQ", raw)
+        return cls(start_sequence=ssc >> 4, bitmap=bitmap)
+
+    @property
+    def received_count(self) -> int:
+        """How many MPDUs of the window the bitmap acknowledges."""
+        return bin(self.bitmap).count("1")
+
+
+class ReorderScoreboard:
+    """Receiver-side record of which MPDUs of a window arrived intact."""
+
+    def __init__(self, start_sequence: int):
+        if not 0 <= start_sequence < _SEQ_MODULO:
+            raise ValueError("sequence numbers are 12 bits")
+        self.start_sequence = start_sequence
+        self._received: set = set()
+
+    def mark_received(self, sequence: int) -> None:
+        """Record one FCS-clean MPDU; out-of-window sequences are ignored
+        (they belong to a different originator window)."""
+        offset = (sequence - self.start_sequence) % _SEQ_MODULO
+        if offset < BLOCK_ACK_WINDOW:
+            self._received.add(offset)
+
+    def to_block_ack(self) -> BlockAck:
+        """Freeze the scoreboard into a transmittable BlockAck."""
+        bitmap = 0
+        for offset in self._received:
+            bitmap |= 1 << offset
+        return BlockAck(start_sequence=self.start_sequence, bitmap=bitmap)
+
+
+def missing_sequences(block_ack: BlockAck, sent_sequences: list) -> list:
+    """Transmitter-side reconciliation: which of the sent MPDUs to resend.
+
+    Preserves the original send order, as retransmissions re-enter the
+    head of the aggregate.
+    """
+    return [seq for seq in sent_sequences if not block_ack.acknowledges(seq)]

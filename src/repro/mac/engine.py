@@ -1,0 +1,431 @@
+"""The event-driven CSMA/CA simulator.
+
+One AP and N STAs share a single collision domain (all nodes within
+carrier-sense range, as in the paper's §7.2.1 setup). The engine advances
+time between three kinds of events — traffic arrivals, backoff expiries and
+busy periods — using standard slot-jumping DCF simulation:
+
+* every backlogged node holds a backoff counter drawn from its CW;
+* the medium stays idle for DIFS + k slots where k is the smallest counter;
+* the node(s) reaching zero transmit; simultaneous zeros collide;
+* after any busy period, a fresh DIFS precedes the next countdown.
+
+Frame-decoding outcomes come from the pluggable error model (trace-driven
+from this package's PHY); failed subframes are retransmitted with priority,
+frames exceeding the retry limit are dropped.
+"""
+
+from __future__ import annotations
+
+import math
+from copy import copy
+
+import numpy as np
+
+from repro.mac.airtime import ack_airtime, single_frame_airtime
+from repro.mac.error_model import DEFAULT_ERROR_MODEL
+from repro.mac.frames import Arrival, MacFrame
+from repro.mac.metrics import MetricsCollector, MetricsSummary
+from repro.mac.node import Node
+from repro.mac.parameters import DEFAULT_PARAMETERS, PhyMacParameters
+from repro.mac.protocols.base import Protocol
+from repro.util.rng import RngStream
+
+__all__ = ["WlanSimulator", "AP_NAME"]
+
+AP_NAME = "ap"
+
+_RTS_BYTES = 20
+_CTS_BYTES = 14
+
+
+class WlanSimulator:
+    """Runs one scenario: a protocol, a station population, a workload.
+
+    Args:
+        protocol: Downlink transmission policy (one of the five schemes).
+        num_stations: STAs associated with the AP.
+        arrivals: Time-sorted iterable of :class:`Arrival`. Downlink
+            arrivals name the AP as source; uplink arrivals name a STA.
+        params: PHY/MAC constants (Table 2 defaults).
+        error_model: Subframe decode-failure model.
+        rng: Root random stream (backoff and error draws use children).
+        use_rts_cts: Prepend an RTS/CTS(-sequence) exchange to every
+            downlink transmission (§4.2's hidden-terminal mechanism).
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        num_stations: int,
+        arrivals,
+        params: PhyMacParameters = DEFAULT_PARAMETERS,
+        error_model=DEFAULT_ERROR_MODEL,
+        rng: RngStream | None = None,
+        use_rts_cts: bool = False,
+        num_aps: int = 1,
+        station_names: list | None = None,
+        hidden_pairs: set | None = None,
+    ):
+        if num_stations < 1 and not station_names:
+            raise ValueError("need at least one station")
+        if num_aps < 1:
+            raise ValueError("need at least one AP")
+        self.protocol = protocol
+        self.params = params
+        self.error_model = error_model
+        self.use_rts_cts = use_rts_cts
+        rng = rng or RngStream(seed=0)
+        self._error_rng = rng.child("errors")
+        # AP names: "ap", "ap1", "ap2", … — the first is the measured AP;
+        # extras model co-channel APs sharing the collision domain (the
+        # paper's §7.2.1 setup has two APs in carrier-sense range).
+        ap_names = [AP_NAME] + [f"ap{i}" for i in range(1, num_aps)]
+        self.aps = {
+            name: Node(name, params, rng.child(f"backoff-{name}"), is_ap=True)
+            for name in ap_names
+        }
+        self.ap = self.aps[AP_NAME]
+        if station_names is None:
+            station_names = [f"sta{i}" for i in range(num_stations)]
+        self.stations = {
+            name: Node(name, params, rng.child(f"backoff-{name}"))
+            for name in station_names
+        }
+        self.nodes = {**self.aps, **self.stations}
+        self._arrivals = iter(arrivals)
+        self._pending_arrival: Arrival | None = None
+        self.metrics = MetricsCollector()
+        self.now = 0.0
+        self._difs_pending = False
+        self._consecutive_failures: dict = {}
+        # Hidden-terminal topology: unordered name pairs that cannot carrier-
+        # sense each other. Everyone else shares one collision domain.
+        self._hidden: set = set()
+        for pair in hidden_pairs or ():
+            a, b = pair
+            self._hidden.add(frozenset((a, b)))
+        self._hidden_rng = rng.child("hidden")
+        self.hidden_collisions = 0
+        # Per-node radio airtime for the §8 energy analysis.
+        self.airtime_by_node = {
+            name: {"tx": 0.0, "rx": 0.0} for name in self.nodes
+        }
+        # Optional event timeline for debugging/teaching: call
+        # enable_timeline() before run(); events land in self.timeline.
+        self.timeline: list | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def enable_timeline(self) -> None:
+        """Record (time, event, node, detail) tuples during run()."""
+        self.timeline = []
+
+    def _log(self, event: str, node: str, detail: str = "") -> None:
+        if self.timeline is not None:
+            self.timeline.append((self.now, event, node, detail))
+
+    def run(self, duration: float) -> MetricsSummary:
+        """Simulate ``duration`` seconds and return the metrics summary."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        while self.now < duration:
+            self._inject_arrivals()
+            ready, wake_time = self._ready_nodes()
+            if not ready:
+                next_time = self._next_event_time(wake_time)
+                if next_time is None or next_time >= duration:
+                    break
+                self.now = max(self.now, next_time)
+                continue
+            self._contend(ready, duration)
+        return self.metrics.summary(duration)
+
+    # ------------------------------------------------------------------ #
+
+    def _inject_arrivals(self) -> None:
+        while True:
+            arrival = self._peek_arrival()
+            if arrival is None or arrival.time > self.now:
+                return
+            self._pop_arrival()
+            node = self.nodes.get(arrival.source)
+            if node is None:
+                raise KeyError(f"arrival for unknown node {arrival.source!r}")
+            node.enqueue(MacFrame.from_arrival(arrival))
+            self._log("arrival", node.name, f"{arrival.size_bytes} B")
+
+    def _peek_arrival(self) -> Arrival | None:
+        if self._pending_arrival is None:
+            self._pending_arrival = next(self._arrivals, None)
+        return self._pending_arrival
+
+    def _pop_arrival(self) -> None:
+        self._pending_arrival = None
+
+    def _ready_nodes(self):
+        """Nodes allowed to contend now, plus the earliest future wake time."""
+        ready = []
+        wake = None
+        for node in self.nodes.values():
+            t = self.protocol.ready_time(node, self.now)
+            if t is None:
+                continue
+            if t <= self.now:
+                ready.append(node)
+            else:
+                wake = t if wake is None else min(wake, t)
+        return ready, wake
+
+    def _next_event_time(self, wake_time):
+        arrival = self._peek_arrival()
+        candidates = [t for t in (wake_time, arrival.time if arrival else None) if t is not None]
+        return min(candidates) if candidates else None
+
+    # ------------------------------------------------------------------ #
+
+    def _contend(self, ready: list, duration: float) -> None:
+        for node in ready:
+            node.ensure_backoff()
+        k = min(node.backoff_slots for node in ready)
+        difs = self.params.difs if self._difs_pending else 0.0
+        tx_start = self.now + difs + k * self.params.slot_time
+
+        arrival = self._peek_arrival()
+        if arrival is not None and arrival.time < tx_start:
+            # An arrival lands mid-countdown: credit the elapsed idle slots
+            # and re-enter with the new frame in its queue.
+            idle = arrival.time - self.now - difs
+            if idle >= 0:
+                self._difs_pending = False
+                elapsed_slots = min(k, int(idle // self.params.slot_time))
+                for node in ready:
+                    node.consume_slots(elapsed_slots)
+            self.now = arrival.time
+            return
+
+        for node in ready:
+            node.consume_slots(k)
+        self.now = tx_start
+        winners = [node for node in ready if node.backoff_slots == 0]
+        if len(winners) > 1:
+            self._collide(winners)
+        else:
+            self._transmit(winners[0])
+        self._difs_pending = True
+
+    # ------------------------------------------------------------------ #
+
+    def _collide(self, winners: list) -> None:
+        busy = max(self._estimate_airtime(node) for node in winners)
+        self._log("collision", "+".join(sorted(n.name for n in winners)),
+                  f"busy={busy * 1e6:.0f}us")
+        self.metrics.record_collision(busy)
+        for node in winners:
+            failures = self._consecutive_failures.get(node.name, 0) + 1
+            if failures > self.params.retry_limit and node.queue:
+                dropped = node.queue.popleft()
+                self.metrics.record_drop(dropped)
+                self._consecutive_failures[node.name] = 0
+                node.on_success()  # CW resets after a drop per the standard
+            else:
+                self._consecutive_failures[node.name] = failures
+                node.on_collision()
+        self.now += busy
+
+    def _estimate_airtime(self, node: Node) -> float:
+        """Airtime the node's next transmission would occupy (no side effects)."""
+        saved_queue = copy(node.queue)
+        try:
+            transmission = self.protocol.build(node, self.now)
+            return transmission.airtime
+        finally:
+            node.queue.clear()
+            node.queue.extend(saved_queue)
+
+    def _hidden_interferers(self, node: Node) -> list:
+        if not self._hidden:
+            return []
+        return [
+            other for other in self.nodes.values()
+            if other is not node
+            and other.backlogged
+            and frozenset((node.name, other.name)) in self._hidden
+        ]
+
+    def _hidden_hit(self, interferers: list, vulnerable: float) -> Node | None:
+        """Does a hidden node start transmitting inside the window?
+
+        Each hidden backlogged node fires after roughly DIFS plus half its
+        contention window (it cannot sense the victim, so it counts down
+        freely); the chance of overlap scales with the window length.
+        """
+        for other in interferers:
+            mean_access = self.params.difs + 0.5 * other.cw * self.params.slot_time
+            probability = min(1.0, vulnerable / max(mean_access, 1e-9))
+            if self._hidden_rng.uniform() < probability:
+                return other
+        return None
+
+    def _transmit(self, node: Node) -> None:
+        transmission = self.protocol.build(node, self.now)
+        protected = self.use_rts_cts and node.is_ap
+        overhead = self._rts_cts_overhead(len(transmission.subframes)) if protected else 0.0
+
+        interferers = self._hidden_interferers(node)
+        if interferers:
+            if protected:
+                # Only the short RTS is vulnerable; a CTS sequence then
+                # silences the hidden nodes (§4.2, Fig. 7).
+                rts_time = single_frame_airtime(_RTS_BYTES, self.params)
+                culprit = self._hidden_hit(interferers, rts_time)
+                if culprit is not None:
+                    self.hidden_collisions += 1
+                    busy = rts_time + self.params.difs
+                    self.metrics.record_collision(busy)
+                    node.on_collision()
+                    culprit.on_collision()
+                    self._requeue_transmission(node, transmission)
+                    self.now += busy
+                    return
+            else:
+                culprit = self._hidden_hit(
+                    interferers, overhead + transmission.airtime
+                )
+                if culprit is not None:
+                    self.hidden_collisions += 1
+                    total = overhead + transmission.total_duration
+                    self.metrics.record_collision(total)
+                    for subframe in transmission.subframes:
+                        self.metrics.record_retransmission()
+                    self._requeue_transmission(node, transmission, count_retry=True)
+                    node.on_collision()
+                    culprit.on_collision()
+                    self.now += total
+                    return
+
+        total = overhead + transmission.total_duration
+        self.metrics.record_transmission(total)
+        self._log("transmit", node.name,
+                  f"{len(transmission.subframes)} subframes, "
+                  f"{transmission.total_payload_bytes} B")
+        self._consecutive_failures[node.name] = 0
+        self._account_airtime(node, transmission, overhead)
+
+        data_end = self.now + overhead + transmission.airtime
+        any_success = False
+        failed_frames = []
+        for subframe in transmission.subframes:
+            ok = self.error_model.draw_subframe(
+                self._error_rng, subframe.start_symbol, subframe.n_symbols, subframe.rte
+            )
+            if ok:
+                any_success = True
+                for frame in subframe.frames:
+                    self.metrics.record_delivery(frame, data_end, source=node.name)
+            else:
+                self.metrics.record_retransmission()
+                for frame in subframe.frames:
+                    frame.retries += 1
+                    if frame.retries > self.params.retry_limit:
+                        self.metrics.record_drop(frame)
+                    else:
+                        failed_frames.append(frame)
+        node.requeue_front(failed_frames)
+        if any_success or not transmission.subframes:
+            node.on_success()
+        else:
+            node.on_collision()  # no ACK at all: double CW like a collision
+        self.now += total
+
+    def _account_airtime(self, node: Node, transmission, overhead: float) -> None:
+        """Charge per-node radio time for the §8 energy analysis.
+
+        The transmitter pays TX for the frame and RX for the ACK sequence.
+        Every addressed station receives from the frame start to the end
+        of its own subframe and transmits its ACK. Non-addressed stations
+        receive the PLCP header plus the protocol's overhear span (the
+        A-HDR for Carpool) and, with the A-HDR false-positive probability,
+        one irrelevant subframe.
+        """
+        t_sym = self.params.symbol_duration
+        plcp = self.params.plcp_header_time
+        self.airtime_by_node[node.name]["tx"] += overhead + transmission.airtime
+        self.airtime_by_node[node.name]["rx"] += transmission.ack_time
+
+        subframes = transmission.subframes
+        if not subframes:
+            return
+        last_symbol_by_dest: dict = {}
+        for sf in subframes:
+            end = sf.start_symbol + sf.n_symbols
+            last_symbol_by_dest[sf.destination] = max(
+                last_symbol_by_dest.get(sf.destination, 0), end
+            )
+        ack = ack_airtime(self.params)
+        for dest, end in last_symbol_by_dest.items():
+            if dest in self.airtime_by_node:
+                record = self.airtime_by_node[dest]
+                record["rx"] += plcp + end * t_sym
+                record["tx"] += ack
+
+        mean_subframe = np.mean([sf.n_symbols for sf in subframes]) * t_sym
+        overhear = (
+            plcp
+            + self.protocol.overhear_symbols * t_sym
+            + self.protocol.overhear_false_positive * mean_subframe
+        )
+        for name, other in self.stations.items():
+            if name not in last_symbol_by_dest and other is not node:
+                self.airtime_by_node[name]["rx"] += overhear
+
+    def energy_report(self, duration: float, power_model=None) -> dict:
+        """Per-node energy (joules) over ``duration`` under a power model.
+
+        Defaults to the WPC55AG model the paper uses; idle time is
+        whatever the node spent neither transmitting nor receiving.
+        """
+        if power_model is None:
+            from repro.core.energy import WPC55AG as power_model  # noqa: N811
+        report = {}
+        for name, record in self.airtime_by_node.items():
+            tx = min(record["tx"], duration)
+            rx = min(record["rx"], max(duration - tx, 0.0))
+            idle = max(duration - tx - rx, 0.0)
+            report[name] = power_model.energy(tx, rx, idle)
+        return report
+
+    def _requeue_transmission(self, node: Node, transmission, count_retry: bool = False) -> None:
+        """Put a destroyed transmission's frames back at the queue head."""
+        frames = []
+        for subframe in transmission.subframes:
+            for frame in subframe.frames:
+                if count_retry:
+                    frame.retries += 1
+                    if frame.retries > self.params.retry_limit:
+                        self.metrics.record_drop(frame)
+                        continue
+                frames.append(frame)
+        node.requeue_front(frames)
+
+    def _rts_cts_overhead(self, num_receivers: int) -> float:
+        """Multicast RTS followed by per-receiver CTSs (§4.2, Fig. 7)."""
+        rts = single_frame_airtime(_RTS_BYTES, self.params)
+        cts = self.params.plcp_header_time + 8 * _CTS_BYTES / self.params.basic_rate_bps
+        return rts + max(1, num_receivers) * (self.params.sifs + cts) + self.params.sifs
+
+    # Convenience ------------------------------------------------------------
+
+    def station_names(self) -> list:
+        """Names of all non-AP nodes."""
+        return list(self.stations)
+
+
+def ack_sequence_time(num_receivers: int, params: PhyMacParameters) -> float:
+    """Total sequential-ACK tail for ``num_receivers`` (helper for tests)."""
+    return num_receivers * (params.sifs + ack_airtime(params))
+
+
+def estimate_slot_count(duration: float, params: PhyMacParameters) -> int:
+    """How many idle slots fit in ``duration`` (helper for tests)."""
+    return int(math.floor(duration / params.slot_time))

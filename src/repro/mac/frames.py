@@ -1,0 +1,59 @@
+"""Frame and arrival records used by the MAC simulator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Arrival", "MacFrame", "Direction"]
+
+
+class Direction:
+    """Traffic direction labels."""
+    DOWNLINK = "downlink"
+    UPLINK = "uplink"
+
+
+_frame_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """A packet handed to a node's MAC queue at a point in time."""
+
+    time: float
+    source: str  # node name whose queue receives the frame
+    destination: str
+    size_bytes: int
+    delay_sensitive: bool = False
+    direction: str = Direction.DOWNLINK
+
+    def __post_init__(self):
+        if self.size_bytes <= 0:
+            raise ValueError("arrival size must be positive")
+        if self.time < 0:
+            raise ValueError("arrival time must be non-negative")
+
+
+@dataclass
+class MacFrame:
+    """One MAC frame sitting in (or moving through) a transmit queue."""
+
+    destination: str
+    size_bytes: int
+    arrival_time: float
+    delay_sensitive: bool = False
+    direction: str = Direction.DOWNLINK
+    retries: int = 0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @classmethod
+    def from_arrival(cls, arrival: Arrival) -> "MacFrame":
+        """Wrap an arrival into a queued MAC frame."""
+        return cls(
+            destination=arrival.destination,
+            size_bytes=arrival.size_bytes,
+            arrival_time=arrival.time,
+            delay_sensitive=arrival.delay_sensitive,
+            direction=arrival.direction,
+        )

@@ -1,0 +1,139 @@
+"""Goodput / delay / channel-efficiency accounting for MAC runs.
+
+Goodput can be computed against a *latency bound*: a VoIP frame delivered
+after its playout deadline is worthless, so the Fig. 15–17 benchmarks count
+only frames delivered within the bound ("useful goodput"), exactly the
+metric the paper's latency-requirement sweep (Fig. 17(a)) varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mac.frames import Direction, MacFrame
+
+__all__ = ["MetricsCollector", "MetricsSummary"]
+
+
+@dataclass
+class MetricsSummary:
+    """Aggregated results of one simulation run."""
+
+    duration: float
+    downlink_goodput_bps: float
+    uplink_goodput_bps: float
+    downlink_mean_delay: float
+    downlink_p95_delay: float
+    uplink_mean_delay: float
+    transmissions: int
+    collisions: int
+    retransmitted_subframes: int
+    dropped_frames: int
+    delivered_downlink_frames: int
+    delivered_uplink_frames: int
+    channel_busy_fraction: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"goodput↓ {self.downlink_goodput_bps / 1e6:.3f} Mbit/s, "
+            f"delay↓ {self.downlink_mean_delay * 1e3:.1f} ms, "
+            f"collisions {self.collisions}, drops {self.dropped_frames}"
+        )
+
+
+@dataclass
+class MetricsCollector:
+    """Streaming accumulator the engine feeds during a run."""
+
+    _down: list = field(default_factory=list)  # (size_bytes, delay, source)
+    _up: list = field(default_factory=list)
+    _bytes_by_destination: dict = field(default_factory=dict)
+    transmissions: int = 0
+    collisions: int = 0
+    retransmitted_subframes: int = 0
+    dropped_frames: int = 0
+    busy_time: float = 0.0
+
+    def record_delivery(self, frame: MacFrame, delivery_time: float,
+                        source: str | None = None) -> None:
+        """Record one delivered frame (its delay, bytes, direction, source)."""
+        delay = delivery_time - frame.arrival_time
+        record = (frame.size_bytes, delay, source)
+        self._bytes_by_destination[frame.destination] = (
+            self._bytes_by_destination.get(frame.destination, 0) + frame.size_bytes
+        )
+        if frame.direction == Direction.DOWNLINK:
+            self._down.append(record)
+        else:
+            self._up.append(record)
+
+    def delivered_bytes_by_destination(self) -> dict:
+        """Destination → delivered payload bytes (per-station fairness)."""
+        return dict(self._bytes_by_destination)
+
+    def record_transmission(self, duration: float) -> None:
+        """Count one successful channel occupation of ``duration`` seconds."""
+        self.transmissions += 1
+        self.busy_time += duration
+
+    def record_collision(self, duration: float) -> None:
+        """Count one collision busying the medium for ``duration`` seconds."""
+        self.collisions += 1
+        self.busy_time += duration
+
+    def record_retransmission(self, num_subframes: int = 1) -> None:
+        """Count subframes that failed and will retransmit."""
+        self.retransmitted_subframes += num_subframes
+
+    def record_drop(self, frame: MacFrame) -> None:
+        """Count a frame abandoned at the retry limit."""
+        self.dropped_frames += 1
+
+    def goodput_of_source(self, source: str, duration: float,
+                          latency_bound: float | None = None) -> float:
+        """Delivered bits/s originated by one node (e.g. the measured AP).
+
+        With ``latency_bound``, only frames delivered within the bound
+        count — the "useful goodput" of deadline-driven traffic.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        total = sum(
+            size
+            for size, delay, src in self._down + self._up
+            if src == source and (latency_bound is None or delay <= latency_bound)
+        )
+        return 8 * total / duration
+
+    def _goodput(self, records: list, duration: float,
+                 latency_bound: float | None = None) -> float:
+        total = sum(
+            size for size, delay, _ in records
+            if latency_bound is None or delay <= latency_bound
+        )
+        return 8 * total / duration
+
+    def summary(self, duration: float, latency_bound: float | None = None) -> MetricsSummary:
+        """Aggregate everything recorded into a summary for ``duration``
+        seconds (optionally counting only frames within ``latency_bound``)."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        down_delays = np.array([d for _, d, _ in self._down]) if self._down else np.zeros(0)
+        up_delays = np.array([d for _, d, _ in self._up]) if self._up else np.zeros(0)
+        return MetricsSummary(
+            duration=duration,
+            downlink_goodput_bps=self._goodput(self._down, duration, latency_bound),
+            uplink_goodput_bps=self._goodput(self._up, duration, latency_bound),
+            downlink_mean_delay=float(down_delays.mean()) if down_delays.size else 0.0,
+            downlink_p95_delay=float(np.percentile(down_delays, 95)) if down_delays.size else 0.0,
+            uplink_mean_delay=float(up_delays.mean()) if up_delays.size else 0.0,
+            transmissions=self.transmissions,
+            collisions=self.collisions,
+            retransmitted_subframes=self.retransmitted_subframes,
+            dropped_frames=self.dropped_frames,
+            delivered_downlink_frames=len(self._down),
+            delivered_uplink_frames=len(self._up),
+            channel_busy_fraction=min(self.busy_time / duration, 1.0),
+        )

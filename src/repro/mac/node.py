@@ -1,0 +1,107 @@
+"""MAC nodes: queue + DCF backoff state.
+
+Every node — the AP and each STA — contends for the medium with the
+standard binary-exponential-backoff DCF. WiFox's downlink prioritisation is
+modelled with a per-node contention-window scale the scheduler adjusts from
+the AP's backlog (§7.2.1's WiFox baseline).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.mac.frames import MacFrame
+from repro.mac.parameters import PhyMacParameters
+from repro.util.rng import RngStream
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One contending station (or the AP).
+
+    Attributes:
+        name: Unique node name ("ap", "sta3", ...).
+        is_ap: Access points run the downlink aggregation protocol.
+        queue: FIFO of pending :class:`MacFrame`.
+        backoff_slots: Remaining backoff (None = not drawn yet).
+        cw: Current contention window.
+        cw_scale: Multiplier on CW bounds (<1 prioritises this node).
+    """
+
+    def __init__(self, name: str, params: PhyMacParameters, rng: RngStream,
+                 is_ap: bool = False):
+        self.name = name
+        self.is_ap = is_ap
+        self.params = params
+        self.queue: deque = deque()
+        self.backoff_slots: int | None = None
+        self.cw = self._scaled(params.cw_min)
+        self.cw_scale = 1.0
+        self._rng = rng
+
+    def _scaled(self, cw: int) -> int:
+        return max(1, int(cw * getattr(self, "cw_scale", 1.0)))
+
+    # Queue management -------------------------------------------------------
+
+    def enqueue(self, frame: MacFrame) -> None:
+        """Append a frame to the transmit queue."""
+        self.queue.append(frame)
+
+    def requeue_front(self, frames: list) -> None:
+        """Put failed frames back at the head (retransmission priority)."""
+        for frame in reversed(frames):
+            self.queue.appendleft(frame)
+
+    @property
+    def backlogged(self) -> bool:
+        """Does this node have anything to send?"""
+        return bool(self.queue)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Total bytes queued."""
+        return sum(f.size_bytes for f in self.queue)
+
+    def oldest_arrival(self) -> float | None:
+        """Arrival time of the oldest queued frame (None if empty)."""
+        if not self.queue:
+            return None
+        return min(f.arrival_time for f in self.queue)
+
+    # DCF backoff -------------------------------------------------------------
+
+    def ensure_backoff(self) -> int:
+        """Draw a backoff if none is pending; return the current counter."""
+        if self.backoff_slots is None:
+            self.backoff_slots = int(self._rng.integers(0, self.cw + 1))
+        return self.backoff_slots
+
+    def consume_slots(self, slots: int) -> None:
+        """Count down ``slots`` idle backoff slots."""
+        if self.backoff_slots is None:
+            raise RuntimeError(f"{self.name}: no backoff drawn")
+        if slots > self.backoff_slots:
+            raise ValueError("consuming more slots than remain")
+        self.backoff_slots -= slots
+
+    def on_success(self) -> None:
+        """Reset contention state after a successful exchange."""
+        self.cw = max(1, int(self.params.cw_min * self.cw_scale))
+        self.backoff_slots = None
+
+    def on_collision(self) -> None:
+        """Binary exponential backoff after a collision."""
+        self.cw = min(2 * self.cw + 1, max(1, int(self.params.cw_max * self.cw_scale)))
+        self.backoff_slots = None
+
+    def set_priority_scale(self, scale: float) -> None:
+        """Adjust CW scaling (WiFox-style AP prioritisation)."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.cw_scale = scale
+        self.cw = max(1, int(self.params.cw_min * scale))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Node({self.name}, queue={len(self.queue)}, cw={self.cw})"

@@ -1,0 +1,47 @@
+"""PHY/MAC timing parameters (paper Table 2, IEEE 802.11n values)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PhyMacParameters", "DEFAULT_PARAMETERS"]
+
+
+@dataclass(frozen=True)
+class PhyMacParameters:
+    """Timing and contention constants of the simulated WLAN.
+
+    Defaults reproduce the paper's Table 2; ``phy_rate_bps`` is the 65
+    Mbit/s data rate its MAC evaluation uses, ``basic_rate_bps`` the 6.5
+    Mbit/s rate control frames and PHY headers are sent at.
+    """
+
+    slot_time: float = 9e-6
+    sifs: float = 10e-6
+    difs: float = 28e-6
+    cw_min: int = 15
+    cw_max: int = 1023
+    plcp_header_time: float = 28e-6
+    propagation_delay: float = 1e-6
+    phy_rate_bps: float = 65e6
+    basic_rate_bps: float = 6.5e6
+    ack_bytes: int = 14
+    retry_limit: int = 7
+    symbol_duration: float = 4e-6
+
+    def __post_init__(self):
+        if self.cw_min < 1 or self.cw_max < self.cw_min:
+            raise ValueError("invalid contention window bounds")
+        if min(self.slot_time, self.sifs, self.difs) <= 0:
+            raise ValueError("timing constants must be positive")
+        if self.phy_rate_bps <= 0 or self.basic_rate_bps <= 0:
+            raise ValueError("rates must be positive")
+
+    @property
+    def eifs(self) -> float:
+        """EIFS after an undecodable frame: SIFS + ACK@basic + DIFS."""
+        ack_time = 8 * self.ack_bytes / self.basic_rate_bps
+        return self.sifs + ack_time + self.difs
+
+
+DEFAULT_PARAMETERS = PhyMacParameters()

@@ -1,0 +1,32 @@
+"""Downlink transmission policies: the five schemes of the evaluation."""
+
+from repro.mac.protocols.ampdu import AmpduProtocol
+from repro.mac.protocols.amsdu import AmsduProtocol
+from repro.mac.protocols.base import AggregationLimits, Protocol, SubframeTx, Transmission
+from repro.mac.protocols.carpool import CarpoolProtocol
+from repro.mac.protocols.dot11 import Dot11Protocol
+from repro.mac.protocols.mu_aggregation import MuAggregationProtocol
+from repro.mac.protocols.multi_receiver import MultiReceiverProtocol, select_multi_receiver_batch
+from repro.mac.protocols.wifox import WifoxProtocol
+
+PROTOCOLS = {
+    p.name: p
+    for p in (Dot11Protocol, AmpduProtocol, AmsduProtocol, MuAggregationProtocol,
+              WifoxProtocol, CarpoolProtocol)
+}
+
+__all__ = [
+    "Protocol",
+    "Transmission",
+    "SubframeTx",
+    "AggregationLimits",
+    "Dot11Protocol",
+    "AmpduProtocol",
+    "AmsduProtocol",
+    "MuAggregationProtocol",
+    "MultiReceiverProtocol",
+    "select_multi_receiver_batch",
+    "WifoxProtocol",
+    "CarpoolProtocol",
+    "PROTOCOLS",
+]

@@ -1,0 +1,29 @@
+"""Carpool: multi-receiver PHY aggregation with RTE and sequential ACK."""
+
+from __future__ import annotations
+
+from repro.bloom.coded import false_positive_ratio
+from repro.core.ahdr import AHDR_NUM_HASHES, AHDR_SYMBOLS, MAX_RECEIVERS
+from repro.mac.protocols.multi_receiver import MultiReceiverProtocol
+
+__all__ = ["CarpoolProtocol"]
+
+
+class CarpoolProtocol(MultiReceiverProtocol):
+    """The paper's scheme.
+
+    * Frame-level header: the 2-symbol Bloom-filter A-HDR.
+    * Per-subframe header: one SIG symbol (length + MCS).
+    * Receivers decode with real-time channel estimation, so long
+      aggregates stay reliable (the ``rte=True`` flag routes subframe
+      error draws to the flat RTE curve).
+    * ACKs return sequentially, one slot per receiver.
+    """
+
+    name = "Carpool"
+    uses_rte = True
+    header_symbols = AHDR_SYMBOLS
+    subframe_header_symbols = 1  # each subframe's SIG
+    subframe_header_bytes = 0
+    overhear_symbols = AHDR_SYMBOLS  # bystanders read the A-HDR, then drop
+    overhear_false_positive = false_positive_ratio(AHDR_NUM_HASHES, MAX_RECEIVERS)

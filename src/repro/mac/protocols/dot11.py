@@ -1,0 +1,19 @@
+"""Plain IEEE 802.11: one frame, one receiver, one ACK per channel access."""
+
+from __future__ import annotations
+
+from repro.mac.node import Node
+from repro.mac.protocols.base import Protocol, Transmission
+
+__all__ = ["Dot11Protocol"]
+
+
+class Dot11Protocol(Protocol):
+    """The unaggregated baseline ("802.11" in Figs. 15–17)."""
+
+    name = "802.11"
+    uses_rte = False
+
+    def build(self, node: Node, now: float) -> Transmission:
+        """One frame, one receiver, one ACK."""
+        return self.build_single(node)

@@ -1,0 +1,54 @@
+"""WiFox: adaptive downlink prioritisation (no aggregation).
+
+WiFox (Gupta, Min & Rhee, CoNEXT'12) attacks the traffic-asymmetry problem
+purely by scheduling: when the AP's queue builds up, the AP contends with
+higher priority (a smaller contention window), draining the downlink
+backlog faster. It changes neither the PHY nor the frame format — each
+channel access still carries one frame for one receiver — which is why it
+beats plain 802.11 in the paper's Fig. 15 but stays well below the
+aggregation schemes, and below Carpool in particular.
+
+We model the priority as a contention-window scale stepped down as the AP
+backlog grows, re-evaluated before every access — the queue-length-driven
+adaptive priority the WiFox paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.mac.node import Node
+from repro.mac.protocols.base import Transmission
+from repro.mac.protocols.dot11 import Dot11Protocol
+
+__all__ = ["WifoxProtocol"]
+
+
+class WifoxProtocol(Dot11Protocol):
+    """The "WiFox" baseline of Figs. 15–16."""
+
+    name = "WiFox"
+    uses_rte = False
+
+    #: backlog (frames) → CW scale; deeper backlog, stronger priority.
+    PRIORITY_STEPS = ((40, 0.125), (20, 0.25), (8, 0.5))
+
+    def ready_time(self, node: Node, now: float) -> float | None:
+        """Re-evaluate AP priority from its backlog before contending."""
+        if node.is_ap:
+            self._adapt_priority(node)
+        return super().ready_time(node, now)
+
+    def build(self, node: Node, now: float) -> Transmission:
+        """Plain single-frame build, with the AP's priority refreshed."""
+        if node.is_ap:
+            self._adapt_priority(node)
+        return super().build(node, now)
+
+    def _adapt_priority(self, ap: Node) -> None:
+        backlog = len(ap.queue)
+        scale = 1.0
+        for threshold, step_scale in self.PRIORITY_STEPS:
+            if backlog >= threshold:
+                scale = step_scale
+                break
+        if scale != ap.cw_scale:
+            ap.set_priority_scale(scale)

@@ -1,0 +1,80 @@
+"""Per-station rate adaptation from link SNR.
+
+Carpool lets every subframe use its own MCS (§4.1), so the AP can serve a
+nearby station at QAM64 and a distant one at BPSK inside the same frame.
+This module supplies the missing piece: a standard SNR-threshold rate
+selector, with thresholds at the operating points where each 802.11a rate
+crosses ~10 % frame error on an AWGN-ish link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.phy.mcs import MCS_TABLE, Mcs
+
+__all__ = ["SNR_THRESHOLDS_DB", "select_mcs", "RateTable"]
+
+# Minimum SNR (dB) to run each rate; classic 802.11a waterfall figures.
+SNR_THRESHOLDS_DB = {
+    "BPSK-1/2": 5.0,
+    "BPSK-3/4": 8.0,
+    "QPSK-1/2": 10.0,
+    "QPSK-3/4": 13.0,
+    "QAM16-1/2": 16.0,
+    "QAM16-3/4": 19.0,
+    "QAM64-2/3": 23.0,
+    "QAM64-3/4": 25.0,
+}
+
+
+def select_mcs(snr_db: float, margin_db: float = 0.0) -> Mcs:
+    """The fastest MCS whose threshold clears ``snr_db − margin``.
+
+    Below the lowest threshold the basic rate is returned anyway — a link
+    that bad relies on retransmissions, as real NICs do.
+    """
+    effective = snr_db - margin_db
+    best = MCS_TABLE[0]
+    for mcs in MCS_TABLE:
+        if effective >= SNR_THRESHOLDS_DB[mcs.name]:
+            best = mcs
+    return best
+
+
+@dataclass
+class RateTable:
+    """The AP's per-station rate state.
+
+    SNR reports (e.g. from ACK receptions) update entries; lookups fall
+    back to the basic rate for unknown stations.
+    """
+
+    margin_db: float = 0.0
+    _snr: dict = field(default_factory=dict)
+
+    def report_snr(self, station: str, snr_db: float, smoothing: float = 0.25) -> None:
+        """Fold a new SNR observation into the station's running estimate."""
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if station in self._snr:
+            self._snr[station] = (
+                (1.0 - smoothing) * self._snr[station] + smoothing * snr_db
+            )
+        else:
+            self._snr[station] = snr_db
+
+    def snr_of(self, station: str) -> float | None:
+        """Smoothed SNR estimate for a station (None if never reported)."""
+        return self._snr.get(station)
+
+    def mcs_for(self, station: str) -> Mcs:
+        """The MCS to use toward a station (basic rate when unknown)."""
+        snr = self._snr.get(station)
+        if snr is None:
+            return MCS_TABLE[0]
+        return select_mcs(snr, self.margin_db)
+
+    def rate_map(self) -> dict:
+        """station → selected MCS for every reported station."""
+        return {station: self.mcs_for(station) for station in self._snr}

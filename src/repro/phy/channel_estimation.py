@@ -1,0 +1,70 @@
+"""Channel estimation and equalization.
+
+The standard receiver estimates the channel once, from the two LTF symbols
+in the preamble (least-squares, averaged over the repetition), and divides
+every later symbol by that estimate. This is exactly the "outdated channel"
+behaviour that causes the paper's BER bias (Fig. 3): the estimate reflects
+the channel at the *start* of the frame only.
+
+Carpool's real-time estimator (``repro.core.rte``) builds on the same
+primitives but keeps updating the estimate from correctly-decoded data
+symbols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.preamble import LTF_SEQUENCE
+
+__all__ = ["estimate_from_ltf", "equalize", "estimate_from_known_symbol"]
+
+
+def estimate_from_ltf(received_ltfs: np.ndarray) -> np.ndarray:
+    """Least-squares channel estimate from received LTF symbol(s).
+
+    Args:
+        received_ltfs: Either one length-52 used vector or an array of
+            shape (n_repeats, 52); repeats are averaged for a 3 dB noise
+            reduction, as the two-LTF preamble allows.
+
+    Returns:
+        Length-52 complex channel estimate over the used subcarriers.
+    """
+    received = np.atleast_2d(np.asarray(received_ltfs, dtype=np.complex128))
+    if received.shape[-1] != LTF_SEQUENCE.size:
+        raise ValueError(f"expected {LTF_SEQUENCE.size} used subcarriers")
+    mean_rx = received.mean(axis=0)
+    return mean_rx / LTF_SEQUENCE
+
+
+def estimate_from_known_symbol(received_used: np.ndarray, known_used: np.ndarray) -> np.ndarray:
+    """LS channel estimate from any symbol whose transmitted value is known.
+
+    This is the "data pilot" primitive of the paper's Eq. Ĥn = Dn / Yn:
+    once a symbol is known to be decoded correctly, the reconstructed
+    transmit vector acts as a full-band training symbol.
+
+    Subcarriers where the known value is (numerically) zero are returned as
+    NaN so callers can mask them out.
+    """
+    received = np.asarray(received_used, dtype=np.complex128)
+    known = np.asarray(known_used, dtype=np.complex128)
+    if received.shape != known.shape:
+        raise ValueError("received/known shape mismatch")
+    out = np.full(received.shape, np.nan + 0j, dtype=np.complex128)
+    nonzero = np.abs(known) > 1e-12
+    out[nonzero] = received[nonzero] / known[nonzero]
+    return out
+
+
+def equalize(received_used: np.ndarray, channel_estimate: np.ndarray) -> np.ndarray:
+    """Zero-forcing equalization: divide by the channel estimate.
+
+    Subcarriers whose estimate is ~0 (deep fade) are passed through
+    unscaled rather than exploding to infinity.
+    """
+    received = np.asarray(received_used, dtype=np.complex128)
+    estimate = np.asarray(channel_estimate, dtype=np.complex128)
+    safe = np.where(np.abs(estimate) > 1e-12, estimate, 1.0)
+    return received / safe

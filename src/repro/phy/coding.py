@@ -1,0 +1,199 @@
+"""Convolutional coding for the 802.11 OFDM PHY.
+
+Implements the standard's rate-1/2 K=7 code with generators (133, 171)
+octal, puncturing to rates 2/3 and 3/4, and a hard-decision Viterbi decoder.
+The decoder is vectorised across the 64 trellis states per step, which keeps
+pure-Python overhead to one loop over bits.
+
+Punctured (stolen) bits are depunctured as erasures: both branch hypotheses
+get zero metric for that position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CodeRate",
+    "RATE_1_2",
+    "RATE_2_3",
+    "RATE_3_4",
+    "conv_encode",
+    "viterbi_decode",
+    "CONSTRAINT_LENGTH",
+]
+
+CONSTRAINT_LENGTH = 7
+_NUM_STATES = 1 << (CONSTRAINT_LENGTH - 1)  # 64
+_G0 = 0o133
+_G1 = 0o171
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+def _build_tables():
+    """Per (state, input-bit): next state and the two output bits."""
+    next_state = np.empty((_NUM_STATES, 2), dtype=np.int64)
+    outputs = np.empty((_NUM_STATES, 2, 2), dtype=np.uint8)
+    for state in range(_NUM_STATES):
+        for bit in range(2):
+            # Shift register holds [newest ... oldest]; full register value
+            # for the generator dot products is bit followed by state bits.
+            register = (bit << (CONSTRAINT_LENGTH - 1)) | state
+            out0 = _parity(register & _G0)
+            out1 = _parity(register & _G1)
+            next_state[state, bit] = register >> 1
+            outputs[state, bit, 0] = out0
+            outputs[state, bit, 1] = out1
+    return next_state, outputs
+
+
+_NEXT_STATE, _OUTPUTS = _build_tables()
+
+# Predecessor tables for the vectorised Viterbi: for each state s, the two
+# (previous-state, input-bit) pairs that can reach s.
+_PREV_STATE = np.empty((_NUM_STATES, 2), dtype=np.int64)
+_PREV_BIT = np.empty((_NUM_STATES, 2), dtype=np.int64)
+for _s in range(_NUM_STATES):
+    _found = 0
+    for _p in range(_NUM_STATES):
+        for _b in range(2):
+            if _NEXT_STATE[_p, _b] == _s:
+                _PREV_STATE[_s, _found] = _p
+                _PREV_BIT[_s, _found] = _b
+                _found += 1
+    assert _found == 2
+
+
+@dataclass(frozen=True)
+class CodeRate:
+    """A puncturing pattern over the mother rate-1/2 code.
+
+    ``pattern`` marks which of the mother-code output bits are transmitted
+    within one puncturing period (row 0: first output, row 1: second).
+    """
+
+    name: str
+    numerator: int
+    denominator: int
+    pattern: np.ndarray
+
+    @property
+    def ratio(self) -> float:
+        """Information bits per coded bit (e.g. 0.75 for rate 3/4)."""
+        return self.numerator / self.denominator
+
+    def coded_bits(self, data_bits: int) -> int:
+        """Number of transmitted coded bits for ``data_bits`` input bits.
+
+        Only defined when ``data_bits`` is a multiple of the puncturing
+        period (always true for whole OFDM symbols).
+        """
+        period = self.pattern.shape[1]
+        if data_bits % period != 0:
+            raise ValueError(
+                f"data length {data_bits} not a multiple of puncture period {period}"
+            )
+        kept_per_period = int(self.pattern.sum())
+        return (data_bits // period) * kept_per_period
+
+
+RATE_1_2 = CodeRate("1/2", 1, 2, np.array([[1], [1]], dtype=np.uint8))
+RATE_2_3 = CodeRate("2/3", 2, 3, np.array([[1, 1], [1, 0]], dtype=np.uint8))
+RATE_3_4 = CodeRate("3/4", 3, 4, np.array([[1, 1, 0], [1, 0, 1]], dtype=np.uint8))
+
+
+def conv_encode(bits: np.ndarray, rate: CodeRate = RATE_1_2) -> np.ndarray:
+    """Encode ``bits`` with the K=7 (133,171) code, then puncture to ``rate``.
+
+    The caller is responsible for appending tail bits (six zeros) if trellis
+    termination is desired; the SIG/A-HDR builders in this package do so.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    state = 0
+    mother = np.empty((bits.size, 2), dtype=np.uint8)
+    for i, bit in enumerate(bits):
+        mother[i, 0] = _OUTPUTS[state, bit, 0]
+        mother[i, 1] = _OUTPUTS[state, bit, 1]
+        state = _NEXT_STATE[state, bit]
+    period = rate.pattern.shape[1]
+    if bits.size % period != 0:
+        raise ValueError(
+            f"input length {bits.size} not a multiple of puncture period {period}"
+        )
+    keep = np.tile(rate.pattern.T, (bits.size // period, 1)).astype(bool)
+    return mother[keep.reshape(bits.size, 2)].reshape(-1)
+
+
+def _depuncture(coded: np.ndarray, rate: CodeRate, data_bits: int):
+    """Expand punctured bits back to the mother-code grid with an erasure mask."""
+    period = rate.pattern.shape[1]
+    keep = np.tile(rate.pattern.T, (data_bits // period, 1)).astype(bool)
+    grid = np.zeros((data_bits, 2), dtype=np.uint8)
+    mask = np.zeros((data_bits, 2), dtype=bool)
+    flat_keep = keep.reshape(-1)
+    grid_flat = grid.reshape(-1)
+    mask_flat = mask.reshape(-1)
+    grid_flat[np.nonzero(flat_keep)[0]] = coded
+    mask_flat[np.nonzero(flat_keep)[0]] = True
+    return grid, mask
+
+
+def viterbi_decode(
+    coded: np.ndarray,
+    data_bits: int,
+    rate: CodeRate = RATE_1_2,
+    terminated: bool = True,
+) -> np.ndarray:
+    """Hard-decision Viterbi decode of ``coded`` back to ``data_bits`` bits.
+
+    Args:
+        coded: Received (possibly punctured) coded bits, 0/1.
+        data_bits: Number of information bits to recover (including any tail
+            bits the transmitter appended).
+        rate: Puncturing pattern used at the transmitter.
+        terminated: If True, assume the encoder ended in state 0 (tail bits
+            present) and force the traceback to start there.
+    """
+    coded = np.asarray(coded, dtype=np.uint8)
+    expected = rate.coded_bits(data_bits)
+    if coded.size != expected:
+        raise ValueError(f"expected {expected} coded bits, got {coded.size}")
+    grid, mask = _depuncture(coded, rate, data_bits)
+
+    inf = np.float64(1e18)
+    metrics = np.full(_NUM_STATES, inf)
+    metrics[0] = 0.0
+    survivors = np.empty((data_bits, _NUM_STATES), dtype=np.uint8)
+
+    # Branch metrics: hamming distance between received pair and the branch
+    # output, counting only non-erased positions.
+    prev0 = _PREV_STATE[:, 0]
+    prev1 = _PREV_STATE[:, 1]
+    bit0 = _PREV_BIT[:, 0]
+    bit1 = _PREV_BIT[:, 1]
+    out0 = _OUTPUTS[prev0, bit0]  # (64, 2) outputs along first predecessor
+    out1 = _OUTPUTS[prev1, bit1]
+
+    for i in range(data_bits):
+        rx = grid[i]
+        ok = mask[i]
+        bm0 = ((out0 != rx) & ok).sum(axis=1)
+        bm1 = ((out1 != rx) & ok).sum(axis=1)
+        cand0 = metrics[prev0] + bm0
+        cand1 = metrics[prev1] + bm1
+        choose1 = cand1 < cand0
+        metrics = np.where(choose1, cand1, cand0)
+        survivors[i] = choose1.astype(np.uint8)
+
+    state = 0 if terminated else int(np.argmin(metrics))
+    decoded = np.empty(data_bits, dtype=np.uint8)
+    for i in range(data_bits - 1, -1, -1):
+        which = survivors[i, state]
+        decoded[i] = _PREV_BIT[state, which]
+        state = _PREV_STATE[state, which]
+    return decoded

@@ -1,0 +1,81 @@
+"""CRC generators used across the frame formats.
+
+* CRC-32 — the 802.11 frame check sequence appended to MAC payloads.
+* CRC-8  — used by tests and the A-HDR integrity variant.
+* CRC-2 / CRC-1 — the tiny per-symbol checksums Carpool carries in the
+  phase-offset side channel (paper §5.2: a 2-bit CRC per OFDM symbol gives
+  the best reliability/granularity trade-off).
+
+All CRCs here operate on 0/1 bit arrays so they compose directly with the
+PHY bit pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.bits import bytes_to_bits
+
+__all__ = ["crc_bits", "crc32_bits", "crc8_bits", "crc2_bits", "crc1_bits", "crc32"]
+
+
+def crc_bits(bits: np.ndarray, poly: int, width: int, init: int = 0) -> int:
+    """Generic MSB-first CRC over a bit array.
+
+    Args:
+        bits: 0/1 input bits.
+        poly: Generator polynomial without the leading x^width term.
+        width: CRC width in bits.
+        init: Initial register value.
+    """
+    register = init & ((1 << width) - 1)
+    top = 1 << (width - 1)
+    mask = (1 << width) - 1
+    for bit in np.asarray(bits, dtype=np.uint8):
+        fed = ((register & top) >> (width - 1)) ^ int(bit)
+        register = ((register << 1) & mask)
+        if fed:
+            register ^= poly
+    return register
+
+
+def _reflect(value: int, width: int) -> int:
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+def crc32_bits(bits: np.ndarray) -> int:
+    """CRC-32 over a byte-aligned bit array — the 802.11/Ethernet FCS.
+
+    Uses the standard *reflected* convention (bits of each byte processed
+    LSB first, output bit-reversed), matching ``binascii.crc32``.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8 != 0:
+        raise ValueError("CRC-32 input must be byte-aligned")
+    reflected = bits.reshape(-1, 8)[:, ::-1].reshape(-1)
+    register = crc_bits(reflected, poly=0x04C11DB7, width=32, init=0xFFFFFFFF)
+    return _reflect(register, 32) ^ 0xFFFFFFFF
+
+
+def crc32(data: bytes) -> int:
+    """CRC-32 over bytes — the 802.11 FCS."""
+    return crc32_bits(bytes_to_bits(data))
+
+
+def crc8_bits(bits: np.ndarray) -> int:
+    """CRC-8 with polynomial x^8 + x^2 + x + 1 (0x07)."""
+    return crc_bits(bits, poly=0x07, width=8)
+
+
+def crc2_bits(bits: np.ndarray) -> int:
+    """CRC-2 with polynomial x^2 + x + 1 (0x3) — Carpool's per-symbol checksum."""
+    return crc_bits(bits, poly=0x3, width=2)
+
+
+def crc1_bits(bits: np.ndarray) -> int:
+    """CRC-1: plain parity — the 1-bit side-channel variant."""
+    return int(np.asarray(bits, dtype=np.uint8).sum() & 1)

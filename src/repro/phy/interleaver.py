@@ -1,0 +1,52 @@
+"""The 802.11a two-permutation block interleaver.
+
+Operates on one OFDM symbol's worth of coded bits (N_CBPS). The first
+permutation spreads adjacent coded bits across non-adjacent subcarriers;
+the second alternates them between more and less significant constellation
+bits. Both are pure index permutations, so deinterleaving is the inverse
+permutation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["interleave", "deinterleave", "interleave_permutation"]
+
+_COLUMNS = 16
+
+
+@lru_cache(maxsize=None)
+def interleave_permutation(n_cbps: int, n_bpsc: int) -> tuple:
+    """The composed permutation for one symbol.
+
+    Returns a tuple ``perm`` where transmitted position ``j = perm[k]`` for
+    input position ``k`` (802.11a-2012 §18.3.5.7).
+    """
+    if n_cbps % _COLUMNS != 0:
+        raise ValueError(f"N_CBPS={n_cbps} must be a multiple of {_COLUMNS}")
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbps)
+    # First permutation.
+    i = (n_cbps // _COLUMNS) * (k % _COLUMNS) + k // _COLUMNS
+    # Second permutation.
+    j = s * (i // s) + (i + n_cbps - (_COLUMNS * i // n_cbps)) % s
+    return tuple(int(x) for x in j)
+
+
+def interleave(bits: np.ndarray, n_bpsc: int) -> np.ndarray:
+    """Interleave one OFDM symbol's coded bits (length = N_CBPS)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    perm = np.array(interleave_permutation(bits.size, n_bpsc))
+    out = np.empty_like(bits)
+    out[perm] = bits
+    return out
+
+
+def deinterleave(bits: np.ndarray, n_bpsc: int) -> np.ndarray:
+    """Inverse of :func:`interleave`."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    perm = np.array(interleave_permutation(bits.size, n_bpsc))
+    return bits[perm]

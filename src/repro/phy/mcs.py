@@ -1,0 +1,83 @@
+"""Modulation-and-coding schemes (MCS) of the 802.11 OFDM PHY.
+
+Each MCS pairs a constellation with a puncturing rate and fixes the number
+of coded/data bits per OFDM symbol. Rates are the 20 MHz legacy rates; the
+MAC simulator scales airtime for other channel widths (the paper's Fig. 13
+uses a 2 MHz channel to emulate 10× longer frames).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.coding import RATE_1_2, RATE_2_3, RATE_3_4, CodeRate
+from repro.phy.constants import NUM_DATA_SUBCARRIERS
+from repro.phy.modulation import BPSK, QAM16, QAM64, QPSK, Modulation
+
+__all__ = ["Mcs", "MCS_TABLE", "mcs_by_rate_bits", "mcs_by_name", "BASIC_MCS"]
+
+
+@dataclass(frozen=True)
+class Mcs:
+    """One row of the 802.11a rate table.
+
+    Attributes:
+        rate_mbps: Nominal data rate in a 20 MHz channel.
+        modulation: Constellation mapper.
+        code_rate: Convolutional puncturing rate.
+        rate_bits: The 4-bit RATE field value carried in SIG.
+    """
+
+    rate_mbps: float
+    modulation: Modulation
+    code_rate: CodeRate
+    rate_bits: int
+
+    @property
+    def coded_bits_per_symbol(self) -> int:
+        """N_CBPS: coded bits carried by one OFDM symbol."""
+        return NUM_DATA_SUBCARRIERS * self.modulation.bits_per_symbol
+
+    @property
+    def data_bits_per_symbol(self) -> int:
+        """N_DBPS: information bits per OFDM symbol after coding."""
+        return int(self.coded_bits_per_symbol * self.code_rate.ratio)
+
+    @property
+    def name(self) -> str:
+        """Canonical "<MOD>-<RATE>" label, e.g. "QAM64-3/4"."""
+        return f"{self.modulation.name}-{self.code_rate.name}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({self.rate_mbps:g} Mbit/s)"
+
+
+MCS_TABLE = (
+    Mcs(6.0, BPSK, RATE_1_2, 0b1101),
+    Mcs(9.0, BPSK, RATE_3_4, 0b1111),
+    Mcs(12.0, QPSK, RATE_1_2, 0b0101),
+    Mcs(18.0, QPSK, RATE_3_4, 0b0111),
+    Mcs(24.0, QAM16, RATE_1_2, 0b1001),
+    Mcs(36.0, QAM16, RATE_3_4, 0b1011),
+    Mcs(48.0, QAM64, RATE_2_3, 0b0001),
+    Mcs(54.0, QAM64, RATE_3_4, 0b0011),
+)
+
+BASIC_MCS = MCS_TABLE[0]  # BPSK 1/2: the rate SIG and A-HDR are sent at.
+
+_BY_RATE_BITS = {m.rate_bits: m for m in MCS_TABLE}
+_BY_NAME = {m.name: m for m in MCS_TABLE}
+
+
+def mcs_by_rate_bits(rate_bits: int) -> Mcs:
+    """Resolve the SIG RATE field to an MCS; raises ``KeyError`` if invalid."""
+    if rate_bits not in _BY_RATE_BITS:
+        raise KeyError(f"invalid RATE bits {rate_bits:#06b}")
+    return _BY_RATE_BITS[rate_bits]
+
+
+def mcs_by_name(name: str) -> Mcs:
+    """Look up an MCS by "<MOD>-<RATE>" name, e.g. ``"QAM64-3/4"``."""
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown MCS {name!r}; have {sorted(_BY_NAME)}")
+    return _BY_NAME[name]

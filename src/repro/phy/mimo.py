@@ -1,0 +1,95 @@
+"""Multi-antenna substrate for the Carpool MU-MIMO extension (§8, Fig. 18).
+
+Minimal but real MU-MIMO machinery: per-subcarrier downlink channel
+matrices from an N-antenna AP to single-antenna users, zero-forcing
+precoding for a user group, and propagation of precoded symbol streams.
+
+The model is narrow by design — flat per-subcarrier matrices with ideal
+CSI at the AP — because the paper's extension argument is structural
+(frame layout and stream sharing), not about channel estimation for MIMO.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.constants import USED_SUBCARRIER_INDICES
+from repro.util.rng import RngStream
+
+__all__ = ["MimoChannel", "zero_forcing_precoder", "NUM_USED"]
+
+NUM_USED = USED_SUBCARRIER_INDICES.size
+
+
+class MimoChannel:
+    """Downlink channels from ``num_antennas`` AP antennas to ``num_users``.
+
+    ``matrix[u, a, k]`` is the complex gain from antenna ``a`` to user
+    ``u`` on used subcarrier ``k``. Entries are Ricean with a common LOS
+    phase per user (distinct users decorrelate through their scattered
+    parts, which is what lets zero-forcing separate them).
+    """
+
+    def __init__(self, num_users: int, num_antennas: int, rng: RngStream,
+                 ricean_k_db: float = 6.0):
+        if num_users < 1 or num_antennas < 1:
+            raise ValueError("need at least one user and one antenna")
+        self.num_users = num_users
+        self.num_antennas = num_antennas
+        k = 10.0 ** (ricean_k_db / 10.0)
+        los_amp = np.sqrt(k / (k + 1.0))
+        scatter_amp = np.sqrt(1.0 / (k + 1.0))
+        gen = rng.child("mimo")
+        shape = (num_users, num_antennas, NUM_USED)
+        los_phase = gen.uniform(0.0, 2 * np.pi, size=(num_users, num_antennas, 1))
+        scattered = gen.complex_normal(scale=scatter_amp, size=shape)
+        self.matrix = los_amp * np.exp(1j * los_phase) + scattered
+
+    def user_channel(self, user: int) -> np.ndarray:
+        """(num_antennas, 52) channel row of one user."""
+        return self.matrix[user]
+
+    def group_matrix(self, users: list, subcarrier: int) -> np.ndarray:
+        """(len(users), num_antennas) matrix on one subcarrier."""
+        return self.matrix[np.asarray(users), :, subcarrier]
+
+    def propagate(self, antenna_streams: np.ndarray, snr_db: float,
+                  rng: RngStream) -> np.ndarray:
+        """Send per-antenna symbol streams; return what each user hears.
+
+        Args:
+            antenna_streams: (num_antennas, n_symbols, 52) transmitted
+                frequency-domain symbols per antenna.
+            snr_db: Per-user noise level relative to unit signal power.
+
+        Returns:
+            (num_users, n_symbols, 52) received symbols.
+        """
+        antenna_streams = np.asarray(antenna_streams, dtype=np.complex128)
+        if antenna_streams.shape[0] != self.num_antennas:
+            raise ValueError("one stream per antenna required")
+        # y[u, t, k] = Σ_a H[u, a, k] · x[a, t, k] + n
+        received = np.einsum("uak,atk->utk", self.matrix, antenna_streams)
+        sigma = np.sqrt(10.0 ** (-snr_db / 10.0))
+        noise = rng.child("mimo-noise").complex_normal(scale=sigma, size=received.shape)
+        return received + noise
+
+
+def zero_forcing_precoder(channel: MimoChannel, users: list) -> np.ndarray:
+    """Per-subcarrier ZF precoding vectors for a user group.
+
+    Returns (num_antennas, len(users), 52): column ``s`` of each
+    subcarrier's matrix beams stream ``s`` to ``users[s]`` while nulling
+    it at the group's other users. Columns are normalised to unit power
+    so every stream transmits at the same level.
+    """
+    users = list(users)
+    if len(users) > channel.num_antennas:
+        raise ValueError("cannot serve more streams than antennas")
+    out = np.empty((channel.num_antennas, len(users), NUM_USED), dtype=np.complex128)
+    for k in range(NUM_USED):
+        h = channel.group_matrix(users, k)  # (n_users, n_antennas)
+        pseudo_inverse = np.linalg.pinv(h)  # (n_antennas, n_users)
+        norms = np.linalg.norm(pseudo_inverse, axis=0, keepdims=True)
+        out[:, :, k] = pseudo_inverse / np.maximum(norms, 1e-12)
+    return out

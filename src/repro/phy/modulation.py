@@ -1,0 +1,145 @@
+"""Gray-coded constellation mappers for the 802.11 OFDM PHY.
+
+BPSK, QPSK, 16-QAM and 64-QAM with the normalisation factors of
+802.11a-2012 Table 18-7, so every constellation has unit average power.
+Demodulation is hard-decision minimum-distance, vectorised over arrays of
+received points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Modulation", "BPSK", "QPSK", "QAM16", "QAM64", "MODULATIONS", "get_modulation"]
+
+# Gray-coded per-axis PAM maps: bits (MSB first along the axis) -> level.
+_PAM2 = {0: -1.0, 1: 1.0}
+_PAM4 = {0b00: -3.0, 0b01: -1.0, 0b11: 1.0, 0b10: 3.0}
+_PAM8 = {
+    0b000: -7.0,
+    0b001: -5.0,
+    0b011: -3.0,
+    0b010: -1.0,
+    0b110: 1.0,
+    0b111: 3.0,
+    0b101: 5.0,
+    0b100: 7.0,
+}
+
+
+def _axis_table(pam: dict) -> np.ndarray:
+    table = np.empty(len(pam))
+    for bits, level in pam.items():
+        table[bits] = level
+    return table
+
+
+@dataclass(frozen=True)
+class Modulation:
+    """A memoryless constellation mapping.
+
+    Attributes:
+        name: Human-readable name ("QAM16", ...).
+        bits_per_symbol: Bits mapped to each complex point.
+        points: All 2**bits_per_symbol constellation points, indexed by the
+            integer value of the (MSB-first) bit label, normalised to unit
+            average power.
+    """
+
+    name: str
+    bits_per_symbol: int
+    points: np.ndarray
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map a 0/1 array (length divisible by ``bits_per_symbol``) to points."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size % self.bits_per_symbol != 0:
+            raise ValueError(
+                f"{bits.size} bits is not a multiple of {self.bits_per_symbol}"
+            )
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        weights = 1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        labels = groups @ weights
+        return self.points[labels]
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        """Hard-decision demap: nearest constellation point, returns bits."""
+        labels = self.decide(symbols)
+        shifts = np.arange(self.bits_per_symbol - 1, -1, -1)
+        bits = (labels[:, None] >> shifts) & 1
+        return bits.reshape(-1).astype(np.uint8)
+
+    def decide(self, symbols: np.ndarray) -> np.ndarray:
+        """Nearest-point decision, returning integer bit labels."""
+        symbols = np.asarray(symbols, dtype=np.complex128).reshape(-1)
+        # |r - p|^2 for all points; argmin over the point axis.
+        dists = np.abs(symbols[:, None] - self.points[None, :]) ** 2
+        return np.argmin(dists, axis=1)
+
+    def remodulate(self, symbols: np.ndarray) -> np.ndarray:
+        """Project received points onto the nearest constellation points.
+
+        Used by the real-time channel estimator to reconstruct the
+        transmitted signal from decisions.
+        """
+        shape = np.shape(symbols)
+        return self.points[self.decide(symbols)].reshape(shape)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _build_bpsk() -> Modulation:
+    points = np.array([-1.0 + 0j, 1.0 + 0j])
+    return Modulation("BPSK", 1, points)
+
+
+def _build_qpsk() -> Modulation:
+    # b0 -> I axis, b1 -> Q axis, K_mod = 1/sqrt(2).
+    table = _axis_table(_PAM2)
+    points = np.empty(4, dtype=np.complex128)
+    for label in range(4):
+        i_bits = (label >> 1) & 0b1
+        q_bits = label & 0b1
+        points[label] = (table[i_bits] + 1j * table[q_bits]) / np.sqrt(2.0)
+    return Modulation("QPSK", 2, points)
+
+
+def _build_qam16() -> Modulation:
+    # b0b1 -> I axis, b2b3 -> Q axis, K_mod = 1/sqrt(10).
+    table = _axis_table(_PAM4)
+    points = np.empty(16, dtype=np.complex128)
+    for label in range(16):
+        i_bits = (label >> 2) & 0b11
+        q_bits = label & 0b11
+        points[label] = (table[i_bits] + 1j * table[q_bits]) / np.sqrt(10.0)
+    return Modulation("QAM16", 4, points)
+
+
+def _build_qam64() -> Modulation:
+    # b0b1b2 -> I axis, b3b4b5 -> Q axis, K_mod = 1/sqrt(42).
+    table = _axis_table(_PAM8)
+    points = np.empty(64, dtype=np.complex128)
+    for label in range(64):
+        i_bits = (label >> 3) & 0b111
+        q_bits = label & 0b111
+        points[label] = (table[i_bits] + 1j * table[q_bits]) / np.sqrt(42.0)
+    return Modulation("QAM64", 6, points)
+
+
+BPSK = _build_bpsk()
+QPSK = _build_qpsk()
+QAM16 = _build_qam16()
+QAM64 = _build_qam64()
+
+MODULATIONS = {m.name: m for m in (BPSK, QPSK, QAM16, QAM64)}
+
+
+def get_modulation(name: str) -> Modulation:
+    """Look up a modulation by case-insensitive name."""
+    key = name.upper().replace("-", "")
+    if key not in MODULATIONS:
+        raise KeyError(f"unknown modulation {name!r}; have {sorted(MODULATIONS)}")
+    return MODULATIONS[key]

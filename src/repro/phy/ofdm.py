@@ -1,0 +1,106 @@
+"""OFDM symbol assembly: subcarrier mapping and (I)FFT / cyclic-prefix.
+
+The frequency-domain representation used throughout the receiver chain is a
+length-52 complex vector ordered by logical subcarrier index (-26..-1, 1..26).
+:func:`map_subcarriers` / :func:`unmap_subcarriers` convert between that and
+the 64-bin FFT grid; :func:`ofdm_modulate` / :func:`ofdm_demodulate` convert
+between the FFT grid and 80-sample time-domain symbols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.constants import (
+    CP_LENGTH,
+    DATA_SUBCARRIER_INDICES,
+    FFT_SIZE,
+    PILOT_SUBCARRIER_INDICES,
+    USED_SUBCARRIER_INDICES,
+)
+
+__all__ = [
+    "map_subcarriers",
+    "unmap_subcarriers",
+    "assemble_symbol",
+    "split_symbol",
+    "ofdm_modulate",
+    "ofdm_demodulate",
+    "logical_to_fft_bins",
+    "DATA_POSITIONS",
+    "PILOT_POSITIONS",
+]
+
+
+def logical_to_fft_bins(indices: np.ndarray) -> np.ndarray:
+    """Convert logical subcarrier indices (-26..26) to FFT bin numbers (0..63)."""
+    return np.mod(np.asarray(indices), FFT_SIZE)
+
+
+_USED_BINS = logical_to_fft_bins(USED_SUBCARRIER_INDICES)
+
+# Positions of data and pilot tones within the length-52 used-subcarrier
+# vector (logical order).
+_used_list = USED_SUBCARRIER_INDICES.tolist()
+DATA_POSITIONS = np.array([_used_list.index(k) for k in DATA_SUBCARRIER_INDICES])
+PILOT_POSITIONS = np.array([_used_list.index(k) for k in PILOT_SUBCARRIER_INDICES])
+
+
+def assemble_symbol(data_points: np.ndarray, pilot_points: np.ndarray) -> np.ndarray:
+    """Place 48 data points and 4 pilot points into a length-52 used vector."""
+    data_points = np.asarray(data_points, dtype=np.complex128)
+    pilot_points = np.asarray(pilot_points, dtype=np.complex128)
+    if data_points.size != DATA_POSITIONS.size:
+        raise ValueError(f"expected {DATA_POSITIONS.size} data points, got {data_points.size}")
+    if pilot_points.size != PILOT_POSITIONS.size:
+        raise ValueError(f"expected {PILOT_POSITIONS.size} pilots, got {pilot_points.size}")
+    used = np.zeros(USED_SUBCARRIER_INDICES.size, dtype=np.complex128)
+    used[DATA_POSITIONS] = data_points
+    used[PILOT_POSITIONS] = pilot_points
+    return used
+
+
+def split_symbol(used: np.ndarray):
+    """Inverse of :func:`assemble_symbol`: return ``(data, pilots)``."""
+    used = np.asarray(used, dtype=np.complex128)
+    return used[DATA_POSITIONS], used[PILOT_POSITIONS]
+
+
+def map_subcarriers(used: np.ndarray) -> np.ndarray:
+    """Scatter a length-52 used-subcarrier vector onto the 64-bin FFT grid."""
+    used = np.asarray(used, dtype=np.complex128)
+    if used.shape[-1] != USED_SUBCARRIER_INDICES.size:
+        raise ValueError(f"expected {USED_SUBCARRIER_INDICES.size} used subcarriers")
+    grid = np.zeros(used.shape[:-1] + (FFT_SIZE,), dtype=np.complex128)
+    grid[..., _USED_BINS] = used
+    return grid
+
+
+def unmap_subcarriers(grid: np.ndarray) -> np.ndarray:
+    """Gather the 52 used subcarriers from a 64-bin FFT grid."""
+    grid = np.asarray(grid, dtype=np.complex128)
+    if grid.shape[-1] != FFT_SIZE:
+        raise ValueError(f"expected {FFT_SIZE}-bin grid")
+    return grid[..., _USED_BINS]
+
+
+def ofdm_modulate(grid: np.ndarray) -> np.ndarray:
+    """IFFT a 64-bin frequency grid and prepend the 16-sample cyclic prefix.
+
+    Accepts a single grid or an array of grids (last axis = 64); returns
+    80-sample symbols on the last axis. The IFFT is scaled by sqrt(64) so
+    time-domain sample power equals average subcarrier power.
+    """
+    grid = np.asarray(grid, dtype=np.complex128)
+    time = np.fft.ifft(grid, axis=-1) * np.sqrt(FFT_SIZE)
+    cp = time[..., -CP_LENGTH:]
+    return np.concatenate([cp, time], axis=-1)
+
+
+def ofdm_demodulate(samples: np.ndarray) -> np.ndarray:
+    """Strip the cyclic prefix and FFT back to the 64-bin grid."""
+    samples = np.asarray(samples, dtype=np.complex128)
+    if samples.shape[-1] != FFT_SIZE + CP_LENGTH:
+        raise ValueError(f"expected {FFT_SIZE + CP_LENGTH}-sample symbols")
+    body = samples[..., CP_LENGTH:]
+    return np.fft.fft(body, axis=-1) / np.sqrt(FFT_SIZE)

@@ -1,0 +1,47 @@
+"""Pilot insertion and pilot-based phase tracking.
+
+Every payload OFDM symbol carries four known pilot tones. The receiver uses
+them to estimate the common phase rotation of the symbol (residual CFO plus
+— in Carpool — the injected side-channel offset) and de-rotates the whole
+symbol before demodulation. This is the "inherent phase tracking ability"
+the paper's phase-offset side channel piggybacks on (§5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.constants import pilot_values
+from repro.phy.ofdm import PILOT_POSITIONS
+
+__all__ = ["insert_pilots", "estimate_phase_offset", "compensate_phase", "track_and_compensate"]
+
+
+def insert_pilots(symbol_index: int) -> np.ndarray:
+    """Pilot tone values for the given OFDM symbol index (0 = SIG)."""
+    return pilot_values(symbol_index).astype(np.complex128)
+
+
+def estimate_phase_offset(equalized_used: np.ndarray, symbol_index: int) -> float:
+    """Estimate the common phase rotation of one equalized symbol.
+
+    Correlates the received pilot tones against their known values; the
+    angle of the coherent sum is the maximum-likelihood common phase. The
+    estimate's accuracy depends on pilot SNR only — not on the amount of
+    rotation — which is why Carpool's injected offsets do not degrade it.
+    """
+    expected = insert_pilots(symbol_index)
+    received = np.asarray(equalized_used)[PILOT_POSITIONS]
+    correlation = np.sum(received * np.conj(expected))
+    return float(np.angle(correlation))
+
+
+def compensate_phase(used: np.ndarray, phase: float) -> np.ndarray:
+    """De-rotate a used-subcarrier vector by ``phase`` radians."""
+    return np.asarray(used) * np.exp(-1j * phase)
+
+
+def track_and_compensate(equalized_used: np.ndarray, symbol_index: int):
+    """Estimate and remove the common phase; returns ``(compensated, phase)``."""
+    phase = estimate_phase_offset(equalized_used, symbol_index)
+    return compensate_phase(equalized_used, phase), phase

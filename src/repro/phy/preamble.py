@@ -1,0 +1,61 @@
+"""Legacy 802.11 PLCP preamble: short and long training fields.
+
+The short training field (STF) occupies 12 of the 52 used subcarriers and is
+used for packet detection and coarse frequency acquisition. The long
+training field (LTF) fills all 52 used subcarriers with a known ±1 sequence
+and anchors channel estimation and fine CFO estimation. Per the paper's
+implementation (§6), the PLCP preamble is two STF symbols followed by two
+LTF symbols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.constants import USED_SUBCARRIER_INDICES
+
+__all__ = ["LTF_SEQUENCE", "STF_SEQUENCE", "ltf_symbol", "stf_symbol", "NUM_PREAMBLE_SYMBOLS"]
+
+NUM_PREAMBLE_SYMBOLS = 4  # 2 × STF + 2 × LTF
+
+# 802.11a-2012 §18.3.3: L-LTF values on subcarriers -26..26 (53 entries, DC=0).
+_LTF_MINUS26_TO_26 = np.array(
+    [
+        1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+        0,
+        1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+    ],
+    dtype=np.float64,
+)
+
+# 802.11a-2012 §18.3.3: L-STF is non-zero on every 4th subcarrier.
+_STF_NONZERO = {
+    -24: 1 + 1j, -20: -1 - 1j, -16: 1 + 1j, -12: -1 - 1j, -8: -1 - 1j, -4: 1 + 1j,
+    4: -1 - 1j, 8: -1 - 1j, 12: 1 + 1j, 16: 1 + 1j, 20: 1 + 1j, 24: 1 + 1j,
+}
+_STF_SCALE = np.sqrt(13.0 / 6.0) / np.sqrt(2.0)
+
+
+def _used_vector_from_range(values_m26_to_26: np.ndarray) -> np.ndarray:
+    out = np.empty(USED_SUBCARRIER_INDICES.size, dtype=np.complex128)
+    for pos, k in enumerate(USED_SUBCARRIER_INDICES):
+        out[pos] = values_m26_to_26[k + 26]
+    return out
+
+
+LTF_SEQUENCE = _used_vector_from_range(_LTF_MINUS26_TO_26)
+
+_stf_range = np.zeros(53, dtype=np.complex128)
+for _k, _v in _STF_NONZERO.items():
+    _stf_range[_k + 26] = _v * _STF_SCALE
+STF_SEQUENCE = _used_vector_from_range(_stf_range)
+
+
+def ltf_symbol() -> np.ndarray:
+    """A fresh copy of the LTF used-subcarrier vector."""
+    return LTF_SEQUENCE.copy()
+
+
+def stf_symbol() -> np.ndarray:
+    """A fresh copy of the STF used-subcarrier vector."""
+    return STF_SEQUENCE.copy()

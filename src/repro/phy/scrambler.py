@@ -1,0 +1,47 @@
+"""The 802.11 frame-synchronous data scrambler (x^7 + x^4 + 1).
+
+The scrambler whitens the payload bit stream so long runs of identical bits
+do not produce spectral lines. It is self-inverse: scrambling twice with the
+same seed recovers the input, which is also how descrambling works.
+
+Carpool relies on one property of the standard: the SIG field is *not*
+scrambled, so a receiver can decode any subframe's SIG (to learn its length)
+without knowing the scrambler state of earlier payload — see paper §4.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["scramble", "descramble", "scrambler_sequence"]
+
+_ORDER = 7
+
+
+def scrambler_sequence(length: int, seed: int = 0b1011101) -> np.ndarray:
+    """Generate ``length`` bits of the x^7 + x^4 + 1 LFSR output.
+
+    ``seed`` is the initial 7-bit state, state bit 6 being x^7. The default
+    is the all-ones-adjacent example seed from the standard's Annex; any
+    non-zero 7-bit value is legal.
+    """
+    if not 0 < seed < (1 << _ORDER):
+        raise ValueError("seed must be a non-zero 7-bit value")
+    state = [(seed >> i) & 1 for i in range(_ORDER)]  # state[6] = x^7 tap
+    out = np.empty(length, dtype=np.uint8)
+    for i in range(length):
+        fed_back = state[6] ^ state[3]
+        out[i] = fed_back
+        state = [fed_back] + state[:-1]
+    return out
+
+
+def scramble(bits: np.ndarray, seed: int = 0b1011101) -> np.ndarray:
+    """XOR ``bits`` with the scrambler sequence."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    return bits ^ scrambler_sequence(bits.size, seed)
+
+
+def descramble(bits: np.ndarray, seed: int = 0b1011101) -> np.ndarray:
+    """Inverse of :func:`scramble` (same operation, by construction)."""
+    return scramble(bits, seed)

@@ -1,0 +1,88 @@
+"""The SIGNAL (SIG) field: rate and length header of every (sub)frame.
+
+SIG is one OFDM symbol at BPSK rate 1/2 carrying 24 bits:
+RATE(4) | Reserved(1) | LENGTH(12) | Parity(1) | Tail(6).
+
+Two properties matter for Carpool (§4.1): SIG is *not* scrambled, and it is
+always sent at the basic rate — so any receiver can decode the SIG of any
+subframe to learn that subframe's length and skip over it without decoding
+its payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.coding import RATE_1_2, conv_encode, viterbi_decode
+from repro.phy.interleaver import deinterleave, interleave
+from repro.phy.mcs import Mcs, mcs_by_rate_bits
+from repro.phy.modulation import BPSK
+from repro.util.bits import bits_to_int, int_to_bits
+
+__all__ = ["SigField", "SigDecodeError", "encode_sig", "decode_sig", "SIG_CODED_BITS"]
+
+SIG_DATA_BITS = 24
+SIG_CODED_BITS = 48
+MAX_SIG_LENGTH = (1 << 12) - 1
+
+
+class SigDecodeError(ValueError):
+    """Raised when a received SIG fails its parity or RATE validity check."""
+
+
+@dataclass(frozen=True)
+class SigField:
+    """Decoded contents of a SIG symbol."""
+
+    mcs: Mcs
+    length_bytes: int
+
+    def __post_init__(self):
+        if not 0 < self.length_bytes <= MAX_SIG_LENGTH:
+            raise ValueError(f"LENGTH must be 1..{MAX_SIG_LENGTH}, got {self.length_bytes}")
+
+
+def _sig_bits(sig: SigField) -> np.ndarray:
+    rate = int_to_bits(sig.mcs.rate_bits, 4)
+    reserved = np.zeros(1, dtype=np.uint8)
+    # LENGTH is transmitted LSB first per the standard.
+    length_msb = int_to_bits(sig.length_bytes, 12)
+    length = length_msb[::-1]
+    body = np.concatenate([rate, reserved, length])
+    parity = np.array([int(body.sum()) & 1], dtype=np.uint8)
+    tail = np.zeros(6, dtype=np.uint8)
+    return np.concatenate([body, parity, tail])
+
+
+def encode_sig(sig: SigField) -> np.ndarray:
+    """Encode a SIG field into 48 BPSK constellation points (one symbol)."""
+    coded = conv_encode(_sig_bits(sig), RATE_1_2)
+    interleaved = interleave(coded, BPSK.bits_per_symbol)
+    return BPSK.modulate(interleaved)
+
+
+def decode_sig(points: np.ndarray) -> SigField:
+    """Decode 48 received BPSK points back into a SIG field.
+
+    Raises :class:`SigDecodeError` on parity failure, invalid RATE bits, or
+    zero LENGTH — the same conditions that make a hardware receiver abort
+    reception.
+    """
+    hard = BPSK.demodulate(points)
+    coded = deinterleave(hard, BPSK.bits_per_symbol)
+    bits = viterbi_decode(coded, SIG_DATA_BITS, RATE_1_2, terminated=True)
+    body = bits[:17]
+    parity = int(bits[17])
+    if int(body.sum()) & 1 != parity:
+        raise SigDecodeError("SIG parity check failed")
+    rate_bits = bits_to_int(bits[:4])
+    try:
+        mcs = mcs_by_rate_bits(rate_bits)
+    except KeyError as exc:
+        raise SigDecodeError(str(exc)) from exc
+    length = bits_to_int(bits[5:17][::-1])
+    if length == 0:
+        raise SigDecodeError("SIG LENGTH is zero")
+    return SigField(mcs=mcs, length_bytes=length)

@@ -1,0 +1,32 @@
+"""Traffic substrate: VoIP (Brady), SIGCOMM/library trace synthesizers, CBR."""
+
+from repro.traffic.background import background_uplink_arrivals, trace_mixed_arrivals
+from repro.traffic.flows import cbr_downlink_arrivals, merge_arrivals, offered_load_bps
+from repro.traffic.trace_models import (
+    LIBRARY,
+    SIGCOMM04,
+    SIGCOMM08,
+    TRACE_MODELS,
+    TraceModel,
+    active_sta_timeseries,
+    sample_frame_sizes,
+)
+from repro.traffic.voip import BradyModel, voip_downlink_arrivals, voip_uplink_arrivals
+
+__all__ = [
+    "background_uplink_arrivals",
+    "trace_mixed_arrivals",
+    "cbr_downlink_arrivals",
+    "merge_arrivals",
+    "offered_load_bps",
+    "LIBRARY",
+    "SIGCOMM04",
+    "SIGCOMM08",
+    "TRACE_MODELS",
+    "TraceModel",
+    "active_sta_timeseries",
+    "sample_frame_sizes",
+    "BradyModel",
+    "voip_downlink_arrivals",
+    "voip_uplink_arrivals",
+]

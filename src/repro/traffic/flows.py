@@ -1,0 +1,53 @@
+"""Generic flows and stream plumbing."""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.mac.frames import Arrival, Direction
+from repro.util.rng import RngStream
+
+__all__ = ["cbr_downlink_arrivals", "merge_arrivals", "offered_load_bps"]
+
+
+def cbr_downlink_arrivals(station_names: list, duration: float, frame_bytes: int,
+                          frames_per_second: float, rng: RngStream,
+                          ap_name: str = "ap", delay_sensitive: bool = True,
+                          jitter: float = 0.1) -> list:
+    """Constant-bit-rate downlink flows (Fig. 17's workload).
+
+    Each STA receives ``frames_per_second`` frames of ``frame_bytes``; start
+    phases are randomised and inter-arrival times jittered by ``jitter``
+    (fraction of the nominal gap) so flows do not synchronise.
+    """
+    if frame_bytes <= 0 or frames_per_second <= 0:
+        raise ValueError("frame size and rate must be positive")
+    arrivals = []
+    gap = 1.0 / frames_per_second
+    for sta in station_names:
+        gen = rng.child(f"cbr-{sta}")
+        t = float(gen.uniform(0.0, gap))
+        while t < duration:
+            arrivals.append(
+                Arrival(time=t, source=ap_name, destination=sta,
+                        size_bytes=frame_bytes, delay_sensitive=delay_sensitive,
+                        direction=Direction.DOWNLINK)
+            )
+            t += gap * (1.0 + float(gen.uniform(-jitter, jitter)))
+    arrivals.sort(key=lambda a: a.time)
+    return arrivals
+
+
+def merge_arrivals(*streams) -> list:
+    """Merge time-sorted arrival lists into one time-sorted list."""
+    return list(heapq.merge(*streams, key=lambda a: a.time))
+
+
+def offered_load_bps(arrivals: list, duration: float, direction: str | None = None) -> float:
+    """Average offered load of an arrival list (optionally one direction)."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    total = sum(
+        a.size_bytes for a in arrivals if direction is None or a.direction == direction
+    )
+    return 8 * total / duration

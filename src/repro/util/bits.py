@@ -1,0 +1,86 @@
+"""Bit-level helpers used across the PHY and Carpool core.
+
+All bit sequences in this project are numpy ``uint8`` arrays holding 0/1
+values, most-significant bit first within each byte. This matches the order
+in which the 802.11 scrambler and convolutional coder consume bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "int_to_bits",
+    "bits_to_int",
+    "hamming_distance",
+    "random_bits",
+    "pad_bits",
+]
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Expand ``data`` into an array of 0/1 values, MSB first per byte.
+
+    >>> bytes_to_bits(b"\\x80").tolist()
+    [1, 0, 0, 0, 0, 0, 0, 0]
+    """
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 array (MSB first) back into bytes.
+
+    The bit count must be a multiple of 8; raises ``ValueError`` otherwise so
+    framing bugs surface immediately instead of silently truncating.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8 != 0:
+        raise ValueError(f"bit count {bits.size} is not a multiple of 8")
+    return np.packbits(bits).tobytes()
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Encode ``value`` as ``width`` bits, MSB first.
+
+    >>> int_to_bits(5, 4).tolist()
+    [0, 1, 0, 1]
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Decode an MSB-first bit array into an integer."""
+    value = 0
+    for bit in np.asarray(bits, dtype=np.uint8):
+        value = (value << 1) | int(bit)
+    return value
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions where two equal-length bit arrays differ."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+def random_bits(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` uniform random bits from ``rng``."""
+    return rng.integers(0, 2, size=n, dtype=np.uint8)
+
+
+def pad_bits(bits: np.ndarray, multiple: int) -> np.ndarray:
+    """Zero-pad ``bits`` up to the next multiple of ``multiple``."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    remainder = bits.size % multiple
+    if remainder == 0:
+        return bits
+    return np.concatenate([bits, np.zeros(multiple - remainder, dtype=np.uint8)])

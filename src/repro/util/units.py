@@ -1,0 +1,67 @@
+"""Unit constants and conversions.
+
+All simulator times are in **seconds** (floats), rates in **bits/second**,
+sizes in **bytes** unless a name says otherwise. These helpers keep the
+literal soup of µs/ms/Mbit/s conversions out of the protocol code.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "MICROSECOND",
+    "MILLISECOND",
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "bits",
+    "transmission_time",
+]
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB power ratio to linear scale."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(linear: float) -> float:
+    """Convert a linear power ratio to dB. Requires ``linear > 0``."""
+    if linear <= 0:
+        raise ValueError("linear power ratio must be positive")
+    return 10.0 * math.log10(linear)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power in dBm to watts."""
+    return 10.0 ** ((dbm - 30.0) / 10.0)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power in watts to dBm."""
+    if watts <= 0:
+        raise ValueError("power must be positive")
+    return 10.0 * math.log10(watts) + 30.0
+
+
+def bits(nbytes: int) -> int:
+    """Bytes → bits."""
+    return int(nbytes) * 8
+
+
+def transmission_time(nbytes: int, rate_bps: float) -> float:
+    """Airtime in seconds for ``nbytes`` of payload at ``rate_bps``."""
+    if rate_bps <= 0:
+        raise ValueError("rate must be positive")
+    return bits(nbytes) / float(rate_bps)

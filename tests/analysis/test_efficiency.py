@@ -1,0 +1,64 @@
+import pytest
+
+from repro.analysis.efficiency import (
+    carpool_exchange,
+    mac_efficiency,
+    single_frame_exchange,
+)
+from repro.mac.parameters import DEFAULT_PARAMETERS
+
+
+class TestBudgets:
+    def test_components_positive(self):
+        budget = single_frame_exchange(300, DEFAULT_PARAMETERS)
+        assert budget.contention > 0
+        assert budget.headers > 0
+        assert budget.payload > 0
+        assert budget.acks > 0
+        assert budget.total == pytest.approx(
+            budget.contention + budget.headers + budget.payload + budget.acks
+        )
+
+    def test_efficiency_in_unit_interval(self):
+        for nbytes in (50, 300, 1500):
+            assert 0 < single_frame_exchange(nbytes, DEFAULT_PARAMETERS).efficiency < 1
+
+    def test_larger_frames_more_efficient(self):
+        small = single_frame_exchange(100, DEFAULT_PARAMETERS).efficiency
+        large = single_frame_exchange(1500, DEFAULT_PARAMETERS).efficiency
+        assert large > small
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            single_frame_exchange(0, DEFAULT_PARAMETERS)
+        with pytest.raises(ValueError):
+            carpool_exchange(300, 0, DEFAULT_PARAMETERS)
+
+
+class TestCarpoolAmortisation:
+    def test_more_receivers_more_efficient(self):
+        effs = [
+            carpool_exchange(300, n, DEFAULT_PARAMETERS).efficiency
+            for n in (1, 2, 4, 8)
+        ]
+        assert effs == sorted(effs)
+
+    def test_single_receiver_carpool_close_to_legacy(self):
+        """With one receiver Carpool only adds the A-HDR + SIG symbols."""
+        legacy = single_frame_exchange(1500, DEFAULT_PARAMETERS)
+        carpool = carpool_exchange(1500, 1, DEFAULT_PARAMETERS)
+        assert carpool.efficiency == pytest.approx(legacy.efficiency, rel=0.1)
+        assert carpool.efficiency < legacy.efficiency  # strictly pays A-HDR
+
+    def test_paper_motivating_trend(self):
+        """§1: efficiency degrades rapidly from 54 to 600 Mbit/s."""
+        eff_54 = mac_efficiency(300, 54e6)
+        eff_600 = mac_efficiency(300, 600e6)
+        assert eff_600 < 0.2 * eff_54
+
+    def test_carpool_gain_grows_with_rate(self):
+        gains = [
+            mac_efficiency(300, rate, carpool_receivers=8) / mac_efficiency(300, rate)
+            for rate in (54e6, 600e6)
+        ]
+        assert gains[1] > gains[0] > 1.0

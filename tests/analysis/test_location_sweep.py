@@ -1,0 +1,54 @@
+import numpy as np
+import pytest
+
+from repro.analysis.location_sweep import ber_across_locations
+from repro.analysis.testbed import OfficeTestbed
+
+
+class TestLocationSweep:
+    def test_shapes_and_bookkeeping(self):
+        result = ber_across_locations(
+            "QAM16-3/4", payload_bytes=600, trials_per_location=2, max_locations=3
+        )
+        assert result.locations_used == 3
+        assert result.mean_ber_per_symbol.shape == result.std_ber_per_symbol.shape
+        assert len(result.per_location_mean) == 3
+        assert result.scheme == "Standard"
+
+    def test_locations_differ(self):
+        """Different spots see different SNRs, so their BERs differ."""
+        result = ber_across_locations(
+            "QAM64-3/4", payload_bytes=1000, trials_per_location=3, max_locations=6
+        )
+        values = list(result.per_location_mean.values())
+        assert max(values) > min(values)
+
+    def test_rte_improves_aggregate(self):
+        # Only spots where QAM64 actually links (≥22 dB), as a real
+        # measurement campaign would report; full 4 KB frames — RTE's
+        # payoff is the *long*-frame tail (short frames barely drift, so
+        # data-pilot noise would dominate there).
+        std = ber_across_locations("QAM64-3/4", 4090, 3, use_rte=False,
+                                   max_locations=3, min_snr_db=22.0)
+        rte = ber_across_locations("QAM64-3/4", 4090, 3, use_rte=True,
+                                   max_locations=3, min_snr_db=22.0)
+        # RTE flattens the tail across locations, as in Fig. 13's bars.
+        assert (rte.mean_ber_per_symbol[-10:].mean()
+                < std.mean_ber_per_symbol[-10:].mean())
+
+    def test_snr_floor_can_empty(self):
+        with pytest.raises(ValueError):
+            ber_across_locations("BPSK-1/2", 400, 1, min_snr_db=99.0)
+
+    def test_snr_cap_applied(self):
+        testbed = OfficeTestbed()
+        result = ber_across_locations(
+            "BPSK-1/2", 400, 2, testbed=testbed, max_locations=2, snr_cap_db=5.0
+        )
+        # At a 5 dB cap even BPSK errs noticeably.
+        assert result.mean_ber > 1e-4
+
+    def test_deterministic(self):
+        a = ber_across_locations("QAM16-3/4", 600, 2, max_locations=2)
+        b = ber_across_locations("QAM16-3/4", 600, 2, max_locations=2)
+        np.testing.assert_array_equal(a.mean_ber_per_symbol, b.mean_ber_per_symbol)

@@ -1,0 +1,128 @@
+import numpy as np
+import pytest
+
+from repro.channel.fading import (
+    FadingProcess,
+    FadingProfile,
+    doppler_from_coherence_time,
+    jakes_correlation,
+)
+from repro.util.rng import RngStream
+
+
+class TestProfile:
+    def test_tap_powers_normalised(self):
+        for taps in (1, 3, 8):
+            profile = FadingProfile(num_taps=taps)
+            assert profile.tap_powers().sum() == pytest.approx(1.0)
+
+    def test_tap_powers_decay(self):
+        powers = FadingProfile(num_taps=5).tap_powers()
+        assert np.all(np.diff(powers) < 0)
+
+    def test_ricean_k_splits_power(self):
+        profile = FadingProfile(num_taps=1, ricean_k_db=10.0)
+        los2 = profile.los_amplitude() ** 2
+        scattered = profile.scattered_powers()[0]
+        assert los2 / scattered == pytest.approx(10.0)
+        assert los2 + scattered == pytest.approx(1.0)
+
+    def test_rayleigh_no_los(self):
+        profile = FadingProfile(ricean_k_db=-np.inf)
+        assert profile.los_amplitude() == 0.0
+
+    def test_too_many_taps_rejected(self):
+        with pytest.raises(ValueError):
+            FadingProfile(num_taps=17)
+
+    def test_zero_taps_rejected(self):
+        with pytest.raises(ValueError):
+            FadingProfile(num_taps=0)
+
+
+class TestDoppler:
+    def test_coherence_relation(self):
+        assert doppler_from_coherence_time(0.423) == pytest.approx(1.0)
+
+    def test_infinite_coherence_freezes(self):
+        assert doppler_from_coherence_time(np.inf) == 0.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            doppler_from_coherence_time(0.0)
+
+    def test_jakes_at_zero_lag(self):
+        assert jakes_correlation(100.0, 0.0) == pytest.approx(1.0)
+
+    def test_jakes_decreasing_initially(self):
+        values = [jakes_correlation(50.0, lag) for lag in (0.0, 1e-3, 3e-3)]
+        assert values[0] > values[1] > values[2]
+
+    def test_jakes_matches_scipy_j0(self):
+        from scipy.special import j0
+
+        for fd, lag in [(30.0, 1e-3), (100.0, 2e-3), (10.0, 5e-3)]:
+            assert jakes_correlation(fd, lag) == pytest.approx(
+                float(j0(2 * np.pi * fd * lag)), abs=1e-6
+            )
+
+
+class TestProcess:
+    def _process(self, profile=None, symbol_duration=4e-6, seed=0):
+        return FadingProcess(
+            profile or FadingProfile(), symbol_duration, RngStream(seed).child("fading")
+        )
+
+    def test_unit_average_power(self):
+        proc = self._process()
+        powers = []
+        for _ in range(400):
+            proc.reset()
+            powers.append(np.abs(proc.taps()) ** 2)
+        assert np.sum(np.mean(powers, axis=0)) == pytest.approx(1.0, rel=0.1)
+
+    def test_static_channel_constant(self):
+        proc = self._process(FadingProfile(coherence_time=np.inf))
+        proc.reset()
+        h0 = proc.frequency_response()
+        for _ in range(100):
+            proc.step()
+        np.testing.assert_allclose(proc.frequency_response(), h0)
+
+    def test_reset_changes_realisation(self):
+        proc = self._process()
+        proc.reset()
+        h0 = proc.frequency_response()
+        proc.reset()
+        assert not np.allclose(proc.frequency_response(), h0)
+
+    def test_correlation_decays_like_jakes(self):
+        """Empirical autocorrelation at a given lag tracks J₀(2π f_d τ)."""
+        profile = FadingProfile(num_taps=1, ricean_k_db=-np.inf, coherence_time=10e-3)
+        fd = profile.doppler_hz()
+        lag_symbols = 100
+        dt = 40e-6
+        num = 0.0
+        den = 0.0
+        proc = self._process(profile, dt, seed=3)
+        for _ in range(600):
+            proc.reset()
+            h0 = proc.taps()[0]
+            proc.step(lag_symbols * dt)
+            h1 = proc.taps()[0]
+            num += (h1 * np.conj(h0)).real
+            den += abs(h0) ** 2
+        expected = jakes_correlation(fd, lag_symbols * dt)
+        assert num / den == pytest.approx(expected, abs=0.12)
+
+    def test_frequency_selectivity_grows_with_taps(self):
+        flat = self._process(FadingProfile(num_taps=1), seed=1)
+        selective = self._process(
+            FadingProfile(num_taps=8, ricean_k_db=-np.inf, delay_spread_taps=3.0), seed=1
+        )
+        flat.reset()
+        selective.reset()
+        flat_spread = np.std(np.abs(flat.frequency_response()))
+        sel_spread = np.std(np.abs(selective.frequency_response()))
+        assert flat_spread == pytest.approx(0.0, abs=1e-9)
+        assert sel_spread > 0.05

@@ -1,0 +1,136 @@
+import numpy as np
+import pytest
+
+from repro.channel import ChannelModel, FadingProfile, snr_for_power
+from repro.channel.awgn import add_awgn, noise_variance_for_snr
+from repro.channel.path_loss import LogDistancePathLoss, link_snr_db
+from repro.channel.power import POWER_MAGNITUDES
+from repro.util.rng import RngStream
+
+STATIC = FadingProfile(num_taps=1, ricean_k_db=60.0, coherence_time=np.inf)
+
+
+class TestAwgn:
+    def test_noise_variance(self):
+        assert noise_variance_for_snr(10.0) == pytest.approx(0.1)
+        assert noise_variance_for_snr(0.0, signal_power=2.0) == pytest.approx(2.0)
+
+    def test_empirical_snr(self):
+        rng = RngStream(0).child("n")
+        clean = np.ones((200, 52), dtype=complex)
+        noisy = add_awgn(clean, 10.0, rng)
+        noise_power = np.mean(np.abs(noisy - clean) ** 2)
+        assert noise_power == pytest.approx(0.1, rel=0.05)
+
+
+class TestPowerCalibration:
+    def test_monotone(self):
+        snrs = [snr_for_power(p) for p in POWER_MAGNITUDES]
+        assert snrs == sorted(snrs)
+
+    def test_20log_rule(self):
+        assert snr_for_power(0.2) - snr_for_power(0.1) == pytest.approx(6.02, abs=0.01)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            snr_for_power(0.0)
+
+
+class TestPathLoss:
+    def test_reference_loss(self):
+        model = LogDistancePathLoss()
+        assert model.loss_db(1.0) == pytest.approx(40.0)
+
+    def test_exponent(self):
+        model = LogDistancePathLoss(exponent=3.0)
+        assert model.loss_db(10.0) - model.loss_db(1.0) == pytest.approx(30.0)
+
+    def test_below_reference_clamped(self):
+        model = LogDistancePathLoss()
+        assert model.loss_db(0.1) == model.loss_db(1.0)
+
+    def test_nonpositive_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss().loss_db(0.0)
+
+    def test_link_snr_reasonable_indoors(self):
+        # 3 m office link at full power: strong signal.
+        snr = link_snr_db(3.0)
+        assert 40.0 < snr < 80.0
+        assert link_snr_db(10.0) < snr
+
+
+class TestChannelModel:
+    def test_requires_exactly_one_power_spec(self):
+        with pytest.raises(ValueError):
+            ChannelModel()
+        with pytest.raises(ValueError):
+            ChannelModel(snr_db=20, power_magnitude=0.1)
+
+    def test_power_magnitude_sets_snr(self):
+        model = ChannelModel(power_magnitude=0.2, rng=RngStream(0))
+        assert model.snr_db == pytest.approx(snr_for_power(0.2))
+
+    def test_output_shape(self):
+        model = ChannelModel(snr_db=20, rng=RngStream(0))
+        out = model.transmit(np.ones((10, 52), dtype=complex))
+        assert out.shape == (10, 52)
+
+    def test_trace_recorded(self):
+        model = ChannelModel(snr_db=20, rng=RngStream(0))
+        model.transmit(np.ones((7, 52), dtype=complex))
+        assert model.last_trace.responses.shape == (7, 52)
+        assert model.last_trace.snr_db == 20
+
+    def test_high_snr_near_transparent_with_clean_profile(self):
+        model = ChannelModel(
+            snr_db=60, rng=RngStream(1), profile=STATIC, cfo_hz=0.0, sfo_ppm=0.0
+        )
+        x = np.ones((5, 52), dtype=complex)
+        y = model.transmit(x)
+        # Up to a common random phase, output ≈ input.
+        phase = np.angle(np.sum(y[0]))
+        np.testing.assert_allclose(y * np.exp(-1j * phase), x, atol=0.02)
+
+    def test_cfo_ramp_visible(self):
+        model = ChannelModel(
+            snr_db=80, rng=RngStream(2), profile=STATIC, cfo_hz=1000.0, sfo_ppm=0.0
+        )
+        y = model.transmit(np.ones((4, 52), dtype=complex))
+        step = np.angle(np.sum(y[1] * np.conj(y[0])))
+        expected = 2 * np.pi * 1000.0 * model.symbol_duration
+        assert step == pytest.approx(expected, rel=0.01)
+
+    def test_sfo_ramp_grows_with_subcarrier_and_symbol(self):
+        model = ChannelModel(
+            snr_db=80, rng=RngStream(3), profile=STATIC, cfo_hz=0.0, sfo_ppm=40.0
+        )
+        n = 50
+        y = model.transmit(np.ones((n, 52), dtype=complex))
+        # Phase on the outermost subcarrier at the last symbol is largest.
+        inner = abs(np.angle(y[n - 1, 26] * np.conj(y[0, 26])))  # logical +1
+        outer = abs(np.angle(y[n - 1, 51] * np.conj(y[0, 51])))  # logical +26
+        assert outer > inner
+
+    def test_continuous_mode_keeps_state(self):
+        model = ChannelModel(
+            snr_db=80,
+            rng=RngStream(4),
+            profile=FadingProfile(coherence_time=np.inf),
+            cfo_hz=0.0,
+            sfo_ppm=0.0,
+            continuous=True,
+        )
+        model.transmit(np.ones((3, 52), dtype=complex))
+        h1 = model.last_trace.responses[-1]
+        model.transmit(np.ones((3, 52), dtype=complex))
+        h2 = model.last_trace.responses[0]
+        np.testing.assert_allclose(h1, h2)
+
+    def test_per_frame_mode_redraws(self):
+        model = ChannelModel(snr_db=80, rng=RngStream(5), cfo_hz=0.0, sfo_ppm=0.0)
+        model.transmit(np.ones((3, 52), dtype=complex))
+        h1 = model.last_trace.responses[0]
+        model.transmit(np.ones((3, 52), dtype=complex))
+        h2 = model.last_trace.responses[0]
+        assert not np.allclose(h1, h2)

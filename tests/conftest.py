@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream
+
+
+@pytest.fixture
+def rng_stream():
+    """A deterministic root RNG stream for tests."""
+    return RngStream(seed=1234)
+
+
+@pytest.fixture
+def np_rng():
+    """A plain numpy generator for payload/bit generation."""
+    return np.random.default_rng(20150601)

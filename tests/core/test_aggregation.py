@@ -1,0 +1,119 @@
+import pytest
+
+from repro.core.aggregation import (
+    AggregationPolicy,
+    AggregationQueue,
+    QueuedFrame,
+)
+from repro.core.mac_address import MacAddress
+
+
+def _frame(t, sta, size=300, sensitive=False, fid=0):
+    return QueuedFrame(
+        enqueue_time=t,
+        receiver=MacAddress.from_int(sta),
+        size_bytes=size,
+        delay_sensitive=sensitive,
+        frame_id=fid,
+    )
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        policy = AggregationPolicy()
+        assert policy.max_receivers == 8
+
+    def test_too_many_receivers_rejected(self):
+        with pytest.raises(ValueError):
+            AggregationPolicy(max_receivers=9)
+
+    def test_nonpositive_limits_rejected(self):
+        with pytest.raises(ValueError):
+            AggregationPolicy(max_frame_bytes=0)
+        with pytest.raises(ValueError):
+            AggregationPolicy(max_latency=0.0)
+
+
+class TestQueue:
+    def test_empty_queue(self):
+        q = AggregationQueue()
+        assert len(q) == 0
+        assert not q.should_flush(now=10.0)
+        assert q.build_batch(now=10.0) is None
+
+    def test_latency_deadline_triggers_flush(self):
+        q = AggregationQueue(AggregationPolicy(max_latency=0.010))
+        q.enqueue(_frame(1.000, sta=0))
+        assert not q.should_flush(now=1.005)
+        assert q.should_flush(now=1.011)
+
+    def test_size_cap_triggers_flush(self):
+        q = AggregationQueue(AggregationPolicy(max_frame_bytes=1000))
+        q.enqueue(_frame(0.0, sta=0, size=600))
+        assert not q.should_flush(now=0.0)
+        q.enqueue(_frame(0.0, sta=1, size=600))
+        assert q.should_flush(now=0.0)
+
+    def test_batch_groups_by_receiver(self):
+        q = AggregationQueue()
+        q.enqueue(_frame(0.0, sta=0, fid=1))
+        q.enqueue(_frame(0.0, sta=1, fid=2))
+        q.enqueue(_frame(0.0, sta=0, fid=3))
+        batch = q.build_batch(now=0.01)
+        assert batch.num_receivers == 2
+        assert batch.subframe_bytes(MacAddress.from_int(0)) == 600
+        assert len(q) == 0
+
+    def test_receiver_cap_respected(self):
+        q = AggregationQueue()
+        for i in range(10):
+            q.enqueue(_frame(0.0, sta=i))
+        batch = q.build_batch(now=0.01)
+        assert batch.num_receivers == 8
+        assert len(q) == 2  # two receivers left behind
+
+    def test_frame_size_cap_respected(self):
+        q = AggregationQueue(AggregationPolicy(max_frame_bytes=1000))
+        q.enqueue(_frame(0.0, sta=0, size=700))
+        q.enqueue(_frame(0.0, sta=1, size=700))
+        batch = q.build_batch(now=0.01)
+        assert batch.total_bytes == 700
+        assert len(q) == 1
+
+    def test_oversized_head_frame_not_wedged(self):
+        q = AggregationQueue(AggregationPolicy(max_frame_bytes=500))
+        q.enqueue(_frame(0.0, sta=0, size=900))
+        batch = q.build_batch(now=0.01)
+        assert batch.total_bytes == 900  # first frame always ships
+
+    def test_subframe_cap_respected(self):
+        q = AggregationQueue(AggregationPolicy(max_subframe_bytes=500))
+        q.enqueue(_frame(0.0, sta=0, size=300, fid=1))
+        q.enqueue(_frame(0.0, sta=0, size=300, fid=2))
+        batch = q.build_batch(now=0.01)
+        assert batch.subframe_bytes(MacAddress.from_int(0)) == 300
+        assert len(q) == 1
+
+    def test_delay_sensitive_first(self):
+        q = AggregationQueue(AggregationPolicy(max_frame_bytes=600))
+        q.enqueue(_frame(0.0, sta=0, size=600, fid=1))
+        q.enqueue(_frame(0.5, sta=1, size=600, sensitive=True, fid=2))
+        batch = q.build_batch(now=1.0)
+        assert batch.receivers == [MacAddress.from_int(1)]
+
+    def test_fifo_within_class(self):
+        q = AggregationQueue(AggregationPolicy(max_frame_bytes=600))
+        q.enqueue(_frame(0.2, sta=1, size=600, fid=2))
+        q.enqueue(_frame(0.1, sta=0, size=600, fid=1))
+        batch = q.build_batch(now=1.0)
+        assert batch.receivers == [MacAddress.from_int(0)]
+
+    def test_pending_bytes(self):
+        q = AggregationQueue()
+        q.enqueue(_frame(0.0, sta=0, size=100))
+        q.enqueue(_frame(0.0, sta=1, size=150))
+        assert q.pending_bytes == 250
+
+    def test_invalid_frame_size_rejected(self):
+        with pytest.raises(ValueError):
+            _frame(0.0, sta=0, size=0)

@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.core.ahdr import (
+    AHDR_BITS,
+    AHDR_SYMBOLS,
+    MAX_RECEIVERS,
+    ahdr_overhead_ratio,
+    build_ahdr_filter,
+    decode_ahdr,
+    encode_ahdr,
+    naive_header_bits,
+)
+from repro.core.mac_address import MacAddress
+
+
+def _macs(n):
+    return [MacAddress.from_int(i) for i in range(n)]
+
+
+class TestMacAddress:
+    def test_from_string_round_trip(self):
+        mac = MacAddress.from_string("02:00:00:00:00:2a")
+        assert str(mac) == "02:00:00:00:00:2a"
+
+    def test_from_int(self):
+        assert bytes(MacAddress.from_int(1))[-1] == 1
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(b"\x01\x02")
+
+    def test_malformed_string_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress.from_string("02:00:00")
+
+    def test_hashable_and_equal(self):
+        assert MacAddress.from_int(5) == MacAddress.from_int(5)
+        assert len({MacAddress.from_int(5), MacAddress.from_int(5)}) == 1
+
+
+class TestFilterBuild:
+    def test_all_receivers_match_their_position(self):
+        macs = _macs(8)
+        pbf = build_ahdr_filter(macs)
+        for pos, mac in enumerate(macs):
+            assert pbf.matches(bytes(mac), pos)
+
+    def test_too_many_receivers_rejected(self):
+        with pytest.raises(ValueError):
+            build_ahdr_filter(_macs(9))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_ahdr_filter([])
+
+
+class TestEncodeDecode:
+    def test_symbol_count(self):
+        symbols = encode_ahdr(_macs(4))
+        assert symbols.shape == (AHDR_SYMBOLS, 52)
+
+    def test_noiseless_round_trip(self):
+        macs = _macs(6)
+        symbols = encode_ahdr(macs)
+        bloom = decode_ahdr(symbols)
+        for pos, mac in enumerate(macs):
+            assert bloom.matches(bytes(mac), pos)
+
+    def test_outsider_rarely_matches(self):
+        macs = _macs(4)
+        bloom = decode_ahdr(encode_ahdr(macs))
+        outsider = MacAddress.from_int(1000)
+        matches = bloom.matching_positions(bytes(outsider), 4)
+        assert len(matches) <= 1  # FP ratio ≈ 0.6 % per position at N=4
+
+    def test_survives_noise(self):
+        rng = np.random.default_rng(0)
+        macs = _macs(8)
+        symbols = encode_ahdr(macs)
+        noisy = symbols + 0.2 * (
+            rng.normal(size=symbols.shape) + 1j * rng.normal(size=symbols.shape)
+        )
+        bloom = decode_ahdr(noisy)
+        for pos, mac in enumerate(macs):
+            assert bloom.matches(bytes(mac), pos)
+
+    def test_wrong_symbol_count_raises(self):
+        with pytest.raises(ValueError):
+            decode_ahdr(np.zeros((3, 52), dtype=complex))
+
+
+class TestOverheadAnalysis:
+    def test_naive_header_for_8_receivers_is_384_bits(self):
+        assert naive_header_bits(8) == 384
+
+    def test_ahdr_overhead_is_12_5_percent(self):
+        """§4.1: 48 bits vs 384 bits = 12.5 % overhead."""
+        assert ahdr_overhead_ratio(MAX_RECEIVERS) == pytest.approx(0.125)
+
+    def test_ahdr_is_48_bits(self):
+        assert AHDR_BITS == 48

@@ -1,0 +1,129 @@
+import numpy as np
+import pytest
+
+from repro.channel import ChannelModel, FadingProfile
+from repro.core import (
+    CarpoolReceiver,
+    CarpoolTransmitter,
+    MacAddress,
+    SubframeSpec,
+)
+from repro.core.frame import AHDR_SYMBOL_OFFSET
+from repro.phy import mcs_by_name
+from repro.util.rng import RngStream
+
+
+def _specs(sizes, mcs_name="QAM16-1/2", seed=0):
+    rng = np.random.default_rng(seed)
+    mcs = mcs_by_name(mcs_name)
+    return [
+        SubframeSpec(
+            MacAddress.from_int(i),
+            bytes(rng.integers(0, 256, size, dtype=np.uint8)),
+            mcs,
+        )
+        for i, size in enumerate(sizes)
+    ]
+
+
+class TestFrameBuild:
+    def test_layout(self):
+        specs = _specs([100, 200])
+        frame = CarpoolTransmitter(coded=True).build_frame(specs)
+        # preamble(4) + A-HDR(2) + per-subframe (1 SIG + payload).
+        expected = 4 + 2 + sum(1 + sf.n_payload_symbols for sf in frame.subframes)
+        assert frame.n_symbols == expected
+        assert frame.subframes[0].sig_symbol_index == AHDR_SYMBOL_OFFSET + 2
+        assert frame.subframes[1].sig_symbol_index == frame.subframes[0].end_symbol
+
+    def test_mixed_mcs_per_subframe(self):
+        rng = np.random.default_rng(1)
+        specs = [
+            SubframeSpec(MacAddress.from_int(0), bytes(rng.bytes(100)), mcs_by_name("BPSK-1/2")),
+            SubframeSpec(MacAddress.from_int(1), bytes(rng.bytes(100)), mcs_by_name("QAM64-3/4")),
+        ]
+        frame = CarpoolTransmitter().build_frame(specs)
+        assert frame.subframes[0].n_payload_symbols > frame.subframes[1].n_payload_symbols
+
+    def test_duplicate_receiver_rejected(self):
+        specs = _specs([100])
+        with pytest.raises(ValueError):
+            CarpoolTransmitter().build_frame([specs[0], specs[0]])
+
+    def test_nine_receivers_rejected(self):
+        with pytest.raises(ValueError):
+            CarpoolTransmitter().build_frame(_specs([50] * 9))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CarpoolTransmitter().build_frame([])
+
+    def test_subframe_lookup(self):
+        specs = _specs([60, 70, 80])
+        frame = CarpoolTransmitter().build_frame(specs)
+        assert frame.subframe_for(MacAddress.from_int(1)).position == 1
+        assert frame.subframe_for(MacAddress.from_int(42)) is None
+
+    def test_side_channel_phases_cumulative(self):
+        specs = _specs([300])
+        frame = CarpoolTransmitter(coded=False).build_frame(specs)
+        phases = frame.subframes[0].injected_phases
+        deltas = np.angle(np.exp(1j * np.diff(np.concatenate([[0.0], phases]))))
+        # 2-bit scheme: every delta is one of ±45°, ±135°.
+        allowed = np.deg2rad([45, 135, -45, -135])
+        for d in deltas:
+            assert np.min(np.abs(np.angle(np.exp(1j * (d - allowed))))) < 1e-9
+
+    def test_no_side_channel_option(self):
+        frame = CarpoolTransmitter(inject_side_channel=False).build_frame(_specs([100]))
+        assert not frame.subframes[0].injected_phases.any()
+
+
+class TestLoopback:
+    """Noise-free decode: every receiver gets exactly its payload."""
+
+    @pytest.mark.parametrize("coded", [True, False])
+    def test_all_receivers_decode(self, coded):
+        specs = _specs([120, 260, 90], seed=2)
+        frame = CarpoolTransmitter(coded=coded).build_frame(specs)
+        for i, spec in enumerate(specs):
+            result = CarpoolReceiver(spec.receiver, coded=coded).receive(frame.symbols)
+            assert result.matched_positions == [i]
+            assert result.num_subframes_seen == 3
+            assert result.subframes[0].payload == spec.payload
+            assert result.subframes[0].crc_pass.all()
+
+    def test_stranger_decodes_nothing(self):
+        frame = CarpoolTransmitter().build_frame(_specs([100, 100]))
+        result = CarpoolReceiver(MacAddress.from_int(77)).receive(frame.symbols)
+        assert result.subframes == []
+        assert result.num_subframes_seen == 2
+
+    def test_decode_all_instrumentation(self):
+        specs = _specs([100, 100])
+        frame = CarpoolTransmitter().build_frame(specs)
+        result = CarpoolReceiver(specs[0].receiver, decode_all=True).receive(frame.symbols)
+        assert [sf.position for sf in result.subframes] == [0, 1]
+
+
+class TestOverChannel:
+    def test_moderate_snr_all_decode(self):
+        specs = _specs([200, 200, 200], seed=3)
+        frame = CarpoolTransmitter(coded=True).build_frame(specs)
+        channel = ChannelModel(
+            snr_db=28,
+            rng=RngStream(11),
+            profile=FadingProfile(coherence_time=50e-3),
+        )
+        received = channel.transmit(frame.symbols)
+        for i, spec in enumerate(specs):
+            result = CarpoolReceiver(spec.receiver, coded=True).receive(received)
+            assert result.matched_positions == [i]
+            assert result.subframes[0].payload == spec.payload
+
+    def test_rte_updates_happen_over_channel(self):
+        specs = _specs([400], seed=4)
+        frame = CarpoolTransmitter(coded=True).build_frame(specs)
+        channel = ChannelModel(snr_db=30, rng=RngStream(12))
+        result = CarpoolReceiver(specs[0].receiver).receive(channel.transmit(frame.symbols))
+        assert result.subframes[0].rte_updates > 0

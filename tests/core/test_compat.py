@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+
+from repro.channel import ChannelModel, FadingProfile
+from repro.core import CarpoolTransmitter, MacAddress, SubframeSpec
+from repro.core.compat import (
+    AssociationTable,
+    Capability,
+    DualModeReceiver,
+    FrameFormat,
+    classify_frame,
+)
+from repro.phy import PhyTransmitter, mcs_by_name
+from repro.util.rng import RngStream
+
+
+def _legacy_frame(payload=b"legacy payload" * 8):
+    return PhyTransmitter(mcs_by_name("QPSK-1/2"), coded=True).build_frame(payload)
+
+
+def _carpool_frame(n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    specs = [
+        SubframeSpec(MacAddress.from_int(i),
+                     bytes(rng.integers(0, 256, 150, dtype=np.uint8)),
+                     mcs_by_name("QAM16-1/2"))
+        for i in range(n)
+    ]
+    return CarpoolTransmitter(coded=True).build_frame(specs)
+
+
+class TestAssociationTable:
+    def test_negotiation(self):
+        table = AssociationTable()
+        carpool_sta = MacAddress.from_int(1)
+        legacy_sta = MacAddress.from_int(2)
+        table.associate(carpool_sta, Capability.DOT11N | Capability.CARPOOL)
+        table.associate(legacy_sta, Capability.DOT11N)
+        assert table.supports_carpool(carpool_sta)
+        assert not table.supports_carpool(legacy_sta)
+        assert table.carpool_stations() == [carpool_sta]
+        assert table.legacy_stations() == [legacy_sta]
+
+    def test_must_support_some_legacy_protocol(self):
+        table = AssociationTable()
+        with pytest.raises(ValueError):
+            table.associate(MacAddress.from_int(3), Capability.CARPOOL)
+
+    def test_disassociate(self):
+        table = AssociationTable()
+        mac = MacAddress.from_int(4)
+        table.associate(mac, Capability.DOT11A)
+        table.disassociate(mac)
+        assert mac not in table
+        with pytest.raises(KeyError):
+            table.capabilities(mac)
+
+    def test_unknown_station_not_carpool(self):
+        assert not AssociationTable().supports_carpool(MacAddress.from_int(9))
+
+
+class TestClassifyFrame:
+    def test_legacy_detected(self):
+        frame = _legacy_frame()
+        assert classify_frame(frame.symbols) is FrameFormat.LEGACY
+
+    def test_carpool_detected(self):
+        frame = _carpool_frame()
+        assert classify_frame(frame.symbols) is FrameFormat.CARPOOL
+
+    def test_classification_survives_channel(self):
+        channel = ChannelModel(snr_db=25, rng=RngStream(1))
+        assert classify_frame(channel.transmit(_legacy_frame().symbols)) is FrameFormat.LEGACY
+        channel2 = ChannelModel(snr_db=25, rng=RngStream(2))
+        assert classify_frame(channel2.transmit(_carpool_frame().symbols)) is FrameFormat.CARPOOL
+
+    def test_noise_undecodable(self):
+        rng = RngStream(3).child("noise")
+        garbage = rng.complex_normal(scale=1.0, size=(12, 52))
+        assert classify_frame(garbage) is FrameFormat.UNDECODABLE
+
+    def test_truncated_undecodable(self):
+        assert classify_frame(np.zeros((3, 52), dtype=complex)) is FrameFormat.UNDECODABLE
+
+
+class TestDualModeReceiver:
+    def test_decodes_legacy(self):
+        payload = b"for everyone" * 10
+        frame = _legacy_frame(payload)
+        rx = DualModeReceiver(MacAddress.from_int(0))
+        result = rx.receive(frame.symbols)
+        assert result.format is FrameFormat.LEGACY
+        assert result.legacy.payload == payload
+        assert result.carpool is None
+
+    def test_decodes_carpool_own_subframe(self):
+        frame = _carpool_frame()
+        mac = MacAddress.from_int(1)
+        result = DualModeReceiver(mac).receive(frame.symbols)
+        assert result.format is FrameFormat.CARPOOL
+        assert result.carpool.matched_positions == [1]
+        expected = frame.subframe_for(mac).spec.payload
+        assert result.carpool.subframes[0].payload == expected
+
+    def test_over_noisy_channel(self):
+        frame = _carpool_frame(seed=5)
+        channel = ChannelModel(
+            snr_db=28, rng=RngStream(6),
+            profile=FadingProfile(coherence_time=50e-3),
+        )
+        received = channel.transmit(frame.symbols)
+        result = DualModeReceiver(MacAddress.from_int(0)).receive(received)
+        assert result.format is FrameFormat.CARPOOL
+        assert result.carpool.matched_positions == [0]

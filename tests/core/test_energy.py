@@ -1,0 +1,46 @@
+import pytest
+
+from repro.core.energy import (
+    WPC55AG,
+    DevicePowerModel,
+    EnergyBreakdown,
+    carpool_energy_overhead,
+)
+
+
+class TestPowerModel:
+    def test_paper_values(self):
+        """§8: TX 1.71 W, RX 1.66 W, idle 1.22 W (WPC55AG model)."""
+        assert WPC55AG.tx_watts == 1.71
+        assert WPC55AG.rx_watts == 1.66
+        assert WPC55AG.idle_watts == 1.22
+
+    def test_energy_accounting(self):
+        e = DevicePowerModel(1.0, 2.0, 3.0).energy(1.0, 1.0, 1.0)
+        assert e == pytest.approx(6.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            WPC55AG.energy(-1.0, 0.0, 0.0)
+
+
+class TestBreakdown:
+    def test_default_sums_to_one(self):
+        EnergyBreakdown()  # must not raise
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown(idle_fraction=0.5, rx_fraction=0.1, tx_fraction=0.1)
+
+
+class TestOverheadEstimate:
+    def test_paper_numbers(self):
+        """§8: ≤5.59 % extra RX power; ≈0.28 % total for ≥92 % of clients."""
+        result = carpool_energy_overhead(num_receivers=8)
+        assert result["false_positive_ratio"] == pytest.approx(0.0559, abs=0.002)
+        assert result["total_energy_overhead"] == pytest.approx(0.0028, abs=0.0002)
+
+    def test_fewer_receivers_less_overhead(self):
+        a = carpool_energy_overhead(num_receivers=4)["total_energy_overhead"]
+        b = carpool_energy_overhead(num_receivers=8)["total_energy_overhead"]
+        assert a < b

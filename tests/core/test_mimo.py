@@ -1,0 +1,169 @@
+import numpy as np
+import pytest
+
+from repro.core.frame import SubframeSpec
+from repro.core.mac_address import MacAddress
+from repro.core.mimo import (
+    MuMimoCarpoolReceiver,
+    MuMimoCarpoolTransmitter,
+    transmissions_required,
+)
+from repro.phy.mimo import MimoChannel, zero_forcing_precoder
+from repro.phy.mcs import mcs_by_name
+from repro.util.rng import RngStream
+
+
+def _channel(num_users=4, num_antennas=2, seed=0):
+    return MimoChannel(num_users, num_antennas, RngStream(seed))
+
+
+def _specs(n=4, size=150, seed=1):
+    rng = np.random.default_rng(seed)
+    mcs = mcs_by_name("QPSK-1/2")
+    return [
+        SubframeSpec(MacAddress.from_int(i),
+                     bytes(rng.integers(0, 256, size, dtype=np.uint8)), mcs)
+        for i in range(n)
+    ]
+
+
+class TestMimoChannel:
+    def test_shapes(self):
+        ch = _channel()
+        assert ch.matrix.shape == (4, 2, 52)
+        assert ch.user_channel(1).shape == (2, 52)
+        assert ch.group_matrix([0, 2], 10).shape == (2, 2)
+
+    def test_unit_average_power(self):
+        ch = _channel(num_users=20, num_antennas=4, seed=3)
+        assert np.mean(np.abs(ch.matrix) ** 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_propagate_shapes_and_noise(self):
+        ch = _channel()
+        streams = np.ones((2, 5, 52), dtype=complex)
+        out = ch.propagate(streams, snr_db=20.0, rng=RngStream(4))
+        assert out.shape == (4, 5, 52)
+
+    def test_propagate_wrong_antennas_rejected(self):
+        ch = _channel()
+        with pytest.raises(ValueError):
+            ch.propagate(np.ones((3, 5, 52), dtype=complex), 20.0, RngStream(0))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MimoChannel(0, 2, RngStream(0))
+
+
+class TestZeroForcing:
+    def test_nulls_other_users(self):
+        ch = _channel(seed=5)
+        users = [0, 1]
+        w = zero_forcing_precoder(ch, users)
+        for k in (0, 25, 51):
+            h = ch.group_matrix(users, k)  # (2 users, 2 antennas)
+            gains = h @ w[:, :, k]  # (user, stream)
+            # Off-diagonal (interference) terms are nulled.
+            assert abs(gains[0, 1]) < 1e-9
+            assert abs(gains[1, 0]) < 1e-9
+            # Own-stream gains are non-trivial.
+            assert abs(gains[0, 0]) > 0.05
+            assert abs(gains[1, 1]) > 0.05
+
+    def test_unit_power_columns(self):
+        ch = _channel(seed=6)
+        w = zero_forcing_precoder(ch, [2, 3])
+        norms = np.linalg.norm(w, axis=0)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_too_many_streams_rejected(self):
+        ch = _channel(num_antennas=2)
+        with pytest.raises(ValueError):
+            zero_forcing_precoder(ch, [0, 1, 2])
+
+
+class TestTransmissionsRequired:
+    def test_paper_example(self):
+        """Fig. 18: 2-antenna AP, 4 stations — 802.11ac needs 2 accesses,
+        Carpool needs 1."""
+        assert transmissions_required(4, 2, carpool=False) == 2
+        assert transmissions_required(4, 2, carpool=True) == 1
+
+    def test_scales_with_groups(self):
+        assert transmissions_required(16, 2, carpool=True) == 1  # 8 groups
+        assert transmissions_required(17, 2, carpool=True) == 2
+        assert transmissions_required(16, 2, carpool=False) == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            transmissions_required(0, 2, True)
+
+
+class TestMuMimoFrame:
+    def test_layout_two_groups(self):
+        ch = _channel()
+        frame = MuMimoCarpoolTransmitter(ch).build_frame(_specs())
+        assert len(frame.layout.groups) == 2
+        g0, g1 = frame.layout.groups
+        assert g0.num_streams == 2
+        assert g0.vht_start == 6  # preamble(4) + A-HDR(2)
+        assert g0.sig_index == g0.vht_start + 2
+        assert g1.vht_start == g0.end
+        assert frame.n_symbols == frame.layout.n_symbols
+
+    def test_all_four_stations_decode_noiseless_channel(self):
+        ch = _channel(seed=7)
+        specs = _specs(seed=8)
+        tx = MuMimoCarpoolTransmitter(ch)
+        frame = tx.build_frame(specs)
+        received = ch.propagate(frame.antenna_streams, snr_db=80.0, rng=RngStream(9))
+        for i, spec in enumerate(specs):
+            rx = MuMimoCarpoolReceiver(spec.receiver)
+            result = rx.receive(received[i], frame.layout)
+            assert result.matched_groups == [i // 2]
+            assert result.error is None, result.error
+            assert result.payload == spec.payload
+
+    def test_decodes_at_moderate_snr(self):
+        ch = _channel(seed=10)
+        specs = _specs(seed=11)
+        frame = MuMimoCarpoolTransmitter(ch).build_frame(specs)
+        received = ch.propagate(frame.antenna_streams, snr_db=30.0, rng=RngStream(12))
+        ok = 0
+        for i, spec in enumerate(specs):
+            result = MuMimoCarpoolReceiver(spec.receiver).receive(received[i], frame.layout)
+            ok += result.payload == spec.payload
+        assert ok >= 3  # allow one marginal user at 30 dB
+
+    def test_bystander_matches_nothing(self):
+        ch = _channel(seed=13)
+        frame = MuMimoCarpoolTransmitter(ch).build_frame(_specs(seed=14))
+        received = ch.propagate(frame.antenna_streams, snr_db=60.0, rng=RngStream(15))
+        stranger = MuMimoCarpoolReceiver(MacAddress.from_int(50))
+        result = stranger.receive(received[0], frame.layout)
+        assert result.matched_groups == []
+        assert result.payload is None
+
+    def test_unequal_subframe_lengths_padded(self):
+        ch = _channel(seed=16)
+        rng = np.random.default_rng(17)
+        mcs = mcs_by_name("QPSK-1/2")
+        specs = [
+            SubframeSpec(MacAddress.from_int(0), rng.bytes(100), mcs),
+            SubframeSpec(MacAddress.from_int(1), rng.bytes(400), mcs),
+        ]
+        frame = MuMimoCarpoolTransmitter(ch).build_frame(specs)
+        received = ch.propagate(frame.antenna_streams, snr_db=80.0, rng=RngStream(18))
+        for i, spec in enumerate(specs):
+            result = MuMimoCarpoolReceiver(spec.receiver).receive(received[i], frame.layout)
+            assert result.payload == spec.payload
+
+    def test_too_many_groups_rejected(self):
+        ch = MimoChannel(20, 2, RngStream(19))
+        with pytest.raises(ValueError):
+            MuMimoCarpoolTransmitter(ch).build_frame(_specs(n=18))
+
+    def test_duplicate_receiver_rejected(self):
+        ch = _channel()
+        specs = _specs(n=2)
+        with pytest.raises(ValueError):
+            MuMimoCarpoolTransmitter(ch).build_frame([specs[0], specs[0]])

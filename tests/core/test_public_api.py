@@ -1,0 +1,50 @@
+"""The public API surface: everything __all__ promises actually exists."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.phy",
+    "repro.channel",
+    "repro.bloom",
+    "repro.mac",
+    "repro.mac.protocols",
+    "repro.traffic",
+    "repro.analysis",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+def test_import_order_traffic_first():
+    """Regression: importing repro.traffic before repro.mac used to hit a
+    circular import through mac.scenarios."""
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-c", "import repro.traffic; import repro.mac"],
+        capture_output=True,
+    )
+    assert result.returncode == 0, result.stderr.decode()
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

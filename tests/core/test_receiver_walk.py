@@ -1,0 +1,90 @@
+"""Negative paths of the Carpool receiver's subframe walk."""
+
+import numpy as np
+import pytest
+
+from repro.core import CarpoolReceiver, CarpoolTransmitter, MacAddress, SubframeSpec
+from repro.core.frame import AHDR_SYMBOL_OFFSET
+from repro.phy import mcs_by_name
+from repro.util.rng import RngStream
+
+
+def _frame(sizes=(200, 300), seed=0, mcs="QAM16-1/2"):
+    rng = np.random.default_rng(seed)
+    specs = [
+        SubframeSpec(MacAddress.from_int(i),
+                     bytes(rng.integers(0, 256, s, dtype=np.uint8)),
+                     mcs_by_name(mcs))
+        for i, s in enumerate(sizes)
+    ]
+    return CarpoolTransmitter(coded=True).build_frame(specs), specs
+
+
+class TestWalkErrors:
+    def test_truncated_frame_reports_overrun(self):
+        frame, _ = _frame()
+        first_end = frame.subframes[0].end_symbol
+        truncated = frame.symbols[: first_end + 1]  # second SIG but no payload
+        result = CarpoolReceiver(MacAddress.from_int(1)).receive(truncated)
+        assert result.walk_error is not None
+        assert "overruns" in result.walk_error
+
+    def test_first_subframe_still_decodes_from_truncated_frame(self):
+        """Losing the tail must not cost the receivers of earlier
+        subframes their data."""
+        frame, specs = _frame()
+        first_end = frame.subframes[0].end_symbol
+        truncated = frame.symbols[: first_end + 1]
+        result = CarpoolReceiver(specs[0].receiver).receive(truncated)
+        assert result.matched_positions == [0]
+        assert result.subframes[0].payload == specs[0].payload
+
+    def test_garbage_sig_stops_walk(self):
+        frame, specs = _frame()
+        corrupted = frame.symbols.copy()
+        sig_index = frame.subframes[1].sig_symbol_index
+        rng = RngStream(7).child("g")
+        corrupted[sig_index] = rng.complex_normal(scale=1.0, size=52)
+        result = CarpoolReceiver(specs[1].receiver).receive(corrupted)
+        # The walk stops at the broken SIG; subframe 1 is unreachable.
+        assert result.walk_error is not None or result.subframes == []
+
+    def test_walk_counts_subframes_seen(self):
+        frame, _ = _frame(sizes=(100, 100, 100, 100))
+        stranger = CarpoolReceiver(MacAddress.from_int(50))
+        result = stranger.receive(frame.symbols)
+        assert result.num_subframes_seen == 4
+        assert result.walk_error is None
+
+    def test_corrupted_ahdr_never_loses_own_subframe_entirely(self):
+        """A-HDR bit flips may add false positives but (with the Bloom
+        property intact) often keep true positives; with the whole A-HDR
+        replaced by noise, the receiver simply matches nothing — never
+        crashes."""
+        frame, specs = _frame()
+        corrupted = frame.symbols.copy()
+        rng = RngStream(8).child("g")
+        corrupted[AHDR_SYMBOL_OFFSET] = rng.complex_normal(scale=1.0, size=52)
+        corrupted[AHDR_SYMBOL_OFFSET + 1] = rng.complex_normal(scale=1.0, size=52)
+        result = CarpoolReceiver(specs[0].receiver).receive(corrupted)
+        assert isinstance(result.matched_positions, list)  # no crash
+
+    def test_decode_all_bypasses_bloom(self):
+        frame, specs = _frame()
+        result = CarpoolReceiver(MacAddress.from_int(50),
+                                 decode_all=True).receive(frame.symbols)
+        assert [sf.position for sf in result.subframes] == [0, 1]
+        assert result.subframes[0].payload == specs[0].payload
+
+    def test_mixed_mcs_walk(self):
+        rng = np.random.default_rng(3)
+        specs = [
+            SubframeSpec(MacAddress.from_int(0), rng.bytes(150), mcs_by_name("BPSK-1/2")),
+            SubframeSpec(MacAddress.from_int(1), rng.bytes(150), mcs_by_name("QAM64-2/3")),
+            SubframeSpec(MacAddress.from_int(2), rng.bytes(150), mcs_by_name("QPSK-3/4")),
+        ]
+        frame = CarpoolTransmitter(coded=True).build_frame(specs)
+        for spec in specs:
+            result = CarpoolReceiver(spec.receiver).receive(frame.symbols)
+            assert result.subframes[0].payload == spec.payload
+            assert result.subframes[0].sig.mcs is spec.mcs

@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.core.rte import UPDATE_RULES, RealTimeEstimator
+from repro.phy.constants import pilot_values
+from repro.phy.modulation import QAM16
+from repro.phy.ofdm import assemble_symbol
+
+
+def _known_symbol(rng, symbol_index=1):
+    bits = rng.integers(0, 2, 48 * 4, dtype=np.uint8)
+    data = QAM16.modulate(bits)
+    return assemble_symbol(data, pilot_values(symbol_index))
+
+
+class TestEstimator:
+    def test_initial_estimate_preserved(self):
+        h0 = np.ones(52, dtype=complex)
+        est = RealTimeEstimator(h0)
+        np.testing.assert_array_equal(est.estimate, h0)
+
+    def test_update_moves_halfway(self):
+        """Eq. (3): H̃ₙ = (H̃ₙ₋₁ + Ĥₙ)/2."""
+        rng = np.random.default_rng(0)
+        h0 = np.ones(52, dtype=complex)
+        h_true = np.full(52, 2.0 + 0j)
+        known = _known_symbol(rng)
+        est = RealTimeEstimator(h0, outlier_threshold=None)
+        est.update(h_true * known, known)
+        np.testing.assert_allclose(est.estimate, np.full(52, 1.5 + 0j))
+        assert est.updates == 1
+
+    def test_outlier_guard_blocks_wild_jumps(self):
+        """A data-pilot estimate that jumps 100 % is a CRC false positive
+        and must be rejected; small moves pass."""
+        rng = np.random.default_rng(10)
+        h0 = np.ones(52, dtype=complex)
+        known = _known_symbol(rng)
+        est = RealTimeEstimator(h0)  # default guard at 50 %
+        est.update(2.0 * known, known)  # 100 % jump → rejected
+        np.testing.assert_allclose(est.estimate, h0)
+        est.update(1.2 * known, known)  # 20 % move → accepted
+        np.testing.assert_allclose(est.estimate, np.full(52, 1.1 + 0j))
+
+    def test_skip_keeps_estimate(self):
+        h0 = np.ones(52, dtype=complex)
+        est = RealTimeEstimator(h0)
+        est.skip()
+        np.testing.assert_array_equal(est.estimate, h0)
+        assert est.skips == 1
+
+    def test_converges_to_true_channel(self):
+        rng = np.random.default_rng(1)
+        h_true = rng.normal(size=52) + 1j * rng.normal(size=52)
+        est = RealTimeEstimator(np.ones(52, dtype=complex), outlier_threshold=None)
+        for i in range(12):
+            known = _known_symbol(rng, i)
+            est.update(h_true * known, known)
+        np.testing.assert_allclose(est.estimate, h_true, atol=1e-3)
+
+    def test_tracks_drifting_channel(self):
+        """The running estimate must follow a slowly rotating channel far
+        better than the frozen preamble estimate."""
+        rng = np.random.default_rng(2)
+        h0 = np.ones(52, dtype=complex)
+        est = RealTimeEstimator(h0)
+        h = h0.copy()
+        for i in range(60):
+            h = h * np.exp(1j * 0.01)  # 0.57°/symbol drift
+            known = _known_symbol(rng, i)
+            est.update(h * known, known)
+        frozen_error = np.abs(h - h0).mean()
+        rte_error = np.abs(h - est.estimate).mean()
+        assert rte_error < 0.1 * frozen_error
+
+    def test_replace_rule_exact(self):
+        rng = np.random.default_rng(3)
+        h_true = np.full(52, 3.0 + 0j)
+        known = _known_symbol(rng)
+        est = RealTimeEstimator(np.ones(52, dtype=complex), update_rule="replace",
+                                outlier_threshold=None)
+        est.update(h_true * known, known)
+        np.testing.assert_allclose(est.estimate, h_true)
+
+    def test_custom_callable_rule(self):
+        est = RealTimeEstimator(np.ones(52, dtype=complex), update_rule=lambda p, l: p)
+        rng = np.random.default_rng(4)
+        known = _known_symbol(rng)
+        est.update(2.0 * known, known)
+        np.testing.assert_allclose(est.estimate, np.ones(52))
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            RealTimeEstimator(np.ones(52, dtype=complex), update_rule="bogus")
+
+    def test_rules_registry(self):
+        assert set(UPDATE_RULES) == {"average", "replace", "ewma"}
+
+    def test_averaging_more_noise_robust_than_replace(self):
+        """Averaging suppresses estimation noise on a static channel."""
+        rng = np.random.default_rng(5)
+        h_true = np.ones(52, dtype=complex)
+        errors = {}
+        for rule in ("average", "replace"):
+            noise_rng = np.random.default_rng(99)
+            est = RealTimeEstimator(h_true.copy(), update_rule=rule)
+            for i in range(40):
+                known = _known_symbol(rng, i)
+                noise = 0.2 * (noise_rng.normal(size=52) + 1j * noise_rng.normal(size=52))
+                est.update(h_true * known + noise, known)
+            errors[rule] = np.abs(est.estimate - h_true).mean()
+        assert errors["average"] < errors["replace"]

@@ -1,0 +1,71 @@
+import pytest
+
+from repro.core.sequential_ack import AckTiming, SequentialAckPlan
+
+TIMING = AckTiming(ack_duration=44e-6, sifs=10e-6)
+
+
+class TestAckTiming:
+    def test_slot(self):
+        assert TIMING.slot == pytest.approx(54e-6)
+
+
+class TestPlan:
+    def test_nav_data_eq1(self):
+        """Eq. (1): NAV_data = t_payload + N·(t_ACK + t_SIFS)."""
+        plan = SequentialAckPlan(3, TIMING)
+        assert plan.nav_data(500e-6) == pytest.approx(500e-6 + 3 * 54e-6)
+
+    def test_receiver_nav_eq2(self):
+        """Eq. (2): NAV_i = (i−1)·(t_ACK + t_SIFS) with 1-based i."""
+        plan = SequentialAckPlan(4, TIMING)
+        assert plan.receiver_nav(0) == 0.0
+        assert plan.receiver_nav(2) == pytest.approx(2 * 54e-6)
+
+    def test_last_ack_nav_zero_like_legacy(self):
+        plan = SequentialAckPlan(5, TIMING)
+        assert plan.ack_nav(4) == 0.0
+        assert plan.ack_nav(0) == pytest.approx(4 * 54e-6)
+
+    def test_acks_do_not_overlap(self):
+        plan = SequentialAckPlan(8, TIMING)
+        for i in range(7):
+            assert plan.ack_end_time(i) < plan.ack_start_time(i + 1)
+
+    def test_acks_spaced_by_sifs(self):
+        plan = SequentialAckPlan(4, TIMING)
+        for i in range(3):
+            gap = plan.ack_start_time(i + 1) - plan.ack_end_time(i)
+            assert gap == pytest.approx(TIMING.sifs)
+
+    def test_sequence_duration_matches_nav(self):
+        plan = SequentialAckPlan(6, TIMING)
+        assert plan.sequence_duration() == pytest.approx(6 * TIMING.slot)
+        assert plan.nav_data(0.0) == pytest.approx(plan.sequence_duration())
+
+    def test_match_ack_by_timestamp(self):
+        plan = SequentialAckPlan(4, TIMING)
+        for i in range(4):
+            arrival = plan.ack_start_time(i) + 0.5e-6  # small propagation delay
+            assert plan.match_ack_to_subframe(arrival) == i
+
+    def test_unmatched_timestamp_raises(self):
+        plan = SequentialAckPlan(2, TIMING)
+        with pytest.raises(ValueError):
+            plan.match_ack_to_subframe(plan.ack_start_time(0) + 20e-6)
+
+    def test_position_bounds_checked(self):
+        plan = SequentialAckPlan(2, TIMING)
+        with pytest.raises(ValueError):
+            plan.receiver_nav(2)
+        with pytest.raises(ValueError):
+            plan.ack_nav(-1)
+
+    def test_single_receiver_degenerates_to_legacy(self):
+        plan = SequentialAckPlan(1, TIMING)
+        assert plan.ack_nav(0) == 0.0
+        assert plan.ack_start_time(0) == pytest.approx(TIMING.sifs)
+
+    def test_zero_receivers_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialAckPlan(0, TIMING)

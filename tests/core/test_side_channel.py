@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.side_channel import (
+    ONE_BIT_SCHEME,
+    SCHEMES,
+    TWO_BIT_SCHEME,
+    wrap_phase,
+)
+
+
+class TestWrapPhase:
+    def test_identity_in_range(self):
+        assert wrap_phase(1.0) == pytest.approx(1.0)
+
+    def test_wraps_above_pi(self):
+        assert wrap_phase(np.pi + 0.1) == pytest.approx(-np.pi + 0.1)
+
+    def test_pi_maps_to_pi(self):
+        assert wrap_phase(np.pi) == pytest.approx(np.pi)
+        assert wrap_phase(-np.pi) == pytest.approx(np.pi)
+
+
+class TestSchemes:
+    def test_registry(self):
+        assert set(SCHEMES) == {"1-bit", "2-bit"}
+
+    def test_one_bit_mapping_matches_table1(self):
+        # Table 1: 90° → 1, −90° → 0.
+        deltas = ONE_BIT_SCHEME.encode_deltas(np.array([1, 0], dtype=np.uint8))
+        np.testing.assert_allclose(np.rad2deg(deltas), [90.0, -90.0])
+
+    def test_two_bit_mapping_matches_table1(self):
+        # Table 1: 45° → 11, 135° → 01, −135° → 00, −45° → 10.
+        bits = np.array([1, 1, 0, 1, 0, 0, 1, 0], dtype=np.uint8)
+        deltas = TWO_BIT_SCHEME.encode_deltas(bits)
+        np.testing.assert_allclose(np.rad2deg(deltas), [45.0, 135.0, -135.0, -45.0])
+
+    def test_figure8_example(self):
+        """Fig. 8(b): bits "110" (1-bit scheme) → injected 90°, 180°, 90°."""
+        phases = ONE_BIT_SCHEME.encode_phases(np.array([1, 1, 0], dtype=np.uint8))
+        np.testing.assert_allclose(np.rad2deg(phases), [90.0, 180.0, 90.0])
+
+    def test_wrong_bit_count_raises(self):
+        with pytest.raises(ValueError):
+            TWO_BIT_SCHEME.encode_deltas(np.array([1], dtype=np.uint8))
+
+
+@pytest.mark.parametrize("scheme", [ONE_BIT_SCHEME, TWO_BIT_SCHEME], ids=lambda s: s.name)
+class TestRoundTrip:
+    def test_noiseless(self, scheme):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 50 * scheme.bits_per_symbol, dtype=np.uint8)
+        phases = scheme.encode_phases(bits)
+        np.testing.assert_array_equal(scheme.decode_phases(phases), bits)
+
+    def test_survives_cfo_drift(self, scheme):
+        """A slow inherent phase ramp (residual CFO) must not corrupt the
+        differential decoding even when absolute phases exceed ±180°."""
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 100 * scheme.bits_per_symbol, dtype=np.uint8)
+        injected = scheme.encode_phases(bits)
+        n = injected.size
+        drift = 0.05 * np.arange(1, n + 1)  # ≈2.9°/symbol, unbounded total
+        measured = np.angle(np.exp(1j * (injected + drift)))
+        decoded = scheme.decode_phases(measured, reference_phase=0.0)
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_survives_phase_noise(self, scheme):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 80 * scheme.bits_per_symbol, dtype=np.uint8)
+        injected = scheme.encode_phases(bits)
+        # Noise well inside half the decision distance (45°/2 for 2-bit).
+        noise = rng.normal(0.0, np.deg2rad(5.0), injected.size)
+        decoded = scheme.decode_phases(np.angle(np.exp(1j * (injected + noise))))
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_reference_phase_respected(self, scheme):
+        bits = np.zeros(scheme.bits_per_symbol, dtype=np.uint8)
+        phases = scheme.encode_phases(bits) + 0.7
+        decoded = scheme.decode_phases(phases, reference_phase=0.7)
+        np.testing.assert_array_equal(decoded, bits)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_property_round_trip(self, scheme, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, 16 * scheme.bits_per_symbol, dtype=np.uint8)
+        np.testing.assert_array_equal(
+            scheme.decode_phases(scheme.encode_phases(bits)), bits
+        )

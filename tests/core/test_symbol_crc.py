@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.core.side_channel import ONE_BIT_SCHEME, TWO_BIT_SCHEME
+from repro.core.symbol_crc import (
+    DEFAULT_CRC_CONFIG,
+    SymbolCrcConfig,
+    crc_checksum_bits,
+)
+
+
+class TestChecksumBits:
+    def test_width(self):
+        bits = np.ones(20, dtype=np.uint8)
+        for width in (1, 2, 3, 4, 8):
+            assert crc_checksum_bits(bits, width).size == width
+
+    def test_parity_width_one(self):
+        assert crc_checksum_bits(np.array([1, 1, 1], dtype=np.uint8), 1).tolist() == [1]
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            crc_checksum_bits(np.ones(4, dtype=np.uint8), 12)
+
+    def test_sensitive_to_input(self):
+        a = np.zeros(48, dtype=np.uint8)
+        b = a.copy()
+        b[13] = 1
+        assert not np.array_equal(crc_checksum_bits(a, 2), crc_checksum_bits(b, 2))
+
+
+class TestConfig:
+    def test_default_is_paper_choice(self):
+        """§5.2: one symbol per group, 2-bit scheme (CRC-2 per symbol)."""
+        assert DEFAULT_CRC_CONFIG.scheme is TWO_BIT_SCHEME
+        assert DEFAULT_CRC_CONFIG.granularity == 1
+        assert DEFAULT_CRC_CONFIG.crc_width == 2
+
+    def test_six_paper_schemes_constructible(self):
+        """The paper measured 2 schemes × 3 granularities (§5.2)."""
+        for scheme in (ONE_BIT_SCHEME, TWO_BIT_SCHEME):
+            for granularity in (1, 2, 3):
+                cfg = SymbolCrcConfig(scheme=scheme, granularity=granularity)
+                assert cfg.crc_width == granularity * scheme.bits_per_symbol
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            SymbolCrcConfig(granularity=0)
+
+    def test_num_groups(self):
+        cfg = SymbolCrcConfig(granularity=3)
+        assert cfg.num_groups(9) == 3
+        assert cfg.num_groups(10) == 4
+
+    def test_group_of(self):
+        cfg = SymbolCrcConfig(granularity=2)
+        assert [cfg.group_of(i) for i in range(5)] == [0, 0, 1, 1, 2]
+
+
+class TestSideBits:
+    def _matrix(self, n_symbols, n_bits=96, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 2, (n_symbols, n_bits), dtype=np.uint8)
+
+    def test_shape(self):
+        cfg = DEFAULT_CRC_CONFIG
+        matrix = self._matrix(7)
+        side = cfg.side_bits_for(matrix)
+        assert side.shape == (7, 2)
+
+    def test_per_symbol_crc_checks_pass(self):
+        cfg = DEFAULT_CRC_CONFIG
+        matrix = self._matrix(5)
+        side = cfg.side_bits_for(matrix)
+        for g in range(5):
+            assert cfg.check_group(g, matrix, side)
+
+    def test_corrupted_symbol_fails_its_group_only(self):
+        cfg = DEFAULT_CRC_CONFIG
+        matrix = self._matrix(5)
+        side = cfg.side_bits_for(matrix)
+        corrupted = matrix.copy()
+        corrupted[2, 10] ^= 1
+        assert not cfg.check_group(2, corrupted, side)
+        for g in (0, 1, 3, 4):
+            assert cfg.check_group(g, corrupted, side)
+
+    def test_multi_symbol_groups(self):
+        cfg = SymbolCrcConfig(scheme=ONE_BIT_SCHEME, granularity=3)  # CRC-3 / 3 symbols
+        matrix = self._matrix(6)
+        side = cfg.side_bits_for(matrix)
+        assert side.shape == (6, 1)
+        assert cfg.check_group(0, matrix, side)
+        assert cfg.check_group(1, matrix, side)
+        corrupted = matrix.copy()
+        corrupted[4, 0] ^= 1
+        assert cfg.check_group(0, corrupted, side)
+        assert not cfg.check_group(1, corrupted, side)
+
+    def test_partial_trailing_group_not_verifiable(self):
+        cfg = SymbolCrcConfig(scheme=TWO_BIT_SCHEME, granularity=2)
+        matrix = self._matrix(5)  # groups: [0,1], [2,3], [4 partial]
+        side = cfg.side_bits_for(matrix)
+        assert cfg.verifiable(0, 5)
+        assert cfg.verifiable(1, 5)
+        assert not cfg.verifiable(2, 5)
+        assert not cfg.check_group(2, matrix, side)

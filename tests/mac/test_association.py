@@ -1,0 +1,113 @@
+import pytest
+
+from repro.core.compat import Capability
+from repro.core.mac_address import MacAddress
+from repro.mac.association import (
+    ApAssociationService,
+    AssocRequest,
+    AssocResponse,
+    Beacon,
+    STATUS_REFUSED,
+    STATUS_SUCCESS,
+    negotiate,
+)
+
+BSSID = MacAddress.from_int(255)
+AP_CAPS = Capability.DOT11A | Capability.DOT11N | Capability.CARPOOL
+
+
+class TestFrames:
+    def test_beacon_round_trip(self):
+        beacon = Beacon(bssid=BSSID, capabilities=AP_CAPS)
+        parsed = Beacon.from_bytes(beacon.to_bytes())
+        assert parsed.bssid == BSSID
+        assert parsed.capabilities == AP_CAPS
+
+    def test_request_round_trip(self):
+        request = AssocRequest(MacAddress.from_int(1), Capability.DOT11N)
+        parsed = AssocRequest.from_bytes(request.to_bytes())
+        assert parsed.capabilities == Capability.DOT11N
+
+    def test_response_round_trip(self):
+        response = AssocResponse(MacAddress.from_int(2), STATUS_SUCCESS, 7,
+                                 Capability.DOT11N | Capability.CARPOOL)
+        parsed = AssocResponse.from_bytes(response.to_bytes())
+        assert parsed.association_id == 7
+        assert parsed.negotiated & Capability.CARPOOL
+
+    def test_fcs_protects_frames(self):
+        raw = bytearray(Beacon(bssid=BSSID, capabilities=AP_CAPS).to_bytes())
+        raw[4] ^= 0xFF
+        with pytest.raises(ValueError):
+            Beacon.from_bytes(bytes(raw))
+
+    def test_type_confusion_rejected(self):
+        raw = Beacon(bssid=BSSID, capabilities=AP_CAPS).to_bytes()
+        with pytest.raises(ValueError):
+            AssocRequest.from_bytes(raw)
+
+
+class TestNegotiation:
+    def test_intersection(self):
+        sta = Capability.DOT11N | Capability.CARPOOL
+        assert negotiate(AP_CAPS, sta) == sta
+
+    def test_legacy_sta_gets_no_carpool(self):
+        assert not negotiate(AP_CAPS, Capability.DOT11N) & Capability.CARPOOL
+
+    def test_carpool_needs_both_sides(self):
+        legacy_ap = Capability.DOT11A | Capability.DOT11N
+        sta = Capability.DOT11N | Capability.CARPOOL
+        assert not negotiate(legacy_ap, sta) & Capability.CARPOOL
+
+
+class TestApService:
+    def _service(self):
+        return ApAssociationService(bssid=BSSID, capabilities=AP_CAPS)
+
+    def test_full_handshake(self):
+        service = self._service()
+        sta = MacAddress.from_int(1)
+        # The STA reads the beacon, sees Carpool support, and asks for it.
+        beacon = Beacon.from_bytes(service.beacon().to_bytes())
+        assert beacon.capabilities & Capability.CARPOOL
+        request = AssocRequest(sta, Capability.DOT11N | Capability.CARPOOL)
+        response = service.handle_request(request.to_bytes())
+        assert response.status == STATUS_SUCCESS
+        assert response.negotiated & Capability.CARPOOL
+        assert service.table.supports_carpool(sta)
+
+    def test_legacy_station_recorded_as_legacy(self):
+        service = self._service()
+        sta = MacAddress.from_int(2)
+        service.handle_request(AssocRequest(sta, Capability.DOT11N).to_bytes())
+        assert sta in service.table
+        assert not service.table.supports_carpool(sta)
+
+    def test_incompatible_station_refused(self):
+        service = ApAssociationService(
+            bssid=BSSID, capabilities=Capability.DOT11A
+        )
+        request = AssocRequest(MacAddress.from_int(3), Capability.DOT11N)
+        response = service.handle_request(request.to_bytes())
+        assert response.status == STATUS_REFUSED
+        assert MacAddress.from_int(3) not in service.table
+
+    def test_aids_unique_and_increasing(self):
+        service = self._service()
+        aids = []
+        for i in range(5):
+            request = AssocRequest(MacAddress.from_int(i), Capability.DOT11N)
+            aids.append(service.handle_request(request.to_bytes()).association_id)
+        assert aids == sorted(aids)
+        assert len(set(aids)) == 5
+
+    def test_carpool_station_listing(self):
+        service = self._service()
+        carpool_sta = MacAddress.from_int(10)
+        legacy_sta = MacAddress.from_int(11)
+        service.handle_request(
+            AssocRequest(carpool_sta, Capability.DOT11N | Capability.CARPOOL).to_bytes()
+        )
+        service.handle_request(AssocRequest(legacy_sta, Capability.DOT11N).to_bytes())
+        assert service.carpool_capable_stations() == [carpool_sta]

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mac_address import MacAddress
+from repro.core.mac_payload import pack_mpdus, unpack_mpdus
+from repro.mac.block_ack import (
+    BLOCK_ACK_WINDOW,
+    BlockAck,
+    ReorderScoreboard,
+    missing_sequences,
+)
+from repro.mac.frame_formats import DataFrame
+
+AP = MacAddress.from_int(100)
+BSS = MacAddress.from_int(200)
+STA = MacAddress.from_int(3)
+
+
+class TestBlockAck:
+    def test_round_trip_bytes(self):
+        ba = BlockAck(start_sequence=100, bitmap=0b1011)
+        assert BlockAck.from_bytes(ba.to_bytes()) == ba
+        assert len(ba.to_bytes()) == 10
+
+    def test_acknowledges_window(self):
+        ba = BlockAck(start_sequence=10, bitmap=0b101)
+        assert ba.acknowledges(10)
+        assert not ba.acknowledges(11)
+        assert ba.acknowledges(12)
+        assert not ba.acknowledges(10 + BLOCK_ACK_WINDOW)  # outside window
+
+    def test_sequence_wraparound(self):
+        ba = BlockAck(start_sequence=4090, bitmap=0b1 | (1 << 10))
+        assert ba.acknowledges(4090)
+        assert ba.acknowledges((4090 + 10) % 4096)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            BlockAck(start_sequence=4096, bitmap=0)
+        with pytest.raises(ValueError):
+            BlockAck(start_sequence=0, bitmap=1 << 64)
+        with pytest.raises(ValueError):
+            BlockAck.from_bytes(b"short")
+
+    def test_received_count(self):
+        assert BlockAck(0, 0b1110).received_count == 3
+
+
+class TestScoreboard:
+    def test_marks_and_reports(self):
+        board = ReorderScoreboard(start_sequence=50)
+        for seq in (50, 52, 53):
+            board.mark_received(seq)
+        ba = board.to_block_ack()
+        assert ba.acknowledges(50)
+        assert not ba.acknowledges(51)
+        assert ba.acknowledges(52)
+        assert ba.received_count == 3
+
+    def test_out_of_window_ignored(self):
+        board = ReorderScoreboard(start_sequence=0)
+        board.mark_received(500)
+        assert board.to_block_ack().received_count == 0
+
+    def test_missing_sequences_order_preserved(self):
+        board = ReorderScoreboard(start_sequence=0)
+        board.mark_received(1)
+        board.mark_received(3)
+        ba = board.to_block_ack()
+        assert missing_sequences(ba, [0, 1, 2, 3, 4]) == [0, 2, 4]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, BLOCK_ACK_WINDOW - 1), max_size=BLOCK_ACK_WINDOW),
+           st.integers(0, 4095))
+    def test_property_scoreboard_faithful(self, received_offsets, start):
+        board = ReorderScoreboard(start_sequence=start)
+        for offset in received_offsets:
+            board.mark_received((start + offset) % 4096)
+        ba = board.to_block_ack()
+        for offset in range(BLOCK_ACK_WINDOW):
+            seq = (start + offset) % 4096
+            assert ba.acknowledges(seq) == (offset in received_offsets)
+
+
+class TestSelectiveRetransmitPipeline:
+    def test_corrupted_aggregate_yields_exact_retransmit_set(self):
+        """MPDU train → corruption → salvage → scoreboard → BlockAck →
+        the transmitter resends exactly the lost MPDUs."""
+        rng = np.random.default_rng(0)
+        mpdus = [
+            DataFrame(receiver=STA, transmitter=AP, bssid=BSS,
+                      payload=bytes(rng.integers(0, 256, 80, dtype=np.uint8)),
+                      sequence=100 + i)
+            for i in range(6)
+        ]
+        packed = bytearray(pack_mpdus(mpdus))
+        # Corrupt MPDU #2's payload (its FCS will fail).
+        offset = sum(4 + len(m.to_bytes()) for m in mpdus[:2]) + 4 + 30
+        packed[offset] ^= 0xFF
+
+        recovered, salvaged, lost = unpack_mpdus(bytes(packed))
+        assert lost == 1
+        board = ReorderScoreboard(start_sequence=100)
+        for frame in recovered:
+            board.mark_received(frame.sequence)
+        ba = board.to_block_ack()
+        resend = missing_sequences(ba, [m.sequence for m in mpdus])
+        assert resend == [102]

@@ -1,0 +1,113 @@
+"""Engine edge cases: aggregation deadlines, DIFS accounting, multi-AP."""
+
+import pytest
+
+from repro.mac import (
+    AggregationLimits,
+    CarpoolProtocol,
+    DEFAULT_PARAMETERS,
+    Dot11Protocol,
+    FixedFerModel,
+    WlanSimulator,
+)
+from repro.mac.engine import AP_NAME
+from repro.mac.frames import Arrival, Direction
+from repro.util.rng import RngStream
+
+PERFECT = FixedFerModel(0.0)
+
+
+def _down(t, sta="sta0", size=300):
+    return Arrival(time=t, source=AP_NAME, destination=sta, size_bytes=size,
+                   direction=Direction.DOWNLINK)
+
+
+class TestAggregationDeadlineInEngine:
+    def test_ap_waits_for_deadline(self):
+        """A lone queued frame transmits only once its aggregation
+        deadline elapses (Carpool's ready_time)."""
+        limits = AggregationLimits(max_latency=0.050)
+        sim = WlanSimulator(
+            CarpoolProtocol(DEFAULT_PARAMETERS, limits), 2,
+            [_down(0.010)], error_model=PERFECT, rng=RngStream(1),
+        )
+        summary = sim.run(0.5)
+        assert summary.delivered_downlink_frames == 1
+        # Delivery waited out most of the 50 ms deadline.
+        assert summary.downlink_mean_delay > 0.045
+
+    def test_full_batch_releases_early(self):
+        """Eight distinct destinations queued → no waiting."""
+        limits = AggregationLimits(max_latency=0.050)
+        arrivals = [_down(0.010 + 1e-5 * i, f"sta{i}") for i in range(8)]
+        sim = WlanSimulator(
+            CarpoolProtocol(DEFAULT_PARAMETERS, limits), 8,
+            arrivals, error_model=PERFECT, rng=RngStream(2),
+        )
+        summary = sim.run(0.5)
+        assert summary.delivered_downlink_frames == 8
+        assert summary.downlink_mean_delay < 0.010
+
+    def test_dot11_never_waits(self):
+        sim = WlanSimulator(
+            Dot11Protocol(DEFAULT_PARAMETERS), 2,
+            [_down(0.010)], error_model=PERFECT, rng=RngStream(3),
+        )
+        summary = sim.run(0.5)
+        assert summary.downlink_mean_delay < 2e-3
+
+
+class TestTimingAccounting:
+    def test_single_frame_delay_lower_bound(self):
+        """Uncontended delivery still pays the PLCP header + payload
+        airtime (no DIFS: the medium had been idle long before arrival)."""
+        sim = WlanSimulator(
+            Dot11Protocol(DEFAULT_PARAMETERS), 1,
+            [_down(0.001, size=1500)], error_model=PERFECT, rng=RngStream(4),
+        )
+        summary = sim.run(0.1)
+        p = DEFAULT_PARAMETERS
+        floor = p.plcp_header_time + 8 * 1500 / p.phy_rate_bps
+        assert summary.downlink_mean_delay >= floor
+        assert summary.downlink_mean_delay < floor + 1e-3  # and not much more
+
+    def test_busy_fraction_tracks_load(self):
+        light = WlanSimulator(
+            Dot11Protocol(DEFAULT_PARAMETERS), 1,
+            [_down(0.001 * k) for k in range(50)],
+            error_model=PERFECT, rng=RngStream(5),
+        ).run(1.0)
+        heavy = WlanSimulator(
+            Dot11Protocol(DEFAULT_PARAMETERS), 1,
+            [_down(0.0001 * k, size=1500) for k in range(2000)],
+            error_model=PERFECT, rng=RngStream(5),
+        ).run(1.0)
+        assert heavy.channel_busy_fraction > 3 * light.channel_busy_fraction
+
+
+class TestMultiApInteraction:
+    def test_co_channel_ap_steals_airtime(self):
+        """The same AP load delivers with more delay when a second AP
+        contends on the channel."""
+        arrivals_alone = [_down(0.0002 * k, size=1200) for k in range(3000)]
+        alone = WlanSimulator(
+            Dot11Protocol(DEFAULT_PARAMETERS), 1, arrivals_alone,
+            error_model=PERFECT, rng=RngStream(6),
+        ).run(1.0)
+
+        arrivals_shared = list(arrivals_alone)
+        arrivals_shared += [
+            Arrival(time=0.0002 * k + 1e-5, source="ap1", destination="b_sta0",
+                    size_bytes=1200, direction=Direction.DOWNLINK)
+            for k in range(3000)
+        ]
+        arrivals_shared.sort(key=lambda a: a.time)
+        shared = WlanSimulator(
+            Dot11Protocol(DEFAULT_PARAMETERS), 2, arrivals_shared,
+            error_model=PERFECT, rng=RngStream(6), num_aps=2,
+            station_names=["sta0", "b_sta0"],
+        )
+        shared_summary = shared.run(1.0)
+        assert (shared.metrics.goodput_of_source(AP_NAME, 1.0)
+                < 0.9 * alone.downlink_goodput_bps)
+        assert shared_summary.collisions > 0

@@ -1,0 +1,140 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mac_address import MacAddress
+from repro.core.sequential_ack import AckTiming
+from repro.mac.frame_formats import (
+    AckFrame,
+    CtsFrame,
+    DataFrame,
+    FcsError,
+    FrameType,
+    RtsFrame,
+    decode_duration,
+    encode_duration,
+    parse_frame,
+)
+from repro.mac.nav import NavCounter, simulate_ack_train
+
+A = MacAddress.from_int(1)
+B = MacAddress.from_int(2)
+BSS = MacAddress.from_int(99)
+TIMING = AckTiming(ack_duration=44e-6, sifs=10e-6)
+
+
+class TestDuration:
+    def test_round_trip(self):
+        for seconds in (0.0, 10e-6, 54e-6, 1e-3):
+            assert decode_duration(encode_duration(seconds)) == pytest.approx(
+                seconds, abs=1e-6
+            )
+
+    def test_rounds_up(self):
+        assert encode_duration(10.4e-6) == 11
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            encode_duration(-1.0)
+        with pytest.raises(ValueError):
+            encode_duration(0.04)  # 40 ms > 15-bit µs field
+        with pytest.raises(ValueError):
+            decode_duration(1 << 15)
+
+
+class TestFrames:
+    def test_data_round_trip(self):
+        frame = DataFrame(receiver=A, transmitter=B, bssid=BSS,
+                          payload=b"hello mac", duration=150e-6, sequence=7)
+        raw = frame.to_bytes()
+        kind, parsed = parse_frame(raw)
+        assert kind == FrameType.DATA
+        assert parsed.payload == b"hello mac"
+        assert parsed.receiver == A
+        assert parsed.sequence == 7
+        assert parsed.duration == pytest.approx(150e-6)
+
+    def test_ack_is_14_bytes(self):
+        """Table-2-consistent: the simulator charges 14 B per ACK."""
+        assert len(AckFrame(receiver=A).to_bytes()) == 14
+
+    def test_rts_is_20_bytes(self):
+        assert len(RtsFrame(receiver=A, transmitter=B).to_bytes()) == 20
+
+    def test_cts_is_14_bytes(self):
+        assert len(CtsFrame(receiver=A).to_bytes()) == 14
+
+    def test_fcs_detects_corruption(self):
+        raw = bytearray(DataFrame(A, B, BSS, b"payload").to_bytes())
+        raw[10] ^= 0xFF
+        with pytest.raises(FcsError):
+            parse_frame(bytes(raw))
+
+    def test_wrong_type_rejected(self):
+        raw = AckFrame(receiver=A).to_bytes()
+        with pytest.raises(ValueError):
+            DataFrame.from_bytes(raw)
+
+    def test_unknown_fc_rejected(self):
+        with pytest.raises(ValueError):
+            parse_frame(b"\xff\xff" + bytes(10))
+
+    def test_sequence_bounds(self):
+        with pytest.raises(ValueError):
+            DataFrame(A, B, BSS, b"x", sequence=1 << 12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=200), st.integers(0, 4095),
+           st.floats(min_value=0, max_value=0.03))
+    def test_property_round_trip(self, payload, seq, duration):
+        frame = DataFrame(A, B, BSS, payload, duration=duration, sequence=seq)
+        _, parsed = parse_frame(frame.to_bytes())
+        assert parsed.payload == payload
+        assert parsed.sequence == seq
+
+
+class TestNavCounter:
+    def test_initially_idle(self):
+        assert not NavCounter().busy(0.0)
+
+    def test_reservation_blocks(self):
+        nav = NavCounter()
+        nav.update(1.0, 0.5)
+        assert nav.busy(1.2)
+        assert not nav.busy(1.6)
+
+    def test_only_extends_forward(self):
+        nav = NavCounter()
+        nav.update(0.0, 1.0)
+        nav.update(0.1, 0.2)  # shorter reservation must not truncate
+        assert nav.idle_at() == pytest.approx(1.0)
+
+    def test_reset(self):
+        nav = NavCounter()
+        nav.update(0.0, 1.0)
+        nav.reset()
+        assert not nav.busy(0.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            NavCounter().update(0.0, -1.0)
+
+
+class TestAckTrain:
+    @pytest.mark.parametrize("n", [1, 3, 8])
+    def test_no_overlaps(self, n):
+        result = simulate_ack_train(n, payload_duration=500e-6, timing=TIMING)
+        assert result.overlaps == 0
+
+    def test_bystander_blocked_through_whole_train(self):
+        """The data frame's Eq.-1 NAV keeps third parties silent until the
+        last ACK finishes."""
+        n = 4
+        result = simulate_ack_train(n, payload_duration=500e-6, timing=TIMING)
+        last_ack_end = max(e.time for e in result.events if e.kind == "ack-end")
+        assert result.bystander_blocked_until >= last_ack_end
+
+    def test_event_count(self):
+        result = simulate_ack_train(3, payload_duration=1e-4, timing=TIMING)
+        assert sum(e.kind == "ack-start" for e in result.events) == 3
+        assert sum(e.kind == "data-start" for e in result.events) == 1

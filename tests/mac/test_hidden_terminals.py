@@ -1,0 +1,93 @@
+"""Hidden-terminal behaviour and the §4.2 RTS/CTS mitigation."""
+
+import pytest
+
+from repro.mac import (
+    CarpoolProtocol,
+    DEFAULT_PARAMETERS,
+    Dot11Protocol,
+    FixedFerModel,
+    WlanSimulator,
+)
+from repro.mac.engine import AP_NAME
+from repro.mac.frames import Arrival, Direction
+from repro.mac.protocols.base import AggregationLimits
+from repro.util.rng import RngStream
+
+PERFECT = FixedFerModel(0.0)
+
+
+def _arrivals(n_frames=1200, n_stas=4, size=600):
+    """A saturating workload: every STA keeps an uplink backlog, so hidden
+    stations are primed to fire during the AP's transmissions."""
+    out = []
+    for k in range(n_frames):
+        out.append(Arrival(time=0.0002 + 0.0006 * k, source=AP_NAME,
+                           destination=f"sta{k % n_stas}", size_bytes=size,
+                           direction=Direction.DOWNLINK))
+        for i in range(n_stas):
+            out.append(Arrival(time=0.0004 + 0.0006 * k + 1e-5 * i,
+                               source=f"sta{i}", destination=AP_NAME,
+                               size_bytes=size, direction=Direction.UPLINK))
+    out.sort(key=lambda a: a.time)
+    return out
+
+
+def _sim(hidden_pairs=None, use_rts_cts=False, seed=5, protocol_cls=Dot11Protocol):
+    protocol = protocol_cls(DEFAULT_PARAMETERS, AggregationLimits(max_latency=0.005))
+    return WlanSimulator(
+        protocol, 4, _arrivals(), error_model=PERFECT, rng=RngStream(seed),
+        hidden_pairs=hidden_pairs, use_rts_cts=use_rts_cts,
+    )
+
+
+class TestHiddenTerminals:
+    def test_no_hidden_pairs_no_hidden_collisions(self):
+        sim = _sim()
+        sim.run(1.0)
+        assert sim.hidden_collisions == 0
+
+    def test_hidden_pair_causes_collisions(self):
+        sim = _sim(hidden_pairs={(AP_NAME, "sta3")})
+        sim.run(1.0)
+        assert sim.hidden_collisions > 0
+
+    def test_hidden_collisions_destroy_goodput(self):
+        clean = _sim()
+        clean_summary = clean.run(1.0)
+        dirty = _sim(hidden_pairs={(AP_NAME, "sta2"), (AP_NAME, "sta3")})
+        dirty_summary = dirty.run(1.0)
+        assert (dirty_summary.downlink_goodput_bps
+                < clean_summary.downlink_goodput_bps)
+
+    def test_rts_cts_recovers_goodput(self):
+        """§4.2: the multicast-RTS/CTS mechanism shields the data frame —
+        only the short RTS stays vulnerable."""
+        hidden = {(AP_NAME, "sta2"), (AP_NAME, "sta3")}
+        bare = _sim(hidden_pairs=hidden).run(1.0)
+        shielded = _sim(hidden_pairs=hidden, use_rts_cts=True).run(1.0)
+        assert (shielded.downlink_goodput_bps > 1.1 * bare.downlink_goodput_bps)
+
+    def test_rts_cts_with_carpool_sequence(self):
+        hidden = {(AP_NAME, "sta2")}
+        sim = _sim(hidden_pairs=hidden, use_rts_cts=True,
+                   protocol_cls=CarpoolProtocol)
+        summary = sim.run(1.0)
+        assert summary.delivered_downlink_frames > 0
+
+    def test_hidden_retries_eventually_drop(self):
+        """A victim forever colliding with a hidden node drops frames at
+        the retry limit instead of looping."""
+        sim = _sim(hidden_pairs={(AP_NAME, "sta0"), (AP_NAME, "sta1"),
+                                 (AP_NAME, "sta2"), (AP_NAME, "sta3")},
+                   seed=11)
+        summary = sim.run(1.0)
+        assert summary.dropped_frames > 0 or sim.hidden_collisions > 0
+
+    def test_pair_symmetry(self):
+        """(a, b) and (b, a) describe the same hidden pair."""
+        sim1 = _sim(hidden_pairs={(AP_NAME, "sta3")})
+        sim2 = _sim(hidden_pairs={("sta3", AP_NAME)})
+        s1 = sim1.run(0.5)
+        s2 = sim2.run(0.5)
+        assert s1.downlink_goodput_bps == s2.downlink_goodput_bps

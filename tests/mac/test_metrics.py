@@ -1,0 +1,78 @@
+import pytest
+
+from repro.mac.frames import Direction, MacFrame
+from repro.mac.metrics import MetricsCollector
+
+
+def _frame(direction=Direction.DOWNLINK, size=1000, t=1.0):
+    return MacFrame(destination="sta0", size_bytes=size, arrival_time=t,
+                    direction=direction)
+
+
+class TestCollector:
+    def test_goodput_split_by_direction(self):
+        m = MetricsCollector()
+        m.record_delivery(_frame(Direction.DOWNLINK, 1000), 1.1)
+        m.record_delivery(_frame(Direction.UPLINK, 500), 1.2)
+        s = m.summary(10.0)
+        assert s.downlink_goodput_bps == pytest.approx(800.0)
+        assert s.uplink_goodput_bps == pytest.approx(400.0)
+
+    def test_delays(self):
+        m = MetricsCollector()
+        m.record_delivery(_frame(t=1.0), 1.5)
+        m.record_delivery(_frame(t=2.0), 2.1)
+        s = m.summary(10.0)
+        assert s.downlink_mean_delay == pytest.approx(0.3)
+        assert s.downlink_p95_delay <= 0.5
+
+    def test_latency_bound_excludes_late_frames(self):
+        m = MetricsCollector()
+        m.record_delivery(_frame(size=1000, t=1.0), 1.05)  # 50 ms
+        m.record_delivery(_frame(size=1000, t=1.0), 2.0)  # 1 s: late
+        s = m.summary(10.0, latency_bound=0.1)
+        assert s.downlink_goodput_bps == pytest.approx(800.0)
+        raw = m.summary(10.0)
+        assert raw.downlink_goodput_bps == pytest.approx(1600.0)
+
+    def test_per_source_goodput(self):
+        m = MetricsCollector()
+        m.record_delivery(_frame(size=1000), 1.1, source="ap")
+        m.record_delivery(_frame(size=2000), 1.1, source="ap1")
+        assert m.goodput_of_source("ap", 10.0) == pytest.approx(800.0)
+        assert m.goodput_of_source("ap1", 10.0) == pytest.approx(1600.0)
+        assert m.goodput_of_source("nobody", 10.0) == 0.0
+
+    def test_per_source_with_bound(self):
+        m = MetricsCollector()
+        m.record_delivery(_frame(size=1000, t=1.0), 5.0, source="ap")
+        assert m.goodput_of_source("ap", 10.0, latency_bound=0.1) == 0.0
+
+    def test_counters(self):
+        m = MetricsCollector()
+        m.record_transmission(1e-3)
+        m.record_collision(2e-3)
+        m.record_retransmission(3)
+        m.record_drop(_frame())
+        s = m.summary(1.0)
+        assert s.transmissions == 1
+        assert s.collisions == 1
+        assert s.retransmitted_subframes == 3
+        assert s.dropped_frames == 1
+        assert s.channel_busy_fraction == pytest.approx(3e-3)
+
+    def test_busy_fraction_capped(self):
+        m = MetricsCollector()
+        m.record_transmission(5.0)
+        assert m.summary(1.0).channel_busy_fraction == 1.0
+
+    def test_empty_summary(self):
+        s = MetricsCollector().summary(1.0)
+        assert s.downlink_goodput_bps == 0.0
+        assert s.downlink_mean_delay == 0.0
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().summary(0.0)
+        with pytest.raises(ValueError):
+            MetricsCollector().goodput_of_source("ap", -1.0)

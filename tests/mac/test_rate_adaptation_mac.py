@@ -1,0 +1,92 @@
+"""Per-station rate adaptation inside the MAC protocols."""
+
+import pytest
+
+from repro.mac.frames import MacFrame
+from repro.mac.node import Node
+from repro.mac.parameters import DEFAULT_PARAMETERS
+from repro.mac.protocols import AmpduProtocol, CarpoolProtocol, Dot11Protocol
+from repro.mac.protocols.base import AggregationLimits
+from repro.mac.rate_control import RateTable
+from repro.util.rng import RngStream
+
+
+def _ap():
+    return Node("ap", DEFAULT_PARAMETERS, RngStream(0).child("ap"), is_ap=True)
+
+
+def _frame(dest, size=600, t=0.0):
+    return MacFrame(destination=dest, size_bytes=size, arrival_time=t)
+
+
+def _table():
+    table = RateTable()
+    table.report_snr("near", 35.0)  # top MCS
+    table.report_snr("far", 6.0)  # basic rate
+    return table
+
+
+class TestRateForDestination:
+    def test_no_table_uses_default(self):
+        proto = Dot11Protocol(DEFAULT_PARAMETERS)
+        assert proto.rate_for("anyone") == DEFAULT_PARAMETERS.phy_rate_bps
+
+    def test_top_mcs_equals_configured_rate(self):
+        proto = Dot11Protocol(DEFAULT_PARAMETERS, rate_table=_table())
+        assert proto.rate_for("near") == pytest.approx(
+            DEFAULT_PARAMETERS.phy_rate_bps, rel=1e-9
+        )
+
+    def test_far_station_much_slower(self):
+        proto = Dot11Protocol(DEFAULT_PARAMETERS, rate_table=_table())
+        assert proto.rate_for("far") == pytest.approx(
+            DEFAULT_PARAMETERS.phy_rate_bps * 6.0 / 54.0
+        )
+
+    def test_unreported_station_uses_default(self):
+        proto = Dot11Protocol(DEFAULT_PARAMETERS, rate_table=_table())
+        assert proto.rate_for("ghost") == DEFAULT_PARAMETERS.phy_rate_bps
+
+
+class TestAirtimeScaling:
+    def test_far_station_needs_more_symbols(self):
+        proto = Dot11Protocol(DEFAULT_PARAMETERS, rate_table=_table())
+        near = proto.payload_symbols(600, "near")
+        far = proto.payload_symbols(600, "far")
+        assert far == pytest.approx(9 * near, rel=0.25)
+
+    def test_single_frame_airtime_scales(self):
+        proto = Dot11Protocol(DEFAULT_PARAMETERS, rate_table=_table())
+        ap_near, ap_far = _ap(), _ap()
+        ap_near.enqueue(_frame("near"))
+        ap_far.enqueue(_frame("far"))
+        tx_near = proto.build(ap_near, 0.0)
+        tx_far = proto.build(ap_far, 0.0)
+        assert tx_far.airtime > 3 * tx_near.airtime
+
+    def test_carpool_mixes_rates_in_one_frame(self):
+        proto = CarpoolProtocol(
+            DEFAULT_PARAMETERS, AggregationLimits(max_latency=0.005),
+            rate_table=_table(),
+        )
+        ap = _ap()
+        ap.enqueue(_frame("near", t=0.0))
+        ap.enqueue(_frame("far", t=0.001))
+        tx = proto.build(ap, 1.0)
+        by_dest = {sf.destination: sf.n_symbols for sf in tx.subframes}
+        assert by_dest["far"] > 3 * by_dest["near"]
+
+    def test_ampdu_uses_destination_rate(self):
+        proto = AmpduProtocol(DEFAULT_PARAMETERS, rate_table=_table())
+        ap = _ap()
+        ap.enqueue(_frame("far"))
+        ap.enqueue(_frame("far"))
+        tx = proto.build(ap, 0.0)
+        slow = sum(sf.n_symbols for sf in tx.subframes)
+
+        proto2 = AmpduProtocol(DEFAULT_PARAMETERS, rate_table=_table())
+        ap2 = _ap()
+        ap2.enqueue(_frame("near"))
+        ap2.enqueue(_frame("near"))
+        fast = sum(sf.n_symbols for sf in proto2.build(ap2, 0.0).subframes)
+        assert slow > 3 * fast

@@ -1,0 +1,97 @@
+import pytest
+
+from repro.analysis.testbed import NUM_LOCATIONS, OfficeTestbed
+from repro.mac.rate_control import SNR_THRESHOLDS_DB, RateTable, select_mcs
+from repro.phy.mcs import MCS_TABLE
+
+
+class TestSelectMcs:
+    def test_high_snr_gets_top_rate(self):
+        assert select_mcs(40.0).rate_mbps == 54
+
+    def test_low_snr_gets_basic_rate(self):
+        assert select_mcs(-5.0).rate_mbps == 6
+
+    def test_monotone_in_snr(self):
+        rates = [select_mcs(snr).rate_mbps for snr in range(0, 40, 2)]
+        assert rates == sorted(rates)
+
+    def test_margin_backs_off(self):
+        snr = SNR_THRESHOLDS_DB["QAM64-3/4"] + 1.0
+        assert select_mcs(snr).rate_mbps == 54
+        assert select_mcs(snr, margin_db=3.0).rate_mbps < 54
+
+    def test_thresholds_cover_all_mcs(self):
+        assert set(SNR_THRESHOLDS_DB) == {m.name for m in MCS_TABLE}
+
+    def test_thresholds_increase_with_rate(self):
+        thresholds = [SNR_THRESHOLDS_DB[m.name] for m in MCS_TABLE]
+        assert thresholds == sorted(thresholds)
+
+
+class TestRateTable:
+    def test_unknown_station_basic_rate(self):
+        assert RateTable().mcs_for("sta0").rate_mbps == 6
+
+    def test_report_then_lookup(self):
+        table = RateTable()
+        table.report_snr("sta0", 30.0)
+        assert table.mcs_for("sta0").rate_mbps >= 48
+
+    def test_smoothing(self):
+        table = RateTable()
+        table.report_snr("sta0", 30.0)
+        table.report_snr("sta0", 10.0, smoothing=0.5)
+        assert table.snr_of("sta0") == pytest.approx(20.0)
+
+    def test_invalid_smoothing(self):
+        table = RateTable()
+        with pytest.raises(ValueError):
+            table.report_snr("sta0", 20.0, smoothing=0.0)
+
+    def test_rate_map(self):
+        table = RateTable()
+        table.report_snr("near", 35.0)
+        table.report_snr("far", 8.0)
+        rates = table.rate_map()
+        assert rates["near"].rate_mbps > rates["far"].rate_mbps
+
+
+class TestOfficeTestbed:
+    def test_thirty_locations(self):
+        testbed = OfficeTestbed()
+        assert len(testbed.locations) == NUM_LOCATIONS
+
+    def test_locations_inside_room(self):
+        testbed = OfficeTestbed()
+        for loc in testbed.locations:
+            assert 0.0 <= loc.x <= 10.0
+            assert 0.0 <= loc.y <= 10.0
+
+    def test_no_location_on_transmitter(self):
+        testbed = OfficeTestbed()
+        assert testbed.distances().min() >= 0.5
+
+    def test_snr_decreases_with_distance(self):
+        testbed = OfficeTestbed()
+        near = min(testbed.locations, key=testbed.distance)
+        far = max(testbed.locations, key=testbed.distance)
+        assert testbed.snr_db(near) > testbed.snr_db(far)
+
+    def test_snr_map_complete(self):
+        assert len(OfficeTestbed().snr_map()) == NUM_LOCATIONS
+
+    def test_deterministic_per_seed(self):
+        a = OfficeTestbed(seed=3).distances()
+        b = OfficeTestbed(seed=3).distances()
+        assert (a == b).all()
+
+    def test_rates_vary_across_room(self):
+        """The testbed's geometry exercises several MCS levels — the reason
+        Carpool lets every subframe pick its own rate."""
+        testbed = OfficeTestbed()
+        table = RateTable()
+        for loc in testbed.locations:
+            table.report_snr(f"loc{loc.index}", testbed.snr_db(loc))
+        rates = {m.rate_mbps for m in table.rate_map().values()}
+        assert len(rates) >= 2

@@ -1,0 +1,78 @@
+import pytest
+
+from repro.mac import AmpduProtocol, CarpoolProtocol, Dot11Protocol
+from repro.mac.scenarios import CbrScenario, ScenarioResult, VoipScenario
+
+
+class TestVoipScenario:
+    def test_arrivals_cover_both_aps(self):
+        scenario = VoipScenario(num_stations=4, num_aps=2, duration=2.0)
+        arrivals, stations = scenario.build_arrivals()
+        assert len(stations) == 8
+        sources = {a.source for a in arrivals}
+        assert "ap" in sources and "ap1" in sources
+
+    def test_single_ap_option(self):
+        scenario = VoipScenario(num_stations=3, num_aps=1, duration=2.0)
+        arrivals, stations = scenario.build_arrivals()
+        assert len(stations) == 3
+        assert all(not a.source.startswith("ap1") for a in arrivals)
+
+    def test_run_returns_result(self):
+        scenario = VoipScenario(num_stations=4, duration=2.0)
+        result = scenario.run(Dot11Protocol)
+        assert isinstance(result, ScenarioResult)
+        assert result.protocol == "802.11"
+        assert result.num_stations == 4
+        assert result.measured_ap_goodput_bps >= 0
+
+    def test_useful_goodput_never_exceeds_raw(self):
+        scenario = VoipScenario(num_stations=6, duration=2.0)
+        result = scenario.run(AmpduProtocol)
+        assert (result.measured_ap_useful_goodput_bps
+                <= result.measured_ap_goodput_bps + 1e-9)
+
+    def test_background_adds_arrivals(self):
+        plain, _ = VoipScenario(num_stations=4, duration=2.0).build_arrivals()
+        loaded, _ = VoipScenario(
+            num_stations=4, duration=2.0, with_background=True
+        ).build_arrivals()
+        assert len(loaded) > len(plain)
+
+    def test_deterministic_given_seed(self):
+        a = VoipScenario(num_stations=4, duration=2.0, seed=9).run(CarpoolProtocol)
+        b = VoipScenario(num_stations=4, duration=2.0, seed=9).run(CarpoolProtocol)
+        assert a.measured_ap_goodput_bps == b.measured_ap_goodput_bps
+        assert a.collisions == b.collisions
+
+    def test_carpool_beats_dot11_under_contention(self):
+        """The headline result, in miniature."""
+        scenario = VoipScenario(num_stations=24, duration=4.0)
+        carpool = scenario.run(CarpoolProtocol)
+        dot11 = scenario.run(Dot11Protocol)
+        assert (carpool.measured_ap_useful_goodput_bps
+                > dot11.measured_ap_useful_goodput_bps)
+        assert carpool.downlink_mean_delay < dot11.downlink_mean_delay
+
+
+class TestCbrScenario:
+    def test_latency_requirement_sets_aggregation_deadline(self):
+        result = CbrScenario(
+            num_stations=6, duration=2.0, latency_requirement=0.02,
+            with_background=False,
+        ).run(CarpoolProtocol)
+        assert isinstance(result, ScenarioResult)
+
+    def test_offered_load_scales_with_frame_size(self):
+        small = CbrScenario(num_stations=4, duration=2.0, frame_bytes=100,
+                            with_background=False).run(CarpoolProtocol)
+        large = CbrScenario(num_stations=4, duration=2.0, frame_bytes=1000,
+                            with_background=False).run(CarpoolProtocol)
+        assert large.measured_ap_goodput_bps > 3 * small.measured_ap_goodput_bps
+
+    def test_background_intensity_respected(self):
+        light, _ = CbrScenario(num_stations=4, duration=2.0,
+                               background_intensity=1.0).build_arrivals()
+        heavy, _ = CbrScenario(num_stations=4, duration=2.0,
+                               background_intensity=4.0).build_arrivals()
+        assert len(heavy) > len(light)

@@ -1,0 +1,63 @@
+from repro.mac import (
+    CarpoolProtocol,
+    DEFAULT_PARAMETERS,
+    Dot11Protocol,
+    FixedFerModel,
+    WlanSimulator,
+)
+from repro.mac.engine import AP_NAME
+from repro.mac.frames import Arrival, Direction
+from repro.util.rng import RngStream
+
+
+def _arrivals(n=40):
+    out = []
+    for k in range(n):
+        out.append(Arrival(time=0.0005 * k + 1e-4, source=AP_NAME,
+                           destination=f"sta{k % 3}", size_bytes=200,
+                           direction=Direction.DOWNLINK))
+        out.append(Arrival(time=0.0005 * k + 2e-4, source=f"sta{k % 3}",
+                           destination=AP_NAME, size_bytes=200,
+                           direction=Direction.UPLINK))
+    return out
+
+
+class TestTimeline:
+    def test_disabled_by_default(self):
+        sim = WlanSimulator(Dot11Protocol(DEFAULT_PARAMETERS), 3, _arrivals(),
+                            error_model=FixedFerModel(0.0), rng=RngStream(1))
+        sim.run(0.2)
+        assert sim.timeline is None
+
+    def test_records_arrivals_and_transmissions(self):
+        sim = WlanSimulator(Dot11Protocol(DEFAULT_PARAMETERS), 3, _arrivals(),
+                            error_model=FixedFerModel(0.0), rng=RngStream(1))
+        sim.enable_timeline()
+        sim.run(0.2)
+        kinds = {event for _, event, _, _ in sim.timeline}
+        assert "arrival" in kinds
+        assert "transmit" in kinds
+
+    def test_times_monotone(self):
+        sim = WlanSimulator(CarpoolProtocol(DEFAULT_PARAMETERS), 3, _arrivals(),
+                            error_model=FixedFerModel(0.0), rng=RngStream(2))
+        sim.enable_timeline()
+        sim.run(0.2)
+        times = [t for t, _, _, _ in sim.timeline]
+        assert times == sorted(times)
+
+    def test_collisions_logged_under_contention(self):
+        arrivals = []
+        for k in range(200):
+            for i in range(4):
+                arrivals.append(Arrival(time=0.0004 * k + 1e-6 * i,
+                                        source=f"sta{i}", destination=AP_NAME,
+                                        size_bytes=400,
+                                        direction=Direction.UPLINK))
+        sim = WlanSimulator(Dot11Protocol(DEFAULT_PARAMETERS), 4, arrivals,
+                            error_model=FixedFerModel(0.0), rng=RngStream(3))
+        sim.enable_timeline()
+        summary = sim.run(0.3)
+        logged = sum(1 for _, event, _, _ in sim.timeline if event == "collision")
+        assert logged == summary.collisions
+        assert logged > 0

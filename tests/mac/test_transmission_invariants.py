@@ -1,0 +1,95 @@
+"""Structural invariants every protocol's transmissions must satisfy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.frames import MacFrame
+from repro.mac.node import Node
+from repro.mac.parameters import DEFAULT_PARAMETERS
+from repro.mac.protocols import (
+    AggregationLimits,
+    AmpduProtocol,
+    CarpoolProtocol,
+    Dot11Protocol,
+    MuAggregationProtocol,
+    WifoxProtocol,
+)
+from repro.mac.protocols.amsdu import AmsduProtocol
+from repro.util.rng import RngStream
+
+ALL_PROTOCOLS = (Dot11Protocol, AmpduProtocol, AmsduProtocol,
+                 MuAggregationProtocol, WifoxProtocol, CarpoolProtocol)
+
+
+def _loaded_ap(frames_spec, seed=0):
+    node = Node("ap", DEFAULT_PARAMETERS, RngStream(seed).child("ap"), is_ap=True)
+    for i, (dest, size) in enumerate(frames_spec):
+        node.enqueue(MacFrame(destination=f"sta{dest}", size_bytes=size,
+                              arrival_time=0.001 * i))
+    return node
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 9), st.integers(1, 2000)),
+             min_size=1, max_size=30),
+    st.integers(0, len(ALL_PROTOCOLS) - 1),
+)
+def test_transmission_invariants(frames_spec, protocol_idx):
+    """For any workload and any protocol:
+
+    * the transmission is non-empty and consumes frames from the queue,
+    * no frame is lost or duplicated between queue and transmission,
+    * subframe symbol spans are disjoint and ordered,
+    * airtime is positive and at least the PLCP header,
+    * the ACK tail is positive.
+    """
+    protocol = ALL_PROTOCOLS[protocol_idx](
+        DEFAULT_PARAMETERS, AggregationLimits(max_latency=0.005)
+    )
+    node = _loaded_ap(frames_spec)
+    before_ids = {f.frame_id for f in node.queue}
+    transmission = protocol.build(node, 1.0)
+
+    taken = [f for sf in transmission.subframes for f in sf.frames]
+    taken_ids = {f.frame_id for f in taken}
+    left_ids = {f.frame_id for f in node.queue}
+
+    assert transmission.subframes, "a backlogged AP always sends something"
+    assert len(taken) == len(taken_ids), "no duplicated frames"
+    assert taken_ids | left_ids == before_ids
+    assert not taken_ids & left_ids
+
+    spans = sorted(
+        (sf.start_symbol, sf.start_symbol + sf.n_symbols)
+        for sf in transmission.subframes
+    )
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2, "subframe symbol spans must not overlap"
+    assert all(sf.n_symbols >= 1 for sf in transmission.subframes)
+
+    assert transmission.airtime >= DEFAULT_PARAMETERS.plcp_header_time
+    assert transmission.ack_time > 0
+    assert transmission.total_duration == pytest.approx(
+        transmission.airtime + transmission.ack_time
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 9), st.integers(1, 1500)),
+                min_size=1, max_size=40))
+def test_repeated_builds_drain_queue(frames_spec):
+    """Calling build until empty always terminates and ships every frame
+    exactly once (no starvation, no loops), for the multi-receiver scheme."""
+    protocol = CarpoolProtocol(DEFAULT_PARAMETERS, AggregationLimits(max_latency=0.005))
+    node = _loaded_ap(frames_spec, seed=1)
+    all_ids = {f.frame_id for f in node.queue}
+    shipped = []
+    for _ in range(len(frames_spec) + 5):
+        if not node.queue:
+            break
+        transmission = protocol.build(node, 1.0)
+        shipped.extend(f.frame_id for sf in transmission.subframes for f in sf.frames)
+    assert not node.queue
+    assert sorted(shipped) == sorted(all_ids)

@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.coding import (
+    RATE_1_2,
+    RATE_2_3,
+    RATE_3_4,
+    conv_encode,
+    viterbi_decode,
+)
+
+RATES = [RATE_1_2, RATE_2_3, RATE_3_4]
+
+
+def _message(rng, length, tail=True):
+    bits = rng.integers(0, 2, size=length, dtype=np.uint8)
+    if tail:
+        bits[-6:] = 0
+    return bits
+
+
+@pytest.mark.parametrize("rate", RATES, ids=lambda r: r.name)
+class TestEncode:
+    def test_output_length(self, rate):
+        n = 24 * rate.numerator  # multiple of every puncture period
+        coded = conv_encode(np.zeros(n, dtype=np.uint8), rate)
+        assert coded.size == rate.coded_bits(n)
+        assert coded.size * rate.numerator == n * rate.denominator
+
+    def test_all_zero_input_gives_all_zero_output(self, rate):
+        coded = conv_encode(np.zeros(48, dtype=np.uint8), rate)
+        assert not coded.any()
+
+    def test_linearity(self, rate):
+        """Convolutional codes are linear: enc(a⊕b) = enc(a)⊕enc(b)."""
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 48, dtype=np.uint8)
+        b = rng.integers(0, 2, 48, dtype=np.uint8)
+        np.testing.assert_array_equal(
+            conv_encode(a ^ b, rate), conv_encode(a, rate) ^ conv_encode(b, rate)
+        )
+
+
+@pytest.mark.parametrize("rate", RATES, ids=lambda r: r.name)
+class TestViterbi:
+    def test_noiseless_round_trip(self, rate):
+        rng = np.random.default_rng(1)
+        msg = _message(rng, 120)
+        coded = conv_encode(msg, rate)
+        np.testing.assert_array_equal(viterbi_decode(coded, msg.size, rate), msg)
+
+    def test_corrects_scattered_errors(self, rate):
+        rng = np.random.default_rng(2)
+        msg = _message(rng, 240)
+        coded = conv_encode(msg, rate)
+        # Flip well-separated bits: within the free distance of the code.
+        corrupted = coded.copy()
+        for pos in range(10, corrupted.size - 10, 60):
+            corrupted[pos] ^= 1
+        np.testing.assert_array_equal(viterbi_decode(corrupted, msg.size, rate), msg)
+
+    def test_wrong_coded_length_raises(self, rate):
+        with pytest.raises(ValueError):
+            viterbi_decode(np.zeros(10, dtype=np.uint8), 100, rate)
+
+
+class TestUnterminated:
+    def test_round_trip_without_termination(self):
+        rng = np.random.default_rng(3)
+        msg = rng.integers(0, 2, 48, dtype=np.uint8)  # A-HDR-style: no tail
+        coded = conv_encode(msg, RATE_1_2)
+        decoded = viterbi_decode(coded, 48, RATE_1_2, terminated=False)
+        np.testing.assert_array_equal(decoded, msg)
+
+
+class TestRandomizedRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_rate_half_survives_two_percent_errors(self, seed):
+        rng = np.random.default_rng(seed)
+        msg = _message(rng, 96)
+        coded = conv_encode(msg, RATE_1_2)
+        corrupted = coded.copy()
+        flips = rng.choice(coded.size, size=max(1, coded.size // 50), replace=False)
+        # Keep flips separated to stay within correction capability.
+        flips = np.sort(flips)
+        flips = flips[np.concatenate([[True], np.diff(flips) > 14])]
+        corrupted[flips] ^= 1
+        np.testing.assert_array_equal(viterbi_decode(corrupted, msg.size), msg)

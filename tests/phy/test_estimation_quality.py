@@ -1,0 +1,120 @@
+"""Quantitative quality checks on the estimation blocks.
+
+These pin the *accuracy* of the estimators (not just round-trips): LS
+channel estimation error vs SNR, CFO estimator statistics, and equalizer
+behaviour on known channels — the numbers the RTE analysis builds on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import add_awgn
+from repro.phy.channel_estimation import (
+    equalize,
+    estimate_from_known_symbol,
+    estimate_from_ltf,
+)
+from repro.phy.cfo import cfo_from_phase_step, estimate_cfo_from_ltf, phase_step_from_cfo
+from repro.phy.preamble import LTF_SEQUENCE
+from repro.util.rng import RngStream
+
+
+def _random_channel(rng, taps=3):
+    h_taps = rng.complex_normal(scale=1.0, size=taps) / np.sqrt(taps)
+    from repro.phy.constants import FFT_SIZE, USED_SUBCARRIER_INDICES
+    from repro.phy.ofdm import logical_to_fft_bins
+
+    return np.fft.fft(h_taps, FFT_SIZE)[logical_to_fft_bins(USED_SUBCARRIER_INDICES)]
+
+
+class TestLtfEstimationAccuracy:
+    def test_noiseless_exact(self):
+        rng = RngStream(0).child("h")
+        h = _random_channel(rng)
+        received = np.vstack([h * LTF_SEQUENCE, h * LTF_SEQUENCE])
+        np.testing.assert_allclose(estimate_from_ltf(received), h, atol=1e-12)
+
+    def test_error_scales_with_snr(self):
+        """LS estimation MSE ≈ σ²/2 (two averaged repetitions)."""
+        rng = RngStream(1)
+        h = np.ones(52, dtype=complex)
+        for snr_db in (10.0, 20.0):
+            errors = []
+            for t in range(300):
+                noise_rng = RngStream(1000 + t).child("n")
+                received = add_awgn(
+                    np.vstack([h * LTF_SEQUENCE, h * LTF_SEQUENCE]), snr_db, noise_rng
+                )
+                estimate = estimate_from_ltf(received)
+                errors.append(np.mean(np.abs(estimate - h) ** 2))
+            expected = 10 ** (-snr_db / 10) / 2
+            assert np.mean(errors) == pytest.approx(expected, rel=0.2)
+
+    def test_two_repeats_halve_error_vs_one(self):
+        h = np.ones(52, dtype=complex)
+        one_errors, two_errors = [], []
+        for t in range(300):
+            noise_rng = RngStream(2000 + t).child("n")
+            rx = add_awgn(np.vstack([h * LTF_SEQUENCE, h * LTF_SEQUENCE]), 15.0, noise_rng)
+            one_errors.append(np.mean(np.abs(estimate_from_ltf(rx[0]) - h) ** 2))
+            two_errors.append(np.mean(np.abs(estimate_from_ltf(rx) - h) ** 2))
+        assert np.mean(two_errors) == pytest.approx(np.mean(one_errors) / 2, rel=0.25)
+
+
+class TestDataPilotEstimation:
+    def test_known_symbol_recovers_channel(self):
+        rng = RngStream(3).child("h")
+        h = _random_channel(rng)
+        known = np.exp(1j * RngStream(4).child("x").uniform(0, 2 * np.pi, 52))
+        estimate = estimate_from_known_symbol(h * known, known)
+        np.testing.assert_allclose(estimate, h, atol=1e-12)
+
+    def test_zero_subcarriers_flagged_nan(self):
+        known = np.ones(52, dtype=complex)
+        known[10] = 0.0
+        estimate = estimate_from_known_symbol(known.copy(), known)
+        assert np.isnan(estimate[10])
+        assert not np.isnan(estimate[11])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            estimate_from_known_symbol(np.ones(52), np.ones(51))
+
+
+class TestEqualizer:
+    def test_inverts_known_channel(self):
+        rng = RngStream(5).child("h")
+        h = _random_channel(rng)
+        x = np.exp(1j * RngStream(6).child("x").uniform(0, 2 * np.pi, 52))
+        np.testing.assert_allclose(equalize(h * x, h), x, atol=1e-12)
+
+    def test_deep_fade_passthrough(self):
+        h = np.ones(52, dtype=complex)
+        h[5] = 0.0
+        received = np.ones(52, dtype=complex)
+        out = equalize(received, h)
+        assert out[5] == received[5]  # no division blow-up
+        assert np.isfinite(out).all()
+
+
+class TestCfoEstimatorStatistics:
+    def test_unbiased_over_noise(self):
+        true_cfo = 3000.0
+        step = phase_step_from_cfo(true_cfo)
+        estimates = []
+        for t in range(200):
+            noise_rng = RngStream(3000 + t).child("n")
+            ltf1 = add_awgn(LTF_SEQUENCE.copy(), 15.0, noise_rng)
+            ltf2 = add_awgn(LTF_SEQUENCE * np.exp(1j * step), 15.0, noise_rng)
+            estimates.append(estimate_cfo_from_ltf(ltf1, ltf2))
+        assert np.mean(estimates) == pytest.approx(true_cfo, rel=0.05)
+
+    def test_unambiguous_range(self):
+        """±1/(2·T_sym) = ±125 kHz at 20 MHz timing."""
+        for cfo in (-120e3, -50e3, 50e3, 120e3):
+            step = phase_step_from_cfo(cfo)
+            est = estimate_cfo_from_ltf(LTF_SEQUENCE, LTF_SEQUENCE * np.exp(1j * step))
+            assert est == pytest.approx(cfo, rel=1e-9)
+
+    def test_phase_step_round_trip(self):
+        assert cfo_from_phase_step(phase_step_from_cfo(1234.5)) == pytest.approx(1234.5)

@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+
+from repro.channel import ChannelModel, FadingProfile
+from repro.phy import PhyTransmitter, mcs_by_name
+from repro.phy.cfo import phase_step_from_cfo
+from repro.phy.frontend import Acquisition, acquire
+from repro.util.rng import RngStream
+
+STATIC = FadingProfile(num_taps=1, ricean_k_db=60.0, coherence_time=np.inf)
+
+
+def _frame():
+    return PhyTransmitter(mcs_by_name("QPSK-1/2")).build_frame(b"front end" * 20)
+
+
+class TestAcquire:
+    def test_clean_frame_transparent(self):
+        frame = _frame()
+        front = acquire(frame.symbols)
+        assert isinstance(front, Acquisition)
+        assert abs(front.cfo_hz) < 1.0
+        np.testing.assert_allclose(front.channel_estimate, np.ones(52), atol=1e-9)
+        assert front.noise_variance < 1e-12
+
+    def test_noise_variance_estimate_accurate(self):
+        frame = _frame()
+        for snr_db in (10.0, 20.0, 30.0):
+            channel = ChannelModel(snr_db=snr_db, rng=RngStream(int(snr_db)),
+                                   profile=STATIC, cfo_hz=0.0, sfo_ppm=0.0)
+            estimates = []
+            for t in range(30):
+                channel_t = ChannelModel(snr_db=snr_db, rng=RngStream(100 + t),
+                                         profile=STATIC, cfo_hz=0.0, sfo_ppm=0.0)
+                front = acquire(channel_t.transmit(frame.symbols))
+                estimates.append(front.noise_variance)
+            expected = 10.0 ** (-snr_db / 10.0)
+            assert np.mean(estimates) == pytest.approx(expected, rel=0.3)
+
+    def test_cfo_removed_from_derotated(self):
+        frame = _frame()
+        step = phase_step_from_cfo(2000.0)
+        n = frame.n_symbols
+        ramp = np.exp(1j * step * np.arange(n))[:, None]
+        front = acquire(frame.symbols * ramp)
+        # After de-rotation the LTF repeats must agree again.
+        np.testing.assert_allclose(front.derotated[2], front.derotated[3], atol=1e-9)
+
+    def test_derotation_anchored_at_first_ltf(self):
+        frame = _frame()
+        front = acquire(frame.symbols)
+        np.testing.assert_allclose(front.derotated, frame.symbols, atol=1e-12)
+
+    def test_symbol_duration_scales_cfo_report(self):
+        frame = _frame()
+        step = phase_step_from_cfo(1000.0)  # at 4 µs symbols
+        ramp = np.exp(1j * step * np.arange(frame.n_symbols))[:, None]
+        received = frame.symbols * ramp
+        at_20mhz = acquire(received).cfo_hz
+        at_2mhz = acquire(received, symbol_duration=40e-6).cfo_hz
+        assert at_20mhz == pytest.approx(10.0 * at_2mhz, rel=1e-6)

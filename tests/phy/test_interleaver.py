@@ -1,0 +1,46 @@
+import numpy as np
+import pytest
+
+from repro.phy.interleaver import deinterleave, interleave, interleave_permutation
+from repro.phy.modulation import BPSK, QAM16, QAM64, QPSK
+
+
+@pytest.mark.parametrize("mod", [BPSK, QPSK, QAM16, QAM64], ids=lambda m: m.name)
+class TestInterleaver:
+    def _n_cbps(self, mod):
+        return 48 * mod.bits_per_symbol
+
+    def test_is_permutation(self, mod):
+        n = self._n_cbps(mod)
+        perm = interleave_permutation(n, mod.bits_per_symbol)
+        assert sorted(perm) == list(range(n))
+
+    def test_round_trip(self, mod):
+        n = self._n_cbps(mod)
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, n, dtype=np.uint8)
+        np.testing.assert_array_equal(
+            deinterleave(interleave(bits, mod.bits_per_symbol), mod.bits_per_symbol), bits
+        )
+
+    def test_adjacent_coded_bits_spread_apart(self, mod):
+        """Adjacent input bits must land on non-adjacent subcarriers."""
+        n = self._n_cbps(mod)
+        perm = np.array(interleave_permutation(n, mod.bits_per_symbol))
+        subcarrier = perm // mod.bits_per_symbol
+        gaps = np.abs(np.diff(subcarrier[: n // 16]))
+        assert gaps.min() >= 2
+
+
+class TestKnownValues:
+    def test_bpsk_first_permutation_only(self):
+        # For BPSK s=1, the second permutation is identity; position k maps
+        # to 3*(k mod 16) + k//16 for N_CBPS=48.
+        perm = interleave_permutation(48, 1)
+        k = np.arange(48)
+        expected = 3 * (k % 16) + k // 16
+        np.testing.assert_array_equal(np.array(perm), expected)
+
+    def test_non_multiple_of_16_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_permutation(50, 1)

@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.modulation import BPSK, MODULATIONS, QAM16, QAM64, QPSK, get_modulation
+
+ALL = [BPSK, QPSK, QAM16, QAM64]
+
+
+@pytest.mark.parametrize("mod", ALL, ids=lambda m: m.name)
+class TestConstellations:
+    def test_unit_average_power(self, mod):
+        assert np.mean(np.abs(mod.points) ** 2) == pytest.approx(1.0)
+
+    def test_point_count(self, mod):
+        assert mod.points.size == 2**mod.bits_per_symbol
+
+    def test_points_distinct(self, mod):
+        assert len(set(np.round(mod.points, 9))) == mod.points.size
+
+    def test_round_trip_noiseless(self, mod):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=mod.bits_per_symbol * 96, dtype=np.uint8)
+        symbols = mod.modulate(bits)
+        np.testing.assert_array_equal(mod.demodulate(symbols), bits)
+
+    def test_gray_coding_neighbours_differ_by_one_bit(self, mod):
+        """Nearest constellation neighbours differ in exactly one bit."""
+        points = mod.points
+        for i in range(points.size):
+            dists = np.abs(points - points[i])
+            dists[i] = np.inf
+            nearest = np.flatnonzero(np.isclose(dists, dists.min()))
+            for j in nearest:
+                assert bin(i ^ j).count("1") == 1
+
+    def test_remodulate_projects_onto_constellation(self, mod):
+        rng = np.random.default_rng(1)
+        noisy = mod.points + 0.01 * (rng.normal(size=mod.points.size)
+                                     + 1j * rng.normal(size=mod.points.size))
+        np.testing.assert_allclose(mod.remodulate(noisy), mod.points)
+
+    def test_wrong_bit_count_raises(self, mod):
+        if mod.bits_per_symbol == 1:
+            pytest.skip("any count is a multiple of 1")
+        with pytest.raises(ValueError):
+            mod.modulate(np.zeros(mod.bits_per_symbol + 1, dtype=np.uint8))
+
+
+class TestSmallNoiseRobustness:
+    @given(st.integers(min_value=0, max_value=2**16 - 1), st.integers(0, 3))
+    def test_decisions_stable_under_small_noise(self, seed, mod_idx):
+        mod = ALL[mod_idx]
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=mod.bits_per_symbol * 24, dtype=np.uint8)
+        symbols = mod.modulate(bits)
+        # Perturb by less than half the minimum distance.
+        min_dist = min(
+            np.abs(a - b) for i, a in enumerate(mod.points) for b in mod.points[i + 1:]
+        )
+        noise = (0.3 * min_dist) * np.exp(1j * rng.uniform(0, 2 * np.pi, symbols.size))
+        np.testing.assert_array_equal(mod.demodulate(symbols + noise), bits)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_modulation("qam16") is QAM16
+        assert get_modulation("QAM-64") is QAM64
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_modulation("QAM1024")
+
+    def test_registry_complete(self):
+        assert set(MODULATIONS) == {"BPSK", "QPSK", "QAM16", "QAM64"}

@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.phy.constants import (
+    CP_LENGTH,
+    DATA_SUBCARRIER_INDICES,
+    FFT_SIZE,
+    PILOT_SUBCARRIER_INDICES,
+    USED_SUBCARRIER_INDICES,
+)
+from repro.phy.ofdm import (
+    DATA_POSITIONS,
+    PILOT_POSITIONS,
+    assemble_symbol,
+    map_subcarriers,
+    ofdm_demodulate,
+    ofdm_modulate,
+    split_symbol,
+    unmap_subcarriers,
+)
+
+
+class TestGrid:
+    def test_counts(self):
+        assert USED_SUBCARRIER_INDICES.size == 52
+        assert DATA_SUBCARRIER_INDICES.size == 48
+        assert PILOT_SUBCARRIER_INDICES.size == 4
+
+    def test_pilot_locations(self):
+        assert set(PILOT_SUBCARRIER_INDICES.tolist()) == {-21, -7, 7, 21}
+
+    def test_dc_not_used(self):
+        assert 0 not in USED_SUBCARRIER_INDICES
+
+    def test_positions_partition_used(self):
+        assert set(DATA_POSITIONS.tolist()) | set(PILOT_POSITIONS.tolist()) == set(range(52))
+        assert not set(DATA_POSITIONS.tolist()) & set(PILOT_POSITIONS.tolist())
+
+
+class TestAssembleSplit:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=48) + 1j * rng.normal(size=48)
+        pilots = np.array([1.0, 1.0, 1.0, -1.0], dtype=complex)
+        used = assemble_symbol(data, pilots)
+        data2, pilots2 = split_symbol(used)
+        np.testing.assert_allclose(data2, data)
+        np.testing.assert_allclose(pilots2, pilots)
+
+    def test_wrong_sizes_raise(self):
+        with pytest.raises(ValueError):
+            assemble_symbol(np.zeros(47, dtype=complex), np.zeros(4, dtype=complex))
+        with pytest.raises(ValueError):
+            assemble_symbol(np.zeros(48, dtype=complex), np.zeros(5, dtype=complex))
+
+
+class TestMapping:
+    def test_round_trip(self):
+        rng = np.random.default_rng(1)
+        used = rng.normal(size=52) + 1j * rng.normal(size=52)
+        np.testing.assert_allclose(unmap_subcarriers(map_subcarriers(used)), used)
+
+    def test_unused_bins_zero(self):
+        grid = map_subcarriers(np.ones(52, dtype=complex))
+        assert grid[0] == 0  # DC
+        assert np.all(grid[27:38] == 0)  # guard band
+
+
+class TestTimeDomain:
+    def test_round_trip(self):
+        rng = np.random.default_rng(2)
+        used = rng.normal(size=52) + 1j * rng.normal(size=52)
+        grid = map_subcarriers(used)
+        samples = ofdm_modulate(grid)
+        assert samples.shape[-1] == FFT_SIZE + CP_LENGTH
+        np.testing.assert_allclose(ofdm_demodulate(samples), grid, atol=1e-12)
+
+    def test_cyclic_prefix_is_tail_copy(self):
+        rng = np.random.default_rng(3)
+        grid = map_subcarriers(rng.normal(size=52) + 1j * rng.normal(size=52))
+        samples = ofdm_modulate(grid)
+        np.testing.assert_allclose(samples[:CP_LENGTH], samples[-CP_LENGTH:])
+
+    def test_power_preserved(self):
+        """sqrt(N)-scaled IFFT keeps average sample power = subcarrier power."""
+        rng = np.random.default_rng(4)
+        used = np.exp(1j * rng.uniform(0, 2 * np.pi, 52))  # unit-power tones
+        grid = map_subcarriers(used)
+        samples = ofdm_modulate(grid)[CP_LENGTH:]
+        body_power = np.mean(np.abs(samples) ** 2) * FFT_SIZE
+        assert body_power == pytest.approx(52.0, rel=1e-9)
+
+    def test_batch_shapes(self):
+        grids = np.zeros((5, FFT_SIZE), dtype=complex)
+        assert ofdm_modulate(grids).shape == (5, FFT_SIZE + CP_LENGTH)
+
+    def test_cyclic_shift_equivalence(self):
+        """A one-tap delay in time = linear phase in frequency (CP makes it circular)."""
+        rng = np.random.default_rng(5)
+        used = rng.normal(size=52) + 1j * rng.normal(size=52)
+        grid = map_subcarriers(used)
+        samples = ofdm_modulate(grid)
+        body = samples[CP_LENGTH:]
+        delayed = np.roll(body, 1)
+        shifted_grid = np.fft.fft(delayed) / np.sqrt(FFT_SIZE)
+        k = np.arange(FFT_SIZE)
+        expected = grid * np.exp(-2j * np.pi * k / FFT_SIZE)
+        np.testing.assert_allclose(shifted_grid, expected, atol=1e-10)

@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy import payload_codec
+from repro.phy.mcs import MCS_TABLE, mcs_by_name
+from repro.phy.ofdm import split_symbol
+
+
+@pytest.mark.parametrize("mcs", MCS_TABLE, ids=lambda m: m.name)
+@pytest.mark.parametrize("coded", [True, False], ids=["coded", "uncoded"])
+class TestRoundTrip:
+    def test_bytes_round_trip(self, mcs, coded):
+        rng = np.random.default_rng(0)
+        payload = bytes(rng.integers(0, 256, 700, dtype=np.uint8))
+        matrix = payload_codec.encode_payload_bits(payload, mcs, coded)
+        assert matrix.shape == (
+            payload_codec.num_payload_symbols(len(payload), mcs, coded),
+            mcs.coded_bits_per_symbol,
+        )
+        decoded = payload_codec.decode_payload_bits(matrix, len(payload), mcs, coded)
+        assert decoded == payload
+
+    def test_symbols_round_trip(self, mcs, coded):
+        rng = np.random.default_rng(1)
+        payload = bytes(rng.integers(0, 256, 300, dtype=np.uint8))
+        matrix = payload_codec.encode_payload_bits(payload, mcs, coded)
+        symbols = payload_codec.bits_to_symbols(matrix, mcs, first_pilot_index=1)
+        recovered = payload_codec.symbols_to_bits(symbols, mcs)
+        np.testing.assert_array_equal(recovered, matrix)
+
+
+class TestSymbolCounts:
+    def test_coded_includes_service_and_tail(self):
+        mcs = mcs_by_name("BPSK-1/2")  # 24 data bits/symbol
+        # 1 byte → 16 + 8 + 6 = 30 bits → 2 symbols.
+        assert payload_codec.num_payload_symbols(1, mcs, coded=True) == 2
+
+    def test_uncoded_exact(self):
+        mcs = mcs_by_name("QAM64-3/4")  # 288 coded bits/symbol
+        assert payload_codec.num_payload_symbols(36, mcs, coded=False) == 1
+        assert payload_codec.num_payload_symbols(37, mcs, coded=False) == 2
+
+    def test_paper_4kb_qam64_is_114_symbols(self):
+        """4 KB QAM64 uncoded ≈ 114 symbols — the x-axis span of Fig. 3."""
+        mcs = mcs_by_name("QAM64-3/4")
+        assert payload_codec.num_payload_symbols(4090, mcs, coded=False) == 114
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            payload_codec.num_payload_symbols(0, MCS_TABLE[0])
+
+
+class TestPhases:
+    def test_phase_rotates_whole_symbol(self):
+        mcs = mcs_by_name("QPSK-1/2")
+        rng = np.random.default_rng(2)
+        payload = bytes(rng.integers(0, 256, 60, dtype=np.uint8))
+        matrix = payload_codec.encode_payload_bits(payload, mcs, coded=False)
+        n = matrix.shape[0]
+        base = payload_codec.bits_to_symbols(matrix, mcs, first_pilot_index=1)
+        phases = np.linspace(0.3, 1.5, n)
+        rotated = payload_codec.bits_to_symbols(matrix, mcs, 1, phases=phases)
+        for i in range(n):
+            np.testing.assert_allclose(rotated[i], base[i] * np.exp(1j * phases[i]))
+
+    def test_pilots_rotate_with_data(self):
+        """Injected phase must preserve the pilot/data relationship."""
+        mcs = mcs_by_name("BPSK-1/2")
+        matrix = payload_codec.encode_payload_bits(b"\xaa" * 12, mcs, coded=False)
+        rotated = payload_codec.bits_to_symbols(
+            matrix, mcs, 1, phases=np.full(matrix.shape[0], np.pi / 2)
+        )
+        _, pilots = split_symbol(rotated[0])
+        # Pilots should be purely imaginary after a 90° rotation.
+        assert np.allclose(pilots.real, 0.0, atol=1e-12)
+
+    def test_wrong_phase_count_raises(self):
+        mcs = mcs_by_name("BPSK-1/2")
+        matrix = payload_codec.encode_payload_bits(b"abcdef", mcs, coded=False)
+        with pytest.raises(ValueError):
+            payload_codec.bits_to_symbols(matrix, mcs, 1, phases=np.zeros(99))
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=1, max_size=400), st.integers(0, 7), st.booleans())
+    def test_any_payload_any_mcs(self, payload, mcs_idx, coded):
+        mcs = MCS_TABLE[mcs_idx]
+        matrix = payload_codec.encode_payload_bits(payload, mcs, coded)
+        decoded = payload_codec.decode_payload_bits(matrix, len(payload), mcs, coded)
+        assert decoded == payload

@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.phy.constants import PILOT_POLARITY, pilot_values
+from repro.phy.ofdm import PILOT_POSITIONS, assemble_symbol
+from repro.phy.pilots import compensate_phase, estimate_phase_offset, track_and_compensate
+from repro.phy.preamble import LTF_SEQUENCE, STF_SEQUENCE
+
+
+class TestPreambleSequences:
+    def test_ltf_is_bpsk(self):
+        assert set(np.unique(LTF_SEQUENCE.real)) <= {-1.0, 1.0}
+        assert np.all(LTF_SEQUENCE.imag == 0)
+
+    def test_ltf_full_band(self):
+        assert np.all(np.abs(LTF_SEQUENCE) == 1.0)
+
+    def test_stf_sparse(self):
+        nonzero = np.flatnonzero(np.abs(STF_SEQUENCE) > 0)
+        assert nonzero.size == 12
+
+    def test_stf_power(self):
+        # STF total power matches the 52-tone normalisation of the standard.
+        total = np.sum(np.abs(STF_SEQUENCE) ** 2)
+        assert total == pytest.approx(26.0, rel=1e-6)
+
+
+class TestPilotPolarity:
+    def test_polarity_values(self):
+        assert set(np.unique(PILOT_POLARITY)) == {-1.0, 1.0}
+        assert PILOT_POLARITY.size == 127
+
+    def test_first_polarity_positive(self):
+        # p₀ = +1 in 802.11a: the SIG symbol pilots are (1,1,1,-1).
+        np.testing.assert_array_equal(pilot_values(0), [1, 1, 1, -1])
+
+    def test_polarity_wraps(self):
+        np.testing.assert_array_equal(pilot_values(127), pilot_values(0))
+
+    def test_polarity_varies(self):
+        assert any(
+            not np.array_equal(pilot_values(i), pilot_values(0)) for i in range(1, 10)
+        )
+
+
+class TestPhaseTracking:
+    def _symbol_with_phase(self, phase, symbol_index=0):
+        rng = np.random.default_rng(0)
+        data = np.exp(1j * rng.uniform(0, 2 * np.pi, 48))
+        used = assemble_symbol(data, pilot_values(symbol_index))
+        return used * np.exp(1j * phase)
+
+    @pytest.mark.parametrize("phase", [-2.5, -0.7, 0.0, 0.3, 1.9])
+    def test_estimates_injected_phase(self, phase):
+        used = self._symbol_with_phase(phase, symbol_index=3)
+        est = estimate_phase_offset(used, symbol_index=3)
+        assert est == pytest.approx(phase, abs=1e-9)
+
+    def test_wrong_polarity_index_breaks_estimate(self):
+        """Using the wrong pilot polarity gives a wrong phase — the receiver
+        must keep an absolute symbol counter."""
+        idx_flip = next(
+            i for i in range(1, 20)
+            if not np.array_equal(pilot_values(i), pilot_values(0))
+        )
+        used = self._symbol_with_phase(0.5, symbol_index=idx_flip)
+        wrong = estimate_phase_offset(used, symbol_index=0)
+        assert abs(wrong - 0.5) > 0.1
+
+    def test_track_and_compensate_removes_phase(self):
+        used = self._symbol_with_phase(1.2, symbol_index=5)
+        compensated, phase = track_and_compensate(used, 5)
+        assert phase == pytest.approx(1.2, abs=1e-9)
+        reference = self._symbol_with_phase(0.0, symbol_index=5)
+        np.testing.assert_allclose(compensated, reference, atol=1e-9)
+
+    def test_estimation_accuracy_independent_of_rotation(self):
+        """Pilot tracking error must not depend on the amount of rotation —
+        the property Carpool's side channel relies on (§5.2)."""
+        rng = np.random.default_rng(7)
+        errors = {}
+        for phase in (0.1, 3.0):
+            errs = []
+            for _ in range(200):
+                used = self._symbol_with_phase(phase)
+                noise = 0.05 * (rng.normal(size=52) + 1j * rng.normal(size=52))
+                est = estimate_phase_offset(used + noise, 0)
+                errs.append(abs(np.angle(np.exp(1j * (est - phase)))))
+            errors[phase] = np.mean(errs)
+        assert errors[3.0] == pytest.approx(errors[0.1], rel=0.5)
+
+    def test_compensate_phase_inverse(self):
+        used = self._symbol_with_phase(0.0)
+        rotated = compensate_phase(used, -0.8)
+        np.testing.assert_allclose(compensate_phase(rotated, 0.8), used)

@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.scrambler import descramble, scramble, scrambler_sequence
+
+
+class TestSequence:
+    def test_period_127(self):
+        seq = scrambler_sequence(254)
+        np.testing.assert_array_equal(seq[:127], seq[127:])
+
+    def test_balanced(self):
+        seq = scrambler_sequence(127)
+        # Maximal-length LFSR: 64 ones, 63 zeros per period.
+        assert seq.sum() == 64
+
+    def test_all_ones_seed_known_prefix(self):
+        # 802.11a-2012 Annex: all-ones seed generates 00001110 1111...
+        seq = scrambler_sequence(8, seed=0b1111111)
+        assert seq.tolist() == [0, 0, 0, 0, 1, 1, 1, 0]
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            scrambler_sequence(10, seed=0)
+
+    def test_seed_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            scrambler_sequence(10, seed=1 << 7)
+
+
+class TestScramble:
+    def test_self_inverse(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 500, dtype=np.uint8)
+        np.testing.assert_array_equal(descramble(scramble(bits)), bits)
+
+    def test_whitens_constant_input(self):
+        zeros = np.zeros(1270, dtype=np.uint8)
+        scrambled = scramble(zeros)
+        assert 0.4 < scrambled.mean() < 0.6
+
+    @given(st.integers(min_value=1, max_value=127), st.integers(0, 2**32 - 1))
+    def test_round_trip_any_seed(self, seed, data_seed):
+        rng = np.random.default_rng(data_seed)
+        bits = rng.integers(0, 2, 100, dtype=np.uint8)
+        np.testing.assert_array_equal(descramble(scramble(bits, seed), seed), bits)
+
+    def test_different_seeds_differ(self):
+        bits = np.zeros(100, dtype=np.uint8)
+        assert not np.array_equal(scramble(bits, 1), scramble(bits, 2))

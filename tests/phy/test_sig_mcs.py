@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.phy.mcs import BASIC_MCS, MCS_TABLE, mcs_by_name, mcs_by_rate_bits
+from repro.phy.sig import SigDecodeError, SigField, decode_sig, encode_sig
+
+
+class TestMcsTable:
+    def test_eight_rates(self):
+        assert len(MCS_TABLE) == 8
+        assert [m.rate_mbps for m in MCS_TABLE] == [6, 9, 12, 18, 24, 36, 48, 54]
+
+    def test_data_bits_per_symbol(self):
+        expected = {6: 24, 9: 36, 12: 48, 18: 72, 24: 96, 36: 144, 48: 192, 54: 216}
+        for mcs in MCS_TABLE:
+            assert mcs.data_bits_per_symbol == expected[mcs.rate_mbps]
+
+    def test_rate_consistency(self):
+        """N_DBPS per 4 µs symbol must equal the nominal rate."""
+        for mcs in MCS_TABLE:
+            assert mcs.data_bits_per_symbol / 4e-6 == pytest.approx(mcs.rate_mbps * 1e6)
+
+    def test_rate_bits_unique_and_resolvable(self):
+        assert len({m.rate_bits for m in MCS_TABLE}) == 8
+        for mcs in MCS_TABLE:
+            assert mcs_by_rate_bits(mcs.rate_bits) is mcs
+
+    def test_basic_is_bpsk_half(self):
+        assert BASIC_MCS.name == "BPSK-1/2"
+
+    def test_lookup_by_name(self):
+        assert mcs_by_name("QAM64-3/4").rate_mbps == 54
+
+    def test_bad_lookups_raise(self):
+        with pytest.raises(KeyError):
+            mcs_by_rate_bits(0b0000)
+        with pytest.raises(KeyError):
+            mcs_by_name("QAM128-7/8")
+
+
+class TestSig:
+    @pytest.mark.parametrize("mcs", MCS_TABLE, ids=lambda m: m.name)
+    @pytest.mark.parametrize("length", [1, 300, 1500, 4095])
+    def test_round_trip(self, mcs, length):
+        points = encode_sig(SigField(mcs=mcs, length_bytes=length))
+        assert points.size == 48
+        decoded = decode_sig(points)
+        assert decoded.mcs is mcs
+        assert decoded.length_bytes == length
+
+    def test_invalid_length_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            SigField(mcs=BASIC_MCS, length_bytes=0)
+        with pytest.raises(ValueError):
+            SigField(mcs=BASIC_MCS, length_bytes=4096)
+
+    def test_survives_noise(self):
+        rng = np.random.default_rng(0)
+        points = encode_sig(SigField(mcs=BASIC_MCS, length_bytes=1200))
+        noisy = points + 0.25 * (rng.normal(size=48) + 1j * rng.normal(size=48))
+        assert decode_sig(noisy).length_bytes == 1200
+
+    def test_garbage_raises(self):
+        rng = np.random.default_rng(1)
+        fails = 0
+        for _ in range(20):
+            garbage = rng.normal(size=48) + 1j * rng.normal(size=48)
+            try:
+                decode_sig(garbage)
+            except SigDecodeError:
+                fails += 1
+        # Parity + RATE validity reject the bulk of random symbols.
+        assert fails >= 10

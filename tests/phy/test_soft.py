@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.channel import ChannelModel, FadingProfile
+from repro.phy import PhyReceiver, PhyTransmitter, mcs_by_name
+from repro.phy.coding import RATE_1_2, RATE_3_4, conv_encode
+from repro.phy.modulation import BPSK, QAM16, QAM64, QPSK
+from repro.phy.soft import (
+    deinterleave_llrs,
+    soft_demodulate,
+    viterbi_decode_soft,
+)
+from repro.util.rng import RngStream
+
+
+class TestSoftDemodulate:
+    @pytest.mark.parametrize("mod", [BPSK, QPSK, QAM16, QAM64], ids=lambda m: m.name)
+    def test_signs_match_hard_decisions(self, mod):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 48 * mod.bits_per_symbol, dtype=np.uint8)
+        points = mod.modulate(bits)
+        llrs = soft_demodulate(points, mod)
+        hard = (llrs < 0).astype(np.uint8)  # negative LLR ⇒ bit 1
+        np.testing.assert_array_equal(hard, bits)
+
+    def test_magnitude_reflects_confidence(self):
+        # A point on the boundary has |LLR| ≈ 0; a clean point does not.
+        clean = soft_demodulate(np.array([1.0 + 0j]), BPSK)
+        boundary = soft_demodulate(np.array([0.001 + 0j]), BPSK)
+        assert abs(clean[0]) > 100 * abs(boundary[0])
+
+    def test_reliability_scales_llrs(self):
+        points = np.array([1.0 + 0j, -1.0 + 0j])
+        weak = soft_demodulate(points, BPSK, reliability=0.1)
+        strong = soft_demodulate(points, BPSK, reliability=10.0)
+        np.testing.assert_allclose(strong, 100 * weak)
+
+    def test_per_point_reliability(self):
+        points = np.array([1.0 + 0j, 1.0 + 0j])  # BPSK +1 ⇒ bit 1 ⇒ LLR < 0
+        llrs = soft_demodulate(points, BPSK, reliability=np.array([1.0, 0.0]))
+        assert llrs[0] < 0
+        assert llrs[1] == 0.0  # zero reliability ⇒ no opinion
+
+
+class TestSoftViterbi:
+    def _llrs_from_bits(self, coded, flip_scale=4.0):
+        # bit 0 → +scale, bit 1 → −scale.
+        return flip_scale * (1.0 - 2.0 * coded.astype(float))
+
+    @pytest.mark.parametrize("rate", [RATE_1_2, RATE_3_4], ids=lambda r: r.name)
+    def test_noiseless_round_trip(self, rate):
+        rng = np.random.default_rng(1)
+        msg = rng.integers(0, 2, 120, dtype=np.uint8)
+        msg[-6:] = 0
+        coded = conv_encode(msg, rate)
+        decoded = viterbi_decode_soft(self._llrs_from_bits(coded), msg.size, rate)
+        np.testing.assert_array_equal(decoded, msg)
+
+    def test_erasures_tolerated(self):
+        """Zero-LLR (erased) positions are survivable."""
+        rng = np.random.default_rng(2)
+        msg = rng.integers(0, 2, 96, dtype=np.uint8)
+        msg[-6:] = 0
+        coded = conv_encode(msg, RATE_1_2)
+        llrs = self._llrs_from_bits(coded)
+        llrs[5::17] = 0.0  # scatter erasures
+        decoded = viterbi_decode_soft(llrs, msg.size, RATE_1_2)
+        np.testing.assert_array_equal(decoded, msg)
+
+    def test_weak_wrong_votes_overruled(self):
+        """Soft decoding's whole point: confidently-right bits outvote
+        weakly-wrong ones (hard decoding would have to correct them)."""
+        rng = np.random.default_rng(3)
+        msg = rng.integers(0, 2, 96, dtype=np.uint8)
+        msg[-6:] = 0
+        coded = conv_encode(msg, RATE_1_2)
+        llrs = self._llrs_from_bits(coded, flip_scale=4.0)
+        # Flip a third of the positions but only with tiny confidence.
+        flips = rng.choice(llrs.size, size=llrs.size // 3, replace=False)
+        llrs[flips] = -0.3 * np.sign(llrs[flips])
+        decoded = viterbi_decode_soft(llrs, msg.size, RATE_1_2)
+        np.testing.assert_array_equal(decoded, msg)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            viterbi_decode_soft(np.zeros(10), 100, RATE_1_2)
+
+    def test_deinterleave_llrs_matches_bit_path(self):
+        from repro.phy.interleaver import interleave
+
+        rng = np.random.default_rng(4)
+        bits = rng.integers(0, 2, 96, dtype=np.uint8)
+        interleaved = interleave(bits, QPSK.bits_per_symbol)
+        llrs = 1.0 - 2.0 * interleaved.astype(float)
+        restored = (deinterleave_llrs(llrs, QPSK.bits_per_symbol) < 0).astype(np.uint8)
+        np.testing.assert_array_equal(restored, bits)
+
+
+class TestSoftReceiver:
+    def test_soft_requires_coded(self):
+        with pytest.raises(ValueError):
+            PhyReceiver(coded=False, soft=True)
+
+    def test_loopback(self):
+        payload = bytes(np.random.default_rng(5).integers(0, 256, 300, dtype=np.uint8))
+        mcs = mcs_by_name("QAM16-1/2")
+        frame = PhyTransmitter(mcs).build_frame(payload)
+        rx = PhyReceiver(soft=True).receive(frame.symbols)
+        assert rx.payload == payload
+
+    def test_soft_beats_hard_on_faded_channel(self):
+        """FER comparison on a frequency-selective link: the soft path's
+        per-subcarrier reliability weighting must win."""
+        rng = np.random.default_rng(6)
+        payload = bytes(rng.integers(0, 256, 400, dtype=np.uint8))
+        mcs = mcs_by_name("QAM16-3/4")
+        frame = PhyTransmitter(mcs).build_frame(payload)
+        profile = FadingProfile(num_taps=4, delay_spread_taps=1.5,
+                                ricean_k_db=5.0, coherence_time=np.inf)
+        hard_errors = 0
+        soft_errors = 0
+        trials = 40
+        for t in range(trials):
+            channel = ChannelModel(snr_db=19.0, rng=RngStream(100 + t),
+                                   profile=profile)
+            received = channel.transmit(frame.symbols)
+            hard_errors += PhyReceiver(soft=False).receive(received).payload != payload
+            soft_errors += PhyReceiver(soft=True).receive(received).payload != payload
+        assert soft_errors < 0.7 * hard_errors
+        assert hard_errors >= 8  # the regime actually stresses the decoder

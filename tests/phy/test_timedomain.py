@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from repro.phy import PhyReceiver, PhyTransmitter, mcs_by_name
+from repro.phy.constants import SYMBOL_SAMPLES
+from repro.phy.timedomain import (
+    STF_PERIOD,
+    TimeDomainChannel,
+    coarse_cfo_estimate,
+    detect_frame,
+    frame_to_samples,
+    samples_to_symbols,
+)
+from repro.util.rng import RngStream
+
+
+def _frame(payload=b"sample-level path!" * 8, mcs_name="QPSK-1/2"):
+    return PhyTransmitter(mcs_by_name(mcs_name), coded=True).build_frame(payload)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        frame = _frame()
+        samples = frame_to_samples(frame.symbols)
+        assert samples.size == frame.n_symbols * SYMBOL_SAMPLES
+        symbols = samples_to_symbols(samples, frame.n_symbols)
+        np.testing.assert_allclose(symbols, frame.symbols, atol=1e-10)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            samples_to_symbols(np.zeros(10, dtype=complex), 2)
+
+    def test_stf_waveform_periodic(self):
+        """The L-STF's 16-sample periodicity is what sync relies on."""
+        frame = _frame()
+        samples = frame_to_samples(frame.symbols)
+        stf_body = samples[16 : 16 + 64]  # first STF symbol, after its CP
+        np.testing.assert_allclose(stf_body[:STF_PERIOD], stf_body[STF_PERIOD:2 * STF_PERIOD],
+                                   atol=1e-9)
+
+
+class TestTimeDomainChannel:
+    def test_taps_must_fit_cp(self):
+        with pytest.raises(ValueError):
+            TimeDomainChannel(taps=np.ones(20))
+
+    def test_identity_channel_transparent(self):
+        frame = _frame()
+        channel = TimeDomainChannel(taps=np.array([1.0]), snr_db=80.0)
+        received = channel.transmit(frame_to_samples(frame.symbols), RngStream(0).child("n"))
+        symbols = samples_to_symbols(received, frame.n_symbols)
+        np.testing.assert_allclose(symbols, frame.symbols, atol=1e-3)
+
+    def test_equivalence_with_frequency_domain(self):
+        """Time-domain convolution == per-subcarrier multiplication by the
+        tap FFT, for in-CP delay spreads (aside from the one-symbol edge)."""
+        frame = _frame()
+        taps = np.array([0.8, 0.3 - 0.2j, 0.1j])
+        channel = TimeDomainChannel(taps=taps, snr_db=200.0)
+        received = channel.transmit(frame_to_samples(frame.symbols), RngStream(1).child("n"))
+        symbols_td = samples_to_symbols(received, frame.n_symbols)
+
+        from repro.phy.constants import FFT_SIZE, USED_SUBCARRIER_INDICES
+        from repro.phy.ofdm import logical_to_fft_bins
+
+        h = np.fft.fft(taps, FFT_SIZE)[logical_to_fft_bins(USED_SUBCARRIER_INDICES)]
+        symbols_fd = frame.symbols * h[None, :]
+        np.testing.assert_allclose(symbols_td, symbols_fd, atol=1e-6)
+
+    def test_delay_shifts_frame(self):
+        frame = _frame()
+        channel = TimeDomainChannel(taps=np.array([1.0]), snr_db=80.0, delay_samples=37)
+        received = channel.transmit(frame_to_samples(frame.symbols), RngStream(2).child("n"))
+        symbols = samples_to_symbols(received[37:], frame.n_symbols)
+        np.testing.assert_allclose(symbols, frame.symbols, atol=1e-3)
+
+
+class TestSynchronization:
+    def _received(self, delay, snr_db=20.0, cfo_hz=0.0, seed=3):
+        frame = _frame()
+        channel = TimeDomainChannel(
+            taps=np.array([1.0, 0.15 - 0.1j]), snr_db=snr_db, cfo_hz=cfo_hz,
+            delay_samples=delay,
+        )
+        samples = channel.transmit(frame_to_samples(frame.symbols),
+                                   RngStream(seed).child("n"))
+        return frame, samples
+
+    @pytest.mark.parametrize("delay", [0, 23, 160, 401])
+    def test_detects_start_within_cp(self, delay):
+        frame, samples = self._received(delay)
+        start = detect_frame(samples)
+        assert start is not None
+        # Timing within the CP is recoverable by the equalizer; require it.
+        assert abs(start - delay) <= 12
+
+    def test_no_detection_on_noise(self):
+        noise = RngStream(4).child("n").complex_normal(scale=1.0, size=4000)
+        assert detect_frame(noise) is None
+
+    def test_coarse_cfo(self):
+        frame, samples = self._received(delay=100, snr_db=25.0, cfo_hz=80e3)
+        start = detect_frame(samples)
+        cfo = coarse_cfo_estimate(samples, start)
+        assert cfo == pytest.approx(80e3, abs=8e3)
+
+    def test_cfo_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            coarse_cfo_estimate(np.zeros(50, dtype=complex), 0)
+
+
+class TestEndToEndSampleLevel:
+    def test_full_chain_through_waveform(self):
+        """TX symbols → waveform → channel+delay → detect → align →
+        standard receiver → payload."""
+        payload = bytes(np.random.default_rng(5).integers(0, 256, 240, dtype=np.uint8))
+        frame = PhyTransmitter(mcs_by_name("QAM16-1/2"), coded=True).build_frame(payload)
+        channel = TimeDomainChannel(
+            taps=np.array([0.9, 0.2 + 0.1j]), snr_db=28.0, cfo_hz=1500.0,
+            delay_samples=211,
+        )
+        waveform = channel.transmit(frame_to_samples(frame.symbols),
+                                    RngStream(6).child("n"))
+        start = detect_frame(waveform)
+        assert start is not None
+        # Back off a few samples into the CP to avoid ISI from late taps.
+        aligned = waveform[max(start - 4, 0):]
+        symbols = samples_to_symbols(aligned, frame.n_symbols)
+        rx = PhyReceiver(coded=True).receive(symbols)
+        assert rx.payload == payload

@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.channel import ChannelModel, FadingProfile
+from repro.phy import PhyReceiver, PhyTransmitter, mcs_by_name
+from repro.phy.cfo import phase_step_from_cfo
+from repro.phy.frontend import acquire
+from repro.phy.sig import SigDecodeError
+from repro.util.rng import RngStream
+
+STATIC = FadingProfile(coherence_time=float("inf"))
+
+
+def _run_link(payload, mcs_name, snr_db, coded=True, seed=0, **channel_kwargs):
+    mcs = mcs_by_name(mcs_name)
+    tx = PhyTransmitter(mcs, coded=coded)
+    frame = tx.build_frame(payload)
+    channel = ChannelModel(snr_db=snr_db, rng=RngStream(seed), **channel_kwargs)
+    rx = PhyReceiver(coded=coded).receive(channel.transmit(frame.symbols))
+    return frame, rx
+
+
+class TestIdealChannel:
+    """Noise-free, flat channel: everything must decode perfectly."""
+
+    def _ideal(self, mcs_name, payload, coded):
+        mcs = mcs_by_name(mcs_name)
+        frame = PhyTransmitter(mcs, coded=coded).build_frame(payload)
+        rx = PhyReceiver(coded=coded).receive(frame.symbols)
+        return frame, rx
+
+    @pytest.mark.parametrize("mcs_name", ["BPSK-1/2", "QPSK-3/4", "QAM16-1/2", "QAM64-3/4"])
+    @pytest.mark.parametrize("coded", [True, False])
+    def test_loopback(self, mcs_name, coded):
+        payload = bytes(range(200))
+        frame, rx = self._ideal(mcs_name, payload, coded)
+        assert rx.payload == payload
+        assert rx.sig.length_bytes == len(payload)
+        np.testing.assert_array_equal(rx.bit_matrix, frame.payload_bit_matrix)
+
+    def test_loopback_phases_near_zero(self):
+        _, rx = self._ideal("QPSK-1/2", b"hello world " * 10, True)
+        assert np.max(np.abs(rx.symbol_phases)) < 1e-6
+
+
+class TestNoisyChannel:
+    def test_high_snr_static_bpsk_error_free(self):
+        payload = bytes(np.random.default_rng(1).integers(0, 256, 500, dtype=np.uint8))
+        _, rx = _run_link(payload, "BPSK-1/2", 25, profile=STATIC)
+        assert rx.payload == payload
+
+    def test_cfo_estimated(self):
+        payload = b"x" * 100
+        _, rx = _run_link(payload, "BPSK-1/2", 35, profile=STATIC, cfo_hz=5000.0)
+        assert rx.cfo_hz == pytest.approx(5000.0, abs=500.0)
+        assert rx.payload == payload
+
+    def test_large_cfo_survivable(self):
+        payload = b"y" * 200
+        _, rx = _run_link(payload, "QPSK-1/2", 30, profile=STATIC, cfo_hz=40e3)
+        assert rx.payload == payload
+
+    def test_low_snr_corrupts(self):
+        payload = bytes(np.random.default_rng(2).integers(0, 256, 500, dtype=np.uint8))
+        frame, rx = _run_link(payload, "QAM64-3/4", 5, coded=False, profile=STATIC)
+        raw_ber = (rx.bit_matrix != frame.payload_bit_matrix).mean()
+        assert raw_ber > 0.05
+
+
+class TestBerBias:
+    def test_tail_symbols_worse_than_head(self):
+        """The Fig. 3 phenomenon: preamble-only estimation rots over a long
+        frame on a time-varying channel."""
+        rng = np.random.default_rng(3)
+        payload = bytes(rng.integers(0, 256, 4090, dtype=np.uint8))
+        mcs = mcs_by_name("QAM64-3/4")
+        frame = PhyTransmitter(mcs, coded=False).build_frame(payload)
+        channel = ChannelModel(
+            snr_db=26,
+            rng=RngStream(4),
+            profile=FadingProfile(coherence_time=20e-3),
+            symbol_duration=40e-6,
+            sfo_ppm=10.0,
+        )
+        receiver = PhyReceiver(coded=False)
+        errors = np.zeros(frame.n_payload_symbols)
+        for _ in range(30):
+            rx = receiver.receive(channel.transmit(frame.symbols))
+            errors += (rx.bit_matrix != frame.payload_bit_matrix).sum(axis=1)
+        head = errors[:10].mean()
+        tail = errors[-10:].mean()
+        assert tail > 2.0 * head
+
+
+class TestFrontend:
+    def test_acquire_reports_cfo(self):
+        mcs = mcs_by_name("BPSK-1/2")
+        frame = PhyTransmitter(mcs).build_frame(b"abc" * 20)
+        step = phase_step_from_cfo(1000.0)
+        n = frame.n_symbols
+        ramp = np.exp(1j * step * np.arange(n))[:, None]
+        front = acquire(frame.symbols * ramp)
+        assert front.cfo_hz == pytest.approx(1000.0, rel=1e-6)
+
+    def test_truncated_frame_raises(self):
+        mcs = mcs_by_name("BPSK-1/2")
+        frame = PhyTransmitter(mcs).build_frame(b"a" * 600)
+        with pytest.raises(SigDecodeError):
+            PhyReceiver().receive(frame.symbols[:20])

@@ -1,0 +1,55 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_phy_defaults(self):
+        args = build_parser().parse_args(["phy"])
+        assert args.mcs == "QAM64-3/4"
+        assert args.trials == 30
+
+    def test_mac_flags(self):
+        args = build_parser().parse_args(
+            ["mac", "--stations", "12", "--background", "--protocols", "Carpool"]
+        )
+        assert args.stations == 12
+        assert args.background
+        assert args.protocols == ["Carpool"]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "phy" in out and "mac" in out
+
+    def test_energy(self, capsys):
+        assert main(["energy"]) == 0
+        out = capsys.readouterr().out
+        assert "5.6" in out or "5.60" in out or "%" in out
+
+    def test_testbed(self, capsys):
+        assert main(["testbed"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") > 30  # 30 locations listed
+        assert "QAM" in out or "BPSK" in out or "QPSK" in out
+
+    def test_phy_small(self, capsys):
+        assert main(["phy", "--trials", "2", "--payload", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "standard" in out and "RTE" in out
+
+    def test_mac_small(self, capsys):
+        code = main(["mac", "--stations", "4", "--duration", "1",
+                     "--protocols", "Carpool", "802.11"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Carpool" in out and "802.11" in out
+
+    def test_mac_unknown_protocol(self, capsys):
+        assert main(["mac", "--protocols", "Bogus"]) == 2

@@ -1,0 +1,77 @@
+"""Property tests on the trace models and arrival generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    LIBRARY,
+    SIGCOMM04,
+    SIGCOMM08,
+    background_uplink_arrivals,
+    cbr_downlink_arrivals,
+    merge_arrivals,
+    sample_frame_sizes,
+    voip_downlink_arrivals,
+)
+from repro.util.rng import RngStream
+
+MODELS = (SIGCOMM04, SIGCOMM08, LIBRARY)
+
+
+class TestQuantileProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2), st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_within_support(self, model_idx, u):
+        model = MODELS[model_idx]
+        size = model.quantile(u)
+        sizes = [s for s, _ in model.size_points]
+        assert sizes[0] <= size <= sizes[-1]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_monotone(self, model_idx, u1, u2):
+        model = MODELS[model_idx]
+        lo, hi = sorted((u1, u2))
+        assert model.quantile(lo) <= model.quantile(hi)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2), st.integers(0, 2**16))
+    def test_samples_within_support(self, model_idx, seed):
+        model = MODELS[model_idx]
+        sizes = sample_frame_sizes(model, 200, RngStream(seed))
+        assert sizes.min() >= 1
+        assert sizes.max() <= 1500
+
+
+class TestArrivalProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**16), st.integers(1, 6))
+    def test_voip_sorted_and_in_horizon(self, seed, n_stas):
+        stas = [f"sta{i}" for i in range(n_stas)]
+        arrivals = voip_downlink_arrivals(stas, 5.0, RngStream(seed))
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 5.0 for t in times)
+        assert {a.destination for a in arrivals} <= set(stas)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**16))
+    def test_background_sorted_and_positive_sizes(self, seed):
+        arrivals = background_uplink_arrivals(["sta0", "sta1"], 3.0, RngStream(seed))
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert all(a.size_bytes >= 1 for a in arrivals)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**16), st.integers(0, 2**16))
+    def test_merge_preserves_count_and_order(self, seed1, seed2):
+        a = cbr_downlink_arrivals(["sta0"], 2.0, 100, 60.0, RngStream(seed1))
+        b = voip_downlink_arrivals(["sta1"], 2.0, RngStream(seed2))
+        merged = merge_arrivals(a, b)
+        assert len(merged) == len(a) + len(b)
+        times = [x.time for x in merged]
+        assert times == sorted(times)

@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    hamming_distance,
+    int_to_bits,
+    pad_bits,
+    random_bits,
+)
+
+
+class TestBytesBitsRoundTrip:
+    def test_known_pattern(self):
+        assert bytes_to_bits(b"\x80").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bytes_to_bits(b"\x01").tolist() == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_empty(self):
+        assert bytes_to_bits(b"").size == 0
+        assert bits_to_bytes(np.array([], dtype=np.uint8)) == b""
+
+    def test_non_multiple_of_eight_raises(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.ones(7, dtype=np.uint8))
+
+    @given(st.binary(min_size=0, max_size=200))
+    def test_round_trip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestIntBits:
+    def test_known(self):
+        assert int_to_bits(5, 4).tolist() == [0, 1, 0, 1]
+        assert bits_to_int(np.array([1, 0, 1])) == 5
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_round_trip(self, value):
+        assert bits_to_int(int_to_bits(value, 20)) == value
+
+
+class TestHamming:
+    def test_zero_for_equal(self):
+        a = np.array([1, 0, 1], dtype=np.uint8)
+        assert hamming_distance(a, a) == 0
+
+    def test_counts_differences(self):
+        a = np.array([1, 0, 1, 1], dtype=np.uint8)
+        b = np.array([0, 0, 1, 0], dtype=np.uint8)
+        assert hamming_distance(a, b) == 2
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance(np.zeros(3, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+
+class TestPadAndRandom:
+    def test_pad_noop_when_aligned(self):
+        bits = np.ones(8, dtype=np.uint8)
+        assert pad_bits(bits, 4).size == 8
+
+    def test_pad_extends_with_zeros(self):
+        bits = np.ones(5, dtype=np.uint8)
+        padded = pad_bits(bits, 4)
+        assert padded.size == 8
+        assert padded[5:].tolist() == [0, 0, 0]
+
+    def test_random_bits_binary(self):
+        bits = random_bits(1000, np.random.default_rng(0))
+        assert set(np.unique(bits)) <= {0, 1}
+        assert 300 < bits.sum() < 700

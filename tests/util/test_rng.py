@@ -1,0 +1,49 @@
+import numpy as np
+
+from repro.util.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_distinct_paths_distinct_seeds(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+        assert derive_seed(42, "a", "b") != derive_seed(42, "ab")
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+class TestRngStream:
+    def test_same_path_same_sequence(self):
+        a = RngStream(7).child("fading").uniform(size=10)
+        b = RngStream(7).child("fading").uniform(size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_children_independent(self):
+        root = RngStream(7)
+        a = root.child("noise").uniform(size=100)
+        b = root.child("traffic").uniform(size=100)
+        assert not np.allclose(a, b)
+
+    def test_adding_draws_does_not_perturb_sibling(self):
+        root1 = RngStream(7)
+        _ = root1.child("noise").uniform(size=1000)
+        t1 = root1.child("traffic").uniform(size=10)
+
+        root2 = RngStream(7)
+        t2 = root2.child("traffic").uniform(size=10)
+        np.testing.assert_array_equal(t1, t2)
+
+    def test_complex_normal_stats(self):
+        z = RngStream(7).child("z").complex_normal(scale=2.0, size=20000)
+        assert abs(np.mean(np.abs(z) ** 2) - 4.0) < 0.2
+        assert abs(z.mean()) < 0.1
+
+    def test_nested_children(self):
+        leaf = RngStream(5).child("a").child("b")
+        assert leaf.path == ("a", "b")
+
+    def test_repr_mentions_path(self):
+        assert "fading" in repr(RngStream(1).child("fading"))

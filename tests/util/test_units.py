@@ -1,0 +1,66 @@
+import math
+
+import pytest
+
+from repro.util.units import (
+    MEGA,
+    bits,
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    transmission_time,
+    watts_to_dbm,
+)
+
+
+class TestDbConversions:
+    def test_round_trip(self):
+        for db in (-20.0, 0.0, 3.0, 30.0):
+            assert linear_to_db(db_to_linear(db)) == pytest.approx(db)
+
+    def test_known_values(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert db_to_linear(3.0) == pytest.approx(2.0, rel=0.01)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+
+class TestDbm:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_twenty_dbm_is_hundred_milliwatt(self):
+        assert dbm_to_watts(20.0) == pytest.approx(0.1)
+
+    def test_round_trip(self):
+        assert watts_to_dbm(dbm_to_watts(17.0)) == pytest.approx(17.0)
+
+    def test_nonpositive_power_raises(self):
+        with pytest.raises(ValueError):
+            watts_to_dbm(0.0)
+
+
+class TestAirtime:
+    def test_bits(self):
+        assert bits(1500) == 12000
+
+    def test_paper_example_1500B_at_54mbps(self):
+        # §3: 1500-byte packet is ≈222 µs at 54 Mbit/s.
+        t = transmission_time(1500, 54 * MEGA)
+        assert t == pytest.approx(222e-6, rel=0.01)
+
+    def test_paper_example_64kb_at_54mbps(self):
+        # §3: a 64 KB aggregate needs ≈9.7 ms at 54 Mbit/s.
+        t = transmission_time(64 * 1024, 54 * MEGA)
+        assert t == pytest.approx(9.7e-3, rel=0.01)
+
+    def test_paper_example_1500B_at_600mbps(self):
+        # §3: 1500 B × 8 receivers at 600 Mbit/s ⇒ 20 µs payload airtime.
+        t = transmission_time(1500, 600 * MEGA)
+        assert t == pytest.approx(20e-6, rel=0.01)
+
+    def test_zero_rate_raises(self):
+        with pytest.raises(ValueError):
+            transmission_time(100, 0)
