@@ -1,6 +1,6 @@
 # Convenience targets for the Carpool reproduction.
 
-.PHONY: install test bench examples clean
+.PHONY: install test test-all bench bench-smoke examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,8 +8,16 @@ install:
 test:
 	pytest tests/
 
+test-all:
+	pytest tests/ -m ""
+
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast PHY timing harness: emits BENCH_phy.json and validates its schema.
+bench-smoke:
+	PYTHONPATH=src python -m repro bench --smoke --out BENCH_phy.json
+	PYTHONPATH=src python -c "import json; from repro.runtime.bench import validate_bench; validate_bench(json.load(open('BENCH_phy.json'))); print('BENCH_phy.json schema OK')"
 
 examples:
 	@for script in examples/*.py; do \

@@ -19,6 +19,7 @@ def _run():
         trials=TRIALS,
         use_rte=False,
         link=LinkConfig(seed=3),
+        n_workers=None,
     )
 
 

@@ -18,8 +18,10 @@ def _run():
     results = {}
     for mcs in MODULATIONS:
         for power in POWER_MAGNITUDES:
-            with_sc = data_ber_with_side_channel(mcs, power, TRIALS, inject=True)
-            without = data_ber_with_side_channel(mcs, power, TRIALS, inject=False)
+            with_sc = data_ber_with_side_channel(mcs, power, TRIALS, inject=True,
+                                                 n_workers=None)
+            without = data_ber_with_side_channel(mcs, power, TRIALS, inject=False,
+                                                 n_workers=None)
             results[(mcs, power)] = (with_sc, without)
     return results
 

@@ -16,8 +16,8 @@ TRIALS = 40
 def _run():
     results = {}
     for power in POWER_MAGNITUDES:
-        results[(1, power)] = side_channel_vs_data_ber(1, power, TRIALS)
-        results[(2, power)] = side_channel_vs_data_ber(2, power, TRIALS)
+        results[(1, power)] = side_channel_vs_data_ber(1, power, TRIALS, n_workers=None)
+        results[(2, power)] = side_channel_vs_data_ber(2, power, TRIALS, n_workers=None)
     return results
 
 

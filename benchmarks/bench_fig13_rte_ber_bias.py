@@ -23,10 +23,12 @@ def _run():
     results = {}
     for mcs in ("QAM64-3/4", "QAM16-3/4"):
         results[(mcs, "Standard")] = ber_by_symbol_index(
-            mcs, 4090, TRIALS, use_rte=False, link=LinkConfig(seed=13)
+            mcs, 4090, TRIALS, use_rte=False, link=LinkConfig(seed=13),
+            n_workers=None,
         )
         results[(mcs, "RTE")] = ber_by_symbol_index(
-            mcs, 4090, TRIALS, use_rte=True, link=LinkConfig(seed=13)
+            mcs, 4090, TRIALS, use_rte=True, link=LinkConfig(seed=13),
+            n_workers=None,
         )
     return results
 

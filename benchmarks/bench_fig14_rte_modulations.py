@@ -18,8 +18,10 @@ def _run():
     for power in POWERS:
         link = LinkConfig(seed=14).with_power(power)
         for mcs in MODULATIONS:
-            std = ber_by_symbol_index(mcs, 4090, TRIALS, use_rte=False, link=link)
-            rte = ber_by_symbol_index(mcs, 4090, TRIALS, use_rte=True, link=link)
+            std = ber_by_symbol_index(mcs, 4090, TRIALS, use_rte=False, link=link,
+                                      n_workers=None)
+            rte = ber_by_symbol_index(mcs, 4090, TRIALS, use_rte=True, link=link,
+                                      n_workers=None)
             results[(power, mcs)] = (std.mean_ber, rte.mean_ber)
     return results
 

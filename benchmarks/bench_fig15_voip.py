@@ -15,6 +15,7 @@ from repro.mac import (
     WifoxProtocol,
 )
 from repro.mac.scenarios import VoipScenario
+from repro.runtime import parallel_map
 
 PROTOCOLS = (Dot11Protocol, AmpduProtocol, MuAggregationProtocol,
              WifoxProtocol, CarpoolProtocol)
@@ -22,13 +23,18 @@ STA_COUNTS = (10, 14, 18, 22, 26, 30)
 DURATION = 8.0
 
 
-def _run():
-    results = {}
-    for n in STA_COUNTS:
-        scenario = VoipScenario(num_stations=n, duration=DURATION)
-        for cls in PROTOCOLS:
-            results[(n, cls.name)] = scenario.run(cls)
-    return results
+def _run_cell(cell):
+    n, cls = cell
+    scenario = VoipScenario(num_stations=n, duration=DURATION)
+    return (n, cls.name), scenario.run(cls)
+
+
+def _run(n_workers=None):
+    # Every (STA count, protocol) cell is an independent, self-seeded
+    # simulation, so the sweep fans out over the worker pool (serial==
+    # parallel; set REPRO_WORKERS to scale).
+    cells = [(n, cls) for n in STA_COUNTS for cls in PROTOCOLS]
+    return dict(parallel_map(_run_cell, cells, n_workers=n_workers))
 
 
 def test_fig15_voip_goodput_latency(benchmark):

@@ -15,6 +15,7 @@ from repro.mac import (
     WifoxProtocol,
 )
 from repro.mac.scenarios import VoipScenario
+from repro.runtime import parallel_map
 
 PROTOCOLS = (Dot11Protocol, AmpduProtocol, MuAggregationProtocol,
              WifoxProtocol, CarpoolProtocol)
@@ -22,13 +23,17 @@ STA_COUNTS = (10, 16, 20, 25, 30)
 DURATION = 8.0
 
 
-def _run():
-    results = {}
-    for n in STA_COUNTS:
-        scenario = VoipScenario(num_stations=n, duration=DURATION, with_background=True)
-        for cls in PROTOCOLS:
-            results[(n, cls.name)] = scenario.run(cls)
-    return results
+def _run_cell(cell):
+    n, cls = cell
+    scenario = VoipScenario(num_stations=n, duration=DURATION, with_background=True)
+    return (n, cls.name), scenario.run(cls)
+
+
+def _run(n_workers=None):
+    # Independent, self-seeded cells — identical results for any worker
+    # count (set REPRO_WORKERS to scale the sweep out over cores).
+    cells = [(n, cls) for n in STA_COUNTS for cls in PROTOCOLS]
+    return dict(parallel_map(_run_cell, cells, n_workers=n_workers))
 
 
 def test_fig16_background_traffic(benchmark):

@@ -21,7 +21,7 @@ def _run():
             config = SymbolCrcConfig(scheme=scheme, granularity=granularity)
             result = ber_by_symbol_index(
                 "QAM64-3/4", 4090, TRIALS, use_rte=True,
-                link=LinkConfig(seed=52), crc_config=config,
+                link=LinkConfig(seed=52), crc_config=config, n_workers=None,
             )
             results[(scheme.name, granularity)] = result
     return results

@@ -4,6 +4,12 @@ Each function transmits real frames through the full PHY + channel stack
 and measures bit errors, reproducing the methodology of §7.1: identical
 frames decoded offline under different schemes, BER per symbol index, BER
 per power setting, side-channel vs data-channel reliability.
+
+All experiments run their trials through :mod:`repro.runtime`: every trial
+owns an independently seeded channel realisation (via
+``np.random.SeedSequence.spawn``), so results are bit-identical whether the
+trials run serially or across a process pool — pass ``n_workers`` to any
+experiment to fan trials out over cores.
 """
 
 from __future__ import annotations
@@ -27,7 +33,8 @@ from repro.phy.transceiver import (
     SIG_SYMBOL_OFFSET,
     PhyTransmitter,
 )
-from repro.util.rng import RngStream
+from repro.runtime.trials import run_trials
+from repro.util.rng import RngStream, derive_seed
 
 __all__ = [
     "LinkConfig",
@@ -111,6 +118,45 @@ def _make_frame(payload_bytes: int, mcs: Mcs, crc_config: SymbolCrcConfig,
     )
 
 
+def _trial_channel(link: LinkConfig, stream_name: str,
+                   rng: np.random.Generator) -> ChannelModel:
+    """A fresh, independently seeded channel realisation for one trial."""
+    trial_seed = int(rng.integers(0, np.iinfo(np.int64).max))
+    return replace(link, seed=trial_seed).channel(stream_name)
+
+
+def _decode_standard_subframe(received, mcs, crc_config, use_rte, rte_rule):
+    """Front-end + SIG phase reference + subframe decode shared by trials."""
+    front = acquire(received)
+    sig_eq = equalize(front.derotated[SIG_SYMBOL_OFFSET], front.channel_estimate)
+    _, sig_phase = track_and_compensate(sig_eq, 0)
+    return decode_subframe_symbols(
+        front.derotated[PAYLOAD_SYMBOL_OFFSET:],
+        front.channel_estimate,
+        mcs,
+        first_pilot_index=1,
+        reference_phase=sig_phase,
+        crc_config=crc_config,
+        use_rte=use_rte,
+        rte_rule=rte_rule,
+    )
+
+
+def _ber_symbol_trial(trial_index, rng, frame, true_side_bits, link, mcs,
+                      crc_config, use_rte, rte_rule):
+    """One Fig. 3/13 trial: returns (per-symbol errors, CRC passes, side errs)."""
+    channel = _trial_channel(link, "ber-by-symbol", rng)
+    received = channel.transmit(frame.symbols)
+    bit_matrix, side_bits, crc_pass, _phases, _est, _eq = _decode_standard_subframe(
+        received, mcs, crc_config, use_rte, rte_rule
+    )
+    return (
+        (bit_matrix != frame.payload_bit_matrix).sum(axis=1),
+        int(crc_pass.sum()),
+        int((side_bits != true_side_bits).sum()),
+    )
+
+
 def ber_by_symbol_index(
     mcs_name: str = "QAM64-3/4",
     payload_bytes: int = 4090,
@@ -119,6 +165,7 @@ def ber_by_symbol_index(
     link: LinkConfig = LinkConfig(),
     crc_config: SymbolCrcConfig = DEFAULT_CRC_CONFIG,
     rte_rule="average",
+    n_workers: int | None = 1,
 ) -> SymbolBerResult:
     """BER as a function of OFDM-symbol index within a long frame.
 
@@ -127,34 +174,28 @@ def ber_by_symbol_index(
     (preamble-only) estimator or Carpool's RTE. The same frame is sent
     through a fresh channel realisation per trial, mirroring the paper's
     repeated measurements at different times/locations.
+
+    ``n_workers`` fans the trials out over a process pool (``None``
+    auto-detects the core count); results are identical for any value.
     """
     mcs = mcs_by_name(mcs_name)
     frame, true_side_bits = _make_frame(payload_bytes, mcs, crc_config, True, link.seed)
-    channel = link.channel("ber-by-symbol")
+    outcomes = run_trials(
+        _ber_symbol_trial,
+        trials,
+        seed=derive_seed(link.seed, "ber-by-symbol"),
+        n_workers=n_workers,
+        args=(frame, true_side_bits, link, mcs, crc_config, use_rte, rte_rule),
+    )
     n_symbols = frame.n_payload_symbols
     bit_errors = np.zeros(n_symbols)
     crc_passes = 0
     side_errors = 0
-    side_bits_total = 0
-    for _ in range(trials):
-        received = channel.transmit(frame.symbols)
-        front = acquire(received)
-        sig_eq = equalize(front.derotated[SIG_SYMBOL_OFFSET], front.channel_estimate)
-        _, sig_phase = track_and_compensate(sig_eq, 0)
-        bit_matrix, side_bits, crc_pass, _phases, _est, _eq = decode_subframe_symbols(
-            front.derotated[PAYLOAD_SYMBOL_OFFSET:],
-            front.channel_estimate,
-            mcs,
-            first_pilot_index=1,
-            reference_phase=sig_phase,
-            crc_config=crc_config,
-            use_rte=use_rte,
-            rte_rule=rte_rule,
-        )
-        bit_errors += (bit_matrix != frame.payload_bit_matrix).sum(axis=1)
-        crc_passes += int(crc_pass.sum())
-        side_errors += int((side_bits != true_side_bits).sum())
-        side_bits_total += true_side_bits.size
+    for symbol_errors, passes, side in outcomes:
+        bit_errors += symbol_errors
+        crc_passes += passes
+        side_errors += side
+    side_bits_total = trials * true_side_bits.size
     bits_per_symbol = frame.payload_bit_matrix.shape[1]
     ber = bit_errors / (trials * bits_per_symbol)
     return SymbolBerResult(
@@ -167,6 +208,16 @@ def ber_by_symbol_index(
     )
 
 
+def _data_ber_trial(trial_index, rng, frame, stream_name, cfg, mcs, crc_config):
+    """One Fig. 11 trial: returns the number of data-bit errors."""
+    channel = _trial_channel(cfg, stream_name, rng)
+    received = channel.transmit(frame.symbols)
+    bit_matrix, _, _, _, _, _ = _decode_standard_subframe(
+        received, mcs, crc_config, use_rte=False, rte_rule="average"
+    )
+    return int((bit_matrix != frame.payload_bit_matrix).sum())
+
+
 def data_ber_with_side_channel(
     mcs_name: str,
     power_magnitude: float,
@@ -175,6 +226,7 @@ def data_ber_with_side_channel(
     inject: bool = True,
     link: LinkConfig | None = None,
     crc_config: SymbolCrcConfig = DEFAULT_CRC_CONFIG,
+    n_workers: int | None = 1,
 ) -> float:
     """Raw data BER of a link with or without phase-offset injection.
 
@@ -189,26 +241,30 @@ def data_ber_with_side_channel(
     cfg = base.with_power(power_magnitude)
     mcs = mcs_by_name(mcs_name)
     frame, _ = _make_frame(payload_bytes, mcs, crc_config, inject, cfg.seed)
-    channel = cfg.channel(f"fig11-{mcs_name}-{inject}")
-    errors = 0
-    total = 0
-    for _ in range(trials):
-        received = channel.transmit(frame.symbols)
-        front = acquire(received)
-        sig_eq = equalize(front.derotated[SIG_SYMBOL_OFFSET], front.channel_estimate)
-        _, sig_phase = track_and_compensate(sig_eq, 0)
-        bit_matrix, _, _, _, _, _ = decode_subframe_symbols(
-            front.derotated[PAYLOAD_SYMBOL_OFFSET:],
-            front.channel_estimate,
-            mcs,
-            first_pilot_index=1,
-            reference_phase=sig_phase,
-            crc_config=crc_config,
-            use_rte=False,
-        )
-        errors += int((bit_matrix != frame.payload_bit_matrix).sum())
-        total += frame.payload_bit_matrix.size
-    return errors / total
+    stream_name = f"fig11-{mcs_name}-{inject}"
+    errors = run_trials(
+        _data_ber_trial,
+        trials,
+        seed=derive_seed(cfg.seed, stream_name),
+        n_workers=n_workers,
+        args=(frame, stream_name, cfg, mcs, crc_config),
+    )
+    total = trials * frame.payload_bit_matrix.size
+    return sum(errors) / total
+
+
+def _side_vs_data_trial(trial_index, rng, frame, true_side_bits, stream_name,
+                        cfg, mcs, crc_config):
+    """One Fig. 12 trial: returns (side-bit errors, data-bit errors)."""
+    channel = _trial_channel(cfg, stream_name, rng)
+    received = channel.transmit(frame.symbols)
+    bit_matrix, side_bits, _, _, _, _ = _decode_standard_subframe(
+        received, mcs, crc_config, use_rte=False, rte_rule="average"
+    )
+    return (
+        int((side_bits != true_side_bits).sum()),
+        int((bit_matrix != frame.payload_bit_matrix).sum()),
+    )
 
 
 def side_channel_vs_data_ber(
@@ -217,6 +273,7 @@ def side_channel_vs_data_ber(
     trials: int = 40,
     payload_bytes: int = 1000,
     link: LinkConfig | None = None,
+    n_workers: int | None = 1,
 ) -> tuple:
     """(side-channel BER, data BER) for one power setting — Fig. 12.
 
@@ -242,27 +299,16 @@ def side_channel_vs_data_ber(
     cfg = base.with_power(power_magnitude)
     mcs = mcs_by_name(mcs_name)
     frame, true_side_bits = _make_frame(payload_bytes, mcs, crc_config, True, cfg.seed)
-    channel = cfg.channel(f"fig12-{scheme_bits}bit")
-    side_errors = 0
-    side_total = 0
-    data_errors = 0
-    data_total = 0
-    for _ in range(trials):
-        received = channel.transmit(frame.symbols)
-        front = acquire(received)
-        sig_eq = equalize(front.derotated[SIG_SYMBOL_OFFSET], front.channel_estimate)
-        _, sig_phase = track_and_compensate(sig_eq, 0)
-        bit_matrix, side_bits, _, _, _, _ = decode_subframe_symbols(
-            front.derotated[PAYLOAD_SYMBOL_OFFSET:],
-            front.channel_estimate,
-            mcs,
-            first_pilot_index=1,
-            reference_phase=sig_phase,
-            crc_config=crc_config,
-            use_rte=False,
-        )
-        side_errors += int((side_bits != true_side_bits).sum())
-        side_total += true_side_bits.size
-        data_errors += int((bit_matrix != frame.payload_bit_matrix).sum())
-        data_total += frame.payload_bit_matrix.size
+    stream_name = f"fig12-{scheme_bits}bit"
+    outcomes = run_trials(
+        _side_vs_data_trial,
+        trials,
+        seed=derive_seed(cfg.seed, stream_name),
+        n_workers=n_workers,
+        args=(frame, true_side_bits, stream_name, cfg, mcs, crc_config),
+    )
+    side_errors = sum(side for side, _ in outcomes)
+    data_errors = sum(data for _, data in outcomes)
+    side_total = trials * true_side_bits.size
+    data_total = trials * frame.payload_bit_matrix.size
     return side_errors / side_total, data_errors / data_total

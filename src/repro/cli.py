@@ -18,6 +18,13 @@ import sys
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -34,6 +41,10 @@ def build_parser() -> argparse.ArgumentParser:
     phy.add_argument("--payload", type=int, default=4090)
     phy.add_argument("--power", type=float, default=0.2)
     phy.add_argument("--seed", type=int, default=0)
+    phy.add_argument("--workers", type=_positive_int, default=None,
+                     help="process count for the trial runner (default: auto)")
+    phy.add_argument("--profile", action="store_true",
+                     help="run under cProfile, print top-20 by cumulative time")
 
     mac = sub.add_parser("mac", help="MAC goodput/latency comparison (Fig. 15/16)")
     mac.add_argument("--stations", type=int, default=30)
@@ -45,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("testbed", help="Fig. 10 office layout, SNRs and rates")
     sub.add_parser("energy", help="§8 energy-overhead estimate")
+
+    bench = sub.add_parser("bench", help="PHY timing harness → BENCH_phy.json")
+    bench.add_argument("--smoke", action="store_true",
+                       help="tiny workloads; validates the schema in seconds")
+    bench.add_argument("--out", default="BENCH_phy.json",
+                       help="output JSON path (default: BENCH_phy.json)")
+    bench.add_argument("--workers", type=_positive_int, default=None,
+                       help="process count for the parallel leg (default: auto)")
     return parser
 
 
@@ -65,9 +84,9 @@ def _cmd_phy(args) -> int:
     print(f"{args.mcs}, {args.payload} B frames, power {args.power}, "
           f"{args.trials} trials per scheme")
     std = ber_by_symbol_index(args.mcs, args.payload, args.trials,
-                              use_rte=False, link=link)
+                              use_rte=False, link=link, n_workers=args.workers)
     rte = ber_by_symbol_index(args.mcs, args.payload, args.trials,
-                              use_rte=True, link=link)
+                              use_rte=True, link=link, n_workers=args.workers)
     print(f"{'symbols':>10s}  {'standard':>10s}  {'RTE':>10s}")
     for start in range(0, std.ber_per_symbol.size, 10):
         end = min(start + 10, std.ber_per_symbol.size)
@@ -128,12 +147,55 @@ def _cmd_energy() -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import os
+
+    from repro.runtime.bench import run_phy_bench
+
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    if not os.path.isdir(out_dir):
+        print(f"output directory does not exist: {out_dir}", file=sys.stderr)
+        return 2
+    payload = run_phy_bench(smoke=args.smoke, n_workers=args.workers,
+                            out_path=args.out)
+    enc, vit = payload["encode"], payload["viterbi"]
+    rx, mc = payload["rx_chain"], payload["monte_carlo"]
+    print(f"encode     : {enc['mbit_per_s']:8.1f} Mbit/s "
+          f"({enc['seconds_per_frame'] * 1e3:.2f} ms / {enc['n_bits']}-bit frame)")
+    print(f"viterbi    : {vit['mbit_per_s']:8.1f} Mbit/s "
+          f"({vit['seconds_per_frame'] * 1e3:.2f} ms; "
+          f"{vit['speedup_vs_reference']:.1f}x reference; "
+          f"bit-exact={vit['bit_exact_vs_reference']})")
+    print(f"rx chain   : {rx['frames_per_s']:8.1f} frames/s "
+          f"({rx['payload_bytes']} B {rx['mcs']})")
+    print(f"monte carlo: {mc['serial_trials_per_s']:8.2f} trials/s serial, "
+          f"{mc['parallel_trials_per_s']:.2f} trials/s x{mc['parallel_workers']} "
+          f"workers (identical={mc['identical_serial_parallel']})")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _profiled(fn, args) -> int:
+    """Run ``fn(args)`` under cProfile; print the top 20 by cumulative time."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    status = profiler.runcall(fn, args)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    print("\n--- cProfile: top 20 by cumulative time ---")
+    stats.sort_stats("cumulative").print_stats(20)
+    return status
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "phy":
+        if args.profile:
+            return _profiled(_cmd_phy, args)
         return _cmd_phy(args)
     if args.command == "mac":
         return _cmd_mac(args)
@@ -141,6 +203,8 @@ def main(argv=None) -> int:
         return _cmd_testbed()
     if args.command == "energy":
         return _cmd_energy()
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

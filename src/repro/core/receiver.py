@@ -27,8 +27,8 @@ from repro.phy.channel_estimation import equalize
 from repro.phy.constants import pilot_values
 from repro.phy.frontend import acquire
 from repro.phy.mcs import Mcs
-from repro.phy.ofdm import assemble_symbol, split_symbol
-from repro.phy.pilots import track_and_compensate
+from repro.phy.ofdm import DATA_POSITIONS, assemble_symbol, split_symbol
+from repro.phy.pilots import track_and_compensate, track_and_compensate_block
 from repro.phy.sig import SigDecodeError, SigField, decode_sig
 
 __all__ = ["SubframeRx", "CarpoolRxResult", "CarpoolReceiver", "decode_subframe_symbols"]
@@ -114,6 +114,13 @@ def decode_subframe_symbols(
     n_symbols = received.shape[0]
     scheme = crc_config.scheme
     estimator = RealTimeEstimator(channel_estimate, update_rule=rte_rule)
+    if not use_rte:
+        # The estimate never changes without RTE (CRC failures only bump a
+        # counter), so the whole symbol chain vectorises.
+        return _decode_subframe_symbols_frozen(
+            received, mcs, first_pilot_index, reference_phase, crc_config,
+            estimator,
+        )
 
     bit_matrix = np.empty((n_symbols, mcs.coded_bits_per_symbol), dtype=np.uint8)
     side_bits = np.zeros((n_symbols, scheme.bits_per_symbol), dtype=np.uint8)
@@ -153,6 +160,47 @@ def decode_subframe_symbols(
         elif not ok:
             estimator.skip()
         group = []
+
+    return bit_matrix, side_bits, crc_pass, phases, estimator, equalized
+
+
+def _decode_subframe_symbols_frozen(
+    received: np.ndarray,
+    mcs: Mcs,
+    first_pilot_index: int,
+    reference_phase: float,
+    crc_config: SymbolCrcConfig,
+    estimator: RealTimeEstimator,
+):
+    """Vectorised ``use_rte=False`` path: frozen channel estimate.
+
+    Equalization, phase tracking, demodulation and side-bit extraction run
+    as whole-block operations; bit-identical to the sequential loop since
+    no symbol's processing depends on an earlier symbol's outcome.
+    """
+    n_symbols = received.shape[0]
+    scheme = crc_config.scheme
+
+    equalized, phases = track_and_compensate_block(
+        equalize(received, estimator.estimate), first_pilot_index
+    )
+    data_points = equalized[:, DATA_POSITIONS]
+    bit_matrix = (
+        mcs.modulation.demodulate(data_points.reshape(-1))
+        .reshape(n_symbols, mcs.coded_bits_per_symbol)
+    )
+
+    previous = np.concatenate([[reference_phase], phases[:-1]])
+    deltas = np.angle(np.exp(1j * (phases - previous)))
+    side_bits = scheme.decode_deltas(deltas).reshape(n_symbols, scheme.bits_per_symbol)
+
+    crc_pass = np.zeros(n_symbols, dtype=bool)
+    for start in range(0, n_symbols, crc_config.granularity):
+        stop = min(start + crc_config.granularity, n_symbols)
+        ok = crc_config.check_group(crc_config.group_of(start), bit_matrix, side_bits)
+        crc_pass[start:stop] = ok
+        if not ok:
+            estimator.skip()
 
     return bit_matrix, side_bits, crc_pass, phases, estimator, equalized
 
@@ -197,11 +245,7 @@ class CarpoolReceiver:
         channel = front.channel_estimate
 
         ahdr_rx = derotated[AHDR_SYMBOL_OFFSET : AHDR_SYMBOL_OFFSET + AHDR_SYMBOLS]
-        ahdr_eq = np.empty_like(ahdr_rx)
-        for i in range(AHDR_SYMBOLS):
-            eq = equalize(ahdr_rx[i], channel)
-            eq, _ = track_and_compensate(eq, i)
-            ahdr_eq[i] = eq
+        ahdr_eq, _ = track_and_compensate_block(equalize(ahdr_rx, channel), 0)
         bloom = decode_ahdr(ahdr_eq)
 
         result = CarpoolRxResult(

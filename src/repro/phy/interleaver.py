@@ -13,7 +13,13 @@ from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["interleave", "deinterleave", "interleave_permutation"]
+__all__ = [
+    "interleave",
+    "deinterleave",
+    "interleave_block",
+    "deinterleave_block",
+    "interleave_permutation",
+]
 
 _COLUMNS = 16
 
@@ -36,10 +42,18 @@ def interleave_permutation(n_cbps: int, n_bpsc: int) -> tuple:
     return tuple(int(x) for x in j)
 
 
+@lru_cache(maxsize=None)
+def _permutation_array(n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """The permutation as a cached, read-only index array."""
+    perm = np.array(interleave_permutation(n_cbps, n_bpsc))
+    perm.setflags(write=False)
+    return perm
+
+
 def interleave(bits: np.ndarray, n_bpsc: int) -> np.ndarray:
     """Interleave one OFDM symbol's coded bits (length = N_CBPS)."""
     bits = np.asarray(bits, dtype=np.uint8)
-    perm = np.array(interleave_permutation(bits.size, n_bpsc))
+    perm = _permutation_array(bits.size, n_bpsc)
     out = np.empty_like(bits)
     out[perm] = bits
     return out
@@ -48,5 +62,21 @@ def interleave(bits: np.ndarray, n_bpsc: int) -> np.ndarray:
 def deinterleave(bits: np.ndarray, n_bpsc: int) -> np.ndarray:
     """Inverse of :func:`interleave`."""
     bits = np.asarray(bits, dtype=np.uint8)
-    perm = np.array(interleave_permutation(bits.size, n_bpsc))
+    perm = _permutation_array(bits.size, n_bpsc)
     return bits[perm]
+
+
+def interleave_block(bit_matrix: np.ndarray, n_bpsc: int) -> np.ndarray:
+    """Interleave every row of an (n_symbols, N_CBPS) bit matrix at once."""
+    bit_matrix = np.asarray(bit_matrix, dtype=np.uint8)
+    perm = _permutation_array(bit_matrix.shape[1], n_bpsc)
+    out = np.empty_like(bit_matrix)
+    out[:, perm] = bit_matrix
+    return out
+
+
+def deinterleave_block(bit_matrix: np.ndarray, n_bpsc: int) -> np.ndarray:
+    """Inverse of :func:`interleave_block`."""
+    bit_matrix = np.asarray(bit_matrix, dtype=np.uint8)
+    perm = _permutation_array(bit_matrix.shape[1], n_bpsc)
+    return bit_matrix[:, perm]

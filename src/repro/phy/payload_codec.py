@@ -20,10 +20,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.phy.coding import conv_encode, viterbi_decode
-from repro.phy.constants import pilot_values
-from repro.phy.interleaver import deinterleave, interleave
+from repro.phy.interleaver import deinterleave_block, interleave_block
 from repro.phy.mcs import Mcs
-from repro.phy.ofdm import assemble_symbol, split_symbol
+from repro.phy.ofdm import DATA_POSITIONS, PILOT_POSITIONS
+from repro.phy.pilots import pilot_reference_matrix
 from repro.phy.scrambler import descramble, scramble
 from repro.util.bits import bits_to_bytes, bytes_to_bits
 
@@ -80,7 +80,7 @@ def encode_payload_bits(payload: bytes, mcs: Mcs, coded: bool = True,
     scrambled[tail_start : tail_start + TAIL_BITS] = 0
     coded_bits = conv_encode(scrambled, mcs.code_rate)
     matrix = coded_bits.reshape(n_symbols, n_cbps)
-    return np.stack([interleave(row, mcs.modulation.bits_per_symbol) for row in matrix])
+    return interleave_block(matrix, mcs.modulation.bits_per_symbol)
 
 
 def decode_payload_bits(bit_matrix: np.ndarray, payload_len: int, mcs: Mcs,
@@ -98,9 +98,7 @@ def decode_payload_bits(bit_matrix: np.ndarray, payload_len: int, mcs: Mcs,
 
     n_symbols = bit_matrix.shape[0]
     n_dbps = mcs.data_bits_per_symbol
-    deint = np.stack(
-        [deinterleave(row, mcs.modulation.bits_per_symbol) for row in bit_matrix]
-    )
+    deint = deinterleave_block(bit_matrix, mcs.modulation.bits_per_symbol)
     decoded = viterbi_decode(
         deint.reshape(-1), n_symbols * n_dbps, mcs.code_rate, terminated=False
     )
@@ -127,19 +125,18 @@ def bits_to_symbols(bit_matrix: np.ndarray, mcs: Mcs, first_pilot_index: int,
     phases = np.asarray(phases, dtype=np.float64)
     if phases.size != n_symbols:
         raise ValueError("one phase per symbol required")
-    out = np.empty((n_symbols, 52), dtype=np.complex128)
-    for i in range(n_symbols):
-        data_points = mcs.modulation.modulate(bit_matrix[i])
-        pilots = pilot_values(first_pilot_index + i).astype(np.complex128)
-        out[i] = assemble_symbol(data_points, pilots) * np.exp(1j * phases[i])
+    data_points = mcs.modulation.modulate(bit_matrix.reshape(-1))
+    out = np.zeros((n_symbols, 52), dtype=np.complex128)
+    out[:, DATA_POSITIONS] = data_points.reshape(n_symbols, -1)
+    out[:, PILOT_POSITIONS] = pilot_reference_matrix(first_pilot_index, n_symbols)
+    out *= np.exp(1j * phases)[:, None]
     return out
 
 
 def symbols_to_bits(equalized_symbols: np.ndarray, mcs: Mcs) -> np.ndarray:
     """Hard-demodulate (n_symbols, 52) equalized symbols to a bit matrix."""
     equalized_symbols = np.asarray(equalized_symbols, dtype=np.complex128)
-    rows = []
-    for sym in equalized_symbols:
-        data_points, _pilots = split_symbol(sym)
-        rows.append(mcs.modulation.demodulate(data_points))
-    return np.stack(rows)
+    n_symbols = equalized_symbols.shape[0]
+    data_points = equalized_symbols[:, DATA_POSITIONS]
+    bits = mcs.modulation.demodulate(data_points.reshape(-1))
+    return bits.reshape(n_symbols, -1)

@@ -11,11 +11,27 @@ without knowing the scrambler state of earlier payload — see paper §4.1.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["scramble", "descramble", "scrambler_sequence"]
 
 _ORDER = 7
+_PERIOD = (1 << _ORDER) - 1  # maximal-length LFSR: period 127 for any seed
+
+
+@lru_cache(maxsize=None)
+def _one_period(seed: int) -> np.ndarray:
+    """One 127-bit period of the LFSR output for ``seed`` (read-only)."""
+    state = [(seed >> i) & 1 for i in range(_ORDER)]  # state[6] = x^7 tap
+    out = np.empty(_PERIOD, dtype=np.uint8)
+    for i in range(_PERIOD):
+        fed_back = state[6] ^ state[3]
+        out[i] = fed_back
+        state = [fed_back] + state[:-1]
+    out.setflags(write=False)
+    return out
 
 
 def scrambler_sequence(length: int, seed: int = 0b1011101) -> np.ndarray:
@@ -23,17 +39,16 @@ def scrambler_sequence(length: int, seed: int = 0b1011101) -> np.ndarray:
 
     ``seed`` is the initial 7-bit state, state bit 6 being x^7. The default
     is the all-ones-adjacent example seed from the standard's Annex; any
-    non-zero 7-bit value is legal.
+    non-zero 7-bit value is legal. The LFSR is maximal-length (period 127),
+    so one cached period per seed is tiled to any requested length.
     """
     if not 0 < seed < (1 << _ORDER):
         raise ValueError("seed must be a non-zero 7-bit value")
-    state = [(seed >> i) & 1 for i in range(_ORDER)]  # state[6] = x^7 tap
-    out = np.empty(length, dtype=np.uint8)
-    for i in range(length):
-        fed_back = state[6] ^ state[3]
-        out[i] = fed_back
-        state = [fed_back] + state[:-1]
-    return out
+    base = _one_period(seed)
+    if length <= _PERIOD:
+        return base[:length].copy()
+    repeats = -(-length // _PERIOD)
+    return np.tile(base, repeats)[:length]
 
 
 def scramble(bits: np.ndarray, seed: int = 0b1011101) -> np.ndarray:

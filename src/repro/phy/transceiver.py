@@ -13,6 +13,7 @@ channel estimate during the payload (the "standard" curves in Figs. 3/13/14).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -20,7 +21,7 @@ from repro.phy import payload_codec
 from repro.phy.channel_estimation import equalize
 from repro.phy.frontend import acquire
 from repro.phy.mcs import Mcs
-from repro.phy.pilots import track_and_compensate
+from repro.phy.pilots import track_and_compensate, track_and_compensate_block
 from repro.phy.preamble import ltf_symbol, stf_symbol
 from repro.phy.sig import SigDecodeError, SigField, decode_sig, encode_sig
 from repro.phy.ofdm import assemble_symbol, split_symbol
@@ -42,6 +43,14 @@ PAYLOAD_SYMBOL_OFFSET = PREAMBLE_SYMBOLS + 1
 
 _STF_SLOTS = (0, 1)
 _LTF_SLOTS = (2, 3)
+
+
+@lru_cache(maxsize=1)
+def _preamble_block() -> np.ndarray:
+    """The fixed STF/STF/LTF/LTF preamble as a cached (4, 52) block."""
+    block = np.vstack([stf_symbol(), stf_symbol(), ltf_symbol(), ltf_symbol()])
+    block.setflags(write=False)
+    return block
 
 
 @dataclass
@@ -101,7 +110,7 @@ class RxResult:
     symbol_phases: np.ndarray
     channel_estimate: np.ndarray
     cfo_hz: float
-    equalized: np.ndarray = field(repr=False, default=None)
+    equalized: np.ndarray | None = field(repr=False, default=None)
 
 
 class PhyTransmitter:
@@ -133,10 +142,7 @@ class PhyTransmitter:
         sig_symbol = assemble_symbol(sig_points, pilot_values(0))
         symbols = np.vstack(
             [
-                stf_symbol(),
-                stf_symbol(),
-                ltf_symbol(),
-                ltf_symbol(),
+                _preamble_block(),
                 sig_symbol[None, :],
                 payload_symbols,
             ]
@@ -201,13 +207,12 @@ class PhyReceiver:
             )
 
         payload_rx = derotated[PAYLOAD_SYMBOL_OFFSET : PAYLOAD_SYMBOL_OFFSET + n_payload]
-        phases = np.empty(n_payload)
-        equalized = np.empty_like(payload_rx)
-        for i in range(n_payload):
-            eq = equalize(payload_rx[i], channel)
-            eq, phase = track_and_compensate(eq, 1 + i)
-            equalized[i] = eq
-            phases[i] = phase
+        # The channel estimate is frozen for the whole payload (that is the
+        # "standard receiver" the paper critiques), so the per-symbol
+        # equalize/track/compensate chain batches over all symbols at once.
+        equalized, phases = track_and_compensate_block(
+            equalize(payload_rx, channel), 1
+        )
         bit_matrix = payload_codec.symbols_to_bits(equalized, mcs)
         if self.soft:
             from repro.phy.soft import decode_payload_soft

@@ -1,0 +1,25 @@
+"""Shared parallel-execution runtime for Monte-Carlo experiments.
+
+``repro.runtime.trials`` provides the seeded, chunked trial runner every
+BER sweep and MAC scenario sweep goes through; ``repro.runtime.bench`` is
+the performance-regression harness that emits ``BENCH_phy.json``.
+
+``bench`` is intentionally *not* imported here: it depends on
+``repro.analysis``, which itself runs trials through this package.
+Import it explicitly as ``repro.runtime.bench`` (or via the
+``python -m repro bench`` CLI).
+"""
+
+from repro.runtime.trials import (
+    parallel_map,
+    resolve_workers,
+    run_trials,
+    trial_rngs,
+)
+
+__all__ = [
+    "parallel_map",
+    "resolve_workers",
+    "run_trials",
+    "trial_rngs",
+]

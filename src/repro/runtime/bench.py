@@ -1,0 +1,235 @@
+"""Performance-regression harness for the PHY fast paths → ``BENCH_phy.json``.
+
+Times the hot loops this reproduction depends on — convolutional encoding,
+Viterbi decoding, the full receive chain — plus the Monte-Carlo trial
+runner serial vs parallel, and emits one JSON document whose schema
+:func:`validate_bench` checks. Run it via::
+
+    python -m repro bench --smoke          # fast structural check
+    python -m repro bench --out BENCH_phy.json
+
+Not imported from ``repro.runtime.__init__``: this module depends on
+``repro.analysis``, which itself runs its trials through the runtime.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.runtime.trials import resolve_workers
+
+__all__ = ["run_phy_bench", "validate_bench", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+# Section -> keys every BENCH_phy.json must carry (the schema).
+_REQUIRED_KEYS = {
+    "meta": (
+        "schema_version", "python", "numpy", "platform", "c_kernel",
+        "smoke", "n_workers",
+    ),
+    "encode": ("n_bits", "rate", "seconds_per_frame", "mbit_per_s"),
+    "viterbi": (
+        "n_bits", "rate", "seconds_per_frame", "mbit_per_s",
+        "reference_seconds_per_frame", "speedup_vs_reference",
+        "bit_exact_vs_reference",
+    ),
+    "rx_chain": ("mcs", "payload_bytes", "seconds_per_frame", "frames_per_s"),
+    "monte_carlo": (
+        "trials", "payload_bytes", "serial_seconds", "serial_trials_per_s",
+        "parallel_workers", "parallel_seconds", "parallel_trials_per_s",
+        "identical_serial_parallel",
+    ),
+}
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` (one discarded warm-up)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_coding(n_bits: int, repeats: int) -> tuple[dict, dict]:
+    from repro.phy import coding
+
+    rng = np.random.default_rng(0)
+    message = rng.integers(0, 2, n_bits).astype(np.uint8)
+    rate = coding.RATE_3_4
+    coded = coding.conv_encode(message, rate)
+
+    encode_s = _best_of(lambda: coding.conv_encode(message, rate), repeats)
+    decode_s = _best_of(
+        lambda: coding.viterbi_decode(coded, n_bits, rate, terminated=False),
+        repeats,
+    )
+    reference_s = _best_of(
+        lambda: coding.viterbi_decode_reference(coded, n_bits, rate, terminated=False),
+        max(1, repeats // 2),
+    )
+    fast = coding.viterbi_decode(coded, n_bits, rate, terminated=False)
+    reference = coding.viterbi_decode_reference(coded, n_bits, rate, terminated=False)
+
+    encode = {
+        "n_bits": n_bits,
+        "rate": "3/4",
+        "seconds_per_frame": encode_s,
+        "mbit_per_s": n_bits / encode_s / 1e6,
+    }
+    viterbi = {
+        "n_bits": n_bits,
+        "rate": "3/4",
+        "seconds_per_frame": decode_s,
+        "mbit_per_s": n_bits / decode_s / 1e6,
+        "reference_seconds_per_frame": reference_s,
+        "speedup_vs_reference": reference_s / decode_s,
+        "bit_exact_vs_reference": bool(np.array_equal(fast, reference)),
+    }
+    return encode, viterbi
+
+
+def _bench_rx_chain(payload_bytes: int, repeats: int) -> dict:
+    from repro.analysis.phy_experiments import (
+        LinkConfig,
+        _decode_standard_subframe,
+        _make_frame,
+    )
+    from repro.core.symbol_crc import DEFAULT_CRC_CONFIG
+    from repro.phy.mcs import mcs_by_name
+
+    mcs_name = "QAM64-3/4"
+    mcs = mcs_by_name(mcs_name)
+    frame, _ = _make_frame(payload_bytes, mcs, DEFAULT_CRC_CONFIG, True, seed=0)
+    received = LinkConfig(seed=0).channel("bench-rx").transmit(frame.symbols)
+    seconds = _best_of(
+        lambda: _decode_standard_subframe(
+            received, mcs, DEFAULT_CRC_CONFIG, use_rte=False, rte_rule="average"
+        ),
+        repeats,
+    )
+    return {
+        "mcs": mcs_name,
+        "payload_bytes": payload_bytes,
+        "seconds_per_frame": seconds,
+        "frames_per_s": 1.0 / seconds,
+    }
+
+
+def _bench_monte_carlo(payload_bytes: int, trials: int, n_workers) -> dict:
+    from repro.analysis.phy_experiments import LinkConfig, ber_by_symbol_index
+
+    link = LinkConfig(seed=1)
+    start = time.perf_counter()
+    serial = ber_by_symbol_index(
+        "QAM64-3/4", payload_bytes, trials, link=link, n_workers=1
+    )
+    serial_s = time.perf_counter() - start
+
+    # Exercise the pool even on a single-core box: the point of the parallel
+    # leg is to regression-check determinism through the process pool.
+    workers = max(2, resolve_workers(n_workers))
+    start = time.perf_counter()
+    parallel = ber_by_symbol_index(
+        "QAM64-3/4", payload_bytes, trials, link=link, n_workers=workers
+    )
+    parallel_s = time.perf_counter() - start
+
+    identical = bool(
+        np.array_equal(serial.ber_per_symbol, parallel.ber_per_symbol)
+        and serial.crc_pass_rate == parallel.crc_pass_rate
+        and serial.side_bit_error_rate == parallel.side_bit_error_rate
+    )
+    return {
+        "trials": trials,
+        "payload_bytes": payload_bytes,
+        "serial_seconds": serial_s,
+        "serial_trials_per_s": trials / serial_s,
+        "parallel_workers": workers,
+        "parallel_seconds": parallel_s,
+        "parallel_trials_per_s": trials / parallel_s,
+        "identical_serial_parallel": identical,
+    }
+
+
+def run_phy_bench(
+    smoke: bool = False,
+    n_workers: int | None = None,
+    out_path: str | None = None,
+) -> dict:
+    """Run the full timing suite; optionally write the JSON to ``out_path``.
+
+    ``smoke=True`` shrinks every workload (seconds instead of minutes) while
+    exercising every code path, so CI can validate the schema cheaply.
+    """
+    from repro.phy import coding
+
+    if smoke:
+        coding_bits, repeats = 7998, 1
+        rx_payload, mc_payload, mc_trials = 500, 300, 4
+    else:
+        # ~4 KB frame at rate 3/4 (nearest multiple of the puncture period).
+        coding_bits, repeats = 32766, 5
+        rx_payload, mc_payload, mc_trials = 4090, 1000, 24
+
+    encode, viterbi = _bench_coding(coding_bits, repeats)
+    payload = {
+        "meta": {
+            "schema_version": SCHEMA_VERSION,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "c_kernel": coding._CKERNEL is not None,
+            "smoke": smoke,
+            "n_workers": resolve_workers(n_workers),
+        },
+        "encode": encode,
+        "viterbi": viterbi,
+        "rx_chain": _bench_rx_chain(rx_payload, repeats),
+        "monte_carlo": _bench_monte_carlo(mc_payload, mc_trials, n_workers),
+    }
+    validate_bench(payload)
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return payload
+
+
+def validate_bench(payload: dict) -> dict:
+    """Check a BENCH_phy.json document against the schema; raise on failure.
+
+    Structural check (sections and keys) plus the two correctness gates:
+    the fast decoder must be bit-exact against the reference and the
+    Monte-Carlo runner identical serial vs parallel.
+    """
+    problems = []
+    if not isinstance(payload, dict):
+        raise ValueError(f"bench payload must be a dict, got {type(payload)!r}")
+    for section, keys in _REQUIRED_KEYS.items():
+        body = payload.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"missing section {section!r}")
+            continue
+        for key in keys:
+            if key not in body:
+                problems.append(f"missing key {section}.{key}")
+    if not problems:
+        if payload["meta"]["schema_version"] != SCHEMA_VERSION:
+            problems.append(
+                f"schema_version {payload['meta']['schema_version']!r} != {SCHEMA_VERSION}"
+            )
+        if payload["viterbi"]["bit_exact_vs_reference"] is not True:
+            problems.append("viterbi.bit_exact_vs_reference is not True")
+        if payload["monte_carlo"]["identical_serial_parallel"] is not True:
+            problems.append("monte_carlo.identical_serial_parallel is not True")
+    if problems:
+        raise ValueError("invalid BENCH_phy.json: " + "; ".join(problems))
+    return payload

@@ -31,6 +31,7 @@ class TestCarpoolSoft:
         rx = CarpoolReceiver(MacAddress.from_int(0), coded=False, soft=True)
         assert not rx.soft
 
+    @pytest.mark.slow
     def test_soft_beats_hard_over_rough_channel(self):
         frame, specs = _frame(mcs="QAM16-3/4", seed=1)
         profile = FadingProfile(num_taps=4, delay_spread_taps=1.5,

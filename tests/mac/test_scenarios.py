@@ -45,6 +45,7 @@ class TestVoipScenario:
         assert a.measured_ap_goodput_bps == b.measured_ap_goodput_bps
         assert a.collisions == b.collisions
 
+    @pytest.mark.slow
     def test_carpool_beats_dot11_under_contention(self):
         """The headline result, in miniature."""
         scenario = VoipScenario(num_stations=24, duration=4.0)

@@ -108,6 +108,7 @@ class TestSoftReceiver:
         rx = PhyReceiver(soft=True).receive(frame.symbols)
         assert rx.payload == payload
 
+    @pytest.mark.slow
     def test_soft_beats_hard_on_faded_channel(self):
         """FER comparison on a frequency-selective link: the soft path's
         per-subcarrier reliability weighting must win."""

@@ -1,0 +1,89 @@
+"""BENCH_phy.json schema validation and the bench harness smoke run."""
+
+import copy
+import json
+
+import pytest
+
+from repro.runtime.bench import SCHEMA_VERSION, run_phy_bench, validate_bench
+
+_VALID = {
+    "meta": {
+        "schema_version": SCHEMA_VERSION,
+        "python": "3.11.0",
+        "numpy": "2.0.0",
+        "platform": "test",
+        "c_kernel": True,
+        "smoke": True,
+        "n_workers": 1,
+    },
+    "encode": {
+        "n_bits": 100, "rate": "3/4", "seconds_per_frame": 1e-3,
+        "mbit_per_s": 0.1,
+    },
+    "viterbi": {
+        "n_bits": 100, "rate": "3/4", "seconds_per_frame": 1e-3,
+        "mbit_per_s": 0.1, "reference_seconds_per_frame": 1e-1,
+        "speedup_vs_reference": 100.0, "bit_exact_vs_reference": True,
+    },
+    "rx_chain": {
+        "mcs": "QAM64-3/4", "payload_bytes": 500, "seconds_per_frame": 1e-2,
+        "frames_per_s": 100.0,
+    },
+    "monte_carlo": {
+        "trials": 4, "payload_bytes": 300, "serial_seconds": 1.0,
+        "serial_trials_per_s": 4.0, "parallel_workers": 2,
+        "parallel_seconds": 1.0, "parallel_trials_per_s": 4.0,
+        "identical_serial_parallel": True,
+    },
+}
+
+
+class TestValidateBench:
+    def test_accepts_valid_payload(self):
+        assert validate_bench(copy.deepcopy(_VALID)) == _VALID
+
+    def test_rejects_missing_section(self):
+        broken = copy.deepcopy(_VALID)
+        del broken["viterbi"]
+        with pytest.raises(ValueError, match="missing section 'viterbi'"):
+            validate_bench(broken)
+
+    def test_rejects_missing_key(self):
+        broken = copy.deepcopy(_VALID)
+        del broken["monte_carlo"]["parallel_trials_per_s"]
+        with pytest.raises(ValueError, match="monte_carlo.parallel_trials_per_s"):
+            validate_bench(broken)
+
+    def test_rejects_inexact_decoder(self):
+        broken = copy.deepcopy(_VALID)
+        broken["viterbi"]["bit_exact_vs_reference"] = False
+        with pytest.raises(ValueError, match="bit_exact_vs_reference"):
+            validate_bench(broken)
+
+    def test_rejects_nondeterministic_runner(self):
+        broken = copy.deepcopy(_VALID)
+        broken["monte_carlo"]["identical_serial_parallel"] = False
+        with pytest.raises(ValueError, match="identical_serial_parallel"):
+            validate_bench(broken)
+
+    def test_rejects_wrong_schema_version(self):
+        broken = copy.deepcopy(_VALID)
+        broken["meta"]["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_bench(broken)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_bench([])
+
+
+@pytest.mark.slow
+def test_smoke_bench_emits_valid_json(tmp_path):
+    out = tmp_path / "BENCH_phy.json"
+    payload = run_phy_bench(smoke=True, out_path=str(out))
+    on_disk = json.loads(out.read_text())
+    assert validate_bench(on_disk) == on_disk
+    assert payload["meta"]["smoke"] is True
+    assert payload["viterbi"]["bit_exact_vs_reference"] is True
+    assert payload["monte_carlo"]["identical_serial_parallel"] is True

@@ -1,0 +1,85 @@
+"""The parallel trial runner must be deterministic for any worker count."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import parallel_map, resolve_workers, run_trials, trial_rngs
+
+
+def _toy_trial(trial_index, rng, offset):
+    # Top-level so it pickles into pool workers.
+    return (trial_index, offset + float(rng.random()))
+
+
+def _square(x):
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_beats_autodetect(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+
+    def test_autodetect_positive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestRunTrials:
+    def test_serial_equals_parallel(self):
+        serial = run_trials(_toy_trial, 17, seed=123, n_workers=1, args=(5.0,))
+        parallel = run_trials(_toy_trial, 17, seed=123, n_workers=4, args=(5.0,))
+        assert serial == parallel
+
+    def test_chunk_size_does_not_change_results(self):
+        baseline = run_trials(_toy_trial, 11, seed=9, n_workers=1, args=(0.0,))
+        for chunk_size in (1, 2, 5, 11):
+            chunked = run_trials(_toy_trial, 11, seed=9, n_workers=3,
+                                 chunk_size=chunk_size, args=(0.0,))
+            assert chunked == baseline
+
+    def test_results_are_ordered(self):
+        results = run_trials(_toy_trial, 9, seed=0, n_workers=3, args=(0.0,))
+        assert [index for index, _ in results] == list(range(9))
+
+    def test_zero_trials(self):
+        assert run_trials(_toy_trial, 0, seed=0, n_workers=2, args=(0.0,)) == []
+
+    def test_trial_rngs_match_runner(self):
+        rngs = trial_rngs(42, 5)
+        expected = [float(rng.random()) for rng in rngs]
+        observed = [v for _, v in run_trials(_toy_trial, 5, seed=42,
+                                             n_workers=1, args=(0.0,))]
+        assert observed == expected
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        items = list(range(23))
+        assert parallel_map(_square, items, n_workers=1) == [x * x for x in items]
+        assert parallel_map(_square, items, n_workers=4) == [x * x for x in items]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], n_workers=4) == []
+
+
+class TestExperimentDeterminism:
+    def test_ber_by_symbol_index_serial_equals_parallel(self):
+        from repro.analysis.phy_experiments import LinkConfig, ber_by_symbol_index
+
+        link = LinkConfig(seed=5)
+        serial = ber_by_symbol_index("QPSK-1/2", 400, trials=4, link=link,
+                                     n_workers=1)
+        parallel = ber_by_symbol_index("QPSK-1/2", 400, trials=4, link=link,
+                                       n_workers=3)
+        assert np.array_equal(serial.ber_per_symbol, parallel.ber_per_symbol)
+        assert serial.crc_pass_rate == parallel.crc_pass_rate
+        assert serial.side_bit_error_rate == parallel.side_bit_error_rate

@@ -21,6 +21,18 @@ class TestParser:
         assert args.background
         assert args.protocols == ["Carpool"]
 
+    def test_phy_perf_flags(self):
+        args = build_parser().parse_args(["phy", "--workers", "2", "--profile"])
+        assert args.workers == 2
+        assert args.profile
+        assert build_parser().parse_args(["phy"]).workers is None
+
+    def test_bench_flags(self):
+        args = build_parser().parse_args(["bench", "--smoke", "--out", "b.json"])
+        assert args.smoke
+        assert args.out == "b.json"
+        assert build_parser().parse_args(["bench"]).out == "BENCH_phy.json"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -53,3 +65,18 @@ class TestCommands:
 
     def test_mac_unknown_protocol(self, capsys):
         assert main(["mac", "--protocols", "Bogus"]) == 2
+
+    def test_phy_profile(self, capsys):
+        assert main(["phy", "--trials", "1", "--payload", "120",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cProfile: top 20 by cumulative time" in out
+        assert "cumulative" in out  # the pstats column header
+
+    @pytest.mark.slow
+    def test_bench_smoke(self, capsys, tmp_path, monkeypatch):
+        out_path = tmp_path / "BENCH_phy.json"
+        assert main(["bench", "--smoke", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "viterbi" in out and "monte carlo" in out
+        assert out_path.exists()

@@ -37,6 +37,7 @@ def test_side_channel_demo(capsys):
     assert "carpool!" in out
 
 
+@pytest.mark.slow
 def test_crowded_hotspot_small(capsys):
     _run("crowded_hotspot.py", ["6"])
     out = capsys.readouterr().out

@@ -112,6 +112,7 @@ class TestTrafficThroughMac:
 
 
 class TestChannelPhyConsistency:
+    @pytest.mark.slow
     def test_snr_sweep_monotone_fer(self):
         """Frame error rate decreases with SNR through the whole stack."""
         payload = bytes(np.random.default_rng(6).integers(0, 256, 300, dtype=np.uint8))
