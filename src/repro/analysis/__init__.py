@@ -1,6 +1,13 @@
 """Measurement harness and statistics for the reproduction experiments."""
 
 from repro.analysis.calibration import calibrate_error_model, symbol_failure_from_ber
+from repro.analysis.degradation import (
+    DegradationPoint,
+    RteResilienceResult,
+    degradation_sweep,
+    make_degradation_plan,
+    rte_burst_resilience,
+)
 from repro.analysis.phy_experiments import (
     LinkConfig,
     OFFICE_PROFILE,
@@ -14,6 +21,11 @@ from repro.analysis.stats import empirical_cdf, geometric_mean, mean_confidence_
 from repro.analysis.testbed import Location, OfficeTestbed
 
 __all__ = [
+    "DegradationPoint",
+    "RteResilienceResult",
+    "degradation_sweep",
+    "make_degradation_plan",
+    "rte_burst_resilience",
     "calibrate_error_model",
     "symbol_failure_from_ber",
     "LinkConfig",

@@ -71,9 +71,13 @@ class LinkConfig:
     cfo_hz: float = 300.0
     sfo_ppm: float = 8.0
     seed: int = 0
+    #: Optional :class:`repro.faults.FaultPlan`; its PHY specs become
+    #: channel impairments on every instantiated channel.
+    fault_plan: object = None
 
     def channel(self, rng_name: str = "channel") -> ChannelModel:
         """Instantiate the configured channel (independent RNG per name)."""
+        impairments = self.fault_plan.phy_impairments() if self.fault_plan else ()
         return ChannelModel(
             snr_db=self.snr_db,
             power_magnitude=self.power_magnitude,
@@ -82,6 +86,7 @@ class LinkConfig:
             sfo_ppm=self.sfo_ppm,
             symbol_duration=self.symbol_duration,
             rng=RngStream(self.seed).child(rng_name),
+            impairments=impairments,
         )
 
     def with_power(self, power_magnitude: float) -> "LinkConfig":
@@ -125,7 +130,8 @@ def _trial_channel(link: LinkConfig, stream_name: str,
     return replace(link, seed=trial_seed).channel(stream_name)
 
 
-def _decode_standard_subframe(received, mcs, crc_config, use_rte, rte_rule):
+def _decode_standard_subframe(received, mcs, crc_config, use_rte, rte_rule,
+                              rte_guard=None):
     """Front-end + SIG phase reference + subframe decode shared by trials."""
     front = acquire(received)
     sig_eq = equalize(front.derotated[SIG_SYMBOL_OFFSET], front.channel_estimate)
@@ -139,16 +145,17 @@ def _decode_standard_subframe(received, mcs, crc_config, use_rte, rte_rule):
         crc_config=crc_config,
         use_rte=use_rte,
         rte_rule=rte_rule,
+        rte_guard=rte_guard,
     )
 
 
 def _ber_symbol_trial(trial_index, rng, frame, true_side_bits, link, mcs,
-                      crc_config, use_rte, rte_rule):
+                      crc_config, use_rte, rte_rule, rte_guard=None):
     """One Fig. 3/13 trial: returns (per-symbol errors, CRC passes, side errs)."""
     channel = _trial_channel(link, "ber-by-symbol", rng)
     received = channel.transmit(frame.symbols)
     bit_matrix, side_bits, crc_pass, _phases, _est, _eq = _decode_standard_subframe(
-        received, mcs, crc_config, use_rte, rte_rule
+        received, mcs, crc_config, use_rte, rte_rule, rte_guard
     )
     return (
         (bit_matrix != frame.payload_bit_matrix).sum(axis=1),
@@ -165,6 +172,7 @@ def ber_by_symbol_index(
     link: LinkConfig = LinkConfig(),
     crc_config: SymbolCrcConfig = DEFAULT_CRC_CONFIG,
     rte_rule="average",
+    rte_guard=None,
     n_workers: int | None = 1,
 ) -> SymbolBerResult:
     """BER as a function of OFDM-symbol index within a long frame.
@@ -185,7 +193,8 @@ def ber_by_symbol_index(
         trials,
         seed=derive_seed(link.seed, "ber-by-symbol"),
         n_workers=n_workers,
-        args=(frame, true_side_bits, link, mcs, crc_config, use_rte, rte_rule),
+        args=(frame, true_side_bits, link, mcs, crc_config, use_rte, rte_rule,
+              rte_guard),
     )
     n_symbols = frame.n_payload_symbols
     bit_errors = np.zeros(n_symbols)

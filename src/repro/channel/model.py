@@ -63,6 +63,11 @@ class ChannelModel:
         continuous: If True the fading process persists across frames
             (a single physical link observed over time); if False every
             frame sees a fresh realisation (independent locations).
+        impairments: Optional fault injectors (:mod:`repro.faults.phy`)
+            applied to every frame. Their draws come from a dedicated
+            ``faults`` child stream created only when impairments are
+            present, so a model without impairments is bit-identical to
+            one built before the hook existed.
     """
 
     def __init__(
@@ -76,6 +81,7 @@ class ChannelModel:
         symbol_duration: float = SYMBOL_DURATION_20MHZ,
         rng: RngStream | None = None,
         continuous: bool = False,
+        impairments=(),
     ):
         if (snr_db is None) == (power_magnitude is None):
             raise ValueError("specify exactly one of snr_db / power_magnitude")
@@ -89,6 +95,8 @@ class ChannelModel:
         self._noise_rng = rng.child("noise")
         self._phase_rng = rng.child("phase")
         self._fading = FadingProcess(self.profile, symbol_duration, rng.child("fading"))
+        self.impairments = tuple(impairments)
+        self._fault_rng = rng.child("faults") if self.impairments else None
         self.last_trace: ChannelTrace | None = None
 
     def transmit(self, symbols: np.ndarray) -> np.ndarray:
@@ -123,7 +131,16 @@ class ChannelModel:
             i = np.arange(n)[:, None]
             faded *= np.exp(2j * np.pi * k * delta * i)
 
+        for impairment in self.impairments:
+            if impairment.stage == "pre_noise":
+                faded = impairment.apply(faded, self._fault_rng, self.symbol_duration)
+
         received = add_awgn(faded, self.snr_db, self._noise_rng)
+
+        for impairment in self.impairments:
+            if impairment.stage == "post_noise":
+                received = impairment.apply(received, self._fault_rng, self.symbol_duration)
+
         self.last_trace = ChannelTrace(
             responses=responses,
             cfo_hz=self.cfo_hz,

@@ -57,6 +57,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("testbed", help="Fig. 10 office layout, SNRs and rates")
     sub.add_parser("energy", help="§8 energy-overhead estimate")
 
+    faults = sub.add_parser(
+        "faults", help="robustness sweeps: graceful degradation + RTE hardening")
+    faults.add_argument("--mode", choices=["degradation", "rte"],
+                        default="degradation",
+                        help="degradation: MAC sweep under ACK loss / bursty "
+                             "fades; rte: naive-vs-hardened estimator BER")
+    faults.add_argument("--ack-loss", nargs="*", type=float,
+                        default=[0.0, 0.1, 0.2, 0.3],
+                        help="injected ACK-loss rates (degradation mode)")
+    faults.add_argument("--bursty", action="store_true",
+                        help="add Gilbert–Elliott fades + A-HDR outage windows")
+    faults.add_argument("--stations", type=int, default=25)
+    faults.add_argument("--duration", type=float, default=3.0)
+    faults.add_argument("--trials", type=int, default=3)
+    faults.add_argument("--mcs", default="QAM64-3/4",
+                        help="modulation for rte mode")
+    faults.add_argument("--seed", type=int, default=7)
+    faults.add_argument("--workers", type=_positive_int, default=None,
+                        help="process count for the trial runner (default: auto)")
+
     bench = sub.add_parser("bench", help="PHY timing harness → BENCH_phy.json")
     bench.add_argument("--smoke", action="store_true",
                        help="tiny workloads; validates the schema in seconds")
@@ -73,6 +93,7 @@ def _cmd_list() -> int:
     print("  mac      — five-scheme goodput/latency comparison (Figs. 15/16)")
     print("  testbed  — office geometry, per-location SNR and selected MCS")
     print("  energy   — Bloom-filter false positives → energy overhead (§8)")
+    print("  faults   — robustness: degradation sweep / RTE burst hardening")
     print("\nfull reproduction tables: pytest benchmarks/ --benchmark-only")
     return 0
 
@@ -147,6 +168,42 @@ def _cmd_energy() -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    if args.mode == "rte":
+        from repro.analysis.degradation import rte_burst_resilience
+
+        print(f"RTE under impulse-noise bursts, {args.mcs}, "
+              f"{args.trials} trials per scheme")
+        results = rte_burst_resilience(mcs_name=args.mcs, trials=args.trials,
+                                       seed=args.seed, n_workers=args.workers)
+        print(f"{'estimator':<10s} {'head BER':>10s} {'tail BER':>10s} "
+              f"{'tail/head':>10s}")
+        for label, r in results.items():
+            print(f"{label:<10s} {r.head_ber:>10.3e} {r.tail_ber:>10.3e} "
+                  f"{r.tail_head_ratio:>10.2f}")
+        return 0
+
+    from repro.analysis.degradation import SWEEP_PROTOCOLS, degradation_sweep
+
+    print(f"{args.stations} STAs, {args.duration:.1f} s, "
+          f"bursty={'on' if args.bursty else 'off'}, "
+          f"{args.trials} trials per cell\n")
+    sweep = degradation_sweep(
+        ack_loss_rates=args.ack_loss, bursty=args.bursty,
+        num_stations=args.stations, duration=args.duration,
+        trials=args.trials, seed=args.seed, n_workers=args.workers,
+    )
+    print(f"{'scheme':<18s} {'ack loss':>8s} {'goodput':>10s} "
+          f"{'retx':>8s} {'drops':>7s}")
+    for name in SWEEP_PROTOCOLS:
+        for point in sweep[name]:
+            print(f"{name:<18s} {point.ack_loss:>8.2f} "
+                  f"{point.goodput_bps / 1e6:>8.3f} M "
+                  f"{point.retransmitted_subframes:>8.0f} "
+                  f"{point.dropped_frames:>7.0f}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import os
 
@@ -203,6 +260,8 @@ def main(argv=None) -> int:
         return _cmd_testbed()
     if args.command == "energy":
         return _cmd_energy()
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -42,7 +42,7 @@ from repro.core.receiver import (
     SubframeRx,
     decode_subframe_symbols,
 )
-from repro.core.rte import UPDATE_RULES, RealTimeEstimator
+from repro.core.rte import HARDENED_GUARD, UPDATE_RULES, RealTimeEstimator, RteGuard
 from repro.core.sequential_ack import AckTiming, SequentialAckPlan
 from repro.core.side_channel import (
     ONE_BIT_SCHEME,
@@ -98,6 +98,8 @@ __all__ = [
     "decode_subframe_symbols",
     "UPDATE_RULES",
     "RealTimeEstimator",
+    "RteGuard",
+    "HARDENED_GUARD",
     "AckTiming",
     "SequentialAckPlan",
     "ONE_BIT_SCHEME",

@@ -87,6 +87,7 @@ def decode_subframe_symbols(
     crc_config: SymbolCrcConfig = DEFAULT_CRC_CONFIG,
     use_rte: bool = True,
     rte_rule="average",
+    rte_guard=None,
 ):
     """Decode one subframe's payload symbols with (optionally) RTE.
 
@@ -104,6 +105,8 @@ def decode_subframe_symbols(
         reference_phase: Tracked phase of the subframe's SIG symbol (the
             side channel's differential reference).
         use_rte: False reproduces the "standard" baseline (estimate frozen).
+        rte_guard: Optional :class:`repro.core.rte.RteGuard` outlier policy
+            (defaults to the per-subcarrier-only legacy guard).
 
     Returns:
         (bit_matrix, side_bits, crc_pass, phases, estimator, equalized)
@@ -113,7 +116,8 @@ def decode_subframe_symbols(
     received = np.asarray(received, dtype=np.complex128)
     n_symbols = received.shape[0]
     scheme = crc_config.scheme
-    estimator = RealTimeEstimator(channel_estimate, update_rule=rte_rule)
+    estimator = RealTimeEstimator(channel_estimate, update_rule=rte_rule,
+                                  guard=rte_guard)
     if not use_rte:
         # The estimate never changes without RTE (CRC failures only bump a
         # counter), so the whole symbol chain vectorises.
@@ -224,6 +228,7 @@ class CarpoolReceiver:
         crc_config: SymbolCrcConfig = DEFAULT_CRC_CONFIG,
         use_rte: bool = True,
         rte_rule="average",
+        rte_guard=None,
         decode_all: bool = False,
         scrambler_seed: int = 0b1011101,
         soft: bool = False,
@@ -233,6 +238,7 @@ class CarpoolReceiver:
         self.crc_config = crc_config
         self.use_rte = use_rte
         self.rte_rule = rte_rule
+        self.rte_guard = rte_guard
         self.decode_all = decode_all
         self.scrambler_seed = scrambler_seed
         # Soft (LLR) Viterbi for the payload; applies to the coded chain.
@@ -293,6 +299,7 @@ class CarpoolReceiver:
                     crc_config=self.crc_config,
                     use_rte=self.use_rte,
                     rte_rule=self.rte_rule,
+                    rte_guard=self.rte_guard,
                 )
                 if self.soft and self.coded:
                     from repro.phy.soft import decode_payload_soft

@@ -1,0 +1,46 @@
+"""Seeded, composable fault injection across the PHY/MAC/receiver stack.
+
+``repro.faults`` turns the reproduction's happy-path models into a
+stress-testing harness: declarative :class:`FaultPlan` objects describe
+channel impairments (residual CFO, timing offset, deep fades, impulse
+noise, Gilbert–Elliott bursts) and MAC faults (ACK/CTS loss, A-HDR
+corruption, bursty subframe loss, hidden-terminal windows), and the
+channel model / MAC engine consume them through dedicated hooks. Every
+fault draws from its own RNG child stream, so scenarios replay
+bit-identically and fault-free runs are untouched.
+"""
+
+from repro.faults.gilbert_elliott import BurstTimeline, GilbertElliott
+from repro.faults.mac import MacFaultInjector
+from repro.faults.phy import (
+    DeepFadeImpairment,
+    GilbertElliottFadeImpairment,
+    ImpulseNoiseImpairment,
+    PhyImpairment,
+    ResidualCfoImpairment,
+    TimingOffsetImpairment,
+    build_impairment,
+)
+from repro.faults.plan import (
+    MAC_FAULT_KINDS,
+    PHY_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "PHY_FAULT_KINDS",
+    "MAC_FAULT_KINDS",
+    "GilbertElliott",
+    "BurstTimeline",
+    "MacFaultInjector",
+    "PhyImpairment",
+    "ResidualCfoImpairment",
+    "TimingOffsetImpairment",
+    "DeepFadeImpairment",
+    "ImpulseNoiseImpairment",
+    "GilbertElliottFadeImpairment",
+    "build_impairment",
+]

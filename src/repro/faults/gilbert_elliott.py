@@ -1,0 +1,159 @@
+"""Gilbert–Elliott bursty-loss processes.
+
+The classic two-state Markov channel: a *good* state with low loss and a
+*bad* state with high loss, switching with per-step probabilities. Losses
+cluster into bursts whose mean length is 1/p_bad_to_good — the regime the
+paper's clean AWGN/fading models never exercise, and the one that breaks
+aggregation hardest (one bad period kills every subframe it overlaps).
+
+Two granularities are provided:
+
+* :class:`GilbertElliott` — discrete steps (one step per OFDM symbol, or
+  per frame), with the closed-form stationary loss rate the property tests
+  check against.
+* :class:`BurstTimeline` — continuous time (exponential sojourns), used by
+  the MAC fault injector to decide whether a transmission interval overlaps
+  a bad period. Segments are generated lazily and cached, so repeated
+  queries at any time are consistent and the process is fully determined by
+  its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import RngStream
+
+__all__ = ["GilbertElliott", "BurstTimeline"]
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Discrete two-state Markov loss model.
+
+    Attributes:
+        p_good_to_bad: Per-step transition probability good → bad.
+        p_bad_to_good: Per-step transition probability bad → good
+            (mean burst length = 1/p_bad_to_good steps).
+        loss_good: Loss probability while in the good state.
+        loss_bad: Loss probability while in the bad state.
+    """
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+
+    def __post_init__(self):
+        for name in ("p_good_to_bad", "p_bad_to_good"):
+            p = getattr(self, name)
+            if not 0.0 < p <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {p}")
+        for name in ("loss_good", "loss_bad"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+    def stationary_bad_probability(self) -> float:
+        """π_B = p_gb / (p_gb + p_bg) — long-run fraction of bad steps."""
+        return self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+
+    def stationary_loss_rate(self) -> float:
+        """Closed-form long-run loss rate: (1−π_B)·loss_good + π_B·loss_bad."""
+        pi_bad = self.stationary_bad_probability()
+        return (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+
+    def mean_burst_length(self) -> float:
+        """Mean sojourn in the bad state, in steps."""
+        return 1.0 / self.p_bad_to_good
+
+    def sample_states(self, n: int, rng) -> np.ndarray:
+        """(n,) boolean array, True = bad. Starts from the stationary law.
+
+        Generated as alternating runs with geometric lengths — identical in
+        distribution to stepping the chain, but vectorised per run.
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        gen = rng.generator if isinstance(rng, RngStream) else rng
+        states = np.empty(n, dtype=bool)
+        bad = bool(gen.random() < self.stationary_bad_probability())
+        filled = 0
+        while filled < n:
+            p_leave = self.p_bad_to_good if bad else self.p_good_to_bad
+            run = int(gen.geometric(p_leave))
+            stop = min(filled + run, n)
+            states[filled:stop] = bad
+            filled = stop
+            bad = not bad
+        return states
+
+    def sample_losses(self, n: int, rng) -> np.ndarray:
+        """(n,) boolean array of per-step loss outcomes."""
+        gen = rng.generator if isinstance(rng, RngStream) else rng
+        states = self.sample_states(n, gen)
+        p = np.where(states, self.loss_bad, self.loss_good)
+        return gen.random(n) < p
+
+
+class BurstTimeline:
+    """Continuous-time good/bad alternation with exponential sojourns.
+
+    Args:
+        mean_good: Mean good-period duration in seconds.
+        mean_bad: Mean bad-period duration in seconds.
+        rng: Seeded stream; the whole timeline is a pure function of it.
+
+    Segments are materialised lazily up to the largest time queried, so the
+    realisation is identical no matter how (or how often) it is probed.
+    """
+
+    def __init__(self, mean_good: float, mean_bad: float, rng: RngStream):
+        if mean_good <= 0 or mean_bad <= 0:
+            raise ValueError("mean sojourn times must be positive")
+        self.mean_good = mean_good
+        self.mean_bad = mean_bad
+        self._gen = rng.generator if isinstance(rng, RngStream) else rng
+        # Start-state drawn from the stationary occupancy of the renewal
+        # process (time-weighted, not step-weighted).
+        p_bad = mean_bad / (mean_good + mean_bad)
+        self._segments: list = []  # (start, end, is_bad)
+        self._horizon = 0.0
+        self._next_bad = bool(self._gen.random() < p_bad)
+
+    def _extend_to(self, t: float) -> None:
+        while self._horizon <= t:
+            mean = self.mean_bad if self._next_bad else self.mean_good
+            duration = float(self._gen.exponential(mean))
+            self._segments.append((self._horizon, self._horizon + duration, self._next_bad))
+            self._horizon += duration
+            self._next_bad = not self._next_bad
+
+    def bad_overlap(self, start: float, end: float) -> float:
+        """Seconds of [start, end) spent in a bad period."""
+        if end < start:
+            raise ValueError("end must be >= start")
+        self._extend_to(end)
+        overlap = 0.0
+        for seg_start, seg_end, is_bad in self._segments:
+            if seg_end <= start:
+                continue
+            if seg_start >= end:
+                break
+            if is_bad:
+                overlap += min(end, seg_end) - max(start, seg_start)
+        return overlap
+
+    def is_bad(self, start: float, end: float | None = None) -> bool:
+        """Does [start, end) (or the instant ``start``) touch a bad period?"""
+        if end is None:
+            end = start
+        self._extend_to(end)
+        for seg_start, seg_end, is_bad in self._segments:
+            if is_bad and seg_start < end + 1e-12 and seg_end > start:
+                return True
+            if seg_start >= end:
+                break
+        return False

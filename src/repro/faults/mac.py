@@ -1,0 +1,157 @@
+"""MAC-layer fault injection for :class:`repro.mac.engine.WlanSimulator`.
+
+The engine consults one :class:`MacFaultInjector` at well-defined points of
+a transmission (ACK reception, RTS/CTS exchange, A-HDR decode, subframe
+decode, carrier sensing). Every fault kind owns a *dedicated* child RNG
+stream, spawned lazily from the injector's root stream by the spec's
+``stream_name`` — never shared with the engine's backoff/error/hidden
+streams — so:
+
+* a simulator built with ``faults=None`` performs zero extra draws and is
+  bit-identical to the pre-fault-framework engine;
+* a plan whose faults never fire (window elapsed, probability 0) leaves
+  the trajectory of unaffected trials untouched.
+
+Draws are only performed while a spec's activation window is open and its
+probability is non-zero.
+"""
+
+from __future__ import annotations
+
+from repro.faults.gilbert_elliott import BurstTimeline
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.util.rng import RngStream
+
+__all__ = ["MacFaultInjector"]
+
+
+class MacFaultInjector:
+    """Evaluates a :class:`FaultPlan`'s MAC faults against a live simulation.
+
+    Args:
+        plan: The declarative fault plan (only its MAC specs are used).
+        rng: Root stream for fault draws — pass a dedicated child of the
+            simulator's stream (the engine uses ``rng.child("faults")``).
+    """
+
+    def __init__(self, plan: FaultPlan, rng: RngStream):
+        self.plan = plan
+        self._rng = rng
+        self._streams: dict = {}
+        self._timelines: dict = {}
+        # Exposed counters for instrumentation/tests.
+        self.ack_losses = 0
+        self.cts_losses = 0
+        self.ahdr_corruptions = 0
+        self.ahdr_false_matches = 0
+        self.burst_failures = 0
+        self.hidden_hits = 0
+
+    def _stream(self, spec: FaultSpec) -> RngStream:
+        stream = self._streams.get(spec.stream_name)
+        if stream is None:
+            stream = self._rng.child(spec.stream_name)
+            self._streams[spec.stream_name] = stream
+        return stream
+
+    def _active(self, kind: str, now: float):
+        for spec in self.plan.of_kind(kind):
+            if spec.active_at(now):
+                return spec
+        return None
+
+    # --- per-event queries (engine hooks) --------------------------------- #
+
+    def ack_lost(self, now: float) -> bool:
+        """Is the ACK transmitted at ``now`` lost?"""
+        spec = self._active("ack_loss", now)
+        if spec is None or spec.probability <= 0.0:
+            return False
+        lost = bool(self._stream(spec).uniform() < spec.probability)
+        if lost:
+            self.ack_losses += 1
+        return lost
+
+    def cts_lost(self, now: float) -> bool:
+        """Does the RTS/CTS exchange starting at ``now`` fail?"""
+        spec = self._active("cts_loss", now)
+        if spec is None or spec.probability <= 0.0:
+            return False
+        lost = bool(self._stream(spec).uniform() < spec.probability)
+        if lost:
+            self.cts_losses += 1
+        return lost
+
+    def ahdr_corrupted(self, now: float):
+        """Corruption outcome for a Carpool aggregate sent at ``now``.
+
+        Returns None when the A-HDR survives, else the active spec — the
+        engine then consults :meth:`ahdr_subframe_missed` per subframe and
+        :meth:`ahdr_false_match` per bystander.
+        """
+        spec = self._active("ahdr_corruption", now)
+        if spec is None or spec.probability <= 0.0:
+            return None
+        if self._stream(spec).uniform() < spec.probability:
+            self.ahdr_corruptions += 1
+            return spec
+        return None
+
+    def ahdr_subframe_missed(self, spec: FaultSpec) -> bool:
+        """Given a corrupted A-HDR, does this intended STA miss its subframe?"""
+        miss_p = float(spec.param("miss_probability", 1.0))
+        if miss_p >= 1.0:
+            return True
+        return bool(self._stream(spec).uniform() < miss_p)
+
+    def ahdr_false_match(self, spec: FaultSpec) -> bool:
+        """Given a corrupted A-HDR, does a bystander falsely match?"""
+        fp = float(spec.param("false_match_probability", 0.0))
+        if fp <= 0.0:
+            return False
+        hit = bool(self._stream(spec).uniform() < fp)
+        if hit:
+            self.ahdr_false_matches += 1
+        return hit
+
+    def subframe_burst_failed(self, t_start: float, t_end: float) -> bool:
+        """Does the bursty-loss channel kill a subframe on air [start, end)?"""
+        spec = self._active("mac_burst", t_start)
+        if spec is None:
+            return False
+        timeline = self._timelines.get(spec.stream_name)
+        if timeline is None:
+            timeline = BurstTimeline(
+                mean_good=float(spec.param("mean_good", 0.050)),
+                mean_bad=float(spec.param("mean_bad", 0.005)),
+                rng=self._stream(spec),
+            )
+            self._timelines[spec.stream_name] = timeline
+        if not timeline.is_bad(t_start, t_end):
+            return False
+        probability = spec.probability or 1.0
+        failed = probability >= 1.0 or bool(self._stream(spec).uniform() < probability)
+        if failed:
+            self.burst_failures += 1
+        return failed
+
+    def hidden_window_hit(self, now: float) -> bool:
+        """Does an (injected) hidden terminal fire into this transmission?"""
+        spec = self._active("hidden_window", now)
+        if spec is None or spec.probability <= 0.0:
+            return False
+        hit = bool(self._stream(spec).uniform() < spec.probability)
+        if hit:
+            self.hidden_hits += 1
+        return hit
+
+    def counters(self) -> dict:
+        """Snapshot of injected-fault counts (for reports and tests)."""
+        return {
+            "ack_losses": self.ack_losses,
+            "cts_losses": self.cts_losses,
+            "ahdr_corruptions": self.ahdr_corruptions,
+            "ahdr_false_matches": self.ahdr_false_matches,
+            "burst_failures": self.burst_failures,
+            "hidden_hits": self.hidden_hits,
+        }

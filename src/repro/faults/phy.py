@@ -1,0 +1,155 @@
+"""PHY-layer impairment injectors.
+
+Each impairment transforms the (n_symbols, 52) frequency-domain symbol
+array inside :class:`repro.channel.model.ChannelModel`, either before AWGN
+(channel effects: fades, phase ramps) or after it (receiver-side additive
+events: impulse noise). Injectors draw exclusively from the channel's
+dedicated ``faults`` child stream, so a model built *without* impairments
+produces bit-identical output to one built before this module existed.
+
+All stochastic draws happen inside :meth:`apply` at transmit time, making
+a sequence of frames through one channel a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.gilbert_elliott import GilbertElliott
+from repro.faults.plan import FaultSpec
+from repro.phy.cfo import phase_step_from_cfo
+from repro.phy.constants import FFT_SIZE, USED_SUBCARRIER_INDICES
+
+__all__ = [
+    "PhyImpairment",
+    "ResidualCfoImpairment",
+    "TimingOffsetImpairment",
+    "DeepFadeImpairment",
+    "ImpulseNoiseImpairment",
+    "GilbertElliottFadeImpairment",
+    "build_impairment",
+]
+
+
+class PhyImpairment:
+    """Base injector. ``stage`` selects pre- or post-AWGN application."""
+
+    stage = "pre_noise"  # or "post_noise"
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+
+    def apply(self, symbols: np.ndarray, rng, symbol_duration: float) -> np.ndarray:
+        """Transform one frame's (n, 52) symbol array; must not mutate input."""
+        raise NotImplementedError
+
+
+class ResidualCfoImpairment(PhyImpairment):
+    """Extra un-corrected CFO: ``magnitude`` Hz of residual offset.
+
+    Models the regime where the LTF-based estimate is stale or biased —
+    e.g. oscillator drift mid-association — leaving a rotation the pilots
+    must absorb every symbol.
+    """
+
+    def apply(self, symbols, rng, symbol_duration):
+        step = phase_step_from_cfo(self.spec.magnitude, symbol_duration)
+        ramp = np.exp(1j * step * np.arange(symbols.shape[0]))
+        return symbols * ramp[:, None]
+
+
+class TimingOffsetImpairment(PhyImpairment):
+    """Sample-timing offset of ``magnitude`` samples.
+
+    A timing error of δ samples rotates subcarrier k by 2π·k·δ/N — a
+    frequency-proportional phase slope that common-phase pilot tracking
+    cannot remove (it is not common across subcarriers).
+    """
+
+    def apply(self, symbols, rng, symbol_duration):
+        slope = np.exp(
+            -2j * np.pi * USED_SUBCARRIER_INDICES * self.spec.magnitude / FFT_SIZE
+        )
+        return symbols * slope[None, :]
+
+
+class DeepFadeImpairment(PhyImpairment):
+    """A mid-frame deep fade: ``magnitude`` dB down over ``length`` symbols.
+
+    ``position`` (param) fixes the first faded symbol; -1 draws a fresh
+    position uniformly per frame. ``probability`` gates whether a given
+    frame is hit at all (default: every frame).
+    """
+
+    def apply(self, symbols, rng, symbol_duration):
+        n = symbols.shape[0]
+        probability = self.spec.probability or 1.0
+        if probability < 1.0 and not (rng.uniform() < probability):
+            return symbols
+        position = int(self.spec.param("position", -1))
+        if position < 0:
+            position = int(rng.integers(0, max(n - self.spec.length + 1, 1)))
+        attenuation = 10.0 ** (-self.spec.magnitude / 20.0)
+        out = symbols.copy()
+        out[position : position + self.spec.length] *= attenuation
+        return out
+
+
+class ImpulseNoiseImpairment(PhyImpairment):
+    """Impulse-noise bursts: ``magnitude`` dB above unit signal power,
+    ``length`` symbols long, igniting at each symbol w.p. ``probability``."""
+
+    stage = "post_noise"
+
+    def apply(self, symbols, rng, symbol_duration):
+        n = symbols.shape[0]
+        starts = rng.uniform(size=n) < self.spec.probability
+        if not starts.any():
+            return symbols
+        hit = np.zeros(n, dtype=bool)
+        for i in np.flatnonzero(starts):
+            hit[i : i + self.spec.length] = True
+        sigma = 10.0 ** (self.spec.magnitude / 20.0)
+        out = symbols.copy()
+        burst = rng.complex_normal(scale=sigma, size=(int(hit.sum()), symbols.shape[1]))
+        out[hit] += burst
+        return out
+
+
+class GilbertElliottFadeImpairment(PhyImpairment):
+    """Per-symbol Gilbert–Elliott fading: bad-state symbols drop by
+    ``magnitude`` dB. Burst statistics come from ``p_good_to_bad`` /
+    ``p_bad_to_good`` (per-symbol transition probabilities)."""
+
+    def __init__(self, spec: FaultSpec):
+        super().__init__(spec)
+        self.chain = GilbertElliott(
+            p_good_to_bad=float(spec.param("p_good_to_bad", 0.05)),
+            p_bad_to_good=float(spec.param("p_bad_to_good", 0.25)),
+        )
+
+    def apply(self, symbols, rng, symbol_duration):
+        bad = self.chain.sample_states(symbols.shape[0], rng.generator)
+        if not bad.any():
+            return symbols
+        attenuation = 10.0 ** (-self.spec.magnitude / 20.0)
+        out = symbols.copy()
+        out[bad] *= attenuation
+        return out
+
+
+_BUILDERS = {
+    "residual_cfo": ResidualCfoImpairment,
+    "timing_offset": TimingOffsetImpairment,
+    "deep_fade": DeepFadeImpairment,
+    "impulse_noise": ImpulseNoiseImpairment,
+    "ge_fade": GilbertElliottFadeImpairment,
+}
+
+
+def build_impairment(spec: FaultSpec) -> PhyImpairment:
+    """Instantiate the injector class for a PHY fault spec."""
+    try:
+        return _BUILDERS[spec.kind](spec)
+    except KeyError:
+        raise ValueError(f"{spec.kind!r} is not a PHY fault kind") from None

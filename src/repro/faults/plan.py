@@ -1,0 +1,210 @@
+"""Declarative, reproducible fault plans.
+
+A :class:`FaultPlan` is a frozen, picklable description of *which* faults
+to inject, *when*, and *how hard* — the single artefact a degradation
+experiment needs to be replayed bit-identically. Plans compose freely:
+
+    plan = FaultPlan.of(
+        FaultSpec.make("ack_loss", probability=0.1, start=2.0, stop=6.0),
+        FaultSpec.make("impulse_noise", probability=0.05, magnitude=12.0,
+                       length=4),
+    )
+
+Every fault kind draws from its own dedicated RNG child stream (derived
+from the kind name plus an optional ``seed_salt``), so enabling a plan
+never perturbs the backoff/error/noise streams of the baseline simulation:
+trials the faults do not touch stay bit-identical to a fault-free run.
+
+PHY kinds (applied to OFDM symbol arrays inside :class:`ChannelModel`):
+
+* ``residual_cfo`` — extra un-corrected CFO; ``magnitude`` = Hz.
+* ``timing_offset`` — sample-timing offset; ``magnitude`` = samples.
+* ``deep_fade`` — a mid-frame fade of ``magnitude`` dB over ``length``
+  symbols starting at ``position`` (-1 = random per frame).
+* ``impulse_noise`` — noise bursts ``magnitude`` dB above the signal,
+  ``length`` symbols long, starting at each symbol w.p. ``probability``.
+* ``ge_fade`` — Gilbert–Elliott per-symbol fade: bad-state symbols are
+  attenuated by ``magnitude`` dB; ``p_good_to_bad``/``p_bad_to_good``
+  set the burst statistics.
+
+MAC kinds (consumed by :class:`repro.faults.mac.MacFaultInjector`):
+
+* ``ack_loss`` — each ACK is lost w.p. ``probability``.
+* ``cts_loss`` — an RTS/CTS exchange fails w.p. ``probability``.
+* ``ahdr_corruption`` — a Carpool aggregate's A-HDR is corrupted w.p.
+  ``probability``; each intended STA then misses its subframe w.p.
+  ``miss_probability`` and bystanders falsely match w.p.
+  ``false_match_probability``.
+* ``mac_burst`` — a Gilbert–Elliott bursty channel in *time*
+  (``mean_good``/``mean_bad`` second sojourns); subframes overlapping a
+  bad period fail w.p. ``probability``.
+* ``hidden_window`` — a hidden terminal fires into any AP transmission
+  w.p. ``probability`` while the window is active.
+
+All faults honour their ``[start, stop)`` activation window in simulation
+time (PHY faults: in seconds of MAC time are not available, so their
+window is interpreted per frame via the frame counter when ``unit="frames"``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["FaultSpec", "FaultPlan", "PHY_FAULT_KINDS", "MAC_FAULT_KINDS"]
+
+PHY_FAULT_KINDS = (
+    "residual_cfo",
+    "timing_offset",
+    "deep_fade",
+    "impulse_noise",
+    "ge_fade",
+)
+
+MAC_FAULT_KINDS = (
+    "ack_loss",
+    "cts_loss",
+    "ahdr_corruption",
+    "mac_burst",
+    "hidden_window",
+)
+
+_KNOWN_KINDS = PHY_FAULT_KINDS + MAC_FAULT_KINDS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: kind, activation window, intensity, extra parameters.
+
+    ``params`` is a tuple of sorted ``(name, value)`` pairs so the spec
+    stays hashable and picklable; build specs with :meth:`make` and read
+    extras with :meth:`param`.
+    """
+
+    kind: str
+    start: float = 0.0
+    stop: float = math.inf
+    probability: float = 0.0
+    magnitude: float = 0.0
+    length: int = 1
+    seed_salt: str = ""
+    params: tuple = ()
+
+    def __post_init__(self):
+        if self.kind not in _KNOWN_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"known: {sorted(_KNOWN_KINDS)}")
+        if self.stop < self.start:
+            raise ValueError("stop must be >= start")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.length < 1:
+            raise ValueError("length must be >= 1")
+
+    @classmethod
+    def make(cls, kind: str, *, start: float = 0.0, stop: float = math.inf,
+             probability: float = 0.0, magnitude: float = 0.0, length: int = 1,
+             seed_salt: str = "", **params) -> "FaultSpec":
+        """Build a spec; free-form keyword extras land in ``params``."""
+        return cls(kind=kind, start=start, stop=stop, probability=probability,
+                   magnitude=magnitude, length=length, seed_salt=seed_salt,
+                   params=tuple(sorted(params.items())))
+
+    def param(self, name: str, default=None):
+        """Read a kind-specific extra parameter."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def active_at(self, t: float) -> bool:
+        """Is this fault's activation window open at time ``t``?"""
+        return self.start <= t < self.stop
+
+    @property
+    def stream_name(self) -> str:
+        """The dedicated RNG child-stream name for this fault's draws."""
+        suffix = f"-{self.seed_salt}" if self.seed_salt else ""
+        return f"fault-{self.kind}{suffix}"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "kind": self.kind,
+            "start": self.start,
+            "stop": self.stop,
+            "probability": self.probability,
+            "magnitude": self.magnitude,
+            "length": self.length,
+            "seed_salt": self.seed_salt,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`."""
+        extras = data.get("params", {})
+        return cls.make(
+            data["kind"],
+            start=data.get("start", 0.0),
+            stop=data.get("stop", math.inf),
+            probability=data.get("probability", 0.0),
+            magnitude=data.get("magnitude", 0.0),
+            length=data.get("length", 1),
+            seed_salt=data.get("seed_salt", ""),
+            **extras,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composition of :class:`FaultSpec` — the reproducible scenario unit."""
+
+    specs: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+        names = [spec.stream_name for spec in self.specs]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ValueError(
+                f"duplicate fault streams {sorted(dupes)}: give repeated kinds "
+                f"distinct seed_salt values so their draws stay independent"
+            )
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        """Build a plan from specs."""
+        return cls(specs=tuple(specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def of_kind(self, kind: str) -> tuple:
+        """All specs of one kind."""
+        return tuple(s for s in self.specs if s.kind == kind)
+
+    @property
+    def phy_specs(self) -> tuple:
+        """Specs consumed by the PHY/channel layer."""
+        return tuple(s for s in self.specs if s.kind in PHY_FAULT_KINDS)
+
+    @property
+    def mac_specs(self) -> tuple:
+        """Specs consumed by the MAC engine."""
+        return tuple(s for s in self.specs if s.kind in MAC_FAULT_KINDS)
+
+    def phy_impairments(self) -> list:
+        """Instantiate the PHY impairment objects for :class:`ChannelModel`."""
+        from repro.faults.phy import build_impairment
+
+        return [build_impairment(spec) for spec in self.phy_specs]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {"specs": [s.to_dict() for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(specs=tuple(FaultSpec.from_dict(d) for d in data.get("specs", ())))

@@ -25,6 +25,7 @@ from repro.mac.frame_formats import AckFrame, CtsFrame, DataFrame, RtsFrame, par
 from repro.mac.nav import NavCounter, simulate_ack_train
 from repro.mac.fairness import FairCarpoolProtocol, TimeOccupancyTable
 from repro.mac.protocols.carpool_mixed import CarpoolMixedProtocol
+from repro.mac.protocols.fallback import FallbackCarpoolProtocol
 from repro.mac.rate_control import RateTable, select_mcs
 from repro.mac.scenarios import CbrScenario, ScenarioResult, VoipScenario
 from repro.mac.protocols import (
@@ -72,6 +73,7 @@ __all__ = [
     "Transmission",
     "WifoxProtocol",
     "CarpoolMixedProtocol",
+    "FallbackCarpoolProtocol",
     "FairCarpoolProtocol",
     "TimeOccupancyTable",
     "DataFrame",

@@ -52,6 +52,16 @@ class WlanSimulator:
         rng: Root random stream (backoff and error draws use children).
         use_rts_cts: Prepend an RTS/CTS(-sequence) exchange to every
             downlink transmission (§4.2's hidden-terminal mechanism).
+        faults: Optional :class:`repro.faults.FaultPlan` (or a pre-built
+            :class:`repro.faults.mac.MacFaultInjector`). MAC faults draw
+            from a dedicated ``faults`` child stream — with ``None`` the
+            engine performs zero extra draws and runs bit-identically to
+            the pre-fault-framework simulator.
+        sequential_ack_recovery: Harden the AP's sequential-ACK handling:
+            with timestamp-based slot matching a lost ACK costs only its
+            own subframe; without it (the naive ordinal matcher) the first
+            unexplained ACK gap desynchronises the rest of the sequence
+            and every later subframe is conservatively retransmitted.
     """
 
     def __init__(
@@ -66,6 +76,8 @@ class WlanSimulator:
         num_aps: int = 1,
         station_names: list | None = None,
         hidden_pairs: set | None = None,
+        faults=None,
+        sequential_ack_recovery: bool = False,
     ):
         if num_stations < 1 and not station_names:
             raise ValueError("need at least one station")
@@ -107,6 +119,18 @@ class WlanSimulator:
             self._hidden.add(frozenset((a, b)))
         self._hidden_rng = rng.child("hidden")
         self.hidden_collisions = 0
+        # Fault injection: a dedicated child stream, never shared with the
+        # backoff/error/hidden streams above, so enabling a plan cannot
+        # perturb the baseline trajectory of unaffected trials.
+        self._faults = None
+        self.sequential_ack_recovery = sequential_ack_recovery
+        if faults is not None:
+            from repro.faults.mac import MacFaultInjector
+
+            if isinstance(faults, MacFaultInjector):
+                self._faults = faults
+            else:
+                self._faults = MacFaultInjector(faults, rng.child("faults"))
         # Per-node radio airtime for the §8 energy analysis.
         self.airtime_by_node = {
             name: {"tx": 0.0, "rx": 0.0} for name in self.nodes
@@ -153,6 +177,7 @@ class WlanSimulator:
             if node is None:
                 raise KeyError(f"arrival for unknown node {arrival.source!r}")
             node.enqueue(MacFrame.from_arrival(arrival))
+            self.metrics.record_offered()
             self._log("arrival", node.name, f"{arrival.size_bytes} B")
 
     def _peek_arrival(self) -> Arrival | None:
@@ -272,6 +297,21 @@ class WlanSimulator:
         protected = self.use_rts_cts and node.is_ap
         overhead = self._rts_cts_overhead(len(transmission.subframes)) if protected else 0.0
 
+        # Injected hidden-terminal window: interference the carrier-sense
+        # (and RTS/CTS) machinery cannot suppress destroys the whole
+        # exchange, like an unprotected hidden-node collision.
+        if self._faults is not None and self._faults.hidden_window_hit(self.now):
+            self.hidden_collisions += 1
+            total = overhead + transmission.total_duration
+            self._log("fault-hidden", node.name, f"busy={total * 1e6:.0f}us")
+            self.metrics.record_collision(total)
+            for _subframe in transmission.subframes:
+                self.metrics.record_retransmission()
+            self._requeue_transmission(node, transmission, count_retry=True)
+            node.on_collision()
+            self.now += total
+            return
+
         interferers = self._hidden_interferers(node)
         if interferers:
             if protected:
@@ -304,6 +344,19 @@ class WlanSimulator:
                     self.now += total
                     return
 
+        # Injected RTS/CTS failure: a lost CTS aborts the exchange after
+        # the RTS + one CTS slot's worth of airtime.
+        if protected and self._faults is not None and self._faults.cts_lost(self.now):
+            rts_time = single_frame_airtime(_RTS_BYTES, self.params)
+            cts_time = self.params.plcp_header_time + 8 * _CTS_BYTES / self.params.basic_rate_bps
+            busy = rts_time + self.params.sifs + cts_time + self.params.difs
+            self._log("fault-cts-loss", node.name, f"busy={busy * 1e6:.0f}us")
+            self.metrics.record_collision(busy)
+            node.on_collision()
+            self._requeue_transmission(node, transmission)
+            self.now += busy
+            return
+
         total = overhead + transmission.total_duration
         self.metrics.record_transmission(total)
         self._log("transmit", node.name,
@@ -313,30 +366,116 @@ class WlanSimulator:
         self._account_airtime(node, transmission, overhead)
 
         data_end = self.now + overhead + transmission.airtime
-        any_success = False
-        failed_frames = []
-        for subframe in transmission.subframes:
-            ok = self.error_model.draw_subframe(
+        decoded = [
+            self.error_model.draw_subframe(
                 self._error_rng, subframe.start_symbol, subframe.n_symbols, subframe.rte
             )
+            for subframe in transmission.subframes
+        ]
+        if self._faults is not None:
+            decoded = self._apply_subframe_faults(transmission, decoded, overhead)
+            acked = self._apply_ack_faults(transmission, decoded)
+        else:
+            acked = decoded
+
+        failed_frames = []
+        for subframe, ok, ack_ok in zip(transmission.subframes, decoded, acked):
             if ok:
-                any_success = True
                 for frame in subframe.frames:
-                    self.metrics.record_delivery(frame, data_end, source=node.name)
-            else:
-                self.metrics.record_retransmission()
-                for frame in subframe.frames:
-                    frame.retries += 1
-                    if frame.retries > self.params.retry_limit:
+                    if not frame.delivered:
+                        self.metrics.record_delivery(frame, data_end, source=node.name)
+                        frame.delivered = True
+            if ack_ok:
+                continue
+            # No (attributable) ACK: the AP must assume the subframe was
+            # lost and retransmit — even if it was in fact delivered.
+            self.metrics.record_retransmission()
+            for frame in subframe.frames:
+                frame.retries += 1
+                if frame.retries > self.params.retry_limit:
+                    if not frame.delivered:
                         self.metrics.record_drop(frame)
-                    else:
-                        failed_frames.append(frame)
+                else:
+                    failed_frames.append(frame)
+        if node.is_ap:
+            for subframe, ack_ok in zip(transmission.subframes, acked):
+                self.protocol.on_subframe_result(subframe.destination, ack_ok, self.now)
         node.requeue_front(failed_frames)
-        if any_success or not transmission.subframes:
+        if any(acked) or not transmission.subframes:
             node.on_success()
         else:
             node.on_collision()  # no ACK at all: double CW like a collision
         self.now += total
+
+    def _apply_subframe_faults(self, transmission, decoded: list, overhead: float) -> list:
+        """Overlay A-HDR corruption and bursty-loss outcomes on decode draws."""
+        t_sym = self.params.symbol_duration
+        plcp = self.params.plcp_header_time
+        # Only Carpool-style aggregates carry an A-HDR (their subframes
+        # decode with RTE); plain unicast / legacy frames are immune.
+        ahdr_spec = None
+        if any(sf.rte for sf in transmission.subframes):
+            ahdr_spec = self._faults.ahdr_corrupted(self.now)
+        outcomes = []
+        data_start = self.now + overhead + plcp
+        for subframe, ok in zip(transmission.subframes, decoded):
+            if ok and ahdr_spec is not None and self._faults.ahdr_subframe_missed(ahdr_spec):
+                # The intended STA never finds its subframe in the
+                # corrupted header — an undecoded subframe from the AP's
+                # point of view.
+                ok = False
+            if ok:
+                t0 = data_start + subframe.start_symbol * t_sym
+                t1 = t0 + subframe.n_symbols * t_sym
+                if self._faults.subframe_burst_failed(t0, t1):
+                    ok = False
+            outcomes.append(ok)
+        if ahdr_spec is not None:
+            self._charge_false_matches(transmission, ahdr_spec)
+        return outcomes
+
+    def _charge_false_matches(self, transmission, ahdr_spec) -> None:
+        """Bystanders that falsely match a corrupted A-HDR decode one
+        irrelevant subframe — pure receive-energy waste."""
+        subframes = transmission.subframes
+        if not subframes:
+            return
+        addressed = {sf.destination for sf in subframes}
+        mean_subframe = (
+            float(np.mean([sf.n_symbols for sf in subframes])) * self.params.symbol_duration
+        )
+        for name in self.stations:
+            if name in addressed:
+                continue
+            if self._faults.ahdr_false_match(ahdr_spec):
+                self.airtime_by_node[name]["rx"] += mean_subframe
+
+    def _apply_ack_faults(self, transmission, decoded: list) -> list:
+        """Overlay ACK loss; model the sequential-ACK desync failure mode.
+
+        Each decoded subframe's ACK is lost independently. In a
+        multi-receiver sequence, the naive AP matches ACKs to subframes
+        *ordinally*: the first injected gap desynchronises the remainder,
+        so every later subframe is conservatively treated as lost. With
+        ``sequential_ack_recovery`` the AP matches ACKs to slots by
+        timestamp (:meth:`SequentialAckPlan.match_ack_to_subframe`) and a
+        lost ACK costs only its own subframe.
+        """
+        acked = list(decoded)
+        first_gap = None
+        for i, ok in enumerate(decoded):
+            if ok and self._faults.ack_lost(self.now):
+                acked[i] = False
+                if first_gap is None:
+                    first_gap = i
+        if (
+            first_gap is not None
+            and len(transmission.subframes) > 1
+            and not self.sequential_ack_recovery
+        ):
+            for i in range(first_gap, len(acked)):
+                acked[i] = False
+        return acked
 
     def _account_airtime(self, node: Node, transmission, overhead: float) -> None:
         """Charge per-node radio time for the §8 energy analysis.

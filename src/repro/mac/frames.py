@@ -45,6 +45,9 @@ class MacFrame:
     delay_sensitive: bool = False
     direction: str = Direction.DOWNLINK
     retries: int = 0
+    #: Set once the receiver has decoded this frame; guards double-counting
+    #: when an ACK-lost (but correctly decoded) frame is retransmitted.
+    delivered: bool = False
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
 
     @classmethod

@@ -54,6 +54,7 @@ class MetricsCollector:
     collisions: int = 0
     retransmitted_subframes: int = 0
     dropped_frames: int = 0
+    offered_frames: int = 0
     busy_time: float = 0.0
 
     def record_delivery(self, frame: MacFrame, delivery_time: float,
@@ -90,6 +91,15 @@ class MetricsCollector:
     def record_drop(self, frame: MacFrame) -> None:
         """Count a frame abandoned at the retry limit."""
         self.dropped_frames += 1
+
+    def record_offered(self, count: int = 1) -> None:
+        """Count frames entering a transmit queue (conservation checks)."""
+        self.offered_frames += count
+
+    @property
+    def delivered_frames(self) -> int:
+        """Total delivered frames, both directions (conservation checks)."""
+        return len(self._down) + len(self._up)
 
     def goodput_of_source(self, source: str, duration: float,
                           latency_bound: float | None = None) -> float:

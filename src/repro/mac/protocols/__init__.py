@@ -5,6 +5,7 @@ from repro.mac.protocols.amsdu import AmsduProtocol
 from repro.mac.protocols.base import AggregationLimits, Protocol, SubframeTx, Transmission
 from repro.mac.protocols.carpool import CarpoolProtocol
 from repro.mac.protocols.dot11 import Dot11Protocol
+from repro.mac.protocols.fallback import FallbackCarpoolProtocol
 from repro.mac.protocols.mu_aggregation import MuAggregationProtocol
 from repro.mac.protocols.multi_receiver import MultiReceiverProtocol, select_multi_receiver_batch
 from repro.mac.protocols.wifox import WifoxProtocol
@@ -12,7 +13,7 @@ from repro.mac.protocols.wifox import WifoxProtocol
 PROTOCOLS = {
     p.name: p
     for p in (Dot11Protocol, AmpduProtocol, AmsduProtocol, MuAggregationProtocol,
-              WifoxProtocol, CarpoolProtocol)
+              WifoxProtocol, CarpoolProtocol, FallbackCarpoolProtocol)
 }
 
 __all__ = [
@@ -28,5 +29,6 @@ __all__ = [
     "select_multi_receiver_batch",
     "WifoxProtocol",
     "CarpoolProtocol",
+    "FallbackCarpoolProtocol",
     "PROTOCOLS",
 ]

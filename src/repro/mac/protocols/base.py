@@ -107,6 +107,13 @@ class Protocol(ABC):
     def build(self, node: Node, now: float) -> Transmission:
         """Pop frames from ``node`` and shape one transmission."""
 
+    def on_subframe_result(self, destination: str, ok: bool, now: float) -> None:
+        """Feedback hook: the engine reports each AP subframe's ACK outcome.
+
+        Default: ignore. Adaptive protocols (e.g. the fault-hardened
+        fallback Carpool) track per-receiver failure rates here.
+        """
+
     # --- shared helpers ------------------------------------------------------
 
     def rate_for(self, destination: str | None) -> float:

@@ -26,9 +26,17 @@ class CarpoolMixedProtocol(CarpoolProtocol):
         super().__init__(params, limits)
         self.carpool_stations = set(carpool_stations)
 
+    def is_carpool(self, destination: str) -> bool:
+        """Does ``destination`` currently speak Carpool?
+
+        The single capability gate: subclasses (e.g. the fault-hardened
+        fallback protocol) override this to demote degraded receivers.
+        """
+        return destination in self.carpool_stations
+
     def _oldest_is_legacy(self, node: Node) -> bool:
         oldest = min(node.queue, key=lambda f: (not f.delay_sensitive, f.arrival_time))
-        return oldest.destination not in self.carpool_stations
+        return not self.is_carpool(oldest.destination)
 
     def ready_time(self, node: Node, now: float):
         """Legacy-headed queues contend immediately; Carpool backlogs may wait."""
@@ -54,8 +62,8 @@ class CarpoolMixedProtocol(CarpoolProtocol):
             return self.build_single(node)
         # Aggregate only the Carpool-capable backlog: stash legacy frames
         # aside so the selector never sees them.
-        legacy = [f for f in node.queue if f.destination not in self.carpool_stations]
-        capable = [f for f in node.queue if f.destination in self.carpool_stations]
+        legacy = [f for f in node.queue if not self.is_carpool(f.destination)]
+        capable = [f for f in node.queue if self.is_carpool(f.destination)]
         node.queue.clear()
         node.queue.extend(capable)
         try:

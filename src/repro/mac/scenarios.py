@@ -91,6 +91,10 @@ class VoipScenario:
     error_model: object = DEFAULT_ERROR_MODEL
     #: VoIP playout deadline: frames later than this are useless.
     latency_bound: float = 0.4
+    #: Optional :class:`repro.faults.FaultPlan` applied to every run.
+    fault_plan: object = None
+    #: Timestamp-based sequential-ACK matching (see WlanSimulator).
+    sequential_ack_recovery: bool = False
 
     def build_arrivals(self) -> tuple:
         """Returns (arrivals, all_station_names)."""
@@ -129,7 +133,6 @@ class VoipScenario:
 
     def run(self, protocol_cls) -> ScenarioResult:
         """Run one protocol over this scenario."""
-        """Run one protocol over this scenario."""
         arrivals, stations = self.build_arrivals()
         protocol = protocol_cls(self.params, self.limits)
         sim = WlanSimulator(
@@ -141,6 +144,8 @@ class VoipScenario:
             rng=RngStream(self.seed).child("sim"),
             num_aps=self.num_aps,
             station_names=stations,
+            faults=self.fault_plan,
+            sequential_ack_recovery=self.sequential_ack_recovery,
         )
         summary = sim.run(self.duration)
         return ScenarioResult(
@@ -184,6 +189,10 @@ class CbrScenario:
     params: PhyMacParameters = DEFAULT_PARAMETERS
     error_model: object = DEFAULT_ERROR_MODEL
     max_frame_bytes: int = 65535
+    #: Optional :class:`repro.faults.FaultPlan` applied to every run.
+    fault_plan: object = None
+    #: Timestamp-based sequential-ACK matching (see WlanSimulator).
+    sequential_ack_recovery: bool = False
 
     def build_arrivals(self) -> tuple:
         """Returns (arrivals, all_station_names)."""
@@ -230,6 +239,8 @@ class CbrScenario:
             rng=RngStream(self.seed).child("sim"),
             num_aps=self.num_aps,
             station_names=stations,
+            faults=self.fault_plan,
+            sequential_ack_recovery=self.sequential_ack_recovery,
         )
         summary = sim.run(self.duration)
         return ScenarioResult(

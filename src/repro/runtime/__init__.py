@@ -11,6 +11,8 @@ Import it explicitly as ``repro.runtime.bench`` (or via the
 """
 
 from repro.runtime.trials import (
+    ChunkFailure,
+    TrialRunResult,
     parallel_map,
     resolve_workers,
     run_trials,
@@ -18,6 +20,8 @@ from repro.runtime.trials import (
 )
 
 __all__ = [
+    "ChunkFailure",
+    "TrialRunResult",
     "parallel_map",
     "resolve_workers",
     "run_trials",

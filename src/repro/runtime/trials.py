@@ -24,7 +24,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -33,7 +36,63 @@ __all__ = [
     "trial_rngs",
     "run_trials",
     "parallel_map",
+    "ChunkFailure",
+    "TrialRunResult",
 ]
+
+
+@dataclass(frozen=True)
+class ChunkFailure:
+    """One chunk of trials that could not be completed."""
+
+    start: int
+    stop: int
+    attempts: int
+    error: str
+
+    @property
+    def n_trials(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass
+class TrialRunResult:
+    """Salvaged outcome of a hardened :func:`run_trials` run.
+
+    ``results`` has one slot per trial, in trial order; trials belonging to
+    a failed chunk hold ``None``. ``failures`` summarises every chunk that
+    exhausted its retries.
+    """
+
+    results: list
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def n_completed(self) -> int:
+        return sum(r is not None for r in self.results)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(f.n_trials for f in self.failures)
+
+    def completed(self) -> list:
+        """The successful results only (order preserved)."""
+        return [r for r in self.results if r is not None]
+
+    def failure_summary(self) -> str:
+        """One line per failed chunk, for logs and error reports."""
+        if not self.failures:
+            return "all chunks completed"
+        lines = [
+            f"trials {f.start}..{f.stop - 1} failed after {f.attempts} "
+            f"attempt(s): {f.error}"
+            for f in self.failures
+        ]
+        return "\n".join(lines)
 
 
 def resolve_workers(n_workers: int | None = None) -> int:
@@ -90,6 +149,112 @@ def _run_trial_chunk(fn, seed, n_trials, start, stop, args):
     ]
 
 
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a (possibly wedged) pool down without waiting on its workers."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    # shutdown() does not interrupt a hung or crashed worker; terminate
+    # whatever processes are left so they cannot linger past the run.
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
+def _retry_chunk_isolated(fn, seed, n_trials, start, stop, args,
+                          chunk_timeout, attempts_left):
+    """Re-run one chunk in fresh single-worker pools until it succeeds.
+
+    Each attempt gets its own process, so a crash or hang cannot take other
+    chunks down with it. The chunk recomputes the same ``SeedSequence``
+    children as the original submission, so a retry is bit-identical to a
+    first-time success.
+
+    Returns (results | None, attempts_used, last_error).
+    """
+    attempt = 0
+    error = "never attempted"
+    while attempt < attempts_left:
+        attempt += 1
+        pool = ProcessPoolExecutor(max_workers=1, mp_context=_mp_context())
+        try:
+            future = pool.submit(_run_trial_chunk, fn, seed, n_trials, start, stop, args)
+            results = future.result(timeout=chunk_timeout)
+            pool.shutdown(wait=False)
+            return results, attempt, None
+        except FutureTimeout:
+            error = f"timed out after {chunk_timeout}s"
+        except BrokenProcessPool:
+            error = "worker process died (BrokenProcessPool)"
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            _abandon_pool(pool)
+    return None, attempt, error
+
+
+def _run_trials_hardened(fn, n_trials, seed, n_workers, chunk_size, args,
+                         chunk_timeout, max_chunk_retries):
+    """Shared-pool fast path with per-chunk isolated retries on failure."""
+    spans = _chunk_spans(n_trials, chunk_size)
+    results: list = [None] * n_trials
+    pending: list = []  # (start, stop, first_error)
+
+    if n_workers == 1:
+        # Serial: no pool to time out; catch per-chunk exceptions only.
+        for start, stop in spans:
+            try:
+                results[start:stop] = _run_trial_chunk(
+                    fn, seed, n_trials, start, stop, args
+                )
+            except Exception:
+                pending.append((start, stop, traceback.format_exc(limit=1).strip()))
+    else:
+        workers = min(n_workers, len(spans))
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context())
+        abandoned = False
+        try:
+            futures = [
+                (start, stop,
+                 pool.submit(_run_trial_chunk, fn, seed, n_trials, start, stop, args))
+                for start, stop in spans
+            ]
+            for start, stop, future in futures:
+                if abandoned:
+                    pending.append((start, stop, "pool abandoned"))
+                    continue
+                try:
+                    results[start:stop] = future.result(timeout=chunk_timeout)
+                except FutureTimeout:
+                    # A wedged worker poisons every later wait: abandon the
+                    # shared pool and sort the rest out in isolation.
+                    pending.append((start, stop, f"timed out after {chunk_timeout}s"))
+                    abandoned = True
+                except BrokenProcessPool:
+                    pending.append((start, stop, "worker process died"))
+                    abandoned = True
+                except Exception as exc:
+                    pending.append((start, stop, f"{type(exc).__name__}: {exc}"))
+        finally:
+            _abandon_pool(pool)
+
+    failures: list = []
+    for start, stop, first_error in pending:
+        chunk, attempts, error = _retry_chunk_isolated(
+            fn, seed, n_trials, start, stop, args,
+            chunk_timeout, max_chunk_retries,
+        )
+        if chunk is not None:
+            results[start:stop] = chunk
+        else:
+            failures.append(ChunkFailure(
+                start=start, stop=stop, attempts=1 + attempts,
+                error=error or first_error,
+            ))
+    return TrialRunResult(results=results, failures=failures)
+
+
 def run_trials(
     fn,
     n_trials: int,
@@ -98,6 +263,9 @@ def run_trials(
     n_workers: int | None = None,
     chunk_size: int | None = None,
     args: tuple = (),
+    chunk_timeout: float | None = None,
+    max_chunk_retries: int = 2,
+    salvage: bool = False,
 ) -> list:
     """Run ``fn(trial_index, rng, *args)`` for every trial; ordered results.
 
@@ -110,32 +278,65 @@ def run_trials(
         chunk_size: Trials per task; defaults to ~4 chunks per worker to
             balance scheduling slack against submission overhead.
         args: Extra (picklable) positional arguments passed to every trial.
+        chunk_timeout: Seconds to wait on one chunk before declaring it
+            hung (parallel runs only; a serial run cannot be interrupted).
+            Enables the hardened path: the shared pool is abandoned on the
+            first timeout/crash and surviving chunks retry in isolated
+            single-worker pools.
+        max_chunk_retries: Isolated retry attempts per failed chunk (each
+            recomputes the identical ``SeedSequence`` children, so a retry
+            changes nothing statistically).
+        salvage: Return a :class:`TrialRunResult` carrying partial results
+            and a failure report instead of raising when chunks are lost.
 
     Returns:
         ``[fn(0, rng0, *args), ..., fn(n_trials-1, ...)]`` — identical for
-        every worker count.
+        every worker count. With ``salvage=True`` a
+        :class:`TrialRunResult` wrapping the same list (lost trials
+        ``None``).
+
+    Raises:
+        RuntimeError: A chunk exhausted its retries and ``salvage`` is off
+            (only possible when the hardened path is active).
     """
     if n_trials < 0:
         raise ValueError(f"n_trials must be >= 0, got {n_trials}")
     if n_trials == 0:
-        return []
+        return TrialRunResult(results=[]) if salvage else []
     n_workers = resolve_workers(n_workers)
-    if n_workers == 1 or n_trials == 1:
-        return _run_trial_chunk(fn, seed, n_trials, 0, n_trials, args)
+    hardened = salvage or chunk_timeout is not None
+
+    if not hardened:
+        if n_workers == 1 or n_trials == 1:
+            return _run_trial_chunk(fn, seed, n_trials, 0, n_trials, args)
+        if chunk_size is None:
+            chunk_size = max(1, -(-n_trials // (4 * n_workers)))
+        spans = _chunk_spans(n_trials, chunk_size)
+        workers = min(n_workers, len(spans))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as pool:
+            futures = [
+                pool.submit(_run_trial_chunk, fn, seed, n_trials, start, stop, args)
+                for start, stop in spans
+            ]
+            results: list = []
+            for future in futures:
+                results.extend(future.result())
+        return results
 
     if chunk_size is None:
         chunk_size = max(1, -(-n_trials // (4 * n_workers)))
-    spans = _chunk_spans(n_trials, chunk_size)
-    workers = min(n_workers, len(spans))
-    with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as pool:
-        futures = [
-            pool.submit(_run_trial_chunk, fn, seed, n_trials, start, stop, args)
-            for start, stop in spans
-        ]
-        results: list = []
-        for future in futures:
-            results.extend(future.result())
-    return results
+    outcome = _run_trials_hardened(
+        fn, n_trials, seed, n_workers, chunk_size, args,
+        chunk_timeout, max_chunk_retries,
+    )
+    if salvage:
+        return outcome
+    if not outcome.ok:
+        raise RuntimeError(
+            f"run_trials lost {outcome.n_failed} of {n_trials} trials:\n"
+            + outcome.failure_summary()
+        )
+    return outcome.results
 
 
 def parallel_map(

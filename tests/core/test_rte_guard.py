@@ -1,0 +1,115 @@
+"""RteGuard: whole-symbol outlier rejection and bounded-state recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.rte import HARDENED_GUARD, RealTimeEstimator, RteGuard
+from repro.phy.constants import pilot_values
+from repro.phy.modulation import QAM16
+from repro.phy.ofdm import assemble_symbol
+
+
+def _known_symbol(rng, symbol_index=1):
+    bits = rng.integers(0, 2, 48 * 4, dtype=np.uint8)
+    data = QAM16.modulate(bits)
+    return assemble_symbol(data, pilot_values(symbol_index))
+
+
+def _hardened(h0, recover_after=3):
+    guard = RteGuard(outlier_threshold=0.5, symbol_reject_fraction=0.25,
+                     recover_after=recover_after)
+    return RealTimeEstimator(h0, guard=guard)
+
+
+class TestGuardEquivalence:
+    def test_default_guard_matches_legacy_parameter(self):
+        """guard=None + outlier_threshold must behave exactly like the
+        pre-guard estimator (per-subcarrier masking only)."""
+        rng = np.random.default_rng(0)
+        h0 = np.ones(52, dtype=complex)
+        known = _known_symbol(rng)
+        received = (1.0 + 0.3 * rng.standard_normal(52)) * known
+        legacy = RealTimeEstimator(h0.copy(), outlier_threshold=0.5)
+        via_guard = RealTimeEstimator(h0.copy(),
+                                      guard=RteGuard(outlier_threshold=0.5))
+        legacy.update(received, known)
+        via_guard.update(received, known)
+        np.testing.assert_array_equal(legacy.estimate, via_guard.estimate)
+
+    def test_hardened_constant_exists(self):
+        assert HARDENED_GUARD.symbol_reject_fraction == 0.25
+        assert HARDENED_GUARD.recover_after == 3
+
+
+class TestWholeSymbolRejection:
+    def test_poisoned_symbol_rejected_outright(self):
+        """When most subcarriers jump at once (a CRC false pass on a
+        burst-corrupted symbol), the whole update is discarded."""
+        rng = np.random.default_rng(1)
+        h0 = np.ones(52, dtype=complex)
+        est = _hardened(h0)
+        est.update(3.0 * _known_symbol(rng), _known_symbol(rng))
+        np.testing.assert_array_equal(est.estimate, h0)
+        assert est.rejected_symbols == 1
+        assert est.updates == 0
+
+    def test_clean_symbol_still_updates(self):
+        rng = np.random.default_rng(2)
+        h0 = np.ones(52, dtype=complex)
+        known = _known_symbol(rng)
+        est = _hardened(h0)
+        est.update(1.2 * known, known)
+        np.testing.assert_allclose(est.estimate, np.full(52, 1.1 + 0j))
+        assert est.rejected_symbols == 0
+
+    def test_few_bad_subcarriers_masked_not_rejected(self):
+        """Isolated outliers fall below the symbol-reject fraction and are
+        handled per-subcarrier, as before."""
+        rng = np.random.default_rng(3)
+        h0 = np.ones(52, dtype=complex)
+        known = _known_symbol(rng)
+        received = known.astype(complex).copy()
+        received[:5] *= 10.0  # 5/52 < 25 % of subcarriers jump
+        est = _hardened(h0)
+        est.update(received, known)
+        assert est.rejected_symbols == 0
+        assert est.updates == 1
+        np.testing.assert_allclose(est.estimate[:5], h0[:5])  # masked
+        np.testing.assert_allclose(est.estimate[5:], h0[5:])  # (1+1)/2
+
+
+class TestBoundedRecovery:
+    def test_persistent_rejection_snaps_to_latest(self):
+        """If the channel genuinely moved, endless rejection would pin the
+        estimator to a stale state; after ``recover_after`` consecutive
+        rejects the next estimate is accepted wholesale."""
+        rng = np.random.default_rng(4)
+        h0 = np.ones(52, dtype=complex)
+        known = _known_symbol(rng)
+        est = _hardened(h0, recover_after=3)
+        for _ in range(3):
+            est.update(3.0 * known, known)
+        assert est.rejected_symbols == 3
+        np.testing.assert_array_equal(est.estimate, h0)
+        est.update(3.0 * known, known)  # 4th: bounded state → snap
+        np.testing.assert_allclose(est.estimate, np.full(52, 3.0 + 0j))
+        assert est.updates == 1
+
+    def test_clean_update_resets_the_reject_counter(self):
+        rng = np.random.default_rng(5)
+        h0 = np.ones(52, dtype=complex)
+        known = _known_symbol(rng)
+        est = _hardened(h0, recover_after=2)
+        est.update(3.0 * known, known)
+        est.update(known, known)  # clean → counter reset
+        est.update(3.0 * known, known)
+        est.update(3.0 * known, known)
+        # Only the 3rd consecutive-reject sequence may snap; with the reset,
+        # rejections total 3 and no snap happened yet at this point.
+        assert est.rejected_symbols == 3
+
+    def test_guard_validation(self):
+        with pytest.raises(ValueError):
+            RteGuard(symbol_reject_fraction=1.5)
+        with pytest.raises(ValueError):
+            RteGuard(recover_after=0)

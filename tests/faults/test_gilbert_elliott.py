@@ -1,0 +1,85 @@
+"""Gilbert–Elliott chain and continuous burst timeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.gilbert_elliott import BurstTimeline, GilbertElliott
+from repro.util.rng import RngStream
+
+
+class TestGilbertElliott:
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliott(p_good_to_bad=0.0, p_bad_to_good=0.5)
+        with pytest.raises(ValueError):
+            GilbertElliott(p_good_to_bad=0.1, p_bad_to_good=0.5, loss_bad=1.5)
+
+    def test_stationary_bad_probability_closed_form(self):
+        chain = GilbertElliott(p_good_to_bad=0.05, p_bad_to_good=0.20)
+        assert chain.stationary_bad_probability() == pytest.approx(0.05 / 0.25)
+        assert chain.mean_burst_length() == pytest.approx(5.0)
+
+    def test_states_cluster_into_bursts(self):
+        """Mean observed burst length tracks 1/p_bad_to_good."""
+        chain = GilbertElliott(p_good_to_bad=0.02, p_bad_to_good=0.10)
+        states = chain.sample_states(200_000, np.random.default_rng(3))
+        transitions = np.diff(states.astype(int))
+        n_bursts = int((transitions == 1).sum())
+        mean_len = states.sum() / max(n_bursts, 1)
+        assert mean_len == pytest.approx(chain.mean_burst_length(), rel=0.15)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        p_gb=st.floats(0.01, 0.5),
+        p_bg=st.floats(0.05, 1.0),
+        loss_good=st.floats(0.0, 0.2),
+        loss_bad=st.floats(0.5, 1.0),
+        seed=st.integers(0, 2**31),
+    )
+    def test_empirical_loss_matches_closed_form(self, p_gb, p_bg, loss_good,
+                                                loss_bad, seed):
+        """Long-run loss rate converges to (1−π_B)·l_g + π_B·l_b."""
+        chain = GilbertElliott(p_good_to_bad=p_gb, p_bad_to_good=p_bg,
+                               loss_good=loss_good, loss_bad=loss_bad)
+        losses = chain.sample_losses(60_000, np.random.default_rng(seed))
+        expected = chain.stationary_loss_rate()
+        # Burst correlation inflates the variance of the mean; bound the
+        # tolerance by the mean burst length.
+        sigma = np.sqrt(expected * (1 - expected) / losses.size)
+        tolerance = 8.0 * sigma * np.sqrt(2.0 * chain.mean_burst_length()) + 5e-3
+        assert abs(losses.mean() - expected) < tolerance
+
+    def test_sampling_is_seed_deterministic(self):
+        chain = GilbertElliott(p_good_to_bad=0.05, p_bad_to_good=0.25)
+        a = chain.sample_losses(5_000, np.random.default_rng(7))
+        b = chain.sample_losses(5_000, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBurstTimeline:
+    def test_lazy_extension_is_consistent(self):
+        """Probing out of order never changes earlier segments."""
+        timeline = BurstTimeline(0.05, 0.005, RngStream(11))
+        late = timeline.bad_overlap(0.0, 2.0)
+        early = timeline.bad_overlap(0.0, 0.5)
+        again = timeline.bad_overlap(0.0, 2.0)
+        assert late == pytest.approx(again)
+        assert early <= late
+
+    def test_overlap_fraction_tracks_duty_cycle(self):
+        timeline = BurstTimeline(0.050, 0.010, RngStream(5))
+        fraction = timeline.bad_overlap(0.0, 200.0) / 200.0
+        assert fraction == pytest.approx(0.010 / 0.060, rel=0.25)
+
+    def test_is_bad_agrees_with_overlap(self):
+        timeline = BurstTimeline(0.02, 0.004, RngStream(9))
+        for start in np.linspace(0.0, 1.0, 40):
+            end = start + 0.003
+            assert timeline.is_bad(start, end) == (
+                timeline.bad_overlap(start, end) > 0.0)
+
+    def test_invalid_sojourns_rejected(self):
+        with pytest.raises(ValueError):
+            BurstTimeline(0.0, 0.01, RngStream(0))

@@ -1,0 +1,116 @@
+"""MacFaultInjector: windows, probabilities, counters, stream hygiene."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, MacFaultInjector
+from repro.util.rng import RngStream
+
+
+def _injector(*specs, seed=0):
+    return MacFaultInjector(FaultPlan.of(*specs), RngStream(seed))
+
+
+class TestActivation:
+    def test_inactive_outside_window(self):
+        inj = _injector(FaultSpec.make("ack_loss", probability=1.0,
+                                       start=1.0, stop=2.0))
+        assert not inj.ack_lost(0.5)
+        assert inj.ack_lost(1.5)
+        assert not inj.ack_lost(2.5)
+        assert inj.ack_losses == 1
+
+    def test_zero_probability_never_fires_and_never_draws(self):
+        inj = _injector(FaultSpec.make("ack_loss", probability=0.0))
+        assert not any(inj.ack_lost(t * 0.1) for t in range(50))
+        assert inj._streams == {}  # no child stream ever spawned
+
+    def test_certain_faults_always_fire(self):
+        inj = _injector(FaultSpec.make("cts_loss", probability=1.0),
+                        FaultSpec.make("hidden_window", probability=1.0))
+        assert inj.cts_lost(0.1) and inj.hidden_window_hit(0.1)
+        assert inj.counters()["cts_losses"] == 1
+        assert inj.counters()["hidden_hits"] == 1
+
+    def test_empirical_rate_tracks_probability(self):
+        inj = _injector(FaultSpec.make("ack_loss", probability=0.3))
+        losses = sum(inj.ack_lost(i * 1e-3) for i in range(4000))
+        assert losses / 4000 == pytest.approx(0.3, abs=0.03)
+        assert inj.ack_losses == losses
+
+
+class TestAhdrCorruption:
+    def test_corruption_returns_spec_then_per_sta_outcomes(self):
+        spec = FaultSpec.make("ahdr_corruption", probability=1.0,
+                              miss_probability=1.0,
+                              false_match_probability=0.0)
+        inj = _injector(spec)
+        hit = inj.ahdr_corrupted(0.0)
+        assert hit == spec
+        assert inj.ahdr_subframe_missed(hit)
+        assert not inj.ahdr_false_match(hit)
+        assert inj.ahdr_corruptions == 1
+
+    def test_partial_miss_probability(self):
+        spec = FaultSpec.make("ahdr_corruption", probability=1.0,
+                              miss_probability=0.5)
+        inj = _injector(spec, seed=2)
+        misses = sum(inj.ahdr_subframe_missed(spec) for _ in range(2000))
+        assert misses / 2000 == pytest.approx(0.5, abs=0.05)
+
+    def test_windowed_outages_with_distinct_salts(self):
+        """Two outage windows coexist; each fires only inside its span."""
+        inj = _injector(
+            FaultSpec.make("ahdr_corruption", probability=1.0,
+                           start=0.1, stop=0.2, seed_salt="w0"),
+            FaultSpec.make("ahdr_corruption", probability=1.0,
+                           start=0.5, stop=0.6, seed_salt="w1"),
+        )
+        assert inj.ahdr_corrupted(0.15) is not None
+        assert inj.ahdr_corrupted(0.35) is None
+        assert inj.ahdr_corrupted(0.55) is not None
+
+
+class TestBurstChannel:
+    def test_burst_failures_cluster_in_time(self):
+        inj = _injector(FaultSpec.make("mac_burst", probability=1.0,
+                                       mean_good=0.050, mean_bad=0.010))
+        outcomes = [inj.subframe_burst_failed(t, t + 1e-3)
+                    for t in [i * 1e-3 for i in range(3000)]]
+        rate = sum(outcomes) / len(outcomes)
+        # Duty cycle ≈ mean_bad / (mean_good + mean_bad), loosely.
+        assert 0.05 < rate < 0.40
+        assert inj.burst_failures == sum(outcomes)
+
+    def test_timeline_realisation_is_stable(self):
+        """Repeated queries over the same interval see the same realisation."""
+        inj = _injector(FaultSpec.make("mac_burst", probability=1.0,
+                                       mean_good=0.02, mean_bad=0.01))
+        inj.subframe_burst_failed(0.0, 1e-3)  # materialise the timeline
+        timeline = inj._timelines["fault-mac_burst"]
+        probes = [(t * 1e-2, t * 1e-2 + 1e-3) for t in range(50)]
+        first = [timeline.is_bad(a, b) for a, b in probes]
+        second = [timeline.is_bad(a, b) for a, b in probes]
+        assert first == second and any(first)
+
+
+class TestStreamHygiene:
+    def test_each_kind_owns_a_dedicated_stream(self):
+        inj = _injector(FaultSpec.make("ack_loss", probability=0.5),
+                        FaultSpec.make("cts_loss", probability=0.5))
+        for _ in range(10):
+            inj.ack_lost(0.0)
+            inj.cts_lost(0.0)
+        assert set(inj._streams) == {"fault-ack_loss", "fault-cts_loss"}
+
+    def test_ack_draws_do_not_shift_cts_stream(self):
+        """Interleaving one fault's draws must not change another's."""
+        plan = (FaultSpec.make("ack_loss", probability=0.5),
+                FaultSpec.make("cts_loss", probability=0.5))
+        solo = _injector(*plan, seed=9)
+        solo_cts = [solo.cts_lost(0.0) for _ in range(40)]
+        mixed = _injector(*plan, seed=9)
+        mixed_cts = []
+        for i in range(40):
+            mixed.ack_lost(0.0)  # extra draws on the *other* stream
+            mixed_cts.append(mixed.cts_lost(0.0))
+        assert solo_cts == mixed_cts

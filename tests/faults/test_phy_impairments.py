@@ -1,0 +1,111 @@
+"""PHY impairment injectors and their channel-model integration."""
+
+import numpy as np
+import pytest
+
+from repro.channel.model import ChannelModel
+from repro.faults import FaultPlan, FaultSpec, build_impairment
+from repro.util.rng import RngStream
+
+N_SYMBOLS, N_SC = 20, 52
+
+
+def _symbols(seed=0):
+    gen = np.random.default_rng(seed)
+    return (gen.normal(size=(N_SYMBOLS, N_SC))
+            + 1j * gen.normal(size=(N_SYMBOLS, N_SC))) / np.sqrt(2.0)
+
+
+def _apply(spec, symbols, seed=1):
+    return build_impairment(spec).apply(symbols, RngStream(seed), 4e-6)
+
+
+class TestInjectors:
+    def test_build_rejects_mac_kinds(self):
+        with pytest.raises(ValueError, match="not a PHY fault kind"):
+            build_impairment(FaultSpec.make("ack_loss", probability=0.1))
+
+    def test_residual_cfo_is_progressive_rotation(self):
+        symbols = _symbols()
+        out = _apply(FaultSpec.make("residual_cfo", magnitude=500.0), symbols)
+        # Pure phase: magnitudes untouched, rotation grows with symbol index.
+        np.testing.assert_allclose(np.abs(out), np.abs(symbols))
+        phases = np.angle(out[:, 0] / symbols[:, 0])
+        np.testing.assert_allclose(phases[1], phases[1] - phases[0], atol=1e-9)
+        assert abs(phases[1]) > 0.0
+
+    def test_timing_offset_slope_is_frequency_proportional(self):
+        symbols = _symbols()
+        out = _apply(FaultSpec.make("timing_offset", magnitude=2.0), symbols)
+        np.testing.assert_allclose(np.abs(out), np.abs(symbols))
+        # Same slope on every symbol, varying across subcarriers.
+        rot = out / symbols
+        np.testing.assert_allclose(rot[0], rot[-1])
+        assert np.std(np.angle(rot[0])) > 0.1
+
+    def test_deep_fade_attenuates_exact_span(self):
+        symbols = _symbols()
+        spec = FaultSpec.make("deep_fade", magnitude=20.0, length=3, position=5)
+        out = _apply(spec, symbols)
+        np.testing.assert_allclose(out[5:8], symbols[5:8] * 0.1)
+        np.testing.assert_allclose(out[:5], symbols[:5])
+        np.testing.assert_allclose(out[8:], symbols[8:])
+
+    def test_deep_fade_probability_gate(self):
+        symbols = _symbols()
+        spec = FaultSpec.make("deep_fade", probability=1e-12, magnitude=20.0,
+                              length=3, position=5)
+        out = _apply(spec, symbols)
+        np.testing.assert_array_equal(out, symbols)
+
+    def test_impulse_noise_raises_power_only_in_bursts(self):
+        symbols = _symbols()
+        spec = FaultSpec.make("impulse_noise", probability=0.2,
+                              magnitude=20.0, length=2)
+        out = _apply(spec, symbols, seed=3)
+        delta = np.abs(out - symbols).sum(axis=1)
+        assert (delta > 0).any() and (delta == 0).any()
+        hit_power = np.mean(np.abs(out[delta > 0]) ** 2)
+        assert hit_power > 10.0  # 20 dB bursts dominate unit-power signal
+
+    def test_ge_fade_attenuates_bad_state_runs(self):
+        symbols = _symbols()
+        spec = FaultSpec.make("ge_fade", magnitude=20.0,
+                              p_good_to_bad=0.5, p_bad_to_good=0.2)
+        out = _apply(spec, symbols, seed=5)
+        ratio = np.abs(out[:, 0]) / np.abs(symbols[:, 0])
+        assert set(np.round(ratio, 6)) <= {0.1, 1.0}
+        assert (ratio < 1.0).any()
+
+    def test_injectors_do_not_mutate_input(self):
+        symbols = _symbols()
+        original = symbols.copy()
+        for spec in (FaultSpec.make("deep_fade", magnitude=10.0, position=0),
+                     FaultSpec.make("impulse_noise", probability=1.0,
+                                    magnitude=10.0),
+                     FaultSpec.make("residual_cfo", magnitude=100.0)):
+            _apply(spec, symbols)
+            np.testing.assert_array_equal(symbols, original)
+
+
+class TestChannelIntegration:
+    def test_no_impairments_is_bit_identical(self):
+        """The hook's existence must not perturb a clean channel."""
+        symbols = _symbols()
+        clean = ChannelModel(snr_db=20.0, rng=RngStream(4))
+        hooked = ChannelModel(snr_db=20.0, rng=RngStream(4), impairments=())
+        np.testing.assert_array_equal(clean.transmit(symbols),
+                                      hooked.transmit(symbols))
+
+    def test_impairments_change_output_deterministically(self):
+        symbols = _symbols()
+        plan = FaultPlan.of(FaultSpec.make("impulse_noise", probability=0.3,
+                                           magnitude=15.0))
+        outs = [
+            ChannelModel(snr_db=20.0, rng=RngStream(4),
+                         impairments=plan.phy_impairments()).transmit(symbols)
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(outs[0], outs[1])
+        clean = ChannelModel(snr_db=20.0, rng=RngStream(4)).transmit(symbols)
+        assert not np.array_equal(outs[0], clean)

@@ -1,0 +1,100 @@
+"""FaultSpec/FaultPlan construction, validation and serialisation."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.faults import MAC_FAULT_KINDS, PHY_FAULT_KINDS, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_make_sorts_extra_params(self):
+        spec = FaultSpec.make("ahdr_corruption", probability=0.2,
+                              miss_probability=0.9, false_match_probability=0.1)
+        assert spec.params == (("false_match_probability", 0.1),
+                               ("miss_probability", 0.9))
+        assert spec.param("miss_probability") == 0.9
+        assert spec.param("absent", 42) == 42
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec.make("cosmic_rays", probability=0.5)
+
+    @pytest.mark.parametrize("bad", [
+        dict(probability=1.5), dict(probability=-0.1),
+        dict(start=2.0, stop=1.0), dict(length=0),
+    ])
+    def test_invalid_fields_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultSpec.make("ack_loss", **bad)
+
+    def test_activation_window_half_open(self):
+        spec = FaultSpec.make("ack_loss", probability=0.1, start=1.0, stop=2.0)
+        assert not spec.active_at(0.999)
+        assert spec.active_at(1.0)
+        assert spec.active_at(1.999)
+        assert not spec.active_at(2.0)
+
+    def test_default_window_is_always_on(self):
+        spec = FaultSpec.make("cts_loss", probability=0.1)
+        assert spec.active_at(0.0) and spec.active_at(1e9)
+        assert spec.stop == math.inf
+
+    def test_stream_name_includes_salt(self):
+        assert FaultSpec.make("ack_loss").stream_name == "fault-ack_loss"
+        assert (FaultSpec.make("ack_loss", seed_salt="w3").stream_name
+                == "fault-ack_loss-w3")
+
+    def test_dict_roundtrip(self):
+        spec = FaultSpec.make("deep_fade", probability=0.3, magnitude=18.0,
+                              length=4, start=0.5, stop=2.5, seed_salt="x",
+                              position=7)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_spec_is_hashable_and_picklable(self):
+        spec = FaultSpec.make("impulse_noise", probability=0.05, magnitude=12.0)
+        assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.of()
+        assert FaultPlan.of(FaultSpec.make("ack_loss", probability=0.1))
+
+    def test_duplicate_streams_rejected(self):
+        spec = FaultSpec.make("ack_loss", probability=0.1)
+        with pytest.raises(ValueError, match="duplicate fault streams"):
+            FaultPlan.of(spec, FaultSpec.make("ack_loss", probability=0.2))
+
+    def test_salt_disambiguates_repeated_kinds(self):
+        plan = FaultPlan.of(
+            FaultSpec.make("ahdr_corruption", probability=1.0, seed_salt="w0"),
+            FaultSpec.make("ahdr_corruption", probability=1.0, seed_salt="w1"),
+        )
+        assert len(plan.of_kind("ahdr_corruption")) == 2
+
+    def test_layer_partition(self):
+        plan = FaultPlan.of(
+            FaultSpec.make("impulse_noise", probability=0.1, magnitude=10.0),
+            FaultSpec.make("ack_loss", probability=0.1),
+        )
+        assert [s.kind for s in plan.phy_specs] == ["impulse_noise"]
+        assert [s.kind for s in plan.mac_specs] == ["ack_loss"]
+        assert set(PHY_FAULT_KINDS).isdisjoint(MAC_FAULT_KINDS)
+
+    def test_phy_impairments_instantiated_per_spec(self):
+        plan = FaultPlan.of(
+            FaultSpec.make("residual_cfo", magnitude=200.0),
+            FaultSpec.make("ge_fade", magnitude=15.0),
+        )
+        impairments = plan.phy_impairments()
+        assert [i.spec.kind for i in impairments] == ["residual_cfo", "ge_fade"]
+
+    def test_dict_roundtrip(self):
+        plan = FaultPlan.of(
+            FaultSpec.make("ack_loss", probability=0.25),
+            FaultSpec.make("mac_burst", probability=1.0,
+                           mean_good=0.03, mean_bad=0.004),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan

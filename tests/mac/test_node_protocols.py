@@ -284,4 +284,5 @@ class TestRegistry:
     def test_all_schemes_registered(self):
         assert set(PROTOCOLS) == {
             "802.11", "A-MPDU", "A-MSDU", "MU-Aggregation", "WiFox", "Carpool",
+            "Carpool-fallback",
         }

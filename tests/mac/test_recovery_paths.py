@@ -1,0 +1,134 @@
+"""MAC recovery paths under injected faults.
+
+Conservation, retry-limit drops, retransmission ordering, and the
+sequential-ACK desync/recovery distinction.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.mac import (
+    Arrival,
+    CarpoolProtocol,
+    DEFAULT_PARAMETERS,
+    Dot11Protocol,
+    FixedFerModel,
+    WlanSimulator,
+)
+from repro.mac.engine import AP_NAME
+from repro.mac.frames import Direction, MacFrame
+from repro.mac.node import Node
+from repro.mac.protocols.base import AggregationLimits
+from repro.util.rng import RngStream
+
+PERFECT = FixedFerModel(0.0)
+
+
+def _downlink(t, sta, size=300):
+    return Arrival(time=t, source=AP_NAME, destination=sta, size_bytes=size,
+                   direction=Direction.DOWNLINK)
+
+
+def _sim(protocol_cls, arrivals, n=4, seed=3, **kwargs):
+    proto = protocol_cls(DEFAULT_PARAMETERS, AggregationLimits(max_latency=0.005))
+    return WlanSimulator(proto, n, arrivals, error_model=PERFECT,
+                         rng=RngStream(seed), **kwargs)
+
+
+def _queued(sim):
+    return sum(len(node.queue) for node in sim.nodes.values())
+
+
+class TestConservation:
+    @pytest.mark.parametrize("protocol_cls", [Dot11Protocol, CarpoolProtocol])
+    @pytest.mark.parametrize("ack_loss", [0.0, 0.3])
+    def test_offered_equals_delivered_plus_dropped_plus_queued(
+            self, protocol_cls, ack_loss):
+        arrivals = [_downlink(0.002 * i, f"sta{i % 4}") for i in range(60)]
+        plan = FaultPlan.of(FaultSpec.make("ack_loss", probability=ack_loss))
+        sim = _sim(protocol_cls, arrivals, faults=plan)
+        sim.run(1.0)
+        m = sim.metrics
+        assert m.offered_frames == 60
+        assert (m.delivered_frames + m.dropped_frames + _queued(sim)
+                == m.offered_frames)
+
+    def test_conservation_under_total_ahdr_outage(self):
+        """Even when every aggregate dies, no frame is double-counted."""
+        arrivals = [_downlink(0.002 * i, f"sta{i % 4}") for i in range(30)]
+        plan = FaultPlan.of(FaultSpec.make("ahdr_corruption", probability=1.0,
+                                           miss_probability=1.0))
+        sim = _sim(CarpoolProtocol, arrivals, faults=plan)
+        sim.run(2.0)
+        m = sim.metrics
+        assert m.delivered_frames == 0
+        assert m.dropped_frames + _queued(sim) == m.offered_frames
+        assert m.dropped_frames > 0  # retry limit genuinely exhausts
+
+
+class TestRetryLimit:
+    def test_persistent_outage_drops_after_retry_limit(self):
+        plan = FaultPlan.of(FaultSpec.make("ahdr_corruption", probability=1.0,
+                                           miss_probability=1.0))
+        sim = _sim(CarpoolProtocol, [_downlink(0.001, "sta0")], faults=plan)
+        summary = sim.run(1.0)
+        assert summary.dropped_frames == 1
+        assert summary.delivered_downlink_frames == 0
+        # Every failed attempt is charged; the drop fires once the retry
+        # count exceeds retry_limit, so exactly retry_limit + 1 failures.
+        assert (summary.retransmitted_subframes
+                == DEFAULT_PARAMETERS.retry_limit + 1)
+
+    def test_ack_loss_does_not_drop_delivered_frames(self):
+        """A frame decoded but un-ACKed burns airtime, not goodput: the
+        receiver already has it, so it must never count as dropped."""
+        plan = FaultPlan.of(FaultSpec.make("ack_loss", probability=1.0))
+        sim = _sim(Dot11Protocol, [_downlink(0.001, "sta0")], faults=plan)
+        summary = sim.run(1.0)
+        assert summary.delivered_downlink_frames == 1
+        assert summary.dropped_frames == 0
+        assert summary.retransmitted_subframes >= DEFAULT_PARAMETERS.retry_limit
+
+
+class TestRetransmissionPriority:
+    def test_failed_frames_requeue_ahead_of_fresh_traffic(self):
+        node = Node("ap", DEFAULT_PARAMETERS, RngStream(0), is_ap=True)
+        fresh = MacFrame(destination="sta0", size_bytes=100, arrival_time=0.0)
+        failed = [MacFrame(destination=f"sta{i}", size_bytes=100,
+                           arrival_time=0.0, retries=1)
+                  for i in range(2)]
+        node.enqueue(fresh)
+        node.requeue_front(failed)
+        assert list(node.queue)[:2] == failed
+        assert list(node.queue)[2] == fresh
+
+
+class TestSequentialAckDesync:
+    def _run(self, recovery, seed=12):
+        # Keep multi-subframe aggregates flowing so ACK trains exist.
+        arrivals = [_downlink(0.004 * burst, f"sta{i}")
+                    for burst in range(40) for i in range(4)]
+        plan = FaultPlan.of(FaultSpec.make("ack_loss", probability=0.15))
+        sim = _sim(CarpoolProtocol, arrivals, seed=seed, faults=plan,
+                   sequential_ack_recovery=recovery)
+        summary = sim.run(1.0)
+        return summary, sim
+
+    def test_recovery_limits_loss_to_the_gap_subframe(self):
+        naive_summary, _ = self._run(recovery=False)
+        hardened_summary, _ = self._run(recovery=True)
+        # Ordinal matching amplifies one lost ACK into a retransmission of
+        # the whole tail of the train; timestamp matching does not.
+        assert (hardened_summary.retransmitted_subframes
+                < naive_summary.retransmitted_subframes)
+
+    def test_single_subframe_trains_are_immune(self):
+        """Desync needs a train; unicast-like aggregates see plain loss."""
+        arrivals = [_downlink(0.01 * i, "sta0") for i in range(20)]
+        plan = FaultPlan.of(FaultSpec.make("ack_loss", probability=0.5))
+        results = []
+        for recovery in (False, True):
+            sim = _sim(CarpoolProtocol, arrivals, seed=4, faults=plan,
+                       sequential_ack_recovery=recovery)
+            results.append(sim.run(1.0))
+        assert results[0] == results[1]

@@ -1,0 +1,111 @@
+"""Hardened run_trials: timeouts, worker crashes, partial salvage."""
+
+import os
+import time
+
+import pytest
+
+from repro.runtime import ChunkFailure, TrialRunResult, run_trials
+
+# --- module-level trial functions (must be picklable) --------------------- #
+
+
+def _well_behaved(trial_index, rng):
+    return trial_index + int(rng.integers(0, 10)) * 0
+
+
+def _crash_on_three(trial_index, rng):
+    if trial_index == 3:
+        os._exit(13)  # kill the worker process outright
+    return trial_index
+
+
+def _raise_on_three(trial_index, rng):
+    if trial_index == 3:
+        raise ValueError("trial 3 always fails")
+    return trial_index
+
+
+def _sleep_on_three(trial_index, rng, delay):
+    if trial_index == 3:
+        time.sleep(delay)
+    return trial_index
+
+
+class TestLegacyPathUnchanged:
+    def test_plain_call_returns_plain_list(self):
+        results = run_trials(_well_behaved, 8, seed=1, n_workers=1)
+        assert results == list(range(8))
+
+    def test_hardened_flags_do_not_change_results(self):
+        plain = run_trials(_well_behaved, 10, seed=5, n_workers=2,
+                           chunk_size=2)
+        salvaged = run_trials(_well_behaved, 10, seed=5, n_workers=2,
+                              chunk_size=2, salvage=True)
+        assert isinstance(salvaged, TrialRunResult)
+        assert salvaged.ok and salvaged.n_failed == 0
+        assert salvaged.completed() == plain
+
+    def test_serial_salvage_matches_parallel(self):
+        serial = run_trials(_well_behaved, 10, seed=5, n_workers=1,
+                            salvage=True)
+        parallel = run_trials(_well_behaved, 10, seed=5, n_workers=2,
+                              chunk_size=3, salvage=True)
+        assert serial.completed() == parallel.completed()
+
+
+class TestCrashSalvage:
+    def test_worker_crash_salvages_other_chunks(self):
+        result = run_trials(_crash_on_three, 10, seed=2, n_workers=2,
+                            chunk_size=2, salvage=True, max_chunk_retries=1)
+        assert isinstance(result, TrialRunResult)
+        assert not result.ok
+        assert result.n_failed >= 2  # at least the crashing chunk is lost
+        # Every surviving trial carries its correct (ordered) result.
+        for index, value in enumerate(result.results):
+            if value is not None:
+                assert value == index
+        # The crashing chunk [2, 4) is reported as a failure.
+        assert any(f.start <= 3 < f.stop for f in result.failures)
+        assert "trials 2..3" in result.failure_summary()
+
+    def test_exception_in_trial_is_reported_not_fatal(self):
+        result = run_trials(_raise_on_three, 8, seed=2, n_workers=1,
+                            chunk_size=2, salvage=True, max_chunk_retries=1)
+        assert not result.ok
+        assert all(isinstance(f, ChunkFailure) for f in result.failures)
+        assert any("trial 3 always fails" in f.error for f in result.failures)
+        completed = result.completed()
+        assert 3 not in completed and 0 in completed
+
+    def test_without_salvage_failures_raise(self):
+        with pytest.raises(RuntimeError, match="lost 2 of 8 trials"):
+            run_trials(_raise_on_three, 8, seed=2, n_workers=1, chunk_size=2,
+                       chunk_timeout=30.0, max_chunk_retries=1)
+
+
+class TestTimeoutSalvage:
+    def test_hung_chunk_times_out_and_is_reported(self):
+        result = run_trials(_sleep_on_three, 8, seed=3, n_workers=2,
+                            chunk_size=2, args=(30.0,), chunk_timeout=1.5,
+                            salvage=True, max_chunk_retries=1)
+        assert not result.ok
+        assert any(f.start <= 3 < f.stop for f in result.failures)
+        assert 0 in result.completed()
+
+    def test_fast_chunks_unaffected_by_timeout_flag(self):
+        result = run_trials(_sleep_on_three, 8, seed=3, n_workers=2,
+                            chunk_size=2, args=(0.0,), chunk_timeout=60.0,
+                            salvage=True)
+        assert result.ok
+        assert result.completed() == list(range(8))
+
+
+class TestDeterminism:
+    def test_salvaged_results_match_legacy_values(self):
+        """Chunk-level retries re-derive the same per-trial RNG children."""
+        legacy = run_trials(_well_behaved, 12, seed=9, n_workers=2,
+                            chunk_size=4)
+        hardened = run_trials(_well_behaved, 12, seed=9, n_workers=2,
+                              chunk_size=4, chunk_timeout=120.0, salvage=True)
+        assert hardened.completed() == legacy
