@@ -1,6 +1,6 @@
 # Convenience targets for the Carpool reproduction.
 
-.PHONY: install test test-all bench bench-smoke examples clean
+.PHONY: install test test-all bench bench-smoke bench-phy bench-mac bench-compare examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,10 +14,25 @@ test-all:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Fast PHY timing harness: emits BENCH_phy.json and validates its schema.
+# Fast structural check of both timing suites. Smoke output goes to a
+# temp dir (the CLI picks one) so the committed BENCH_*.json baselines
+# are never overwritten by tiny unrepresentative workloads.
 bench-smoke:
-	PYTHONPATH=src python -m repro bench --smoke --out BENCH_phy.json
-	PYTHONPATH=src python -c "import json; from repro.runtime.bench import validate_bench; validate_bench(json.load(open('BENCH_phy.json'))); print('BENCH_phy.json schema OK')"
+	PYTHONPATH=src python -m repro bench --suite all --smoke
+
+# Full timing suites: regenerate the committed baselines in-place.
+bench-phy:
+	PYTHONPATH=src python -m repro bench --suite phy --out BENCH_phy.json
+
+bench-mac:
+	PYTHONPATH=src python -m repro bench --suite mac --out BENCH_mac.json
+
+# Regression gate against the committed baselines: re-runs the full
+# suites into a temp dir (~30 s) and exits non-zero on a >20% drop in
+# any throughput metric. Smoke runs are NOT comparable to the committed
+# full-run baselines (different workloads), so this runs full.
+bench-compare:
+	PYTHONPATH=src python -m repro bench --suite all --out-dir "$$(mktemp -d)" --compare .
 
 examples:
 	@for script in examples/*.py; do \

@@ -77,13 +77,26 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--workers", type=_positive_int, default=None,
                         help="process count for the trial runner (default: auto)")
 
-    bench = sub.add_parser("bench", help="PHY timing harness → BENCH_phy.json")
+    bench = sub.add_parser(
+        "bench", help="timing harness → BENCH_phy.json / BENCH_mac.json")
+    bench.add_argument("--suite", choices=("phy", "mac", "all"), default="phy",
+                       help="which benchmark suite to run (default: phy)")
     bench.add_argument("--smoke", action="store_true",
-                       help="tiny workloads; validates the schema in seconds")
-    bench.add_argument("--out", default="BENCH_phy.json",
-                       help="output JSON path (default: BENCH_phy.json)")
+                       help="tiny workloads; validates the schema in seconds "
+                            "(output goes to a temp dir unless --out/--out-dir)")
+    bench.add_argument("--out", default=None,
+                       help="output JSON path (single suite only; default: "
+                            "BENCH_<suite>.json, temp dir in smoke mode)")
+    bench.add_argument("--out-dir", default=None,
+                       help="directory for BENCH_<suite>.json outputs")
+    bench.add_argument("--compare", metavar="BASELINE", default=None,
+                       help="baseline JSON file, or directory holding committed "
+                            "BENCH_<suite>.json files; exit 1 on regression")
+    bench.add_argument("--threshold", type=float, default=0.2,
+                       help="relative regression tolerance for --compare "
+                            "(default: 0.2 = 20%%)")
     bench.add_argument("--workers", type=_positive_int, default=None,
-                       help="process count for the parallel leg (default: auto)")
+                       help="process count for the parallel legs (default: auto)")
     return parser
 
 
@@ -204,17 +217,7 @@ def _cmd_faults(args) -> int:
     return 0
 
 
-def _cmd_bench(args) -> int:
-    import os
-
-    from repro.runtime.bench import run_phy_bench
-
-    out_dir = os.path.dirname(os.path.abspath(args.out))
-    if not os.path.isdir(out_dir):
-        print(f"output directory does not exist: {out_dir}", file=sys.stderr)
-        return 2
-    payload = run_phy_bench(smoke=args.smoke, n_workers=args.workers,
-                            out_path=args.out)
+def _print_phy_bench(payload) -> None:
     enc, vit = payload["encode"], payload["viterbi"]
     rx, mc = payload["rx_chain"], payload["monte_carlo"]
     print(f"encode     : {enc['mbit_per_s']:8.1f} Mbit/s "
@@ -227,9 +230,78 @@ def _cmd_bench(args) -> int:
           f"({rx['payload_bytes']} B {rx['mcs']})")
     print(f"monte carlo: {mc['serial_trials_per_s']:8.2f} trials/s serial, "
           f"{mc['parallel_trials_per_s']:.2f} trials/s x{mc['parallel_workers']} "
-          f"workers (identical={mc['identical_serial_parallel']})")
-    print(f"wrote {args.out}")
-    return 0
+          f"workers (crossover={mc['crossover_workers']}, "
+          f"identical={mc['identical_serial_parallel']})")
+
+
+def _print_mac_bench(payload) -> None:
+    eng, sweep, pool = payload["engine"], payload["sweep"], payload["trials_pool"]
+    print(f"engine     : batched x{eng['speedup_batched']:.2f} vs scalar "
+          f"({eng['stations']} stations, {eng['runs']} runs; "
+          f"identical={eng['identical_metrics']})")
+    print(f"sweep      : batched+cached x{sweep['speedup']:.1f} vs "
+          f"scalar+uncached ({sweep['points']} points, "
+          f"{sweep['batched_cached_seconds']:.2f}s vs "
+          f"{sweep['scalar_uncached_seconds']:.2f}s; "
+          f"identical={sweep['identical_results']})")
+    print(f"trials pool: {pool['serial_trials_per_s']:8.2f} trials/s serial, "
+          f"{pool['parallel_trials_per_s']:.2f} trials/s "
+          f"x{pool['parallel_workers']} workers "
+          f"(crossover={pool['crossover_workers']}, "
+          f"identical={pool['identical_serial_parallel']})")
+
+
+def _cmd_bench(args) -> int:
+    import json
+    import os
+    import tempfile
+
+    from repro.runtime.bench import compare_bench, run_mac_bench, run_phy_bench
+
+    suites = ("phy", "mac") if args.suite == "all" else (args.suite,)
+    if args.out and len(suites) > 1:
+        print("--out takes a single suite; use --out-dir with --suite all",
+              file=sys.stderr)
+        return 2
+
+    out_dir = args.out_dir
+    if out_dir is None and args.out is None:
+        # Smoke runs exercise the code paths, not the machine: never let
+        # them overwrite the committed full-run baselines in-place.
+        out_dir = tempfile.mkdtemp(prefix="repro-bench-") if args.smoke else os.getcwd()
+
+    runners = {"phy": run_phy_bench, "mac": run_mac_bench}
+    printers = {"phy": _print_phy_bench, "mac": _print_mac_bench}
+    status = 0
+    for suite in suites:
+        out_path = args.out or os.path.join(out_dir, f"BENCH_{suite}.json")
+        if not os.path.isdir(os.path.dirname(os.path.abspath(out_path))):
+            print(f"output directory does not exist: {out_path}", file=sys.stderr)
+            return 2
+        payload = runners[suite](smoke=args.smoke, n_workers=args.workers,
+                                 out_path=out_path)
+        print(f"--- {suite} suite ---")
+        printers[suite](payload)
+        print(f"wrote {out_path}")
+        if not args.compare:
+            continue
+        baseline_path = args.compare
+        if os.path.isdir(baseline_path):
+            baseline_path = os.path.join(baseline_path, f"BENCH_{suite}.json")
+        if not os.path.isfile(baseline_path):
+            print(f"no {suite} baseline at {baseline_path}; skipping compare")
+            continue
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        regressions = compare_bench(payload, baseline, threshold=args.threshold)
+        if regressions:
+            status = 1
+            for line in regressions:
+                print(f"REGRESSION [{suite}] {line}", file=sys.stderr)
+        else:
+            print(f"no regression vs {baseline_path} "
+                  f"(threshold {args.threshold:.0%})")
+    return status
 
 
 def _profiled(fn, args) -> int:

@@ -39,6 +39,60 @@ _RTS_BYTES = 20
 _CTS_BYTES = 14
 
 
+class _BatchedErrorDraws:
+    """Block-buffered, vectorised subframe error draws (the batched path).
+
+    The scalar engine asks the error model for one Bernoulli outcome per
+    subframe: one probability computation plus one scalar ``uniform()``
+    per call. This helper pre-draws uniforms from the *same* error stream
+    in blocks and compares whole transmissions' worth of them against the
+    model's memoised exact probabilities in one vector operation.
+
+    Bit-exactness: a block ``uniform(size=k)`` reads the identical stream
+    values as ``k`` sequential scalar draws, each subframe still consumes
+    exactly one uniform in subframe order, and the probabilities are the
+    exact floats the scalar path computes — so every outcome matches the
+    scalar engine's. The unconsumed tail of the final block is invisible:
+    the ``errors`` child stream feeds nothing else.
+    """
+
+    def __init__(self, error_model, rng: RngStream, block: int = 1024):
+        self._model = error_model
+        self._rng = rng
+        self._block = block
+        self._buffer: list = []
+        self._pos = 0
+
+    def _take(self, n: int) -> list:
+        # Fast path: serve straight out of the current block (Python
+        # floats via tolist — cheaper than boxing np.float64 per element).
+        end = self._pos + n
+        if end <= len(self._buffer):
+            out = self._buffer[self._pos:end]
+            self._pos = end
+            return out
+        out = []
+        while len(out) < n:
+            if self._pos >= len(self._buffer):
+                self._buffer = np.atleast_1d(
+                    self._rng.uniform(size=self._block)).tolist()
+                self._pos = 0
+            take = min(n - len(out), len(self._buffer) - self._pos)
+            out.extend(self._buffer[self._pos:self._pos + take])
+            self._pos += take
+        return out
+
+    def draw(self, subframes: list) -> list:
+        """Decode outcomes for one transmission's subframes (ordered)."""
+        if not subframes:
+            return []
+        prob = self._model.subframe_success_probability
+        return [
+            u < prob(sf.start_symbol, sf.n_symbols, sf.rte)
+            for u, sf in zip(self._take(len(subframes)), subframes)
+        ]
+
+
 class WlanSimulator:
     """Runs one scenario: a protocol, a station population, a workload.
 
@@ -62,6 +116,13 @@ class WlanSimulator:
             own subframe; without it (the naive ordinal matcher) the first
             unexplained ACK gap desynchronises the rest of the sequence
             and every later subframe is conservatively retransmitted.
+        batched: Vectorise subframe error draws (block-buffered uniforms
+            compared against memoised exact probabilities) — bit-identical
+            metrics to the scalar path at a fraction of the cost. Requires
+            an error model whose ``draw_subframe`` is a uniform-vs-
+            ``subframe_success_probability`` comparison (both built-in
+            models are); models without that method fall back to scalar
+            draws. :meth:`simulate_batch` enables this after construction.
     """
 
     def __init__(
@@ -78,6 +139,7 @@ class WlanSimulator:
         hidden_pairs: set | None = None,
         faults=None,
         sequential_ack_recovery: bool = False,
+        batched: bool = False,
     ):
         if num_stations < 1 and not station_names:
             raise ValueError("need at least one station")
@@ -138,6 +200,34 @@ class WlanSimulator:
         # Optional event timeline for debugging/teaching: call
         # enable_timeline() before run(); events land in self.timeline.
         self.timeline: list | None = None
+        # Batched error draws (see _BatchedErrorDraws): None = scalar oracle.
+        self._batched_draws: _BatchedErrorDraws | None = None
+        if batched:
+            self.enable_batched_draws()
+
+    def enable_batched_draws(self) -> None:
+        """Switch subframe error draws to the vectorised batched path.
+
+        Must be called before :meth:`run` (the two paths consume the error
+        stream compatibly, but switching mid-run would strand buffered
+        draws). Silently stays scalar for error models that don't expose
+        ``subframe_success_probability``.
+        """
+        if hasattr(self.error_model, "subframe_success_probability"):
+            self._batched_draws = _BatchedErrorDraws(self.error_model, self._error_rng)
+
+    def simulate_batch(self, duration: float) -> MetricsSummary:
+        """:meth:`run` with vectorised, pre-drawn subframe error outcomes.
+
+        The batched path pre-draws blocks of uniforms from the same
+        ``errors`` child stream the scalar path uses and resolves each
+        transmission's subframes in one vector comparison — metrics are
+        bit-identical to :meth:`run` (the scalar parity oracle) at every
+        seed; the parity suite in ``tests/mac/test_engine_batch_parity.py``
+        enforces this.
+        """
+        self.enable_batched_draws()
+        return self.run(duration)
 
     # ------------------------------------------------------------------ #
 
@@ -366,12 +456,15 @@ class WlanSimulator:
         self._account_airtime(node, transmission, overhead)
 
         data_end = self.now + overhead + transmission.airtime
-        decoded = [
-            self.error_model.draw_subframe(
-                self._error_rng, subframe.start_symbol, subframe.n_symbols, subframe.rte
-            )
-            for subframe in transmission.subframes
-        ]
+        if self._batched_draws is not None:
+            decoded = self._batched_draws.draw(transmission.subframes)
+        else:
+            decoded = [
+                self.error_model.draw_subframe(
+                    self._error_rng, subframe.start_symbol, subframe.n_symbols, subframe.rte
+                )
+                for subframe in transmission.subframes
+            ]
         if self._faults is not None:
             decoded = self._apply_subframe_faults(transmission, decoded, overhead)
             acked = self._apply_ack_faults(transmission, decoded)
@@ -441,9 +534,11 @@ class WlanSimulator:
         if not subframes:
             return
         addressed = {sf.destination for sf in subframes}
+        # sum/len over integer symbol counts is exact (and much cheaper
+        # than np.mean on a short list).
         mean_subframe = (
-            float(np.mean([sf.n_symbols for sf in subframes])) * self.params.symbol_duration
-        )
+            sum(sf.n_symbols for sf in subframes) / len(subframes)
+        ) * self.params.symbol_duration
         for name in self.stations:
             if name in addressed:
                 continue
@@ -508,7 +603,7 @@ class WlanSimulator:
                 record["rx"] += plcp + end * t_sym
                 record["tx"] += ack
 
-        mean_subframe = np.mean([sf.n_symbols for sf in subframes]) * t_sym
+        mean_subframe = (sum(sf.n_symbols for sf in subframes) / len(subframes)) * t_sym
         overhear = (
             plcp
             + self.protocol.overhear_symbols * t_sym

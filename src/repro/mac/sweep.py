@@ -1,0 +1,148 @@
+"""Fast system-level MAC sweeps: goodput/airtime vs receivers × payload.
+
+The paper's headline results (Figs. 10–14) are sweeps over exactly these
+axes — receiver count, payload size, loss regime — each point a
+Monte-Carlo average of full CSMA/CA simulations driven by a trace-driven
+error model. This module is the fast path those sweeps run on, combining
+the three layers the rest of this package provides:
+
+* **calibration caching** — every point calls
+  :func:`~repro.analysis.calibration.calibrate_error_model`, exactly as a
+  real sweep whose points may differ in SNR/MCS must; points sharing a
+  configuration hit the :mod:`repro.runtime.cache` instead of re-running
+  the PHY chain (``cache=False`` reproduces the old cost).
+* **batched simulation** — trials run the engine's vectorised
+  :meth:`~repro.mac.engine.WlanSimulator.simulate_batch` draw path
+  (``batched=False`` keeps the scalar parity oracle). Metrics are
+  bit-identical either way at equal seeds.
+* **persistent parallel trials** — cells fan out through
+  :func:`repro.runtime.run_trials`, which reuses worker pools across
+  cells instead of respawning per call.
+
+``repro.runtime.bench.run_mac_bench`` times this sweep both ways
+(batched+cached vs scalar+uncached) and asserts the results agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.trials import run_trials
+from repro.util.rng import derive_seed
+
+__all__ = ["SweepConfig", "SweepCell", "goodput_airtime_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One receivers×payload sweep specification.
+
+    ``receiver_counts`` and ``payload_bytes`` span the grid; every cell
+    runs ``trials`` independent simulations of ``duration`` seconds and
+    averages the per-run metrics. ``calibration_*`` size the per-point
+    PHY calibration (small defaults keep the uncached leg affordable).
+    """
+
+    receiver_counts: tuple = (2, 4, 8)
+    payload_bytes: tuple = (256, 1024, 4095)
+    protocol: str = "Carpool"
+    duration: float = 2.0
+    trials: int = 3
+    seed: int = 0
+    mcs_name: str = "QAM64-3/4"
+    calibration_payload: int = 1000
+    calibration_trials: int = 4
+    batched: bool = True
+    cache: bool = True
+
+
+@dataclass
+class SweepCell:
+    """Averaged metrics of one (receivers, payload) grid point."""
+
+    num_receivers: int
+    payload_bytes: int
+    goodput_bps: float
+    useful_goodput_bps: float
+    airtime_fraction: float
+    mean_delay: float
+    retransmitted_subframes: float
+    trials: int
+    per_trial_goodput: list = field(default_factory=list)
+
+
+def _sweep_trial(trial_index, rng, num_receivers, payload_bytes, config, error_model):
+    """One cell trial: a full CBR downlink run at a derived seed.
+
+    Module-level (pickles into pool workers). The seed comes from the
+    trial's own RNG, so results are identical for any worker count or
+    chunking, and paired across batched/scalar legs.
+    """
+    from repro.mac import PROTOCOLS
+    from repro.mac.scenarios import CbrScenario
+
+    scenario = CbrScenario(
+        num_stations=num_receivers,
+        num_aps=1,
+        duration=config.duration,
+        seed=int(rng.integers(0, 2**31 - 1)),
+        frame_bytes=payload_bytes,
+        with_background=False,
+        error_model=error_model,
+        batched=config.batched,
+    )
+    result = scenario.run(PROTOCOLS[config.protocol])
+    return (
+        result.measured_ap_goodput_bps,
+        result.measured_ap_useful_goodput_bps,
+        result.channel_busy_fraction,
+        result.downlink_mean_delay,
+        result.retransmitted_subframes,
+    )
+
+
+def goodput_airtime_sweep(
+    config: SweepConfig = SweepConfig(),
+    n_workers: int | None = 1,
+) -> list:
+    """Run the receivers×payload grid; one :class:`SweepCell` per point.
+
+    Every point re-derives its error model through the calibration cache
+    (the uncached leg of the bench re-runs the PHY chain per point — the
+    cost this subsystem removes). Cell trials are deterministic in
+    ``config.seed`` for any ``n_workers``.
+    """
+    from repro.analysis.calibration import calibrate_error_model
+
+    cells = []
+    for num_receivers in config.receiver_counts:
+        for payload in config.payload_bytes:
+            # Per-point calibration, like a sweep whose points vary in
+            # SNR/MCS; identical points are cache hits when enabled.
+            model = calibrate_error_model(
+                mcs_name=config.mcs_name,
+                payload_bytes=config.calibration_payload,
+                trials=config.calibration_trials,
+                cache=config.cache,
+            )
+            outcomes = run_trials(
+                _sweep_trial,
+                config.trials,
+                seed=derive_seed(config.seed, "mac-sweep",
+                                 f"r{num_receivers}", f"p{payload}"),
+                n_workers=n_workers,
+                args=(num_receivers, payload, config, model),
+            )
+            goodputs = [o[0] for o in outcomes]
+            cells.append(SweepCell(
+                num_receivers=num_receivers,
+                payload_bytes=payload,
+                goodput_bps=sum(goodputs) / len(goodputs),
+                useful_goodput_bps=sum(o[1] for o in outcomes) / len(outcomes),
+                airtime_fraction=sum(o[2] for o in outcomes) / len(outcomes),
+                mean_delay=sum(o[3] for o in outcomes) / len(outcomes),
+                retransmitted_subframes=sum(o[4] for o in outcomes) / len(outcomes),
+                trials=config.trials,
+                per_trial_goodput=goodputs,
+            ))
+    return cells

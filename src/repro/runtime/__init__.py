@@ -1,8 +1,13 @@
 """Shared parallel-execution runtime for Monte-Carlo experiments.
 
 ``repro.runtime.trials`` provides the seeded, chunked trial runner every
-BER sweep and MAC scenario sweep goes through; ``repro.runtime.bench`` is
-the performance-regression harness that emits ``BENCH_phy.json``.
+BER sweep and MAC scenario sweep goes through — with persistent worker
+pools, initializer-shipped shared payloads, and probe-based chunk
+autotuning. ``repro.runtime.cache`` is the keyed, process-safe result
+cache expensive sweep inputs (PHY calibration) go through.
+``repro.runtime.bench`` is the performance-regression harness that emits
+``BENCH_phy.json`` / ``BENCH_mac.json`` and diffs runs against committed
+baselines.
 
 ``bench`` is intentionally *not* imported here: it depends on
 ``repro.analysis``, which itself runs trials through this package.
@@ -10,20 +15,40 @@ Import it explicitly as ``repro.runtime.bench`` (or via the
 ``python -m repro bench`` CLI).
 """
 
+from repro.runtime.cache import (
+    ResultCache,
+    cache_enabled,
+    code_fingerprint,
+    content_key,
+    default_cache_dir,
+)
 from repro.runtime.trials import (
     ChunkFailure,
     TrialRunResult,
+    autotune_chunk_size,
     parallel_map,
+    persistent_pool,
     resolve_workers,
     run_trials,
+    shared_payload,
+    shutdown_pools,
     trial_rngs,
 )
 
 __all__ = [
     "ChunkFailure",
+    "ResultCache",
     "TrialRunResult",
+    "autotune_chunk_size",
+    "cache_enabled",
+    "code_fingerprint",
+    "content_key",
+    "default_cache_dir",
     "parallel_map",
+    "persistent_pool",
     "resolve_workers",
     "run_trials",
+    "shared_payload",
+    "shutdown_pools",
     "trial_rngs",
 ]

@@ -12,6 +12,17 @@ shared runtime those sweeps go through:
   ``ProcessPoolExecutor``; the worker count auto-detects from
   ``REPRO_WORKERS`` or ``os.cpu_count()``. ``n_workers=1`` (or a single
   trial) short-circuits to a plain loop with zero pool overhead.
+* **Pool persistence** — worker pools are kept alive and reused across
+  :func:`run_trials` / :func:`parallel_map` calls (keyed by worker count
+  and shared payload), so a sweep of many small runs pays process
+  start-up once instead of per call. ``reuse_pool=False`` restores the
+  old per-call pools; :func:`shutdown_pools` tears everything down.
+* **Shared read-only tables** — pass ``shared=...`` to ship one payload
+  to every worker via the pool initializer (pickled once per worker, not
+  per chunk); trial functions read it back with :func:`shared_payload`.
+* **Chunk autotuning** — ``chunk_size="auto"`` times a short serial probe
+  and picks trials-per-chunk so each task runs ~0.25 s: long enough to
+  amortise submission overhead, short enough to load-balance.
 * **Generality** — :func:`parallel_map` gives the same chunked, ordered
   semantics for non-trial workloads (e.g. the MAC scenario sweeps, where
   each item is one ``(scenario, protocol)`` cell).
@@ -22,8 +33,10 @@ function, not a lambda or closure).
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -36,6 +49,10 @@ __all__ = [
     "trial_rngs",
     "run_trials",
     "parallel_map",
+    "autotune_chunk_size",
+    "persistent_pool",
+    "shared_payload",
+    "shutdown_pools",
     "ChunkFailure",
     "TrialRunResult",
 ]
@@ -133,6 +150,121 @@ def _mp_context():
 
 def _chunk_spans(n: int, chunk_size: int) -> list:
     return [(start, min(start + chunk_size, n)) for start in range(0, n, chunk_size)]
+
+
+# --------------------------------------------------------------------------- #
+# Persistent pools and shared read-only payloads.
+# --------------------------------------------------------------------------- #
+
+# Pool registry: (max_workers, shared_token) -> (pool, shared_payload_ref).
+# Holding a reference to the shared payload keeps its id() stable for as
+# long as the pool that was initialised with it lives.
+_POOLS: dict = {}
+
+# The worker-side (and serial-path) shared payload, set once per worker by
+# the pool initializer instead of being pickled into every chunk.
+_SHARED = None
+
+
+def _init_worker(payload) -> None:
+    """Pool initializer: stash the shared read-only payload in the worker."""
+    global _SHARED
+    _SHARED = payload
+
+
+def shared_payload():
+    """The payload this worker was initialised with (``None`` if absent).
+
+    Trial functions call this instead of taking big read-only tables
+    through ``args`` — the payload crosses the process boundary once per
+    worker (at pool start-up) rather than once per chunk.
+    """
+    return _SHARED
+
+
+def persistent_pool(n_workers: int, shared=None) -> ProcessPoolExecutor:
+    """A long-lived pool for ``n_workers``, created on first use.
+
+    Pools are keyed by worker count and (identity of) the shared payload;
+    repeated calls return the same executor, so process start-up is paid
+    once per configuration instead of once per ``run_trials`` call.
+    """
+    global _SHARED
+    key = (n_workers, id(shared) if shared is not None else None)
+    entry = _POOLS.get(key)
+    if entry is not None:
+        return entry[0]
+    if shared is None:
+        pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=_mp_context())
+    else:
+        pool = ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=_mp_context(),
+            initializer=_init_worker,
+            initargs=(shared,),
+        )
+        # With fork, workers inherit parent globals at spawn time; setting
+        # the parent-side payload too keeps shared_payload() consistent
+        # everywhere (and serves the n_workers=1 serial path).
+        _SHARED = shared
+    _POOLS[key] = (pool, shared)
+    return pool
+
+
+def _discard_pool(pool: ProcessPoolExecutor) -> None:
+    """Remove a (broken) pool from the registry and tear it down."""
+    for key, (registered, _payload) in list(_POOLS.items()):
+        if registered is pool:
+            del _POOLS[key]
+    _abandon_pool(pool)
+
+
+def shutdown_pools() -> None:
+    """Shut down every persistent pool (registered atexit)."""
+    global _SHARED
+    for pool, _payload in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+    _SHARED = None
+
+
+atexit.register(shutdown_pools)
+
+
+def autotune_chunk_size(
+    fn,
+    n_trials: int,
+    *,
+    seed: int,
+    n_workers: int,
+    args: tuple = (),
+    target_seconds: float = 0.25,
+    max_probe_trials: int = 3,
+) -> int:
+    """Pick trials-per-chunk from a quick serial timing probe.
+
+    Runs up to ``max_probe_trials`` leading trials in-process (their
+    results are discarded; the chunks re-run them with identical RNGs, so
+    determinism is unaffected) and sizes chunks to ~``target_seconds``
+    each — long enough to amortise submission/pickling overhead, short
+    enough that stragglers cannot idle the other workers. The result is
+    clamped so every worker gets at least one chunk.
+    """
+    if n_trials <= 1 or n_workers <= 1:
+        return max(1, n_trials)
+    children = _trial_seeds(seed, n_trials)
+    start = time.perf_counter()
+    probed = 0
+    for index in range(min(max_probe_trials, n_trials)):
+        fn(index, np.random.default_rng(children[index]), *args)
+        probed += 1
+        if time.perf_counter() - start >= target_seconds:
+            break
+    per_trial = (time.perf_counter() - start) / probed
+    upper = max(1, -(-n_trials // n_workers))  # ceil: >= one chunk per worker
+    if per_trial <= 0:
+        return upper
+    return int(np.clip(round(target_seconds / per_trial), 1, upper))
 
 
 def _run_trial_chunk(fn, seed, n_trials, start, stop, args):
@@ -261,11 +393,13 @@ def run_trials(
     *,
     seed: int,
     n_workers: int | None = None,
-    chunk_size: int | None = None,
+    chunk_size: int | str | None = None,
     args: tuple = (),
     chunk_timeout: float | None = None,
     max_chunk_retries: int = 2,
     salvage: bool = False,
+    reuse_pool: bool = True,
+    shared=None,
 ) -> list:
     """Run ``fn(trial_index, rng, *args)`` for every trial; ordered results.
 
@@ -276,7 +410,9 @@ def run_trials(
         n_workers: Process count; ``None`` auto-detects (``REPRO_WORKERS``
             or CPU count), ``1`` runs serially in-process.
         chunk_size: Trials per task; defaults to ~4 chunks per worker to
-            balance scheduling slack against submission overhead.
+            balance scheduling slack against submission overhead. Pass
+            ``"auto"`` to size chunks from a quick serial timing probe
+            (:func:`autotune_chunk_size`).
         args: Extra (picklable) positional arguments passed to every trial.
         chunk_timeout: Seconds to wait on one chunk before declaring it
             hung (parallel runs only; a serial run cannot be interrupted).
@@ -288,6 +424,13 @@ def run_trials(
             changes nothing statistically).
         salvage: Return a :class:`TrialRunResult` carrying partial results
             and a failure report instead of raising when chunks are lost.
+        reuse_pool: Keep the worker pool alive for the next call (fast
+            path only; the hardened path always uses disposable pools it
+            can abandon). Chunking never affects results, so reuse is
+            invisible except in wall time.
+        shared: Optional read-only payload shipped to each worker once via
+            the pool initializer; trial functions retrieve it with
+            :func:`shared_payload`. Serial runs see it too.
 
     Returns:
         ``[fn(0, rng0, *args), ..., fn(n_trials-1, ...)]`` — identical for
@@ -299,26 +442,53 @@ def run_trials(
         RuntimeError: A chunk exhausted its retries and ``salvage`` is off
             (only possible when the hardened path is active).
     """
+    global _SHARED
     if n_trials < 0:
         raise ValueError(f"n_trials must be >= 0, got {n_trials}")
     if n_trials == 0:
         return TrialRunResult(results=[]) if salvage else []
     n_workers = resolve_workers(n_workers)
     hardened = salvage or chunk_timeout is not None
+    if chunk_size == "auto":
+        chunk_size = autotune_chunk_size(
+            fn, n_trials, seed=seed, n_workers=n_workers, args=args,
+        )
 
     if not hardened:
         if n_workers == 1 or n_trials == 1:
+            if shared is not None:
+                _SHARED = shared
             return _run_trial_chunk(fn, seed, n_trials, 0, n_trials, args)
         if chunk_size is None:
             chunk_size = max(1, -(-n_trials // (4 * n_workers)))
         spans = _chunk_spans(n_trials, chunk_size)
         workers = min(n_workers, len(spans))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as pool:
+        if reuse_pool:
+            pool = persistent_pool(workers, shared=shared)
+            try:
+                futures = [
+                    pool.submit(_run_trial_chunk, fn, seed, n_trials, start, stop, args)
+                    for start, stop in spans
+                ]
+                results: list = []
+                for future in futures:
+                    results.extend(future.result())
+                return results
+            except BrokenProcessPool:
+                # A dead worker poisons the pool for every later call:
+                # evict it so the next run starts fresh, then re-raise.
+                _discard_pool(pool)
+                raise
+        init = (_init_worker, (shared,)) if shared is not None else (None, ())
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context(),
+            initializer=init[0], initargs=init[1],
+        ) as pool:
             futures = [
                 pool.submit(_run_trial_chunk, fn, seed, n_trials, start, stop, args)
                 for start, stop in spans
             ]
-            results: list = []
+            results = []
             for future in futures:
                 results.extend(future.result())
         return results
@@ -345,13 +515,15 @@ def parallel_map(
     *,
     n_workers: int | None = None,
     chunk_size: int | None = None,
+    reuse_pool: bool = True,
 ) -> list:
     """Order-preserving parallel ``map`` over picklable ``items``.
 
     Serial (no pool) when ``n_workers`` resolves to 1 or there is at most
-    one item; otherwise a chunked ``ProcessPoolExecutor.map``. Items should
-    be deterministic units of work (carry their own seeds) so that serial
-    and parallel runs agree.
+    one item; otherwise a chunked ``ProcessPoolExecutor.map`` on a
+    persistent pool (``reuse_pool=False`` for a disposable one). Items
+    should be deterministic units of work (carry their own seeds) so that
+    serial and parallel runs agree.
     """
     items = list(items)
     n_workers = resolve_workers(n_workers)
@@ -360,5 +532,12 @@ def parallel_map(
     if chunk_size is None:
         chunk_size = max(1, -(-len(items) // (4 * n_workers)))
     workers = min(n_workers, len(items))
+    if reuse_pool:
+        pool = persistent_pool(workers)
+        try:
+            return list(pool.map(fn, items, chunksize=chunk_size))
+        except BrokenProcessPool:
+            _discard_pool(pool)
+            raise
     with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as pool:
         return list(pool.map(fn, items, chunksize=chunk_size))

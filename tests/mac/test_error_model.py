@@ -54,6 +54,75 @@ class TestBerCurve:
             BerCurveErrorModel().subframe_success_probability(0, 0, rte=False)
 
 
+class TestFastPaths:
+    """The vectorised paths must agree with the scalar originals."""
+
+    def test_scalar_memo_returns_exact_original_float(self):
+        model = BerCurveErrorModel()
+        for start, n, rte in [(0, 1, False), (7, 113, False), (500, 40, True)]:
+            exact = model._success_probability_exact(start, n, rte)
+            assert model.subframe_success_probability(start, n, rte) == exact
+            # Second lookup serves the memo — still the identical float.
+            assert model.subframe_success_probability(start, n, rte) == exact
+
+    def test_array_path_matches_scalar_to_machine_precision(self):
+        model = BerCurveErrorModel(base_symbol_error=1e-3, bias_growth=0.2)
+        rng = np.random.default_rng(0)
+        starts = rng.integers(0, 900, size=200)
+        lengths = rng.integers(1, 120, size=200)
+        for rte in (False, True):
+            vectorised = model.subframe_success_probability(starts, lengths, rte)
+            scalar = np.array([
+                model.subframe_success_probability(int(s), int(n), rte)
+                for s, n in zip(starts, lengths)
+            ])
+            np.testing.assert_allclose(vectorised, scalar, rtol=1e-12, atol=0)
+
+    def test_array_symbol_error_matches_scalar(self):
+        model = BerCurveErrorModel(base_symbol_error=1e-3, bias_growth=0.3)
+        indices = np.arange(0, 1200, 7)
+        for rte in (False, True):
+            vectorised = np.asarray(model.symbol_error(indices, rte))
+            scalar = np.array([model.symbol_error(int(i), rte) for i in indices])
+            np.testing.assert_array_equal(vectorised, scalar)
+
+    def test_array_path_rejects_empty_subframes(self):
+        model = BerCurveErrorModel()
+        with pytest.raises(ValueError):
+            model.subframe_success_probability(
+                np.array([0, 5]), np.array([3, 0]), rte=False
+            )
+
+    def test_draw_subframes_bit_identical_to_sequential_draws(self):
+        model = BerCurveErrorModel(base_symbol_error=5e-3, bias_growth=0.4)
+        starts = [0, 10, 10, 250, 800]
+        lengths = [10, 113, 113, 40, 113]
+        flags = [False, False, True, False, True]
+        batched = model.draw_subframes(
+            RngStream(77).child("e"), starts, lengths, flags
+        )
+        sequential_rng = RngStream(77).child("e")
+        sequential = [
+            model.draw_subframe(sequential_rng, s, n, f)
+            for s, n, f in zip(starts, lengths, flags)
+        ]
+        assert list(batched) == sequential
+
+    def test_draw_subframes_scalar_rte_broadcasts(self):
+        model = BerCurveErrorModel(base_symbol_error=5e-3)
+        batched = model.draw_subframes(RngStream(3).child("e"),
+                                       [0, 50, 100], [20, 20, 20], False)
+        assert batched.shape == (3,)
+
+    def test_fixed_fer_draw_subframes_matches_sequential(self):
+        model = FixedFerModel(0.35)
+        batched = model.draw_subframes(RngStream(9).child("e"),
+                                       [0, 1, 2, 3], [5, 5, 5, 5], False)
+        rng = RngStream(9).child("e")
+        sequential = [model.draw_subframe(rng, i, 5, False) for i in range(4)]
+        assert list(batched) == sequential
+
+
 class TestFixedFer:
     def test_zero_fer_always_succeeds(self):
         model = FixedFerModel(0.0)

@@ -1,15 +1,22 @@
-"""BENCH_phy.json schema validation and the bench harness smoke run."""
+"""BENCH_*.json schema validation, baseline comparison, and smoke runs."""
 
 import copy
 import json
 
 import pytest
 
-from repro.runtime.bench import SCHEMA_VERSION, run_phy_bench, validate_bench
+from repro.runtime.bench import (
+    SCHEMA_VERSION,
+    compare_bench,
+    run_mac_bench,
+    run_phy_bench,
+    validate_bench,
+)
 
 _VALID = {
     "meta": {
         "schema_version": SCHEMA_VERSION,
+        "suite": "phy",
         "python": "3.11.0",
         "numpy": "2.0.0",
         "platform": "test",
@@ -34,6 +41,37 @@ _VALID = {
         "trials": 4, "payload_bytes": 300, "serial_seconds": 1.0,
         "serial_trials_per_s": 4.0, "parallel_workers": 2,
         "parallel_seconds": 1.0, "parallel_trials_per_s": 4.0,
+        "pool_reused": True, "crossover_workers": None,
+        "identical_serial_parallel": True,
+    },
+}
+
+_VALID_MAC = {
+    "meta": {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "mac",
+        "python": "3.11.0",
+        "numpy": "2.0.0",
+        "platform": "test",
+        "smoke": True,
+        "n_workers": 1,
+    },
+    "engine": {
+        "stations": 4, "duration": 0.4, "runs": 2, "scalar_seconds": 1.0,
+        "batched_seconds": 0.8, "speedup_batched": 1.25,
+        "identical_metrics": True,
+    },
+    "sweep": {
+        "receivers": [2, 4], "payloads": [256, 1024], "points": 4,
+        "trials": 1, "scalar_uncached_seconds": 10.0,
+        "batched_cached_seconds": 1.0, "speedup": 10.0,
+        "identical_results": True,
+    },
+    "trials_pool": {
+        "trials": 4, "stations": 4, "serial_seconds": 1.0,
+        "serial_trials_per_s": 4.0, "parallel_workers": 2,
+        "parallel_seconds": 1.0, "parallel_trials_per_s": 4.0,
+        "pool_reused": True, "crossover_workers": 2,
         "identical_serial_parallel": True,
     },
 }
@@ -43,16 +81,36 @@ class TestValidateBench:
     def test_accepts_valid_payload(self):
         assert validate_bench(copy.deepcopy(_VALID)) == _VALID
 
+    def test_accepts_valid_mac_payload(self):
+        assert validate_bench(copy.deepcopy(_VALID_MAC)) == _VALID_MAC
+
+    def test_missing_suite_defaults_to_phy(self):
+        legacy = copy.deepcopy(_VALID)
+        del legacy["meta"]["suite"]
+        assert validate_bench(legacy) == legacy
+
+    def test_rejects_unknown_suite(self):
+        broken = copy.deepcopy(_VALID)
+        broken["meta"]["suite"] = "dsp"
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            validate_bench(broken)
+
     def test_rejects_missing_section(self):
         broken = copy.deepcopy(_VALID)
         del broken["viterbi"]
         with pytest.raises(ValueError, match="missing section 'viterbi'"):
             validate_bench(broken)
 
+    def test_rejects_missing_mac_section(self):
+        broken = copy.deepcopy(_VALID_MAC)
+        del broken["sweep"]
+        with pytest.raises(ValueError, match="missing section 'sweep'"):
+            validate_bench(broken)
+
     def test_rejects_missing_key(self):
         broken = copy.deepcopy(_VALID)
-        del broken["monte_carlo"]["parallel_trials_per_s"]
-        with pytest.raises(ValueError, match="monte_carlo.parallel_trials_per_s"):
+        del broken["monte_carlo"]["crossover_workers"]
+        with pytest.raises(ValueError, match="monte_carlo.crossover_workers"):
             validate_bench(broken)
 
     def test_rejects_inexact_decoder(self):
@@ -67,6 +125,18 @@ class TestValidateBench:
         with pytest.raises(ValueError, match="identical_serial_parallel"):
             validate_bench(broken)
 
+    def test_rejects_batched_scalar_divergence(self):
+        broken = copy.deepcopy(_VALID_MAC)
+        broken["engine"]["identical_metrics"] = False
+        with pytest.raises(ValueError, match="identical_metrics"):
+            validate_bench(broken)
+
+    def test_rejects_sweep_divergence(self):
+        broken = copy.deepcopy(_VALID_MAC)
+        broken["sweep"]["identical_results"] = False
+        with pytest.raises(ValueError, match="identical_results"):
+            validate_bench(broken)
+
     def test_rejects_wrong_schema_version(self):
         broken = copy.deepcopy(_VALID)
         broken["meta"]["schema_version"] = SCHEMA_VERSION + 1
@@ -78,6 +148,66 @@ class TestValidateBench:
             validate_bench([])
 
 
+class TestCompareBench:
+    def test_identical_runs_have_no_regressions(self):
+        assert compare_bench(copy.deepcopy(_VALID_MAC), _VALID_MAC) == []
+
+    def test_small_drop_within_threshold_passes(self):
+        current = copy.deepcopy(_VALID_MAC)
+        current["sweep"]["speedup"] = _VALID_MAC["sweep"]["speedup"] * 0.85
+        assert compare_bench(current, _VALID_MAC, threshold=0.2) == []
+
+    def test_large_drop_is_flagged(self):
+        current = copy.deepcopy(_VALID_MAC)
+        current["sweep"]["speedup"] = _VALID_MAC["sweep"]["speedup"] * 0.5
+        messages = compare_bench(current, _VALID_MAC, threshold=0.2)
+        assert len(messages) == 1
+        assert "sweep.speedup" in messages[0]
+
+    def test_improvement_is_not_flagged(self):
+        current = copy.deepcopy(_VALID_MAC)
+        current["sweep"]["speedup"] *= 10
+        current["trials_pool"]["parallel_trials_per_s"] *= 10
+        assert compare_bench(current, _VALID_MAC) == []
+
+    def test_raw_seconds_are_not_gated(self):
+        # Absolute seconds are results but not throughput metrics: a
+        # slower wall clock with the same throughput keys does not flag.
+        current = copy.deepcopy(_VALID_MAC)
+        current["sweep"]["scalar_uncached_seconds"] *= 100
+        assert compare_bench(current, _VALID_MAC) == []
+
+    def test_mismatched_workloads_are_skipped(self):
+        # A smoke-sized sweep legitimately has a different speedup than
+        # the full grid: sections with different workload descriptors
+        # are not comparable and must not flag phantom regressions.
+        current = copy.deepcopy(_VALID_MAC)
+        current["sweep"]["points"] = 16
+        current["sweep"]["trials"] = 5
+        current["sweep"]["speedup"] = 1.0  # would flag if compared
+        assert compare_bench(current, _VALID_MAC) == []
+
+    def test_same_workload_drop_still_flags_other_sections(self):
+        current = copy.deepcopy(_VALID_MAC)
+        current["sweep"]["points"] = 16  # sweep skipped...
+        current["engine"]["speedup_batched"] = 0.1  # ...engine still gated
+        messages = compare_bench(current, _VALID_MAC)
+        assert len(messages) == 1
+        assert "engine.speedup_batched" in messages[0]
+
+    def test_missing_sections_in_current_are_skipped(self):
+        current = {"meta": _VALID_MAC["meta"], "sweep": _VALID_MAC["sweep"]}
+        assert compare_bench(current, _VALID_MAC) == []
+
+    def test_phy_vs_mac_baselines_do_not_cross_talk(self):
+        # Disjoint section names: nothing to compare, nothing to flag.
+        assert compare_bench(copy.deepcopy(_VALID), _VALID_MAC) == []
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_bench(_VALID_MAC, _VALID_MAC, threshold=1.5)
+
+
 @pytest.mark.slow
 def test_smoke_bench_emits_valid_json(tmp_path):
     out = tmp_path / "BENCH_phy.json"
@@ -85,5 +215,20 @@ def test_smoke_bench_emits_valid_json(tmp_path):
     on_disk = json.loads(out.read_text())
     assert validate_bench(on_disk) == on_disk
     assert payload["meta"]["smoke"] is True
+    assert payload["meta"]["suite"] == "phy"
     assert payload["viterbi"]["bit_exact_vs_reference"] is True
     assert payload["monte_carlo"]["identical_serial_parallel"] is True
+    assert payload["monte_carlo"]["pool_reused"] is True
+
+
+@pytest.mark.slow
+def test_mac_smoke_bench_emits_valid_json(tmp_path):
+    out = tmp_path / "BENCH_mac.json"
+    payload = run_mac_bench(smoke=True, out_path=str(out))
+    on_disk = json.loads(out.read_text())
+    assert validate_bench(on_disk) == on_disk
+    assert payload["meta"]["suite"] == "mac"
+    assert payload["engine"]["identical_metrics"] is True
+    assert payload["sweep"]["identical_results"] is True
+    assert payload["sweep"]["speedup"] > 1.0
+    assert payload["trials_pool"]["identical_serial_parallel"] is True

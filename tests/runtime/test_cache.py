@@ -1,0 +1,153 @@
+"""The keyed result cache behind calibration: hits, bypass, invalidation."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.cache import (
+    ResultCache,
+    cache_enabled,
+    code_fingerprint,
+    content_key,
+    default_cache_dir,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(directory=str(tmp_path), namespace="test")
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, cache):
+        assert cache.get("k1") is None
+        cache.put("k1", {"x": 1, "y": [2.5, 3]})
+        assert cache.get("k1") == {"x": 1, "y": [2.5, 3]}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_survives_process_boundary_via_disk(self, cache, tmp_path):
+        cache.put("k1", {"model": 0.25})
+        # A fresh instance (≈ a new process) has an empty memory tier and
+        # must serve the entry from disk.
+        other = ResultCache(directory=str(tmp_path), namespace="test")
+        assert other.get("k1") == {"model": 0.25}
+
+    def test_get_or_compute_computes_once(self, cache):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"v": 42}
+
+        assert cache.get_or_compute("k", compute) == {"v": 42}
+        assert cache.get_or_compute("k", compute) == {"v": 42}
+        assert len(calls) == 1
+
+    def test_clear_drops_memory_and_disk(self, cache, tmp_path):
+        cache.put("k1", [1, 2])
+        cache.clear()
+        assert cache.get("k1") is None
+        fresh = ResultCache(directory=str(tmp_path), namespace="test")
+        assert fresh.get("k1") is None
+
+    def test_corrupt_file_reads_as_miss(self, cache):
+        cache.put("k1", {"ok": True})
+        path = os.path.join(cache.directory, "k1.json")
+        with open(path, "w") as handle:
+            handle.write('{"truncated mid-wri')
+        fresh = ResultCache(directory=os.path.dirname(cache.directory),
+                            namespace="test")
+        assert fresh.get("k1") is None
+
+    def test_namespaces_are_isolated(self, tmp_path):
+        a = ResultCache(directory=str(tmp_path), namespace="a")
+        b = ResultCache(directory=str(tmp_path), namespace="b")
+        a.put("k", "from-a")
+        assert b.get("k") is None
+
+    def test_disk_entry_is_plain_json(self, cache):
+        cache.put("k1", {"x": 1})
+        with open(os.path.join(cache.directory, "k1.json")) as handle:
+            assert json.load(handle) == {"x": 1}
+
+    def test_no_cache_env_bypasses_everything(self, cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert not cache_enabled()
+        cache.put("k1", {"x": 1})
+        assert cache.get("k1") is None
+        monkeypatch.delenv("REPRO_NO_CACHE")
+        assert cache_enabled()
+        # Nothing was stored while disabled.
+        assert cache.get("k1") is None
+
+
+class TestKeys:
+    def test_content_key_is_deterministic_and_order_insensitive(self):
+        a = content_key("ns", {"x": 1, "y": 2}, fingerprint="f")
+        b = content_key("ns", {"y": 2, "x": 1}, fingerprint="f")
+        assert a == b
+
+    def test_content_key_separates_inputs(self):
+        base = content_key("ns", {"x": 1}, fingerprint="f")
+        assert content_key("ns", {"x": 2}, fingerprint="f") != base
+        assert content_key("other", {"x": 1}, fingerprint="f") != base
+        assert content_key("ns", {"x": 1}, fingerprint="g") != base
+
+    def test_code_fingerprint_stable_and_module_sensitive(self):
+        a = code_fingerprint("repro.mac.error_model")
+        assert a == code_fingerprint("repro.mac.error_model")
+        assert a != code_fingerprint("repro.util")
+
+    def test_code_fingerprint_accepts_module_objects(self):
+        import repro.mac.error_model as module
+
+        assert code_fingerprint(module) == code_fingerprint("repro.mac.error_model")
+
+    def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == str(tmp_path)
+
+
+class TestCalibrationCaching:
+    def test_second_calibration_is_a_cache_hit(self, tmp_path, monkeypatch):
+        import repro.analysis.calibration as calibration
+
+        monkeypatch.setattr(
+            calibration, "_CACHE",
+            ResultCache(directory=str(tmp_path), namespace="calibration"),
+        )
+        first = calibration.calibrate_error_model(
+            payload_bytes=300, trials=2, coding_gain=20.0
+        )
+        before = calibration._CACHE.hits
+        second = calibration.calibrate_error_model(
+            payload_bytes=300, trials=2, coding_gain=20.0
+        )
+        assert calibration._CACHE.hits == before + 1
+        assert first == second  # dataclass equality: every fitted float
+
+    def test_cache_false_recomputes_but_matches(self, tmp_path, monkeypatch):
+        import repro.analysis.calibration as calibration
+
+        monkeypatch.setattr(
+            calibration, "_CACHE",
+            ResultCache(directory=str(tmp_path), namespace="calibration"),
+        )
+        cached = calibration.calibrate_error_model(payload_bytes=300, trials=2)
+        uncached = calibration.calibrate_error_model(
+            payload_bytes=300, trials=2, cache=False
+        )
+        assert cached == uncached
+
+    def test_different_inputs_get_different_entries(self, tmp_path, monkeypatch):
+        import repro.analysis.calibration as calibration
+
+        monkeypatch.setattr(
+            calibration, "_CACHE",
+            ResultCache(directory=str(tmp_path), namespace="calibration"),
+        )
+        calibration.calibrate_error_model(payload_bytes=300, trials=2)
+        misses = calibration._CACHE.misses
+        calibration.calibrate_error_model(payload_bytes=400, trials=2)
+        assert calibration._CACHE.misses == misses + 1

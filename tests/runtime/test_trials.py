@@ -1,9 +1,20 @@
 """The parallel trial runner must be deterministic for any worker count."""
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.runtime import parallel_map, resolve_workers, run_trials, trial_rngs
+from repro.runtime import (
+    autotune_chunk_size,
+    parallel_map,
+    persistent_pool,
+    resolve_workers,
+    run_trials,
+    shared_payload,
+    shutdown_pools,
+    trial_rngs,
+)
 
 
 def _toy_trial(trial_index, rng, offset):
@@ -13,6 +24,14 @@ def _toy_trial(trial_index, rng, offset):
 
 def _square(x):
     return x * x
+
+
+def _worker_pid(trial_index, rng):
+    return os.getpid()
+
+
+def _read_shared(trial_index, rng):
+    return shared_payload()
 
 
 class TestResolveWorkers:
@@ -59,6 +78,68 @@ class TestRunTrials:
         observed = [v for _, v in run_trials(_toy_trial, 5, seed=42,
                                              n_workers=1, args=(0.0,))]
         assert observed == expected
+
+
+class TestPersistentPools:
+    def test_pool_is_reused_across_calls(self):
+        shutdown_pools()
+        first = set(run_trials(_worker_pid, 6, seed=0, n_workers=2))
+        second = set(run_trials(_worker_pid, 6, seed=1, n_workers=2))
+        # The same worker processes serve both calls (start-up paid once);
+        # scheduling may skew chunks, so require overlap, not equality.
+        assert first & second
+        shutdown_pools()
+
+    def test_reuse_pool_false_uses_fresh_workers(self):
+        shutdown_pools()
+        first = set(run_trials(_worker_pid, 4, seed=0, n_workers=2,
+                               reuse_pool=False))
+        second = set(run_trials(_worker_pid, 4, seed=0, n_workers=2,
+                                reuse_pool=False))
+        assert first.isdisjoint(second)
+
+    def test_persistent_pool_identity(self):
+        shutdown_pools()
+        assert persistent_pool(2) is persistent_pool(2)
+        shutdown_pools()
+
+    def test_results_identical_with_and_without_reuse(self):
+        shutdown_pools()
+        reused = run_trials(_toy_trial, 13, seed=3, n_workers=2, args=(1.0,))
+        disposable = run_trials(_toy_trial, 13, seed=3, n_workers=2,
+                                args=(1.0,), reuse_pool=False)
+        assert reused == disposable
+        shutdown_pools()
+
+    def test_shared_payload_reaches_workers(self):
+        shutdown_pools()
+        payload = {"table": [1, 2, 3]}
+        values = run_trials(_read_shared, 4, seed=0, n_workers=2,
+                            shared=payload)
+        assert all(v == payload for v in values)
+        shutdown_pools()
+
+    def test_shared_payload_on_serial_path(self):
+        values = run_trials(_read_shared, 3, seed=0, n_workers=1,
+                            shared={"k": 7})
+        assert values == [{"k": 7}] * 3
+
+
+class TestAutotune:
+    def test_bounds_and_serial_shortcut(self):
+        assert autotune_chunk_size(_toy_trial, 1, seed=0, n_workers=4,
+                                   args=(0.0,)) == 1
+        assert autotune_chunk_size(_toy_trial, 40, seed=0, n_workers=1,
+                                   args=(0.0,)) == 40
+        size = autotune_chunk_size(_toy_trial, 40, seed=0, n_workers=4,
+                                   args=(0.0,))
+        assert 1 <= size <= 10  # ceil(40/4): at least one chunk per worker
+
+    def test_auto_chunking_does_not_change_results(self):
+        baseline = run_trials(_toy_trial, 11, seed=9, n_workers=1, args=(0.0,))
+        auto = run_trials(_toy_trial, 11, seed=9, n_workers=3,
+                          chunk_size="auto", args=(0.0,))
+        assert auto == baseline
 
 
 class TestParallelMap:
