@@ -1,6 +1,6 @@
 # Convenience targets for the Carpool reproduction.
 
-.PHONY: install test test-all bench bench-smoke bench-phy bench-mac bench-compare examples clean
+.PHONY: install test test-all bench bench-smoke bench-phy bench-mac bench-net bench-compare examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -26,6 +26,9 @@ bench-phy:
 
 bench-mac:
 	PYTHONPATH=src python -m repro bench --suite mac --out BENCH_mac.json
+
+bench-net:
+	PYTHONPATH=src python -m repro bench --suite net --out BENCH_net.json
 
 # Regression gate against the committed baselines: re-runs the full
 # suites into a temp dir (~30 s) and exits non-zero on a >20% drop in

@@ -15,6 +15,13 @@ from repro.analysis.phy_experiments import (
     data_ber_with_side_channel,
     side_channel_vs_data_ber,
 )
+from repro.analysis.deployment_sweep import (
+    DEPLOYMENT_PROTOCOLS,
+    airtime_saved_s,
+    deployment_protocol_sweep,
+    deployment_scaling_sweep,
+    format_deployment_table,
+)
 from repro.analysis.efficiency import carpool_exchange, mac_efficiency, single_frame_exchange
 from repro.analysis.location_sweep import LocationSweepResult, ber_across_locations
 from repro.analysis.stats import empirical_cdf, geometric_mean, mean_confidence_interval
@@ -43,4 +50,9 @@ __all__ = [
     "single_frame_exchange",
     "LocationSweepResult",
     "ber_across_locations",
+    "DEPLOYMENT_PROTOCOLS",
+    "airtime_saved_s",
+    "deployment_protocol_sweep",
+    "deployment_scaling_sweep",
+    "format_deployment_table",
 ]

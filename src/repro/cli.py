@@ -77,9 +77,34 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--workers", type=_positive_int, default=None,
                         help="process count for the trial runner (default: auto)")
 
+    net = sub.add_parser(
+        "net", help="multi-BSS deployment: protocol comparison at scale")
+    net.add_argument("--aps", type=_positive_int, default=9)
+    net.add_argument("--stas-per-ap", type=int, default=6)
+    net.add_argument("--duration", type=float, default=3.0)
+    net.add_argument("--seed", type=int, default=42)
+    net.add_argument("--channels", type=_positive_int, default=1,
+                     help="non-overlapping channels (1 = worst-case coupling)")
+    net.add_argument("--sta-placement", choices=("uniform", "clustered", "hotspot"),
+                     default="uniform")
+    net.add_argument("--ap-placement", choices=("grid", "poisson"), default="grid")
+    net.add_argument("--mobility", action="store_true",
+                     help="random-waypoint pedestrian mobility with roaming")
+    net.add_argument("--legacy-fraction", type=float, default=0.0,
+                     help="fraction of STAs without Carpool capability")
+    net.add_argument("--no-coupling", action="store_true",
+                     help="disable inter-cell interference coupling")
+    net.add_argument("--protocols", nargs="*", default=None,
+                     help="subset of: 802.11 A-MPDU A-MSDU MU-Aggregation "
+                          "WiFox Carpool (default: 802.11 A-MPDU Carpool)")
+    net.add_argument("--no-cache", action="store_true",
+                     help="bypass the deployment result cache")
+    net.add_argument("--workers", type=_positive_int, default=None,
+                     help="process count for the cell fan-out (default: auto)")
+
     bench = sub.add_parser(
-        "bench", help="timing harness → BENCH_phy.json / BENCH_mac.json")
-    bench.add_argument("--suite", choices=("phy", "mac", "all"), default="phy",
+        "bench", help="timing harness → BENCH_phy.json / BENCH_mac.json / BENCH_net.json")
+    bench.add_argument("--suite", choices=("phy", "mac", "net", "all"), default="phy",
                        help="which benchmark suite to run (default: phy)")
     bench.add_argument("--smoke", action="store_true",
                        help="tiny workloads; validates the schema in seconds "
@@ -107,6 +132,7 @@ def _cmd_list() -> int:
     print("  testbed  — office geometry, per-location SNR and selected MCS")
     print("  energy   — Bloom-filter false positives → energy overhead (§8)")
     print("  faults   — robustness: degradation sweep / RTE burst hardening")
+    print("  net      — multi-BSS deployment: protocols at hotspot scale")
     print("\nfull reproduction tables: pytest benchmarks/ --benchmark-only")
     return 0
 
@@ -217,6 +243,48 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_net(args) -> int:
+    from repro.analysis.deployment_sweep import (
+        DEPLOYMENT_PROTOCOLS,
+        deployment_protocol_sweep,
+        format_deployment_table,
+    )
+    from repro.mac import PROTOCOLS
+    from repro.net import DeploymentConfig
+
+    names = tuple(args.protocols) if args.protocols else DEPLOYMENT_PROTOCOLS
+    unknown = [n for n in names if n not in PROTOCOLS]
+    if unknown:
+        print(f"unknown protocols: {unknown}; have {sorted(PROTOCOLS)}",
+              file=sys.stderr)
+        return 2
+    config = DeploymentConfig(
+        n_aps=args.aps, stas_per_ap=args.stas_per_ap,
+        duration=args.duration, seed=args.seed, channels=args.channels,
+        ap_placement=args.ap_placement, sta_placement=args.sta_placement,
+        mobility=args.mobility, legacy_fraction=args.legacy_fraction,
+        coupling=not args.no_coupling,
+    )
+    print(f"{args.aps} APs × {args.stas_per_ap} STAs, "
+          f"{args.duration:.1f} s, {args.channels} channel(s), "
+          f"placement {args.ap_placement}/{args.sta_placement}, "
+          f"mobility={'on' if args.mobility else 'off'}, "
+          f"coupling={'off' if args.no_coupling else 'on'}\n")
+    results = deployment_protocol_sweep(
+        config, protocols=names, n_workers=args.workers,
+        use_cache=not args.no_cache,
+    )
+    baseline = "802.11" if "802.11" in results else names[0]
+    print(format_deployment_table(results, baseline=baseline))
+    first = next(iter(results.values()))
+    if first.n_roams:
+        print(f"\nroams: {first.n_roams}, handoff interruption "
+              f"{first.interruption_time_s:.2f} s (identical across schemes)")
+    if first.n_coupled_cells:
+        print(f"coupled cells: {first.n_coupled_cells}/{args.aps}")
+    return 0
+
+
 def _print_phy_bench(payload) -> None:
     enc, vit = payload["encode"], payload["viterbi"]
     rx, mc = payload["rx_chain"], payload["monte_carlo"]
@@ -251,14 +319,32 @@ def _print_mac_bench(payload) -> None:
           f"identical={pool['identical_serial_parallel']})")
 
 
+def _print_net_bench(payload) -> None:
+    dep, rep = payload["deployment"], payload["replay"]
+    print(f"deployment : {dep['serial_cells_per_s']:8.2f} cells/s serial, "
+          f"{dep['parallel_cells_per_s']:.2f} cells/s "
+          f"x{dep['parallel_workers']} workers "
+          f"({dep['aps']} APs x {dep['stas_per_ap']} STAs, "
+          f"crossover={dep['crossover_workers']}, "
+          f"identical={dep['identical_serial_parallel']})")
+    print(f"replay     : cold {rep['cold_seconds']:.2f}s, "
+          f"warm cache hit {rep['warm_seconds'] * 1e3:.1f} ms "
+          f"(identical={rep['identical_cold_warm']})")
+
+
 def _cmd_bench(args) -> int:
     import json
     import os
     import tempfile
 
-    from repro.runtime.bench import compare_bench, run_mac_bench, run_phy_bench
+    from repro.runtime.bench import (
+        compare_bench,
+        run_mac_bench,
+        run_net_bench,
+        run_phy_bench,
+    )
 
-    suites = ("phy", "mac") if args.suite == "all" else (args.suite,)
+    suites = ("phy", "mac", "net") if args.suite == "all" else (args.suite,)
     if args.out and len(suites) > 1:
         print("--out takes a single suite; use --out-dir with --suite all",
               file=sys.stderr)
@@ -270,8 +356,9 @@ def _cmd_bench(args) -> int:
         # them overwrite the committed full-run baselines in-place.
         out_dir = tempfile.mkdtemp(prefix="repro-bench-") if args.smoke else os.getcwd()
 
-    runners = {"phy": run_phy_bench, "mac": run_mac_bench}
-    printers = {"phy": _print_phy_bench, "mac": _print_mac_bench}
+    runners = {"phy": run_phy_bench, "mac": run_mac_bench, "net": run_net_bench}
+    printers = {"phy": _print_phy_bench, "mac": _print_mac_bench,
+                "net": _print_net_bench}
     status = 0
     for suite in suites:
         out_path = args.out or os.path.join(out_dir, f"BENCH_{suite}.json")
@@ -334,6 +421,8 @@ def main(argv=None) -> int:
         return _cmd_energy()
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "net":
+        return _cmd_net(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")

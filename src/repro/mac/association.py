@@ -178,6 +178,15 @@ class ApAssociationService:
         self._next_aid += 1
         return response
 
+    def disassociate(self, station: MacAddress) -> None:
+        """Forget a station that roamed away (idempotent).
+
+        Roaming re-association (``repro.net.roaming``) moves a station
+        between APs: the new AP runs the full :meth:`handle_request`
+        handshake while the old one drops its table entry here.
+        """
+        self.table.disassociate(station)
+
     def carpool_capable_stations(self) -> list:
         """Associated stations that negotiated Carpool."""
         return self.table.carpool_stations()

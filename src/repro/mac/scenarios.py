@@ -53,6 +53,9 @@ class ScenarioResult:
     retransmitted_subframes: int
     dropped_frames: int
     channel_busy_fraction: float
+    #: Destination → delivered payload bytes; feeds per-station fairness
+    #: accounting (e.g. deployment-wide Jain index in ``repro.net``).
+    delivered_bytes_by_destination: dict = field(default_factory=dict)
 
 
 def _ap_station_names(ap_index: int, count: int) -> list:
@@ -167,6 +170,7 @@ class VoipScenario:
             retransmitted_subframes=summary.retransmitted_subframes,
             dropped_frames=summary.dropped_frames,
             channel_busy_fraction=summary.channel_busy_fraction,
+            delivered_bytes_by_destination=sim.metrics.delivered_bytes_by_destination(),
         )
 
 
@@ -266,4 +270,5 @@ class CbrScenario:
             retransmitted_subframes=summary.retransmitted_subframes,
             dropped_frames=summary.dropped_frames,
             channel_busy_fraction=summary.channel_busy_fraction,
+            delivered_bytes_by_destination=sim.metrics.delivered_bytes_by_destination(),
         )

@@ -1,0 +1,573 @@
+"""Deployment-scale simulation: many cells, one runtime, one answer.
+
+:func:`simulate_deployment` is the entry point the deployment sweeps and
+the ``repro net`` CLI drive. It composes the rest of the package:
+
+1. :func:`~repro.net.topology.build_topology` places APs and STAs and
+   fixes every link budget.
+2. :func:`~repro.net.roaming.build_association_timeline` associates every
+   station (byte-exact §4.3 handshake) and, with mobility, roams it.
+3. :func:`~repro.net.interference.coupling_fault_plans` turns co-channel
+   overlap into per-cell fault plans.
+4. Each cell becomes one :class:`CellSpec` — a picklable, self-seeded
+   unit of work — and the cells fan out over the persistent
+   :mod:`repro.runtime` pools via :func:`~repro.runtime.trials.run_trials`
+   with the spec list shipped once per worker as the ``shared=`` payload.
+5. Per-cell metrics aggregate into a :class:`DeploymentResult` (total and
+   useful goodput, busy airtime, deployment-wide Jain fairness via
+   :mod:`repro.mac.fairness`, roam statistics), which is stored in the
+   :class:`~repro.runtime.cache.ResultCache` keyed by the config content
+   and a fingerprint of the producing code.
+
+Determinism: a cell's result is a pure function of its spec, and every
+spec derives its seed from the deployment seed and the AP index — so the
+same config gives bit-identical results for any worker count or chunking.
+A static (no-mobility) cell is executed *through*
+:class:`repro.mac.scenarios.CbrScenario` with a derived seed
+(:func:`cell_seed`), which makes the degenerate one-AP, coupling-off
+deployment reproduce the existing single-cell machinery bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.mac.engine import AP_NAME, WlanSimulator
+from repro.mac.fairness import TimeOccupancyTable
+from repro.mac.parameters import DEFAULT_PARAMETERS
+from repro.mac.protocols import PROTOCOLS
+from repro.mac.protocols.base import AggregationLimits
+from repro.mac.protocols.carpool_mixed import CarpoolMixedProtocol
+from repro.mac.scenarios import CbrScenario
+from repro.net.interference import (
+    background_duty,
+    coupling_fault_plans,
+    estimated_duty,
+)
+from repro.net.roaming import RandomWaypointMobility, build_association_timeline
+from repro.net.topology import Arena, build_topology
+from repro.runtime.cache import ResultCache, code_fingerprint, content_key
+from repro.runtime.trials import run_trials, shared_payload
+from repro.traffic.background import background_uplink_arrivals
+from repro.traffic.flows import cbr_downlink_arrivals, merge_arrivals
+from repro.util.rng import RngStream, derive_seed
+
+__all__ = [
+    "DeploymentConfig",
+    "CellSpec",
+    "CellResult",
+    "DeploymentResult",
+    "cell_seed",
+    "simulate_deployment",
+]
+
+_MAX_FRAME_BYTES = 65535
+
+
+def cell_seed(root_seed: int, ap_index: int) -> int:
+    """The seed cell ``ap_index`` of a deployment simulates under.
+
+    Public because the parity tests (and anyone validating the layering)
+    use it to rebuild a cell's reference single-cell scenario directly.
+    """
+    return derive_seed(root_seed, f"net-cell{ap_index}")
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Everything that defines one deployment run (and its cache key)."""
+
+    n_aps: int = 4
+    stas_per_ap: int = 4
+    duration: float = 5.0
+    seed: int = 42
+    protocol: str = "Carpool"
+    # Geometry ---------------------------------------------------------------
+    arena_width_m: float = 50.0
+    arena_height_m: float = 50.0
+    ap_placement: str = "grid"
+    sta_placement: str = "uniform"
+    channels: int = 3
+    shadowing_sigma_db: float = 6.0
+    # Workload (CbrScenario conventions) -------------------------------------
+    frame_bytes: int = 120
+    frames_per_second: float = 100.0
+    latency_requirement: float = 0.010
+    with_background: bool = True
+    background_intensity: float = 3.0
+    # Association / roaming --------------------------------------------------
+    mobility: bool = False
+    hysteresis_db: float = 5.0
+    handoff_delay: float = 0.05
+    legacy_fraction: float = 0.0
+    # Inter-cell coupling ----------------------------------------------------
+    coupling: bool = True
+    hit_probability: float = 0.35
+
+    def __post_init__(self):
+        if self.n_aps < 1:
+            raise ValueError("need at least one AP")
+        if self.stas_per_ap < 0:
+            raise ValueError("stas_per_ap must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; known: {sorted(PROTOCOLS)}"
+            )
+        if not 0.0 <= self.legacy_fraction <= 1.0:
+            raise ValueError("legacy_fraction must be in [0, 1]")
+
+    @property
+    def n_stas(self) -> int:
+        """Total stations in the deployment."""
+        return self.n_aps * self.stas_per_ap
+
+    @property
+    def arena(self) -> Arena:
+        """The deployment arena."""
+        return Arena(self.arena_width_m, self.arena_height_m)
+
+    def to_payload(self) -> dict:
+        """JSON-stable dict of every input (the cache-key payload)."""
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell as a self-contained, picklable unit of work.
+
+    ``static=True`` cells carry only a seed: the worker rebuilds the whole
+    workload through :class:`~repro.mac.scenarios.CbrScenario`, which is
+    what makes static deployments provably the existing single-cell
+    machinery. Roaming cells carry their explicit, pre-routed arrival
+    list (global station names) instead.
+    """
+
+    ap_index: int
+    protocol: str
+    seed: int
+    duration: float
+    frame_bytes: int
+    frames_per_second: float
+    latency_requirement: float
+    with_background: bool
+    background_intensity: float
+    n_stations: int
+    static: bool = True
+    arrivals: tuple = ()
+    station_names: tuple = ()
+    #: Static mode: ((local_name, global_name), ...) in station order.
+    name_map: tuple = ()
+    #: Mixed networks: names (cell-local in static mode, global otherwise)
+    #: of the members that negotiated Carpool; ``None`` = pure protocol.
+    carpool_stations: tuple | None = None
+    fault_plan: object = None
+
+
+@dataclass
+class CellResult:
+    """What one cell reports back to the deployment aggregator."""
+
+    ap_index: int
+    protocol: str
+    n_stations: int
+    goodput_bps: float
+    useful_goodput_bps: float
+    mean_delay_s: float
+    p95_delay_s: float
+    collisions: int
+    transmissions: int
+    retransmitted_subframes: int
+    dropped_frames: int
+    channel_busy_fraction: float
+    busy_airtime_s: float
+    #: Global station name → delivered payload bytes.
+    delivered_bytes_by_sta: dict = field(default_factory=dict)
+    coupled: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (cache / cross-process transport)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclass
+class DeploymentResult:
+    """Deployment-level aggregates plus the per-cell breakdown."""
+
+    config: dict
+    cells: list
+    total_goodput_bps: float
+    total_useful_goodput_bps: float
+    busy_airtime_s: float
+    jain_fairness: float
+    n_roams: int
+    interruption_time_s: float
+    n_coupled_cells: int
+
+    @property
+    def mean_cell_busy_fraction(self) -> float:
+        """Average channel-busy fraction across cells."""
+        if not self.cells:
+            return 0.0
+        return sum(c.channel_busy_fraction for c in self.cells) / len(self.cells)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the cached value)."""
+        data = dataclasses.asdict(self)
+        data["cells"] = [c.to_dict() for c in self.cells]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeploymentResult":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(data)
+        data["cells"] = [CellResult.from_dict(c) for c in data["cells"]]
+        return cls(**data)
+
+
+# --------------------------------------------------------------------------- #
+# Cell execution (runs inside pool workers).
+# --------------------------------------------------------------------------- #
+
+
+def _protocol_factory(spec: CellSpec):
+    if spec.carpool_stations is None:
+        return PROTOCOLS[spec.protocol]
+    return lambda params, limits: CarpoolMixedProtocol(
+        params, limits, carpool_stations=spec.carpool_stations
+    )
+
+
+def _idle_cell(spec: CellSpec) -> CellResult:
+    return CellResult(
+        ap_index=spec.ap_index, protocol=spec.protocol, n_stations=0,
+        goodput_bps=0.0, useful_goodput_bps=0.0,
+        mean_delay_s=0.0, p95_delay_s=0.0,
+        collisions=0, transmissions=0, retransmitted_subframes=0,
+        dropped_frames=0, channel_busy_fraction=0.0, busy_airtime_s=0.0,
+        coupled=spec.fault_plan is not None,
+    )
+
+
+def _run_static_cell(spec: CellSpec) -> CellResult:
+    """Run a no-mobility cell *through* the existing CbrScenario."""
+    scenario = CbrScenario(
+        num_stations=spec.n_stations,
+        num_aps=1,
+        duration=spec.duration,
+        seed=spec.seed,
+        frame_bytes=spec.frame_bytes,
+        frames_per_second=spec.frames_per_second,
+        latency_requirement=spec.latency_requirement,
+        with_background=spec.with_background,
+        background_intensity=spec.background_intensity,
+        fault_plan=spec.fault_plan,
+    )
+    result = scenario.run(_protocol_factory(spec))
+    to_global = dict(spec.name_map)
+    delivered = {
+        to_global[name]: size
+        for name, size in result.delivered_bytes_by_destination.items()
+        if name in to_global  # uplink deliveries land on "ap"
+    }
+    return CellResult(
+        ap_index=spec.ap_index,
+        protocol=spec.protocol,
+        n_stations=spec.n_stations,
+        goodput_bps=result.measured_ap_goodput_bps,
+        useful_goodput_bps=result.measured_ap_useful_goodput_bps,
+        mean_delay_s=result.downlink_mean_delay,
+        p95_delay_s=result.downlink_p95_delay,
+        collisions=result.collisions,
+        transmissions=result.transmissions,
+        retransmitted_subframes=result.retransmitted_subframes,
+        dropped_frames=result.dropped_frames,
+        channel_busy_fraction=result.channel_busy_fraction,
+        busy_airtime_s=result.channel_busy_fraction * spec.duration,
+        delivered_bytes_by_sta=delivered,
+        coupled=spec.fault_plan is not None,
+    )
+
+
+def _run_roaming_cell(spec: CellSpec) -> CellResult:
+    """Run a cell over its explicit, pre-routed arrival list."""
+    limits = AggregationLimits(
+        max_frame_bytes=_MAX_FRAME_BYTES,
+        max_latency=spec.latency_requirement,
+    )
+    protocol = _protocol_factory(spec)(DEFAULT_PARAMETERS, limits)
+    sim = WlanSimulator(
+        protocol,
+        num_stations=len(spec.station_names),
+        arrivals=list(spec.arrivals),
+        rng=RngStream(spec.seed).child("sim"),
+        num_aps=1,
+        station_names=list(spec.station_names),
+        faults=spec.fault_plan,
+    )
+    summary = sim.run(spec.duration)
+    delivered = {
+        name: size
+        for name, size in sim.metrics.delivered_bytes_by_destination().items()
+        if name != AP_NAME
+    }
+    return CellResult(
+        ap_index=spec.ap_index,
+        protocol=spec.protocol,
+        n_stations=len(spec.station_names),
+        goodput_bps=sim.metrics.goodput_of_source(AP_NAME, spec.duration),
+        useful_goodput_bps=sim.metrics.goodput_of_source(
+            AP_NAME, spec.duration, latency_bound=spec.latency_requirement
+        ),
+        mean_delay_s=summary.downlink_mean_delay,
+        p95_delay_s=summary.downlink_p95_delay,
+        collisions=summary.collisions,
+        transmissions=summary.transmissions,
+        retransmitted_subframes=summary.retransmitted_subframes,
+        dropped_frames=summary.dropped_frames,
+        channel_busy_fraction=summary.channel_busy_fraction,
+        busy_airtime_s=summary.channel_busy_fraction * spec.duration,
+        delivered_bytes_by_sta=delivered,
+        coupled=spec.fault_plan is not None,
+    )
+
+
+def run_cell(spec: CellSpec) -> CellResult:
+    """Execute one cell spec (pure function of the spec)."""
+    if spec.n_stations == 0:
+        return _idle_cell(spec)
+    if spec.static:
+        return _run_static_cell(spec)
+    return _run_roaming_cell(spec)
+
+
+def _cell_trial(trial_index: int, rng) -> dict:
+    """run_trials adapter: cell ``trial_index`` of the shared spec list.
+
+    The handed RNG is deliberately unused — every cell is seeded by its
+    spec, so results cannot depend on worker count or chunking.
+    """
+    specs = shared_payload()
+    return run_cell(specs[trial_index]).to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# Arrival routing for roaming deployments.
+# --------------------------------------------------------------------------- #
+
+
+def _route_arrivals(arrivals: list, segments: list, duration: float) -> dict:
+    """Split one station's time-sorted arrivals across its cell segments.
+
+    An arrival inside a segment goes to that cell at its own time; one in
+    a handoff gap is deferred to the start of the next segment (the frame
+    waits out the handoff in the distribution system and lands in the new
+    cell's queue the moment the station is reachable); one after the last
+    segment is dropped. The time mapping is monotone, so each per-cell
+    output list stays sorted.
+    """
+    routed: dict = {}
+    cursor = 0
+    for arrival in arrivals:
+        while cursor < len(segments) and arrival.time >= segments[cursor].stop:
+            cursor += 1
+        if cursor == len(segments):
+            break  # roamed past every segment: nothing can deliver this
+        segment = segments[cursor]
+        if arrival.time >= segment.start:
+            routed.setdefault(segment.ap_index, []).append(arrival)
+        elif segment.start < duration:
+            routed.setdefault(segment.ap_index, []).append(
+                dataclasses.replace(arrival, time=segment.start)
+            )
+    return routed
+
+
+def _build_roaming_cell_arrivals(config: DeploymentConfig, timeline) -> dict:
+    """ap_index → time-sorted arrival list with global station names."""
+    rng = RngStream(config.seed)
+    per_cell: dict = {}
+    for sta_index in range(config.n_stas):
+        name = f"sta{sta_index}"
+        streams = [
+            cbr_downlink_arrivals(
+                [name], config.duration, config.frame_bytes,
+                config.frames_per_second, rng.child(f"net-cbr-sta{sta_index}"),
+                ap_name=AP_NAME,
+            )
+        ]
+        if config.with_background:
+            streams.append(
+                background_uplink_arrivals(
+                    [name], config.duration, rng.child(f"net-bg-sta{sta_index}"),
+                    ap_name=AP_NAME, intensity=config.background_intensity,
+                )
+            )
+        segments = timeline.segments_for(sta_index)
+        for stream in streams:
+            for ap_index, routed in _route_arrivals(
+                stream, segments, config.duration
+            ).items():
+                per_cell.setdefault(ap_index, []).append(routed)
+    return {
+        ap_index: merge_arrivals(*streams)
+        for ap_index, streams in per_cell.items()
+    }
+
+
+# --------------------------------------------------------------------------- #
+# The deployment driver.
+# --------------------------------------------------------------------------- #
+
+
+def build_cell_specs(config: DeploymentConfig) -> tuple:
+    """(specs, timeline, fault_plans) for a deployment config.
+
+    Exposed separately so tests can inspect the decomposition without
+    running the cells.
+    """
+    topology = build_topology(
+        config.n_aps, config.n_stas, config.seed,
+        arena=config.arena,
+        ap_placement=config.ap_placement,
+        sta_placement=config.sta_placement,
+        channels=config.channels,
+        shadowing_sigma_db=config.shadowing_sigma_db,
+    )
+    mobility = RandomWaypointMobility() if config.mobility else None
+    timeline = build_association_timeline(
+        topology, config.duration, config.seed,
+        mobility=mobility,
+        hysteresis_db=config.hysteresis_db,
+        handoff_delay=config.handoff_delay,
+        legacy_fraction=config.legacy_fraction,
+    )
+    members = {ap.index: timeline.members(ap.index) for ap in topology.aps}
+    if config.coupling:
+        plans = coupling_fault_plans(
+            topology, config.duration, config.seed,
+            duty_by_ap={
+                index: min(0.9, estimated_duty(
+                    len(stas), config.frames_per_second, config.frame_bytes
+                ) + (background_duty(
+                    len(stas), intensity=config.background_intensity
+                ) if config.with_background else 0.0))
+                for index, stas in members.items()
+            },
+            hit_probability=config.hit_probability,
+        )
+    else:
+        plans = {ap.index: None for ap in topology.aps}
+
+    mixed = config.legacy_fraction > 0.0 and config.protocol == "Carpool"
+    cell_arrivals = (
+        {} if not config.mobility
+        else _build_roaming_cell_arrivals(config, timeline)
+    )
+    specs = []
+    for ap in topology.aps:
+        common = dict(
+            ap_index=ap.index,
+            protocol=config.protocol,
+            seed=cell_seed(config.seed, ap.index),
+            duration=config.duration,
+            frame_bytes=config.frame_bytes,
+            frames_per_second=config.frames_per_second,
+            latency_requirement=config.latency_requirement,
+            with_background=config.with_background,
+            background_intensity=config.background_intensity,
+            fault_plan=plans[ap.index],
+        )
+        if not config.mobility:
+            # Static: local names sta0..n-1 (the CbrScenario convention)
+            # mapped back to the deployment's global indices.
+            cell_members = members[ap.index]
+            name_map = tuple(
+                (f"sta{local}", f"sta{global_index}")
+                for local, global_index in enumerate(cell_members)
+            )
+            carpool = None
+            if mixed:
+                to_local = {g: l for l, g in name_map}
+                carpool = tuple(
+                    to_local[name]
+                    for name in timeline.carpool_stations(ap.index)
+                )
+            specs.append(CellSpec(
+                n_stations=len(cell_members), static=True,
+                name_map=name_map, carpool_stations=carpool, **common,
+            ))
+        else:
+            names = tuple(f"sta{i}" for i in members[ap.index])
+            carpool = (
+                tuple(timeline.carpool_stations(ap.index)) if mixed else None
+            )
+            specs.append(CellSpec(
+                n_stations=len(names), static=False,
+                arrivals=tuple(cell_arrivals.get(ap.index, ())),
+                station_names=names, carpool_stations=carpool, **common,
+            ))
+    return specs, timeline, plans
+
+
+def _aggregate(config: DeploymentConfig, cells: list, timeline,
+               plans: dict) -> DeploymentResult:
+    table = TimeOccupancyTable()
+    for cell in cells:
+        for sta, delivered in cell.delivered_bytes_by_sta.items():
+            table.charge(sta, float(delivered))
+    return DeploymentResult(
+        config=config.to_payload(),
+        cells=cells,
+        total_goodput_bps=sum(c.goodput_bps for c in cells),
+        total_useful_goodput_bps=sum(c.useful_goodput_bps for c in cells),
+        busy_airtime_s=sum(c.busy_airtime_s for c in cells),
+        jain_fairness=table.jain_index(),
+        n_roams=timeline.n_roams,
+        interruption_time_s=timeline.interruption_time,
+        n_coupled_cells=sum(1 for plan in plans.values() if plan is not None),
+    )
+
+
+def simulate_deployment(
+    config: DeploymentConfig,
+    n_workers: int | None = None,
+    cache: ResultCache | None = None,
+    use_cache: bool = True,
+) -> DeploymentResult:
+    """Simulate a whole deployment; cells fan out over the runtime pools.
+
+    Results are cached under the ``deployment`` namespace, keyed by the
+    full config payload and a fingerprint of every package that shapes
+    the outcome — editing the MAC, traffic, fault, or net code invalidates
+    stale entries automatically. ``use_cache=False`` forces a recompute
+    (the fresh result is still stored).
+    """
+    key = content_key(
+        "deployment", config.to_payload(),
+        code_fingerprint("repro.net", "repro.mac", "repro.traffic",
+                         "repro.faults"),
+    )
+    cache = cache or ResultCache(namespace="deployment")
+    if use_cache:
+        cached = cache.get(key)
+        if cached is not None:
+            return DeploymentResult.from_dict(cached)
+    specs, timeline, plans = build_cell_specs(config)
+    raw = run_trials(
+        _cell_trial, len(specs),
+        seed=derive_seed(config.seed, "net-cells"),
+        n_workers=n_workers,
+        shared=specs,
+    )
+    cells = [CellResult.from_dict(r) for r in raw]
+    result = _aggregate(config, cells, timeline, plans)
+    cache.put(key, result.to_dict())
+    return result

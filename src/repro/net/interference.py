@@ -1,0 +1,213 @@
+"""Inter-cell coupling: overlapping co-channel BSSs disturb each other.
+
+Instead of simulating one giant collision domain (which would change the
+proven single-cell engine), coupling is expressed through the existing
+fault machinery: each cell receives a :class:`repro.faults.FaultPlan` of
+``hidden_window`` specs — time windows during which a co-channel
+neighbour's traffic can fire into the cell's transmissions like a hidden
+terminal the carrier sense cannot suppress. This matches the physics of
+partially-overlapping cells: the neighbour's AP/STAs are outside the
+cell's carrier-sense range (otherwise they would simply share the
+domain), yet close enough for their frames to collide at the receivers.
+
+The construction keeps three properties the deployment layer relies on:
+
+* **Engine-unmodified** — each cell still runs the plain
+  :class:`~repro.mac.engine.WlanSimulator`; the plan is just another
+  ``faults=`` argument.
+* **Bit-identical when disabled** — no overlap (or ``coupling=False``)
+  yields ``None`` plans, and a cell with ``faults=None`` performs zero
+  extra draws: N decoupled cells are exactly N independent simulations.
+* **One physical schedule per neighbour** — a cell's busy windows are
+  drawn once from its own dedicated stream and seen identically by every
+  neighbour it disturbs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.channel.path_loss import LogDistancePathLoss
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.mac.airtime import single_frame_airtime
+from repro.mac.parameters import DEFAULT_PARAMETERS, PhyMacParameters
+from repro.net.topology import TX_POWER_DBM, DeploymentTopology
+from repro.traffic.trace_models import SIGCOMM08, TraceModel
+from repro.util.rng import RngStream
+
+__all__ = [
+    "carrier_sense_range",
+    "overlap_factor",
+    "estimated_duty",
+    "background_duty",
+    "neighbor_busy_windows",
+    "coupling_fault_plans",
+    "DEFAULT_CS_THRESHOLD_DBM",
+]
+
+#: 802.11 preamble-detection threshold (received power, dBm).
+DEFAULT_CS_THRESHOLD_DBM = -82.0
+
+
+def carrier_sense_range(
+    path_loss: LogDistancePathLoss | None = None,
+    tx_power_dbm: float = TX_POWER_DBM,
+    cs_threshold_dbm: float = DEFAULT_CS_THRESHOLD_DBM,
+) -> float:
+    """Distance (m) at which a transmission drops below the CS threshold.
+
+    Inverts the log-distance model: beyond this range a neighbour cannot
+    be carrier-sensed, so its cell is a separate collision domain.
+    """
+    model = path_loss or LogDistancePathLoss()
+    budget_db = tx_power_dbm - cs_threshold_dbm
+    if budget_db <= model.reference_loss_db:
+        return model.reference_distance_m
+    return model.reference_distance_m * 10.0 ** (
+        (budget_db - model.reference_loss_db) / (10.0 * model.exponent)
+    )
+
+
+def overlap_factor(distance_m: float, cs_range_m: float) -> float:
+    """How strongly two cells at AP separation ``distance_m`` couple.
+
+    0 when the APs are at least two carrier-sense ranges apart (their
+    coverage discs cannot touch), rising linearly to 1 as they collapse
+    onto each other. A deliberately simple geometric proxy — the coverage
+    disc intersection normalised by disc area has the same endpoints and
+    near-linear middle.
+    """
+    if cs_range_m <= 0:
+        raise ValueError("carrier-sense range must be positive")
+    return max(0.0, min(1.0, 1.0 - distance_m / (2.0 * cs_range_m)))
+
+
+def estimated_duty(
+    n_stations: int,
+    frames_per_second: float,
+    frame_bytes: int,
+    params: PhyMacParameters = DEFAULT_PARAMETERS,
+    ceiling: float = 0.9,
+) -> float:
+    """A cell's estimated channel-busy fraction from its offered CBR load.
+
+    Offered airtime = stations × rate × single-frame airtime; clamped to
+    ``ceiling`` because a saturated cell still leaves contention gaps.
+    """
+    if n_stations <= 0 or frames_per_second <= 0:
+        return 0.0
+    airtime = single_frame_airtime(frame_bytes, params)
+    return min(ceiling, n_stations * frames_per_second * airtime)
+
+
+def background_duty(
+    n_stations: int,
+    model: TraceModel = SIGCOMM08,
+    intensity: float = 1.0,
+    params: PhyMacParameters = DEFAULT_PARAMETERS,
+    ceiling: float = 0.9,
+) -> float:
+    """Busy fraction from trace-driven uplink background load.
+
+    Combines the model's TCP and UDP per-client rates (scaled by
+    ``intensity``) with the mean frame size of its size distribution —
+    the same first-order estimate :func:`estimated_duty` makes for CBR.
+    """
+    if n_stations <= 0 or intensity <= 0:
+        return 0.0
+    rate = intensity * (1.0 / model.tcp_interarrival + 1.0 / model.udp_interarrival)
+    sizes = model.size_points
+    mean_bytes = sum(
+        size * (cum - prev_cum)
+        for (size, cum), (_prev, prev_cum) in zip(sizes, [(0, 0.0)] + list(sizes))
+    )
+    airtime = single_frame_airtime(max(1, int(mean_bytes)), params)
+    return min(ceiling, n_stations * rate * airtime)
+
+
+def neighbor_busy_windows(
+    duration: float,
+    duty: float,
+    rng: RngStream,
+    mean_busy_s: float = 0.25,
+    max_windows: int = 32,
+) -> list:
+    """Alternating idle/busy windows with the given long-run busy fraction.
+
+    Sojourns are exponential (memoryless on/off activity, the standard
+    hotspot burst model); the window list is capped at ``max_windows``
+    so a fault plan stays a small, picklable artefact.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if not 0.0 <= duty < 1.0:
+        raise ValueError(f"duty must be in [0, 1), got {duty}")
+    if duty == 0.0:
+        return []
+    mean_idle = mean_busy_s * (1.0 - duty) / duty
+    windows = []
+    t = float(rng.exponential(mean_idle))
+    while t < duration and len(windows) < max_windows:
+        busy = float(rng.exponential(mean_busy_s))
+        windows.append((t, min(t + busy, duration)))
+        t += busy + float(rng.exponential(mean_idle))
+    return windows
+
+
+def coupling_fault_plans(
+    topology: DeploymentTopology,
+    duration: float,
+    seed: int,
+    duty_by_ap: dict,
+    cs_threshold_dbm: float = DEFAULT_CS_THRESHOLD_DBM,
+    hit_probability: float = 0.35,
+    mean_busy_s: float = 0.25,
+    max_windows: int = 32,
+) -> dict:
+    """Per-cell fault plans expressing co-channel neighbour interference.
+
+    For every co-channel AP pair whose cells overlap geometrically, each
+    cell receives ``hidden_window`` specs covering the *other* cell's
+    busy windows, with per-transmission hit probability scaled by the
+    geometric overlap. Cells with no overlapping co-channel neighbour map
+    to ``None`` — by construction bit-identical to an uncoupled run.
+
+    Windows are drawn once per source cell from the dedicated
+    ``net-interference-cell<j>`` stream of ``seed``, so both members of a
+    pair see the same physical schedule and results never depend on
+    iteration order or worker count.
+    """
+    if not 0.0 <= hit_probability <= 1.0:
+        raise ValueError("hit_probability must be in [0, 1]")
+    cs_range = carrier_sense_range(
+        topology.path_loss, cs_threshold_dbm=cs_threshold_dbm
+    )
+    windows_cache: dict = {}
+
+    def windows_of(ap_index: int) -> list:
+        if ap_index not in windows_cache:
+            rng = RngStream(seed).child(f"net-interference-cell{ap_index}")
+            windows_cache[ap_index] = neighbor_busy_windows(
+                duration, float(duty_by_ap.get(ap_index, 0.0)), rng,
+                mean_busy_s=mean_busy_s, max_windows=max_windows,
+            )
+        return windows_cache[ap_index]
+
+    specs_by_cell: dict = {ap.index: [] for ap in topology.aps}
+    for i, j in topology.co_channel_pairs():
+        a, b = topology.aps[i], topology.aps[j]
+        factor = overlap_factor(math.hypot(a.x - b.x, a.y - b.y), cs_range)
+        if factor <= 0.0:
+            continue
+        for victim, source in ((i, j), (j, i)):
+            for k, (start, stop) in enumerate(windows_of(source)):
+                specs_by_cell[victim].append(FaultSpec.make(
+                    "hidden_window",
+                    start=start, stop=stop,
+                    probability=hit_probability * factor,
+                    seed_salt=f"ap{source}-w{k}",
+                ))
+    return {
+        index: (FaultPlan.of(*specs) if specs else None)
+        for index, specs in specs_by_cell.items()
+    }

@@ -1,0 +1,310 @@
+"""Association and roaming across a multi-BSS deployment.
+
+Stations associate with the strongest-signal AP and move at pedestrian
+speeds under a random-waypoint model (the walking-user traces of the
+vehicular/pedestrian WiFi measurement literature reduce to exactly this
+shape at hotspot scale: pick a point, walk to it, pause, repeat). A
+station roams when another AP beats its current one by a hysteresis
+margin — the standard sticky-client rule that suppresses ping-pong at
+cell edges — and every (re-)association runs the byte-exact §4.3
+handshake (:mod:`repro.mac.association`): the new AP parses the
+station's ``AssocRequest``, negotiates capabilities, and records it in
+its association table while the old AP drops its entry.
+
+The output is an :class:`AssociationTimeline`: per-station segments of
+cell membership with handoff gaps between them, which the deployment
+layer uses to route each station's traffic into the right cell and to
+account roam-interruption time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.compat import Capability
+from repro.core.mac_address import MacAddress
+from repro.mac.association import (
+    STATUS_SUCCESS,
+    ApAssociationService,
+    AssocRequest,
+    Beacon,
+)
+from repro.net.topology import DeploymentTopology
+from repro.util.rng import RngStream
+
+__all__ = [
+    "RandomWaypointMobility",
+    "AssociationSegment",
+    "RoamEvent",
+    "AssociationTimeline",
+    "build_association_timeline",
+    "sta_mac",
+    "ap_bssid",
+    "AP_CAPABILITIES",
+    "CARPOOL_STA_CAPABILITIES",
+    "LEGACY_STA_CAPABILITIES",
+]
+
+#: Every deployment AP advertises the full §4.3 capability set.
+AP_CAPABILITIES = Capability.DOT11A | Capability.DOT11N | Capability.CARPOOL
+CARPOOL_STA_CAPABILITIES = Capability.DOT11N | Capability.CARPOOL
+LEGACY_STA_CAPABILITIES = Capability.DOT11A | Capability.DOT11N
+
+#: BSSIDs and STA MACs live in disjoint ranges of the from_int space.
+_BSSID_BASE = 0x00AA000000
+_STA_BASE = 0x0055000000
+
+
+def sta_mac(sta_index: int) -> MacAddress:
+    """The deterministic MAC of station ``sta_index``."""
+    return MacAddress.from_int(_STA_BASE + sta_index)
+
+
+def ap_bssid(ap_index: int) -> MacAddress:
+    """The deterministic BSSID of AP ``ap_index``."""
+    return MacAddress.from_int(_BSSID_BASE + ap_index)
+
+
+@dataclass(frozen=True)
+class RandomWaypointMobility:
+    """Random-waypoint walking at pedestrian speeds.
+
+    Each station repeatedly draws a waypoint uniform in the arena and a
+    speed uniform in ``[min_speed, max_speed]``, walks there in a straight
+    line, pauses for ``pause_s``, and repeats. ``sample_interval`` is how
+    often association is re-evaluated along the walk.
+    """
+
+    min_speed_mps: float = 0.5
+    max_speed_mps: float = 1.5
+    pause_s: float = 2.0
+    sample_interval_s: float = 0.5
+
+    def __post_init__(self):
+        if not 0 < self.min_speed_mps <= self.max_speed_mps:
+            raise ValueError("need 0 < min_speed <= max_speed")
+        if self.pause_s < 0 or self.sample_interval_s <= 0:
+            raise ValueError("pause must be >= 0, sample interval > 0")
+
+    def trajectory(self, start_xy: tuple, duration: float, arena,
+                   rng: RngStream) -> list:
+        """Sampled positions [(t, x, y), ...] at ``sample_interval`` steps.
+
+        Deterministic in ``rng``; the t=0 sample is the start position.
+        """
+        x, y = start_xy
+        samples = [(0.0, x, y)]
+        t = 0.0
+        target = None
+        speed = 0.0
+        pause_left = 0.0
+        step = self.sample_interval_s
+        while t + step <= duration + 1e-12:
+            t += step
+            remaining = step
+            while remaining > 1e-12:
+                if pause_left > 0:
+                    used = min(pause_left, remaining)
+                    pause_left -= used
+                    remaining -= used
+                    continue
+                if target is None:
+                    target = (
+                        float(rng.uniform(0.0, arena.width_m)),
+                        float(rng.uniform(0.0, arena.height_m)),
+                    )
+                    speed = float(rng.uniform(self.min_speed_mps,
+                                              self.max_speed_mps))
+                dist = math.hypot(target[0] - x, target[1] - y)
+                if dist <= speed * remaining:
+                    # Reach the waypoint inside this step, then pause.
+                    x, y = target
+                    remaining -= dist / speed if speed > 0 else remaining
+                    target = None
+                    pause_left = self.pause_s
+                else:
+                    frac = speed * remaining / dist
+                    x += (target[0] - x) * frac
+                    y += (target[1] - y) * frac
+                    remaining = 0.0
+            samples.append((t, x, y))
+        return samples
+
+
+@dataclass(frozen=True)
+class AssociationSegment:
+    """One contiguous span of a station's membership in one cell."""
+
+    sta_index: int
+    ap_index: int
+    start: float
+    stop: float
+
+    def contains(self, t: float) -> bool:
+        """Is ``t`` inside this segment's [start, stop) span?"""
+        return self.start <= t < self.stop
+
+
+@dataclass(frozen=True)
+class RoamEvent:
+    """One re-association: a station moved from one cell to another."""
+
+    time: float
+    sta_index: int
+    from_ap: int
+    to_ap: int
+
+
+@dataclass
+class AssociationTimeline:
+    """Who is in which cell, when — plus the roam/handshake record."""
+
+    duration: float
+    handoff_delay: float
+    segments: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    #: sta_index -> negotiated Capability from the §4.3 handshake.
+    negotiated: dict = field(default_factory=dict)
+    #: AP-side association services, index-aligned with the topology APs.
+    services: list = field(default_factory=list)
+
+    def segments_for(self, sta_index: int) -> list:
+        """A station's segments in time order."""
+        return sorted(
+            (s for s in self.segments if s.sta_index == sta_index),
+            key=lambda s: s.start,
+        )
+
+    def members(self, ap_index: int) -> list:
+        """Stations that are ever associated with ``ap_index`` (sorted)."""
+        return sorted({s.sta_index for s in self.segments
+                       if s.ap_index == ap_index})
+
+    def association_at(self, sta_index: int, t: float):
+        """The cell a station is in at ``t`` (None during a handoff gap)."""
+        for segment in self.segments:
+            if segment.sta_index == sta_index and segment.contains(t):
+                return segment.ap_index
+        return None
+
+    def carpool_stations(self, ap_index: int) -> list:
+        """Global names of the cell's members that negotiated Carpool."""
+        return [
+            f"sta{i}" for i in self.members(ap_index)
+            if self.negotiated.get(i, Capability(0)) & Capability.CARPOOL
+        ]
+
+    def legacy_stations(self, ap_index: int) -> list:
+        """Global names of the cell's members that did NOT negotiate Carpool."""
+        return [
+            f"sta{i}" for i in self.members(ap_index)
+            if not self.negotiated.get(i, Capability(0)) & Capability.CARPOOL
+        ]
+
+    @property
+    def n_roams(self) -> int:
+        """Total re-association events."""
+        return len(self.events)
+
+    @property
+    def interruption_time(self) -> float:
+        """Total seconds stations spent in handoff gaps."""
+        total = 0.0
+        for event in self.events:
+            total += min(self.handoff_delay, self.duration - event.time)
+        return total
+
+
+def _handshake(service: ApAssociationService, sta_index: int,
+               sta_caps: Capability) -> Capability:
+    """Run the byte-exact association exchange; return the negotiated set."""
+    # The station reads the beacon off the air (byte round-trip) before
+    # requesting — exactly the §4.3 sequence; parsing validates the FCS.
+    Beacon.from_bytes(service.beacon().to_bytes())
+    request = AssocRequest(sta_mac(sta_index), sta_caps)
+    response = service.handle_request(request.to_bytes())
+    if response.status != STATUS_SUCCESS:  # pragma: no cover - AP_CAPABILITIES
+        raise RuntimeError(f"association refused for sta{sta_index}")
+    return response.negotiated
+
+
+def build_association_timeline(
+    topology: DeploymentTopology,
+    duration: float,
+    seed: int,
+    mobility: RandomWaypointMobility | None = None,
+    hysteresis_db: float = 5.0,
+    handoff_delay: float = 0.05,
+    legacy_fraction: float = 0.0,
+) -> AssociationTimeline:
+    """Associate every station and (with mobility) roam it over time.
+
+    * Initial association: strongest signal at the starting position,
+      sealed with the full management-frame handshake against the AP's
+      :class:`~repro.mac.association.ApAssociationService`.
+    * Roaming: along each station's random-waypoint trajectory, a roam
+      fires whenever some AP's SNR beats the serving AP's by
+      ``hysteresis_db``; the station is unreachable for ``handoff_delay``
+      seconds, the old AP drops it from its table, and the new AP runs a
+      fresh handshake.
+    * ``legacy_fraction`` of stations advertise no Carpool capability
+      (drawn from the dedicated "net-caps" stream), letting deployments
+      exercise the mixed-network protocol path.
+
+    Deterministic in ``seed`` — mobility uses one child stream per
+    station, so station *i*'s walk never depends on how many others move.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if not 0.0 <= legacy_fraction <= 1.0:
+        raise ValueError("legacy_fraction must be in [0, 1]")
+    if handoff_delay < 0:
+        raise ValueError("handoff_delay must be >= 0")
+
+    timeline = AssociationTimeline(duration=duration, handoff_delay=handoff_delay)
+    timeline.services = [
+        ApAssociationService(bssid=ap_bssid(ap.index),
+                             capabilities=AP_CAPABILITIES)
+        for ap in topology.aps
+    ]
+    caps_rng = RngStream(seed).child("net-caps")
+    for sta in topology.stas:
+        is_legacy = (legacy_fraction > 0.0
+                     and float(caps_rng.uniform()) < legacy_fraction)
+        sta_caps = LEGACY_STA_CAPABILITIES if is_legacy else CARPOOL_STA_CAPABILITIES
+        serving = topology.strongest_ap(sta.index)
+        timeline.negotiated[sta.index] = _handshake(
+            timeline.services[serving], sta.index, sta_caps
+        )
+        segment_start = 0.0
+        if mobility is not None:
+            walk_rng = RngStream(seed).child(f"net-mobility-sta{sta.index}")
+            samples = mobility.trajectory(
+                (sta.x, sta.y), duration, topology.arena, walk_rng
+            )
+            for t, x, y in samples[1:]:
+                best = topology.strongest_ap(sta.index, (x, y))
+                if best == serving:
+                    continue
+                gain = (topology.snr_db(best, sta.index, (x, y))
+                        - topology.snr_db(serving, sta.index, (x, y)))
+                if gain <= hysteresis_db:
+                    continue
+                # Roam: close the old segment, open a handoff gap, then
+                # run the handshake against the new cell.
+                timeline.segments.append(AssociationSegment(
+                    sta.index, serving, segment_start, min(t, duration)
+                ))
+                timeline.events.append(RoamEvent(t, sta.index, serving, best))
+                timeline.services[serving].disassociate(sta_mac(sta.index))
+                timeline.negotiated[sta.index] = _handshake(
+                    timeline.services[best], sta.index, sta_caps
+                )
+                serving = best
+                segment_start = min(t + handoff_delay, duration)
+        if segment_start < duration:
+            timeline.segments.append(AssociationSegment(
+                sta.index, serving, segment_start, duration
+            ))
+    return timeline

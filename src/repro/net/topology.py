@@ -1,0 +1,283 @@
+"""Deployment geometry: AP and STA placement, per-link SNR.
+
+A deployment is an *arena* (a rectangle of pavement, mall floor, or
+conference hall), a set of AP sites, and a set of STA sites. Placement is
+deterministic under :class:`repro.util.rng.RngStream` children of the
+deployment seed, like every stochastic component in this repository.
+
+Link budgets reuse the single-cell conventions (`analysis/testbed.py`):
+log-distance path loss (:mod:`repro.channel.path_loss`) plus per-link
+log-normal shadowing, with the same SDR-calibrated TX power and noise
+floor the office testbed uses — so a 1-AP deployment sees the same SNR
+regime as the paper's Fig. 10 setup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.path_loss import LogDistancePathLoss, link_snr_db
+from repro.util.rng import RngStream
+
+__all__ = [
+    "Arena",
+    "ApSite",
+    "StaSite",
+    "DeploymentTopology",
+    "place_aps_grid",
+    "place_aps_poisson",
+    "place_stas_uniform",
+    "place_stas_clustered",
+    "place_stas_hotspot",
+    "build_topology",
+    "DEFAULT_CHANNELS",
+]
+
+#: Non-overlapping 2.4 GHz channels — co-channel APs interfere, others don't.
+DEFAULT_CHANNELS = 3
+
+#: Testbed-calibrated link budget (see OfficeTestbed.snr_db).
+TX_POWER_DBM = 6.0
+NOISE_FLOOR_DBM = -65.0
+
+
+@dataclass(frozen=True)
+class Arena:
+    """The deployment area, metres."""
+
+    width_m: float = 50.0
+    height_m: float = 50.0
+
+    def __post_init__(self):
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ValueError("arena dimensions must be positive")
+
+    def clamp(self, x: float, y: float, margin: float = 0.2) -> tuple:
+        """Clamp a point into the arena, ``margin`` metres off the walls."""
+        return (
+            float(np.clip(x, margin, self.width_m - margin)),
+            float(np.clip(y, margin, self.height_m - margin)),
+        )
+
+
+@dataclass(frozen=True)
+class ApSite:
+    """One access point: position and channel."""
+
+    index: int
+    x: float
+    y: float
+    channel: int = 0
+
+
+@dataclass(frozen=True)
+class StaSite:
+    """One station's (initial) position."""
+
+    index: int
+    x: float
+    y: float
+
+    @property
+    def name(self) -> str:
+        """The station's global name ("sta0", "sta1", …)."""
+        return f"sta{self.index}"
+
+
+def _distance(ax: float, ay: float, bx: float, by: float) -> float:
+    return math.hypot(ax - bx, ay - by)
+
+
+def place_aps_grid(n_aps: int, arena: Arena,
+                   channels: int = DEFAULT_CHANNELS) -> list:
+    """APs on a near-square grid covering the arena (hotspot ceiling mounts).
+
+    Channels are assigned round-robin across the grid, the standard
+    1/6/11-style reuse pattern; with ``channels=1`` every AP is
+    co-channel (the worst-case coupling the paper's §7.2.1 two-AP setup
+    samples).
+    """
+    if n_aps < 1:
+        raise ValueError("need at least one AP")
+    cols = int(math.ceil(math.sqrt(n_aps)))
+    rows = int(math.ceil(n_aps / cols))
+    sites = []
+    for index in range(n_aps):
+        gx, gy = index % cols, index // cols
+        x = (gx + 0.5) * arena.width_m / cols
+        y = (gy + 0.5) * arena.height_m / rows
+        sites.append(ApSite(index, x, y, channel=index % max(1, channels)))
+    return sites
+
+
+def place_aps_poisson(n_aps: int, arena: Arena, rng: RngStream,
+                      channels: int = DEFAULT_CHANNELS) -> list:
+    """APs dropped uniformly at random (uncoordinated hotspot operators)."""
+    if n_aps < 1:
+        raise ValueError("need at least one AP")
+    sites = []
+    for index in range(n_aps):
+        x = float(rng.uniform(0.0, arena.width_m))
+        y = float(rng.uniform(0.0, arena.height_m))
+        x, y = arena.clamp(x, y)
+        sites.append(ApSite(index, x, y, channel=index % max(1, channels)))
+    return sites
+
+
+def place_stas_uniform(n_stas: int, arena: Arena, rng: RngStream) -> list:
+    """STAs uniform over the whole arena."""
+    return [
+        StaSite(i, *arena.clamp(float(rng.uniform(0.0, arena.width_m)),
+                                float(rng.uniform(0.0, arena.height_m))))
+        for i in range(n_stas)
+    ]
+
+
+def place_stas_clustered(n_stas: int, aps: list, arena: Arena, rng: RngStream,
+                         spread_m: float = 8.0) -> list:
+    """STAs Gaussian-clustered around AP sites, round-robin (café seating)."""
+    if not aps:
+        raise ValueError("clustered placement needs AP sites")
+    sites = []
+    for i in range(n_stas):
+        ap = aps[i % len(aps)]
+        x = ap.x + float(rng.normal(0.0, spread_m))
+        y = ap.y + float(rng.normal(0.0, spread_m))
+        sites.append(StaSite(i, *arena.clamp(x, y)))
+    return sites
+
+
+def place_stas_hotspot(n_stas: int, arena: Arena, rng: RngStream,
+                       n_blobs: int = 3, spread_m: float = 5.0) -> list:
+    """STAs in a few dense blobs dropped at random (queues, gates, stages).
+
+    Blob centres are drawn first, then stations Gaussian-scatter around a
+    blob chosen uniformly per station — the clumped, AP-agnostic crowd
+    shape that stresses association balance.
+    """
+    if n_blobs < 1:
+        raise ValueError("need at least one blob")
+    centres = [
+        (float(rng.uniform(0.0, arena.width_m)),
+         float(rng.uniform(0.0, arena.height_m)))
+        for _ in range(n_blobs)
+    ]
+    sites = []
+    for i in range(n_stas):
+        cx, cy = centres[int(rng.integers(0, n_blobs))]
+        x = cx + float(rng.normal(0.0, spread_m))
+        y = cy + float(rng.normal(0.0, spread_m))
+        sites.append(StaSite(i, *arena.clamp(x, y)))
+    return sites
+
+
+@dataclass
+class DeploymentTopology:
+    """Geometry + link budget of one deployment.
+
+    Shadowing is drawn once per (AP, STA) link from a dedicated child
+    stream of the topology seed — stable across the run (slow fading),
+    deterministic per seed, and independent of every other stream.
+    """
+
+    arena: Arena
+    aps: list
+    stas: list
+    path_loss: LogDistancePathLoss = field(default_factory=LogDistancePathLoss)
+    shadowing_sigma_db: float = 6.0
+    seed: int = 0
+
+    def __post_init__(self):
+        gen = RngStream(self.seed).child("net-shadowing").generator
+        # One draw per link in (ap, sta) index order: reproducible and
+        # insensitive to later queries.
+        self._shadowing_db = gen.normal(
+            0.0, self.shadowing_sigma_db, size=(len(self.aps), len(self.stas))
+        ) if self.aps and self.stas else np.zeros((len(self.aps), len(self.stas)))
+
+    def distance(self, ap_index: int, sta_index: int,
+                 sta_xy: tuple | None = None) -> float:
+        """AP→STA distance; ``sta_xy`` overrides for a moved station."""
+        ap = self.aps[ap_index]
+        if sta_xy is None:
+            sta = self.stas[sta_index]
+            sta_xy = (sta.x, sta.y)
+        return max(_distance(ap.x, ap.y, *sta_xy), 1e-3)
+
+    def snr_db(self, ap_index: int, sta_index: int,
+               sta_xy: tuple | None = None) -> float:
+        """Link SNR: path loss at the (possibly moved) position + the
+        link's frozen shadowing term."""
+        base = link_snr_db(
+            self.distance(ap_index, sta_index, sta_xy),
+            TX_POWER_DBM, NOISE_FLOOR_DBM, self.path_loss,
+        )
+        return base + float(self._shadowing_db[ap_index, sta_index])
+
+    def snr_matrix(self) -> np.ndarray:
+        """(n_aps, n_stas) SNR of every link at the initial positions."""
+        return np.array([
+            [self.snr_db(a, s) for s in range(len(self.stas))]
+            for a in range(len(self.aps))
+        ])
+
+    def strongest_ap(self, sta_index: int, sta_xy: tuple | None = None) -> int:
+        """The AP with the best SNR to a station (ties → lowest index)."""
+        snrs = [self.snr_db(a, sta_index, sta_xy) for a in range(len(self.aps))]
+        return int(np.argmax(snrs))
+
+    def co_channel_pairs(self) -> list:
+        """Unordered AP index pairs sharing a channel (coupling candidates)."""
+        return [
+            (a.index, b.index)
+            for i, a in enumerate(self.aps)
+            for b in self.aps[i + 1:]
+            if a.channel == b.channel
+        ]
+
+
+def build_topology(
+    n_aps: int,
+    n_stas: int,
+    seed: int,
+    arena: Arena | None = None,
+    ap_placement: str = "grid",
+    sta_placement: str = "uniform",
+    channels: int = DEFAULT_CHANNELS,
+    shadowing_sigma_db: float = 6.0,
+    path_loss: LogDistancePathLoss | None = None,
+) -> DeploymentTopology:
+    """Assemble a deployment topology from placement-kind names.
+
+    Placement draws come from dedicated children of ``seed`` ("net-aps",
+    "net-stas"), so the same seed always produces the same deployment and
+    adding STAs does not move the APs.
+    """
+    arena = arena or Arena()
+    rng = RngStream(seed)
+    if ap_placement == "grid":
+        aps = place_aps_grid(n_aps, arena, channels=channels)
+    elif ap_placement == "poisson":
+        aps = place_aps_poisson(n_aps, arena, rng.child("net-aps"),
+                                channels=channels)
+    else:
+        raise ValueError(f"unknown AP placement {ap_placement!r}; "
+                         f"known: grid, poisson")
+    sta_rng = rng.child("net-stas")
+    if sta_placement == "uniform":
+        stas = place_stas_uniform(n_stas, arena, sta_rng)
+    elif sta_placement == "clustered":
+        stas = place_stas_clustered(n_stas, aps, arena, sta_rng)
+    elif sta_placement == "hotspot":
+        stas = place_stas_hotspot(n_stas, arena, sta_rng)
+    else:
+        raise ValueError(f"unknown STA placement {sta_placement!r}; "
+                         f"known: uniform, clustered, hotspot")
+    return DeploymentTopology(
+        arena=arena, aps=aps, stas=stas,
+        path_loss=path_loss or LogDistancePathLoss(),
+        shadowing_sigma_db=shadowing_sigma_db, seed=seed,
+    )

@@ -9,8 +9,13 @@ uncached, and trial-runner scaling on the persistent pools. Run via::
 
     python -m repro bench --suite phy --out BENCH_phy.json
     python -m repro bench --suite mac --out BENCH_mac.json
+    python -m repro bench --suite net --out BENCH_net.json
     python -m repro bench --suite all --smoke          # CI structural check
     python -m repro bench --suite all --smoke --compare .   # regression gate
+
+The **net** suite times the multi-BSS deployment layer (:mod:`repro.net`):
+cell fan-out over the persistent pools serial vs parallel, and a cold
+compute vs a warm result-cache replay of the same deployment.
 
 Each suite emits one JSON document in the same schema family, checked by
 :func:`validate_bench`; :func:`compare_bench` diffs a run against a
@@ -35,6 +40,7 @@ from repro.runtime.trials import resolve_workers, run_trials
 __all__ = [
     "run_phy_bench",
     "run_mac_bench",
+    "run_net_bench",
     "validate_bench",
     "compare_bench",
     "SCHEMA_VERSION",
@@ -82,6 +88,22 @@ _REQUIRED_KEYS = {
             "pool_reused", "crossover_workers", "identical_serial_parallel",
         ),
     },
+    "net": {
+        "meta": (
+            "schema_version", "suite", "python", "numpy", "platform",
+            "smoke", "n_workers",
+        ),
+        "deployment": (
+            "aps", "stas_per_ap", "duration", "serial_seconds",
+            "serial_cells_per_s", "parallel_workers", "parallel_seconds",
+            "parallel_cells_per_s", "pool_reused", "crossover_workers",
+            "identical_serial_parallel",
+        ),
+        "replay": (
+            "aps", "stas_per_ap", "duration", "cold_seconds",
+            "warm_seconds", "identical_cold_warm",
+        ),
+    },
 }
 
 # Correctness gates: (suite, section, key) that must be True.
@@ -94,6 +116,10 @@ _TRUE_GATES = {
         ("engine", "identical_metrics"),
         ("sweep", "identical_results"),
         ("trials_pool", "identical_serial_parallel"),
+    ),
+    "net": (
+        ("deployment", "identical_serial_parallel"),
+        ("replay", "identical_cold_warm"),
     ),
 }
 
@@ -447,6 +473,112 @@ def run_mac_bench(
         "engine": engine,
         "sweep": sweep,
         "trials_pool": pool,
+    }
+    validate_bench(payload)
+    _write(payload, out_path)
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# NET suite
+# --------------------------------------------------------------------------- #
+
+def _bench_deployment(config, n_workers, smoke: bool) -> dict:
+    """Serial vs pool-parallel cell fan-out on one deployment config."""
+    from repro.net.deployment import simulate_deployment
+
+    repeats = 1 if smoke else 2
+
+    def leg(w):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = simulate_deployment(config, n_workers=w, use_cache=False)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    serial_s, serial = leg(1)
+
+    workers = max(2, resolve_workers(n_workers))
+    candidates = [workers] if smoke else sorted({2, workers})
+    timings = {}
+    parallel = None
+    for w in candidates:
+        # Warm the persistent pool (and ship the shared spec payload) so
+        # the timed leg measures the amortised steady state a sweep sees.
+        simulate_deployment(config, n_workers=w, use_cache=False)
+        timings[w], result = leg(w)
+        if w == workers:
+            parallel = result
+    crossover = next((w for w in sorted(timings) if timings[w] < serial_s), None)
+
+    return {
+        "aps": config.n_aps,
+        "stas_per_ap": config.stas_per_ap,
+        "duration": config.duration,
+        "serial_seconds": serial_s,
+        "serial_cells_per_s": config.n_aps / serial_s,
+        "parallel_workers": workers,
+        "parallel_seconds": timings[workers],
+        "parallel_cells_per_s": config.n_aps / timings[workers],
+        "pool_reused": True,
+        "crossover_workers": crossover,
+        "identical_serial_parallel": serial.to_dict() == parallel.to_dict(),
+    }
+
+
+def _bench_replay(config) -> dict:
+    """Cold vs warm deployment-cache lookup on a private cache dir."""
+    import tempfile
+
+    from repro.net.deployment import simulate_deployment
+    from repro.runtime.cache import ResultCache
+
+    cache = ResultCache(
+        directory=tempfile.mkdtemp(prefix="repro-bench-net-"),
+        namespace="deployment",
+    )
+    start = time.perf_counter()
+    cold = simulate_deployment(config, n_workers=1, cache=cache)
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = simulate_deployment(config, n_workers=1, cache=cache)
+    warm_s = time.perf_counter() - start
+    return {
+        "aps": config.n_aps,
+        "stas_per_ap": config.stas_per_ap,
+        "duration": config.duration,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "identical_cold_warm": cold.to_dict() == warm.to_dict(),
+    }
+
+
+def run_net_bench(
+    smoke: bool = False,
+    n_workers: int | None = None,
+    out_path: str | None = None,
+) -> dict:
+    """Run the deployment timing suite; optionally write JSON to ``out_path``.
+
+    The ``deployment`` section times cell fan-out over the persistent
+    pools serial vs parallel (gated on bit-identical aggregates); the
+    ``replay`` section times a cold compute vs a warm
+    :class:`~repro.runtime.cache.ResultCache` hit of the same config.
+    """
+    from repro.net.deployment import DeploymentConfig
+
+    if smoke:
+        config = DeploymentConfig(n_aps=4, stas_per_ap=2, duration=0.5,
+                                  channels=1)
+    else:
+        config = DeploymentConfig(n_aps=9, stas_per_ap=6, duration=3.0,
+                                  channels=1)
+
+    payload = {
+        "meta": _meta("net", smoke, n_workers),
+        "deployment": _bench_deployment(config, n_workers, smoke),
+        "replay": _bench_replay(config),
     }
     validate_bench(payload)
     _write(payload, out_path)

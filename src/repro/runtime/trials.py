@@ -157,8 +157,11 @@ def _chunk_spans(n: int, chunk_size: int) -> list:
 # --------------------------------------------------------------------------- #
 
 # Pool registry: (max_workers, shared_token) -> (pool, shared_payload_ref).
-# Holding a reference to the shared payload keeps its id() stable for as
-# long as the pool that was initialised with it lives.
+# The token only distinguishes "has a shared payload" from "has none": a
+# worker's payload is fixed at initializer time, so when a caller shows up
+# with a *different* payload object the old pool is replaced rather than
+# leaked alongside a new one (sweeps call run_trials(shared=...) with a
+# fresh payload per invocation).
 _POOLS: dict = {}
 
 # The worker-side (and serial-path) shared payload, set once per worker by
@@ -190,10 +193,17 @@ def persistent_pool(n_workers: int, shared=None) -> ProcessPoolExecutor:
     once per configuration instead of once per ``run_trials`` call.
     """
     global _SHARED
-    key = (n_workers, id(shared) if shared is not None else None)
+    key = (n_workers, "shared" if shared is not None else None)
     entry = _POOLS.get(key)
     if entry is not None:
-        return entry[0]
+        pool, payload = entry
+        if shared is None or payload is shared:
+            return pool
+        # New payload for this worker count: the old pool's workers were
+        # initialised with the previous tables, so retire it and start
+        # fresh instead of accumulating one pool per payload.
+        del _POOLS[key]
+        _abandon_pool(pool)
     if shared is None:
         pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=_mp_context())
     else:

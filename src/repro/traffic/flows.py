@@ -18,10 +18,15 @@ def cbr_downlink_arrivals(station_names: list, duration: float, frame_bytes: int
 
     Each STA receives ``frames_per_second`` frames of ``frame_bytes``; start
     phases are randomised and inter-arrival times jittered by ``jitter``
-    (fraction of the nominal gap) so flows do not synchronise.
+    (fraction of the nominal gap) so flows do not synchronise. ``jitter``
+    must stay strictly below 1: at 1.0 the jittered gap can reach zero
+    (stalling the arrival clock at one instant) and beyond it the gap can
+    go negative, walking time backwards.
     """
     if frame_bytes <= 0 or frames_per_second <= 0:
         raise ValueError("frame size and rate must be positive")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
     arrivals = []
     gap = 1.0 / frames_per_second
     for sta in station_names:

@@ -1,0 +1,71 @@
+"""Property tests for the log-distance path-loss model.
+
+The deployment layer (``repro.net``) derives every link budget from
+``loss_db``/``link_snr_db``, so their shape invariants — loss never
+decreases with distance, SNR never increases, free-space values are exact
+at the reference distance — are pinned here.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.channel.path_loss import LogDistancePathLoss, link_snr_db
+
+_distances = st.floats(min_value=1e-3, max_value=1e4,
+                       allow_nan=False, allow_infinity=False)
+_exponents = st.floats(min_value=1.0, max_value=6.0)
+
+
+class TestLossMonotonicity:
+    @given(d1=_distances, d2=_distances, exponent=_exponents)
+    def test_loss_monotone_non_decreasing_in_distance(self, d1, d2, exponent):
+        model = LogDistancePathLoss(exponent=exponent)
+        lo, hi = sorted((d1, d2))
+        assert model.loss_db(lo) <= model.loss_db(hi)
+
+    @given(d1=_distances, d2=_distances, exponent=_exponents)
+    def test_snr_monotone_non_increasing_in_distance(self, d1, d2, exponent):
+        model = LogDistancePathLoss(exponent=exponent)
+        lo, hi = sorted((d1, d2))
+        assert link_snr_db(lo, model=model) >= link_snr_db(hi, model=model)
+
+    @given(distance=st.floats(max_value=0.0, allow_nan=False))
+    def test_non_positive_distance_rejected(self, distance):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss().loss_db(distance)
+
+
+class TestReferenceDistanceExactness:
+    @given(reference_loss=st.floats(min_value=20.0, max_value=80.0),
+           exponent=_exponents,
+           reference_distance=st.floats(min_value=0.1, max_value=10.0))
+    def test_exact_loss_at_reference_distance(self, reference_loss, exponent,
+                                              reference_distance):
+        model = LogDistancePathLoss(
+            reference_loss_db=reference_loss, exponent=exponent,
+            reference_distance_m=reference_distance,
+        )
+        assert model.loss_db(reference_distance) == reference_loss
+
+    @given(fraction=st.floats(min_value=1e-3, max_value=1.0))
+    def test_loss_clamps_below_reference_distance(self, fraction):
+        # Inside the reference distance the model reports the free-space
+        # reference loss, never less.
+        model = LogDistancePathLoss()
+        assert model.loss_db(model.reference_distance_m * fraction) == (
+            model.reference_loss_db
+        )
+
+    def test_exact_free_space_snr_at_reference(self):
+        # 20 dBm TX − 40 dB reference loss − (−90 dBm) floor = 70 dB.
+        assert link_snr_db(1.0) == pytest.approx(70.0, abs=1e-12)
+
+    @given(distance=st.floats(min_value=1.0, max_value=1e3),
+           exponent=_exponents)
+    def test_decade_slope_is_ten_n_db(self, distance, exponent):
+        model = LogDistancePathLoss(exponent=exponent)
+        step = model.loss_db(10.0 * distance) - model.loss_db(distance)
+        assert math.isclose(step, 10.0 * exponent, rel_tol=1e-9)

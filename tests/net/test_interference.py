@@ -1,0 +1,178 @@
+"""Co-channel coupling: geometry, duty estimates, fault-plan synthesis."""
+
+import pytest
+
+from repro.channel.path_loss import LogDistancePathLoss
+from repro.mac.parameters import DEFAULT_PARAMETERS
+from repro.net.interference import (
+    DEFAULT_CS_THRESHOLD_DBM,
+    background_duty,
+    carrier_sense_range,
+    coupling_fault_plans,
+    estimated_duty,
+    neighbor_busy_windows,
+    overlap_factor,
+)
+from repro.net.topology import Arena, build_topology
+from repro.util.rng import RngStream
+
+
+class TestCarrierSenseRange:
+    def test_default_range_is_tens_of_metres(self):
+        assert 10.0 < carrier_sense_range() < 100.0
+
+    def test_more_power_reaches_further(self):
+        assert carrier_sense_range(tx_power_dbm=20.0) > carrier_sense_range(
+            tx_power_dbm=6.0)
+
+    def test_exhausted_budget_collapses_to_reference_distance(self):
+        model = LogDistancePathLoss()
+        got = carrier_sense_range(model, tx_power_dbm=-100.0)
+        assert got == model.reference_distance_m
+
+
+class TestOverlapFactor:
+    def test_endpoints(self):
+        assert overlap_factor(0.0, 40.0) == 1.0
+        assert overlap_factor(80.0, 40.0) == 0.0
+        assert overlap_factor(500.0, 40.0) == 0.0
+
+    def test_monotone_in_distance(self):
+        factors = [overlap_factor(d, 40.0) for d in (0.0, 20.0, 40.0, 60.0)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_rejects_non_positive_range(self):
+        with pytest.raises(ValueError):
+            overlap_factor(10.0, 0.0)
+
+
+class TestDutyEstimates:
+    def test_cbr_duty_zero_without_load(self):
+        assert estimated_duty(0, 100.0, 120) == 0.0
+        assert estimated_duty(5, 0.0, 120) == 0.0
+
+    def test_cbr_duty_scales_with_stations(self):
+        low = estimated_duty(2, 100.0, 120)
+        high = estimated_duty(8, 100.0, 120)
+        assert 0.0 < low < high
+
+    def test_cbr_duty_clamped(self):
+        assert estimated_duty(10_000, 1000.0, 1500) == 0.9
+        assert estimated_duty(10_000, 1000.0, 1500, ceiling=0.5) == 0.5
+
+    def test_background_duty_zero_without_clients_or_intensity(self):
+        assert background_duty(0) == 0.0
+        assert background_duty(4, intensity=0.0) == 0.0
+
+    def test_background_duty_positive_and_clamped(self):
+        some = background_duty(4, intensity=3.0, params=DEFAULT_PARAMETERS)
+        assert 0.0 < some <= 0.9
+        assert background_duty(10_000, intensity=100.0) == 0.9
+
+
+class TestBusyWindows:
+    def test_validation(self):
+        rng = RngStream(0).child("w")
+        with pytest.raises(ValueError):
+            neighbor_busy_windows(0.0, 0.1, rng)
+        with pytest.raises(ValueError):
+            neighbor_busy_windows(1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            neighbor_busy_windows(1.0, -0.1, rng)
+
+    def test_zero_duty_means_no_windows(self):
+        assert neighbor_busy_windows(10.0, 0.0, RngStream(0).child("w")) == []
+
+    def test_deterministic_per_stream(self):
+        a = neighbor_busy_windows(10.0, 0.4, RngStream(3).child("w"))
+        b = neighbor_busy_windows(10.0, 0.4, RngStream(3).child("w"))
+        c = neighbor_busy_windows(10.0, 0.4, RngStream(4).child("w"))
+        assert a == b
+        assert a != c
+
+    def test_windows_ordered_disjoint_and_inside_run(self):
+        windows = neighbor_busy_windows(10.0, 0.5, RngStream(7).child("w"))
+        assert windows
+        previous_stop = 0.0
+        for start, stop in windows:
+            assert 0.0 <= start < stop <= 10.0
+            assert start >= previous_stop
+            previous_stop = stop
+
+    def test_max_windows_cap(self):
+        windows = neighbor_busy_windows(
+            1000.0, 0.5, RngStream(1).child("w"), max_windows=5)
+        assert len(windows) == 5
+
+    def test_duty_roughly_respected(self):
+        duty = 0.4
+        windows = neighbor_busy_windows(
+            2000.0, duty, RngStream(11).child("w"), max_windows=10_000)
+        busy = sum(stop - start for start, stop in windows)
+        assert busy / 2000.0 == pytest.approx(duty, rel=0.35)
+
+
+class TestCouplingPlans:
+    def _dense_topology(self, seed=5, n_aps=4, channels=1):
+        # A small arena guarantees the grid cells overlap.
+        return build_topology(n_aps, n_aps, seed, arena=Arena(20.0, 20.0),
+                              channels=channels)
+
+    def test_disjoint_channels_yield_no_plans(self):
+        topo = self._dense_topology(channels=4)
+        plans = coupling_fault_plans(topo, 5.0, 5, {a.index: 0.5 for a in topo.aps})
+        assert all(plan is None for plan in plans.values())
+
+    def test_overlapping_co_channel_cells_are_coupled(self):
+        topo = self._dense_topology(channels=1)
+        plans = coupling_fault_plans(topo, 5.0, 5, {a.index: 0.5 for a in topo.aps})
+        assert all(plan is not None for plan in plans.values())
+        for plan in plans.values():
+            assert all(s.kind == "hidden_window" for s in plan.specs)
+
+    def test_distant_cells_decouple(self):
+        topo = build_topology(2, 2, 5, arena=Arena(2000.0, 2000.0), channels=1)
+        plans = coupling_fault_plans(topo, 5.0, 5, {0: 0.5, 1: 0.5})
+        assert plans == {0: None, 1: None}
+
+    def test_plans_deterministic(self):
+        topo = self._dense_topology()
+        duty = {a.index: 0.5 for a in topo.aps}
+        assert coupling_fault_plans(topo, 5.0, 9, duty) == \
+            coupling_fault_plans(topo, 5.0, 9, duty)
+
+    def test_pair_sees_one_shared_schedule(self):
+        # Victim i's windows sourced from cell j must be exactly cell j's
+        # own busy schedule — drawn once from j's dedicated stream.
+        topo = self._dense_topology(n_aps=2)
+        plans = coupling_fault_plans(topo, 5.0, 9, {0: 0.5, 1: 0.5})
+        expected = neighbor_busy_windows(
+            5.0, 0.5, RngStream(9).child("net-interference-cell1"))
+        got = [(s.start, s.stop) for s in plans[0].specs]
+        assert got == expected
+
+    def test_hit_probability_scaled_by_overlap(self):
+        topo = self._dense_topology(n_aps=2)
+        plans = coupling_fault_plans(topo, 5.0, 9, {0: 0.5, 1: 0.5},
+                                     hit_probability=0.8)
+        import math
+
+        a, b = topo.aps
+        factor = overlap_factor(
+            math.hypot(a.x - b.x, a.y - b.y),
+            carrier_sense_range(topo.path_loss,
+                                cs_threshold_dbm=DEFAULT_CS_THRESHOLD_DBM),
+        )
+        for spec in plans[0].specs:
+            assert spec.probability == pytest.approx(0.8 * factor)
+
+    def test_hit_probability_validated(self):
+        topo = self._dense_topology(n_aps=2)
+        with pytest.raises(ValueError):
+            coupling_fault_plans(topo, 5.0, 9, {0: 0.5, 1: 0.5},
+                                 hit_probability=1.5)
+
+    def test_zero_duty_cells_emit_no_windows(self):
+        topo = self._dense_topology(n_aps=2)
+        plans = coupling_fault_plans(topo, 5.0, 9, {0: 0.0, 1: 0.0})
+        assert plans == {0: None, 1: None}

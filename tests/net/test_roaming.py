@@ -1,0 +1,204 @@
+"""Association timelines, roaming, and the §4.3 handshake wiring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compat import Capability
+from repro.net.roaming import (
+    AP_CAPABILITIES,
+    CARPOOL_STA_CAPABILITIES,
+    LEGACY_STA_CAPABILITIES,
+    RandomWaypointMobility,
+    build_association_timeline,
+    sta_mac,
+)
+from repro.net.topology import Arena, build_topology
+
+
+def _topology(seed=7, n_aps=4, n_stas=8, **kwargs):
+    return build_topology(n_aps, n_stas, seed, **kwargs)
+
+
+class TestMobility:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(min_speed_mps=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(min_speed_mps=2.0, max_speed_mps=1.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(sample_interval_s=0.0)
+
+    def test_trajectory_deterministic_and_bounded(self):
+        from repro.util.rng import RngStream
+
+        mob = RandomWaypointMobility(sample_interval_s=0.25)
+        arena = Arena(20.0, 20.0)
+        a = mob.trajectory((5.0, 5.0), 10.0, arena, RngStream(3).child("walk"))
+        b = mob.trajectory((5.0, 5.0), 10.0, arena, RngStream(3).child("walk"))
+        assert a == b
+        assert a[0] == (0.0, 5.0, 5.0)
+        assert len(a) == 41  # 10 s at 0.25 s steps, plus t=0
+        for _t, x, y in a:
+            assert 0.0 <= x <= 20.0 and 0.0 <= y <= 20.0
+
+    def test_pedestrian_speed_respected(self):
+        from repro.util.rng import RngStream
+
+        mob = RandomWaypointMobility(min_speed_mps=0.5, max_speed_mps=1.5,
+                                     pause_s=0.0, sample_interval_s=0.5)
+        samples = mob.trajectory((1.0, 1.0), 20.0, Arena(50.0, 50.0),
+                                 RngStream(1).child("walk"))
+        for (t0, x0, y0), (t1, x1, y1) in zip(samples, samples[1:]):
+            dist = ((x1 - x0) ** 2 + (y1 - y0) ** 2) ** 0.5
+            assert dist <= 1.5 * (t1 - t0) + 1e-9
+
+
+class TestStaticTimeline:
+    def test_every_station_covered_for_whole_run(self):
+        topo = _topology()
+        timeline = build_association_timeline(topo, duration=5.0, seed=7)
+        for sta in range(8):
+            segments = timeline.segments_for(sta)
+            assert len(segments) == 1
+            assert segments[0].start == 0.0 and segments[0].stop == 5.0
+        assert timeline.n_roams == 0
+        assert timeline.interruption_time == 0.0
+
+    def test_station_joins_strongest_ap(self):
+        topo = _topology()
+        timeline = build_association_timeline(topo, duration=1.0, seed=7)
+        for sta in range(8):
+            assert timeline.association_at(sta, 0.5) == topo.strongest_ap(sta)
+
+    def test_handshake_wires_association_tables(self):
+        # Satellite check: roaming really drives repro.mac.association —
+        # each AP's table holds exactly its members with negotiated caps.
+        topo = _topology()
+        timeline = build_association_timeline(topo, duration=1.0, seed=7)
+        for ap in topo.aps:
+            service = timeline.services[ap.index]
+            members = timeline.members(ap.index)
+            for sta in members:
+                caps = service.table.capabilities(sta_mac(sta))
+                assert caps == (AP_CAPABILITIES & CARPOOL_STA_CAPABILITIES)
+            assert len(service.carpool_capable_stations()) == len(members)
+
+    def test_negotiation_intersects_capabilities(self):
+        topo = _topology(n_stas=4)
+        timeline = build_association_timeline(topo, duration=1.0, seed=7,
+                                              legacy_fraction=1.0)
+        for sta in range(4):
+            negotiated = timeline.negotiated[sta]
+            assert negotiated == (AP_CAPABILITIES & LEGACY_STA_CAPABILITIES)
+            assert not negotiated & Capability.CARPOOL
+        for ap in topo.aps:
+            assert timeline.carpool_stations(ap.index) == []
+            assert timeline.services[ap.index].carpool_capable_stations() == []
+
+    def test_legacy_fraction_partitions_stations(self):
+        topo = _topology(n_stas=40)
+        timeline = build_association_timeline(topo, duration=1.0, seed=7,
+                                              legacy_fraction=0.5)
+        carpool = sum(
+            bool(timeline.negotiated[s] & Capability.CARPOOL) for s in range(40)
+        )
+        assert 0 < carpool < 40
+        for ap in topo.aps:
+            members = set(timeline.members(ap.index))
+            names = set(timeline.carpool_stations(ap.index)) | set(
+                timeline.legacy_stations(ap.index))
+            assert names == {f"sta{s}" for s in members}
+
+    def test_validation(self):
+        topo = _topology(n_aps=1, n_stas=1)
+        with pytest.raises(ValueError):
+            build_association_timeline(topo, duration=0.0, seed=1)
+        with pytest.raises(ValueError):
+            build_association_timeline(topo, duration=1.0, seed=1,
+                                       legacy_fraction=1.5)
+        with pytest.raises(ValueError):
+            build_association_timeline(topo, duration=1.0, seed=1,
+                                       handoff_delay=-0.1)
+
+
+class TestRoamingTimeline:
+    def _roaming_timeline(self, seed=5, duration=20.0, hysteresis_db=3.0):
+        topo = _topology(seed=seed, n_aps=4, n_stas=6,
+                         arena=Arena(40.0, 40.0))
+        mobility = RandomWaypointMobility(min_speed_mps=1.0,
+                                          max_speed_mps=1.5, pause_s=0.5)
+        return topo, build_association_timeline(
+            topo, duration=duration, seed=seed, mobility=mobility,
+            hysteresis_db=hysteresis_db,
+        )
+
+    def test_deterministic(self):
+        _, a = self._roaming_timeline()
+        _, b = self._roaming_timeline()
+        assert a.segments == b.segments
+        assert a.events == b.events
+
+    def test_segments_tile_the_run_with_handoff_gaps(self):
+        _, timeline = self._roaming_timeline()
+        for sta in range(6):
+            segments = timeline.segments_for(sta)
+            assert segments[0].start == 0.0
+            assert segments[-1].stop == timeline.duration
+            for earlier, later in zip(segments, segments[1:]):
+                gap = later.start - earlier.stop
+                assert 0.0 <= gap <= timeline.handoff_delay + 1e-9
+
+    def test_roam_events_match_segment_transitions(self):
+        _, timeline = self._roaming_timeline()
+        for event in timeline.events:
+            segments = timeline.segments_for(event.sta_index)
+            froms = [s.ap_index for s in segments]
+            assert event.from_ap in froms and event.to_ap in froms
+            # During the handoff gap the station is in no cell.
+            mid = event.time + timeline.handoff_delay / 2.0
+            if mid < timeline.duration:
+                assert timeline.association_at(event.sta_index, mid) is None
+
+    def test_old_ap_drops_roamed_station(self):
+        topo, timeline = self._roaming_timeline()
+        if not timeline.events:
+            pytest.skip("this seed produced no roams")
+        for event in timeline.events:
+            sta = event.sta_index
+            final_ap = timeline.segments_for(sta)[-1].ap_index
+            mac = sta_mac(sta)
+            for ap in topo.aps:
+                present = mac in timeline.services[ap.index].table
+                assert present == (ap.index == final_ap)
+
+    def test_huge_hysteresis_suppresses_roams(self):
+        _, timeline = self._roaming_timeline(hysteresis_db=200.0)
+        assert timeline.n_roams == 0
+
+    def test_interruption_time_counts_gaps(self):
+        _, timeline = self._roaming_timeline()
+        expected = sum(
+            min(timeline.handoff_delay, timeline.duration - e.time)
+            for e in timeline.events
+        )
+        assert timeline.interruption_time == pytest.approx(expected)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_any_seed_yields_valid_timeline(self, seed):
+        topo = build_topology(3, 4, seed, arena=Arena(30.0, 30.0))
+        timeline = build_association_timeline(
+            topo, duration=6.0, seed=seed,
+            mobility=RandomWaypointMobility(min_speed_mps=1.0,
+                                            max_speed_mps=1.5),
+            hysteresis_db=3.0,
+        )
+        for sta in range(4):
+            segments = timeline.segments_for(sta)
+            assert segments, f"sta{sta} has no segments"
+            assert segments[0].start == 0.0
+            assert segments[-1].stop == 6.0
+            for earlier, later in zip(segments, segments[1:]):
+                assert earlier.stop <= later.start + 1e-12
+                assert earlier.ap_index != later.ap_index

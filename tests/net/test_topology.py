@@ -1,0 +1,141 @@
+"""Deployment geometry: placement, channels, link budget, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import (
+    Arena,
+    DeploymentTopology,
+    build_topology,
+    place_aps_grid,
+    place_aps_poisson,
+    place_stas_clustered,
+    place_stas_hotspot,
+    place_stas_uniform,
+)
+from repro.util.rng import RngStream
+
+
+class TestArena:
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            Arena(0.0, 10.0)
+        with pytest.raises(ValueError):
+            Arena(10.0, -1.0)
+
+    def test_clamp_keeps_points_inside(self):
+        arena = Arena(10.0, 20.0)
+        x, y = arena.clamp(-5.0, 100.0)
+        assert 0.0 < x < 10.0 and 0.0 < y < 20.0
+
+
+class TestPlacement:
+    def test_grid_counts_and_coverage(self):
+        arena = Arena(60.0, 60.0)
+        aps = place_aps_grid(9, arena)
+        assert len(aps) == 9
+        assert [a.index for a in aps] == list(range(9))
+        for ap in aps:
+            assert 0.0 < ap.x < 60.0 and 0.0 < ap.y < 60.0
+        # A 3x3 grid has three distinct column and row coordinates.
+        assert len({round(a.x, 6) for a in aps}) == 3
+        assert len({round(a.y, 6) for a in aps}) == 3
+
+    def test_grid_channels_round_robin(self):
+        aps = place_aps_grid(6, Arena(), channels=3)
+        assert [a.channel for a in aps] == [0, 1, 2, 0, 1, 2]
+        assert all(a.channel == 0 for a in place_aps_grid(4, Arena(), channels=1))
+
+    def test_poisson_deterministic_per_seed(self):
+        arena = Arena()
+        a = place_aps_poisson(5, arena, RngStream(3).child("net-aps"))
+        b = place_aps_poisson(5, arena, RngStream(3).child("net-aps"))
+        c = place_aps_poisson(5, arena, RngStream(4).child("net-aps"))
+        assert [(s.x, s.y) for s in a] == [(s.x, s.y) for s in b]
+        assert [(s.x, s.y) for s in a] != [(s.x, s.y) for s in c]
+
+    @pytest.mark.parametrize("placement", ["uniform", "clustered", "hotspot"])
+    def test_sta_placements_inside_arena(self, placement):
+        arena = Arena(30.0, 40.0)
+        rng = RngStream(9).child("net-stas")
+        if placement == "uniform":
+            stas = place_stas_uniform(20, arena, rng)
+        elif placement == "clustered":
+            stas = place_stas_clustered(20, place_aps_grid(4, arena), arena, rng)
+        else:
+            stas = place_stas_hotspot(20, arena, rng)
+        assert len(stas) == 20
+        assert [s.index for s in stas] == list(range(20))
+        for sta in stas:
+            assert 0.0 <= sta.x <= 30.0 and 0.0 <= sta.y <= 40.0
+
+    def test_sta_names_are_global_indices(self):
+        stas = place_stas_uniform(3, Arena(), RngStream(0).child("s"))
+        assert [s.name for s in stas] == ["sta0", "sta1", "sta2"]
+
+    def test_clustered_requires_aps(self):
+        with pytest.raises(ValueError):
+            place_stas_clustered(4, [], Arena(), RngStream(0).child("s"))
+
+
+class TestTopology:
+    def _topo(self, seed=7, n_aps=4, n_stas=8, **kwargs):
+        return build_topology(n_aps, n_stas, seed, **kwargs)
+
+    def test_same_seed_same_topology(self):
+        a, b = self._topo(), self._topo()
+        assert np.array_equal(a.snr_matrix(), b.snr_matrix())
+
+    def test_adding_stas_does_not_move_aps(self):
+        small = build_topology(4, 4, 11, ap_placement="poisson")
+        large = build_topology(4, 16, 11, ap_placement="poisson")
+        assert [(a.x, a.y) for a in small.aps] == [(a.x, a.y) for a in large.aps]
+
+    def test_shadowing_is_frozen_per_link(self):
+        topo = self._topo()
+        assert topo.snr_db(0, 0) == topo.snr_db(0, 0)
+        # Moving the station changes path loss but keeps the same
+        # shadowing term: the SNR delta equals the path-loss delta.
+        base = topo.snr_db(0, 0)
+        moved = topo.snr_db(0, 0, sta_xy=(topo.aps[0].x, topo.aps[0].y))
+        assert moved > base  # at the AP the link can only improve
+
+    def test_zero_shadowing_matches_pure_path_loss(self):
+        topo = build_topology(2, 2, 5, shadowing_sigma_db=0.0)
+        from repro.channel.path_loss import link_snr_db
+        from repro.net.topology import NOISE_FLOOR_DBM, TX_POWER_DBM
+
+        expected = link_snr_db(topo.distance(0, 0), TX_POWER_DBM,
+                               NOISE_FLOOR_DBM, topo.path_loss)
+        assert topo.snr_db(0, 0) == pytest.approx(expected)
+
+    def test_strongest_ap_matches_argmax(self):
+        topo = self._topo(n_aps=5, n_stas=6)
+        matrix = topo.snr_matrix()
+        for sta in range(6):
+            assert topo.strongest_ap(sta) == int(np.argmax(matrix[:, sta]))
+
+    def test_co_channel_pairs_single_channel(self):
+        topo = self._topo(n_aps=4, channels=1)
+        assert len(topo.co_channel_pairs()) == 6  # all 4C2 pairs
+
+    def test_co_channel_pairs_disjoint_channels(self):
+        topo = self._topo(n_aps=3, channels=3)
+        assert topo.co_channel_pairs() == []
+
+    def test_unknown_placements_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology(2, 2, 0, ap_placement="ring")
+        with pytest.raises(ValueError):
+            build_topology(2, 2, 0, sta_placement="line")
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1),
+           n_aps=st.integers(1, 6), n_stas=st.integers(1, 10))
+    def test_snr_matrix_shape_and_determinism(self, seed, n_aps, n_stas):
+        a = build_topology(n_aps, n_stas, seed)
+        b = build_topology(n_aps, n_stas, seed)
+        assert a.snr_matrix().shape == (n_aps, n_stas)
+        assert np.array_equal(a.snr_matrix(), b.snr_matrix())

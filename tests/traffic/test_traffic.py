@@ -153,6 +153,26 @@ class TestFlows:
         with pytest.raises(ValueError):
             cbr_downlink_arrivals(STAS, 1.0, 0, 100.0, RngStream(0))
 
+    def test_cbr_jitter_boundary(self):
+        """Regression: jitter >= 1 lets the gap hit zero or go negative,
+        stalling or reversing the arrival clock — the boundary is open."""
+        for bad in (1.0, 1.5, -0.1):
+            with pytest.raises(ValueError):
+                cbr_downlink_arrivals(STAS, 1.0, 120, 100.0, RngStream(0),
+                                      jitter=bad)
+        # Just inside the boundary the clock always advances: gaps stay
+        # strictly positive and the stream stays time-sorted per STA.
+        arrivals = cbr_downlink_arrivals(["sta0"], 5.0, 120, 200.0,
+                                         RngStream(16), jitter=0.999)
+        times = [a.time for a in arrivals]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_cbr_zero_jitter_is_exact_cbr(self):
+        arrivals = cbr_downlink_arrivals(["sta0"], 2.0, 120, 100.0,
+                                         RngStream(17), jitter=0.0)
+        gaps = [b.time - a.time for a, b in zip(arrivals, arrivals[1:])]
+        assert all(g == pytest.approx(0.01, abs=1e-12) for g in gaps)
+
     def test_merge_sorted(self):
         a = cbr_downlink_arrivals(["sta0"], 2.0, 100, 50.0, RngStream(13))
         b = background_uplink_arrivals(["sta1"], 2.0, RngStream(14))
