@@ -8,6 +8,13 @@
 
 Each subcommand drives the same library code the benchmarks use, with
 knobs exposed for quick exploration.
+
+Observability: the experiment subcommands accept ``--trace PATH`` (write
+a structured JSONL event trace plus a ``.manifest.json`` provenance
+record) and ``--metrics`` (print the merged counter/timer table after
+the run); ``repro report PATH`` renders a trace into per-layer summary
+tables, and the global ``--log-level`` flag turns on the library's
+otherwise-silent ``repro`` logger.
 """
 
 from __future__ import annotations
@@ -25,12 +32,33 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_obs_flags(sub) -> None:
+    """Observability flags shared by the experiment subcommands."""
+    sub.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a structured JSONL event trace to PATH "
+                          "(plus PATH.manifest.json provenance); render it "
+                          "with `repro report PATH`")
+    sub.add_argument("--trace-sample", type=_positive_int, default=None,
+                     metavar="N",
+                     help="with --trace: also record every N-th per-symbol "
+                          "PHY snapshot (EVM, estimate, CRC); default: none")
+    sub.add_argument("--metrics", action="store_true",
+                     help="collect counters/timers across the run and print "
+                          "the merged table afterwards")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Carpool (ICDCS 2015) reproduction — experiment runner",
     )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "debug", "info",
+                 "warning", "error"),
+        help="attach a stderr handler to the `repro` logger at LEVEL "
+             "(default: library stays silent)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
@@ -45,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="process count for the trial runner (default: auto)")
     phy.add_argument("--profile", action="store_true",
                      help="run under cProfile, print top-20 by cumulative time")
+    _add_obs_flags(phy)
 
     mac = sub.add_parser("mac", help="MAC goodput/latency comparison (Fig. 15/16)")
     mac.add_argument("--stations", type=int, default=30)
@@ -53,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     mac.add_argument("--seed", type=int, default=42)
     mac.add_argument("--protocols", nargs="*", default=None,
                      help="subset of: 802.11 A-MPDU MU-Aggregation WiFox Carpool")
+    _add_obs_flags(mac)
 
     sub.add_parser("testbed", help="Fig. 10 office layout, SNRs and rates")
     sub.add_parser("energy", help="§8 energy-overhead estimate")
@@ -76,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--seed", type=int, default=7)
     faults.add_argument("--workers", type=_positive_int, default=None,
                         help="process count for the trial runner (default: auto)")
+    _add_obs_flags(faults)
 
     net = sub.add_parser(
         "net", help="multi-BSS deployment: protocol comparison at scale")
@@ -101,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="bypass the deployment result cache")
     net.add_argument("--workers", type=_positive_int, default=None,
                      help="process count for the cell fan-out (default: auto)")
+    _add_obs_flags(net)
 
     bench = sub.add_parser(
         "bench", help="timing harness → BENCH_phy.json / BENCH_mac.json / BENCH_net.json")
@@ -122,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 0.2 = 20%%)")
     bench.add_argument("--workers", type=_positive_int, default=None,
                        help="process count for the parallel legs (default: auto)")
+
+    report = sub.add_parser(
+        "report", help="render a JSONL trace into per-layer summary tables")
+    report.add_argument("path", help="trace file written by --trace")
+    report.add_argument("--top", type=_positive_int, default=15,
+                        help="timer-table rows (default: 15)")
+    report.add_argument("--timeline", type=_positive_int, default=60,
+                        help="fault-timeline rows (default: 60)")
     return parser
 
 
@@ -369,6 +409,12 @@ def _cmd_bench(args) -> int:
                                  out_path=out_path)
         print(f"--- {suite} suite ---")
         printers[suite](payload)
+        obs = payload.get("observability")
+        if obs:
+            print(f"obs        : pools {obs['pool_spawned']} spawned / "
+                  f"{obs['pool_reused']} reused, cache {obs['cache_hits']} "
+                  f"hits / {obs['cache_misses']} misses, "
+                  f"{obs['chunk_retries']} chunk retries")
         print(f"wrote {out_path}")
         if not args.compare:
             continue
@@ -391,6 +437,44 @@ def _cmd_bench(args) -> int:
     return status
 
 
+def _cmd_report(args) -> int:
+    from repro.obs.report import format_report
+
+    try:
+        print(format_report(args.path, top=args.top,
+                            timeline_limit=args.timeline), end="")
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"malformed trace: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _print_metrics_summary(snapshot: dict) -> None:
+    """The ``--metrics`` table: counters, gauges, and timers after a run."""
+    from repro.obs.report import timer_rows
+
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if counters or gauges:
+        print("\n--- metrics: counters ---")
+        names = sorted(counters) + sorted(gauges)
+        width = max(len(n) for n in names)
+        for name in sorted(counters):
+            print(f"{name:<{width}}  {counters[name]:>12}")
+        for name in sorted(gauges):
+            print(f"{name:<{width}}  {gauges[name]['value']!r:>12}")
+    rows = timer_rows(snapshot)
+    if rows:
+        print("\n--- metrics: timers (by total time) ---")
+        width = max(len(name) for name, *_ in rows)
+        print(f"{'timer':<{width}}  {'count':>8}  {'total':>10}  {'mean':>10}")
+        for name, count, total, mean, _max_s in rows:
+            print(f"{name:<{width}}  {count:>8}  {total:>9.4f}s  {mean:>9.6f}s")
+
+
 def _profiled(fn, args) -> int:
     """Run ``fn(args)`` under cProfile; print the top 20 by cumulative time."""
     import cProfile
@@ -404,9 +488,7 @@ def _profiled(fn, args) -> int:
     return status
 
 
-def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "phy":
@@ -425,7 +507,44 @@ def main(argv=None) -> int:
         return _cmd_net(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "report":
+        return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.log_level:
+        from repro.obs.log import configure_logging
+
+        configure_logging(args.log_level)
+
+    trace_path = getattr(args, "trace", None)
+    metrics_on = getattr(args, "metrics", False)
+    if trace_path is None and not metrics_on:
+        return _dispatch(args)
+
+    from repro.obs.trace import ObsSession
+
+    config = {k: v for k, v in sorted(vars(args).items())
+              if k not in ("trace", "trace_sample", "metrics", "log_level")}
+    with ObsSession(
+        trace_path=trace_path,
+        metrics_on=metrics_on,
+        sample_every=getattr(args, "trace_sample", None) or 0,
+        manifest_kind=args.command,
+        manifest_config=config,
+        seed=getattr(args, "seed", None),
+    ) as session:
+        status = _dispatch(args)
+    if metrics_on and session.registry is not None:
+        _print_metrics_summary(session.registry.to_dict())
+    if trace_path is not None:
+        print(f"\ntrace: {trace_path} ({len(session.recorder)} events); "
+              f"manifest: {session.manifest_path}\n"
+              f"render with: python -m repro report {trace_path}")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

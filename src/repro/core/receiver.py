@@ -22,6 +22,7 @@ from repro.core.frame import AHDR_SYMBOL_OFFSET
 from repro.core.mac_address import MacAddress
 from repro.core.rte import RealTimeEstimator
 from repro.core.symbol_crc import DEFAULT_CRC_CONFIG, SymbolCrcConfig
+from repro.obs.trace import active_recorder, metrics
 from repro.phy import payload_codec
 from repro.phy.channel_estimation import equalize
 from repro.phy.constants import pilot_values
@@ -113,6 +114,17 @@ def decode_subframe_symbols(
         where ``equalized`` holds the phase-compensated equalized symbols
         (for soft decoding or constellation inspection).
     """
+    with metrics().timer("phy.decode_subframe").time():
+        return _decode_subframe_symbols(
+            received, channel_estimate, mcs, first_pilot_index,
+            reference_phase, crc_config, use_rte, rte_rule, rte_guard,
+        )
+
+
+def _decode_subframe_symbols(
+    received, channel_estimate, mcs, first_pilot_index, reference_phase,
+    crc_config, use_rte, rte_rule, rte_guard,
+):
     received = np.asarray(received, dtype=np.complex128)
     n_symbols = received.shape[0]
     scheme = crc_config.scheme
@@ -125,6 +137,10 @@ def decode_subframe_symbols(
             received, mcs, first_pilot_index, reference_phase, crc_config,
             estimator,
         )
+    rec = active_recorder()
+    scope = metrics().scope("phy")
+    crc_pass_ctr = scope.counter("crc_pass")
+    crc_fail_ctr = scope.counter("crc_fail")
 
     bit_matrix = np.empty((n_symbols, mcs.coded_bits_per_symbol), dtype=np.uint8)
     side_bits = np.zeros((n_symbols, scheme.bits_per_symbol), dtype=np.uint8)
@@ -143,6 +159,16 @@ def decode_subframe_symbols(
         data_points, _ = split_symbol(eq)
         bit_matrix[i] = mcs.modulation.demodulate(data_points)
 
+        if rec is not None and rec.sample(i):
+            # Sampled per-symbol snapshot: EVM against the hard decisions
+            # and the running estimate's mean magnitude. Pure observation —
+            # nothing decoded below depends on it.
+            decided = mcs.modulation.remodulate(data_points)
+            evm = float(np.mean(np.abs(data_points - decided) ** 2))
+            rec.emit("phy", "symbol", index=i, evm=round(evm, 8),
+                     est_mag=round(float(np.mean(np.abs(estimator.estimate))), 8),
+                     phase=round(float(phase), 8))
+
         delta = float(np.angle(np.exp(1j * (phase - prev_phase))))
         side_bits[i] = scheme.decode_deltas(np.array([delta]))
         prev_phase = phase
@@ -154,6 +180,10 @@ def decode_subframe_symbols(
         if not group_complete:
             continue
         ok = crc_config.check_group(group_index, bit_matrix, side_bits)
+        (crc_pass_ctr if ok else crc_fail_ctr).inc()
+        if rec is not None and rec.sample(group_index):
+            rec.emit("phy", "crc", group=group_index, ok=bool(ok),
+                     symbols=len(group))
         for j, _, _ in group:
             crc_pass[j] = ok
         if ok and use_rte:
@@ -198,10 +228,14 @@ def _decode_subframe_symbols_frozen(
     deltas = np.angle(np.exp(1j * (phases - previous)))
     side_bits = scheme.decode_deltas(deltas).reshape(n_symbols, scheme.bits_per_symbol)
 
+    scope = metrics().scope("phy")
+    crc_pass_ctr = scope.counter("crc_pass")
+    crc_fail_ctr = scope.counter("crc_fail")
     crc_pass = np.zeros(n_symbols, dtype=bool)
     for start in range(0, n_symbols, crc_config.granularity):
         stop = min(start + crc_config.granularity, n_symbols)
         ok = crc_config.check_group(crc_config.group_of(start), bit_matrix, side_bits)
+        (crc_pass_ctr if ok else crc_fail_ctr).inc()
         crc_pass[start:stop] = ok
         if not ok:
             estimator.skip()
@@ -246,6 +280,10 @@ class CarpoolReceiver:
 
     def receive(self, received_symbols: np.ndarray) -> CarpoolRxResult:
         """Process one received Carpool frame (frequency-domain symbols)."""
+        with metrics().timer("phy.receive_frame").time():
+            return self._receive(received_symbols)
+
+    def _receive(self, received_symbols: np.ndarray) -> CarpoolRxResult:
         front = acquire(received_symbols)
         derotated = front.derotated
         channel = front.channel_estimate
@@ -334,4 +372,16 @@ class CarpoolReceiver:
             position += 1
 
         result.num_subframes_seen = position
+        rec = active_recorder()
+        if rec is not None:
+            rec.emit(
+                "phy", "frame_rx",
+                subframes_seen=position,
+                matched=list(result.matched_positions),
+                decoded=len(result.subframes),
+                crc_pass=int(sum(int(sf.crc_pass.sum()) for sf in result.subframes)),
+                crc_total=int(sum(sf.crc_pass.size for sf in result.subframes)),
+                rte_updates=int(sum(sf.rte_updates for sf in result.subframes)),
+                walk_error=result.walk_error,
+            )
         return result

@@ -29,11 +29,17 @@ from repro.mac.metrics import MetricsCollector, MetricsSummary
 from repro.mac.node import Node
 from repro.mac.parameters import DEFAULT_PARAMETERS, PhyMacParameters
 from repro.mac.protocols.base import Protocol
+from repro.obs.metrics import NULL_INSTRUMENT
+from repro.obs.trace import active_recorder, metrics
 from repro.util.rng import RngStream
 
 __all__ = ["WlanSimulator", "AP_NAME"]
 
 AP_NAME = "ap"
+
+_OBS_COUNTER_NAMES = ("transmissions", "collisions", "ahdr_miss",
+                      "ahdr_false_match", "ack_lost", "ack_desync")
+_DISABLED_COUNTERS = {name: NULL_INSTRUMENT for name in _OBS_COUNTER_NAMES}
 
 _RTS_BYTES = 20
 _CTS_BYTES = 14
@@ -200,6 +206,10 @@ class WlanSimulator:
         # Optional event timeline for debugging/teaching: call
         # enable_timeline() before run(); events land in self.timeline.
         self.timeline: list | None = None
+        # Ambient obs hooks, looked up once per run() so disabled runs pay
+        # a single None check per logged event.
+        self._rec = None
+        self._obs_counters = _DISABLED_COUNTERS
         # Batched error draws (see _BatchedErrorDraws): None = scalar oracle.
         self._batched_draws: _BatchedErrorDraws | None = None
         if batched:
@@ -238,11 +248,19 @@ class WlanSimulator:
     def _log(self, event: str, node: str, detail: str = "") -> None:
         if self.timeline is not None:
             self.timeline.append((self.now, event, node, detail))
+        if self._rec is not None:
+            self._rec.emit("mac", event, t=round(self.now, 9), node=node,
+                           detail=detail)
 
     def run(self, duration: float) -> MetricsSummary:
         """Simulate ``duration`` seconds and return the metrics summary."""
         if duration <= 0:
             raise ValueError("duration must be positive")
+        self._rec = active_recorder()
+        scope = metrics().scope("mac")
+        self._obs_counters = {
+            name: scope.counter(name) for name in _OBS_COUNTER_NAMES
+        }
         while self.now < duration:
             self._inject_arrivals()
             ready, wake_time = self._ready_nodes()
@@ -333,6 +351,7 @@ class WlanSimulator:
 
     def _collide(self, winners: list) -> None:
         busy = max(self._estimate_airtime(node) for node in winners)
+        self._obs_counters["collisions"].inc()
         self._log("collision", "+".join(sorted(n.name for n in winners)),
                   f"busy={busy * 1e6:.0f}us")
         self.metrics.record_collision(busy)
@@ -449,6 +468,7 @@ class WlanSimulator:
 
         total = overhead + transmission.total_duration
         self.metrics.record_transmission(total)
+        self._obs_counters["transmissions"].inc()
         self._log("transmit", node.name,
                   f"{len(transmission.subframes)} subframes, "
                   f"{transmission.total_payload_bytes} B")
@@ -517,6 +537,10 @@ class WlanSimulator:
                 # corrupted header — an undecoded subframe from the AP's
                 # point of view.
                 ok = False
+                self._obs_counters["ahdr_miss"].inc()
+                if self._rec is not None:
+                    self._rec.emit("mac", "ahdr_miss", t=round(self.now, 9),
+                                   node=subframe.destination)
             if ok:
                 t0 = data_start + subframe.start_symbol * t_sym
                 t1 = t0 + subframe.n_symbols * t_sym
@@ -544,6 +568,10 @@ class WlanSimulator:
                 continue
             if self._faults.ahdr_false_match(ahdr_spec):
                 self.airtime_by_node[name]["rx"] += mean_subframe
+                self._obs_counters["ahdr_false_match"].inc()
+                if self._rec is not None:
+                    self._rec.emit("mac", "ahdr_false_match",
+                                   t=round(self.now, 9), node=name)
 
     def _apply_ack_faults(self, transmission, decoded: list) -> list:
         """Overlay ACK loss; model the sequential-ACK desync failure mode.
@@ -563,6 +591,11 @@ class WlanSimulator:
                 acked[i] = False
                 if first_gap is None:
                     first_gap = i
+                self._obs_counters["ack_lost"].inc()
+                if self._rec is not None:
+                    self._rec.emit(
+                        "mac", "ack_lost", t=round(self.now, 9),
+                        node=transmission.subframes[i].destination, slot=i)
         if (
             first_gap is not None
             and len(transmission.subframes) > 1
@@ -570,6 +603,12 @@ class WlanSimulator:
         ):
             for i in range(first_gap, len(acked)):
                 acked[i] = False
+            self._obs_counters["ack_desync"].inc()
+            if self._rec is not None:
+                self._rec.emit(
+                    "mac", "ack_desync", t=round(self.now, 9),
+                    first_gap=first_gap,
+                    slots_lost=len(acked) - first_gap - 1)
         return acked
 
     def _account_airtime(self, node: Node, transmission, overhead: float) -> None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.mac.protocols.carpool_mixed import CarpoolMixedProtocol
+from repro.obs.trace import active_recorder, metrics
 
 __all__ = ["FallbackCarpoolProtocol"]
 
@@ -99,12 +100,24 @@ class FallbackCarpoolProtocol(CarpoolMixedProtocol):
         self.demotions += 1
         self._history[destination].clear()
         self._streak[destination] = 0
+        # Transitions are rare (bounded by the cooldown duty cycle), so the
+        # ambient lookup here costs nothing on the per-subframe path.
+        metrics().counter("mac.demotions").inc()
+        rec = active_recorder()
+        if rec is not None:
+            rec.emit("mac", "demote", t=round(now, 9), node=destination,
+                     demoted=len(self._demoted))
 
     def _maybe_repromote(self, now: float) -> None:
         expired = [d for d, t in self._demoted.items() if now - t >= self.cooldown]
         for destination in expired:
             del self._demoted[destination]
             self.repromotions += 1
+            metrics().counter("mac.repromotions").inc()
+            rec = active_recorder()
+            if rec is not None:
+                rec.emit("mac", "repromote", t=round(now, 9),
+                         node=destination, demoted=len(self._demoted))
 
     def ready_time(self, node, now: float):
         """Re-promotion piggybacks on the scheduler's polling."""

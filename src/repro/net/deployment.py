@@ -47,11 +47,15 @@ from repro.net.interference import (
 )
 from repro.net.roaming import RandomWaypointMobility, build_association_timeline
 from repro.net.topology import Arena, build_topology
+from repro.obs.log import get_logger
+from repro.obs.trace import active_recorder, metrics
 from repro.runtime.cache import ResultCache, code_fingerprint, content_key
 from repro.runtime.trials import run_trials, shared_payload
 from repro.traffic.background import background_uplink_arrivals
 from repro.traffic.flows import cbr_downlink_arrivals, merge_arrivals
 from repro.util.rng import RngStream, derive_seed
+
+log = get_logger(__name__)
 
 __all__ = [
     "DeploymentConfig",
@@ -341,11 +345,25 @@ def _run_roaming_cell(spec: CellSpec) -> CellResult:
 
 def run_cell(spec: CellSpec) -> CellResult:
     """Execute one cell spec (pure function of the spec)."""
-    if spec.n_stations == 0:
-        return _idle_cell(spec)
-    if spec.static:
-        return _run_static_cell(spec)
-    return _run_roaming_cell(spec)
+    with metrics().timer("net.run_cell").time():
+        if spec.n_stations == 0:
+            result = _idle_cell(spec)
+        elif spec.static:
+            result = _run_static_cell(spec)
+        else:
+            result = _run_roaming_cell(spec)
+    rec = active_recorder()
+    if rec is not None:
+        rec.emit(
+            "net", "cell_done",
+            ap_index=spec.ap_index,
+            protocol=spec.protocol,
+            n_stations=result.n_stations,
+            goodput_bps=round(result.goodput_bps, 3),
+            busy_fraction=round(result.channel_busy_fraction, 6),
+            coupled=result.coupled,
+        )
+    return result
 
 
 def _cell_trial(trial_index: int, rng) -> dict:
@@ -541,6 +559,7 @@ def simulate_deployment(
     n_workers: int | None = None,
     cache: ResultCache | None = None,
     use_cache: bool = True,
+    manifest_path=None,
 ) -> DeploymentResult:
     """Simulate a whole deployment; cells fan out over the runtime pools.
 
@@ -549,7 +568,14 @@ def simulate_deployment(
     the outcome — editing the MAC, traffic, fault, or net code invalidates
     stale entries automatically. ``use_cache=False`` forces a recompute
     (the fresh result is still stored).
+
+    ``manifest_path`` writes a provenance record (seed, git SHA, config
+    hash, versions, timing) next to wherever the caller stores the result.
     """
+    import time as _time
+
+    t_wall = _time.perf_counter()
+    t_cpu = _time.process_time()
     key = content_key(
         "deployment", config.to_payload(),
         code_fingerprint("repro.net", "repro.mac", "repro.traffic",
@@ -559,15 +585,42 @@ def simulate_deployment(
     if use_cache:
         cached = cache.get(key)
         if cached is not None:
+            log.info("deployment cache hit (%d APs, seed %d)",
+                     config.n_aps, config.seed)
             return DeploymentResult.from_dict(cached)
-    specs, timeline, plans = build_cell_specs(config)
-    raw = run_trials(
-        _cell_trial, len(specs),
-        seed=derive_seed(config.seed, "net-cells"),
-        n_workers=n_workers,
-        shared=specs,
-    )
-    cells = [CellResult.from_dict(r) for r in raw]
-    result = _aggregate(config, cells, timeline, plans)
+    log.info("simulating deployment: %d APs x %d STAs, %s, seed %d",
+             config.n_aps, config.stas_per_ap, config.protocol, config.seed)
+    with metrics().timer("net.build_specs").time():
+        specs, timeline, plans = build_cell_specs(config)
+    rec = active_recorder()
+    if rec is not None and config.mobility:
+        for sta_index in range(config.n_stas):
+            segments = timeline.segments_for(sta_index)
+            for prev, nxt in zip(segments, segments[1:]):
+                rec.emit("net", "handoff", sta=sta_index,
+                         t=round(nxt.start, 6),
+                         from_ap=prev.ap_index, to_ap=nxt.ap_index)
+    with metrics().timer("net.run_cells").time():
+        raw = run_trials(
+            _cell_trial, len(specs),
+            seed=derive_seed(config.seed, "net-cells"),
+            n_workers=n_workers,
+            shared=specs,
+        )
+    with metrics().timer("net.aggregate").time():
+        cells = [CellResult.from_dict(r) for r in raw]
+        result = _aggregate(config, cells, timeline, plans)
     cache.put(key, result.to_dict())
+    if manifest_path is not None:
+        from repro.obs.manifest import write_manifest
+
+        write_manifest(
+            manifest_path,
+            kind="deployment",
+            seed=config.seed,
+            config=config.to_payload(),
+            metrics=metrics().to_dict(),
+            wall_seconds=_time.perf_counter() - t_wall,
+            cpu_seconds=_time.process_time() - t_cpu,
+        )
     return result

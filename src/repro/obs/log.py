@@ -1,0 +1,60 @@
+"""Library-wide logging under the ``repro`` logger hierarchy.
+
+The library never configures handlers on import — the root ``repro``
+logger gets a :class:`logging.NullHandler`, so embedding applications
+stay silent unless they opt in. The CLI's ``--log-level`` flag calls
+:func:`configure_logging` to attach a stderr handler for the session.
+
+Modules obtain their logger once at import time::
+
+    from ..obs.log import get_logger
+    log = get_logger(__name__)          # -> "repro.runtime.cache"
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure_logging", "REPRO_LOGGER"]
+
+REPRO_LOGGER = logging.getLogger("repro")
+REPRO_LOGGER.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A child of the ``repro`` logger.
+
+    Accepts either a dotted suffix (``"runtime.cache"``) or a module
+    ``__name__`` (``"repro.runtime.cache"``) — both map to the same logger.
+    """
+    if not name or name == "repro":
+        return REPRO_LOGGER
+    if name.startswith("repro."):
+        name = name[len("repro."):]
+    return REPRO_LOGGER.getChild(name)
+
+
+def configure_logging(level="WARNING", stream=None) -> logging.Logger:
+    """Attach a stderr handler at ``level`` to the ``repro`` logger.
+
+    Idempotent: a second call re-levels the existing handler instead of
+    stacking a new one. Returns the configured root ``repro`` logger.
+    """
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    handler = next(
+        (h for h in REPRO_LOGGER.handlers
+         if getattr(h, "_repro_cli_handler", False)),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        handler._repro_cli_handler = True
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        ))
+        REPRO_LOGGER.addHandler(handler)
+    handler.setLevel(level)
+    REPRO_LOGGER.setLevel(level)
+    return REPRO_LOGGER

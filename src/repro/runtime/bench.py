@@ -35,6 +35,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.obs.trace import collecting
 from repro.runtime.trials import resolve_workers, run_trials
 
 __all__ = [
@@ -122,6 +123,32 @@ _TRUE_GATES = {
         ("replay", "identical_cold_warm"),
     ),
 }
+
+
+def _observability_section(registry) -> dict:
+    """Parent-side obs counters for the optional ``observability`` section.
+
+    Collected with worker shipping off, so the timed chunk path inside the
+    pools is exactly what an uninstrumented run executes. Informational
+    only: :func:`compare_bench` never gates on it, and committed baselines
+    written before the section existed stay valid.
+    """
+    def count(name: str) -> int:
+        instrument = registry.get(name)
+        return int(instrument.value) if instrument is not None else 0
+
+    hits = count("runtime.cache_hits")
+    misses = count("runtime.cache_misses")
+    lookups = hits + misses
+    return {
+        "pool_spawned": count("runtime.pool_spawned"),
+        "pool_reused": count("runtime.pool_reused"),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_ratio": hits / lookups if lookups else None,
+        "chunk_retries": count("runtime.chunk_retries"),
+        "chunks_failed": count("runtime.chunks_failed"),
+    }
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -291,15 +318,19 @@ def run_phy_bench(
         coding_bits, repeats = 32766, 5
         rx_payload, mc_payload, mc_trials = 4090, 1000, 24
 
-    encode, viterbi = _bench_coding(coding_bits, repeats)
+    with collecting() as registry:
+        encode, viterbi = _bench_coding(coding_bits, repeats)
+        rx_chain = _bench_rx_chain(rx_payload, repeats)
+        monte_carlo = _bench_monte_carlo(mc_payload, mc_trials, n_workers, smoke)
     meta = _meta("phy", smoke, n_workers)
     meta["c_kernel"] = coding._CKERNEL is not None
     payload = {
         "meta": meta,
         "encode": encode,
         "viterbi": viterbi,
-        "rx_chain": _bench_rx_chain(rx_payload, repeats),
-        "monte_carlo": _bench_monte_carlo(mc_payload, mc_trials, n_workers, smoke),
+        "rx_chain": rx_chain,
+        "monte_carlo": monte_carlo,
+        "observability": _observability_section(registry),
     }
     validate_bench(payload)
     _write(payload, out_path)
@@ -448,31 +479,35 @@ def run_mac_bench(
     seeds (the uncached leg re-runs the PHY calibration per point, which
     is what real sweeps did before the cache existed).
     """
-    if smoke:
-        engine = _bench_engine(stations=4, duration=0.4, runs=2)
-        sweep = _bench_sweep(
-            receivers=(2, 4), payloads=(256, 1024), trials=1, duration=0.2,
-            calibration_payload=500, calibration_trials=2,
-        )
-        pool = _bench_trials_pool(
-            trials=4, stations=4, duration=0.2, n_workers=n_workers, smoke=True,
-        )
-    else:
-        engine = _bench_engine(stations=10, duration=2.0, runs=3)
-        sweep = _bench_sweep(
-            receivers=(2, 4, 6, 8), payloads=(256, 1024, 2048, 4095),
-            trials=2, duration=0.4,
-            calibration_payload=4090, calibration_trials=30,
-        )
-        pool = _bench_trials_pool(
-            trials=8, stations=8, duration=1.0, n_workers=n_workers, smoke=False,
-        )
+    with collecting() as registry:
+        if smoke:
+            engine = _bench_engine(stations=4, duration=0.4, runs=2)
+            sweep = _bench_sweep(
+                receivers=(2, 4), payloads=(256, 1024), trials=1, duration=0.2,
+                calibration_payload=500, calibration_trials=2,
+            )
+            pool = _bench_trials_pool(
+                trials=4, stations=4, duration=0.2, n_workers=n_workers,
+                smoke=True,
+            )
+        else:
+            engine = _bench_engine(stations=10, duration=2.0, runs=3)
+            sweep = _bench_sweep(
+                receivers=(2, 4, 6, 8), payloads=(256, 1024, 2048, 4095),
+                trials=2, duration=0.4,
+                calibration_payload=4090, calibration_trials=30,
+            )
+            pool = _bench_trials_pool(
+                trials=8, stations=8, duration=1.0, n_workers=n_workers,
+                smoke=False,
+            )
 
     payload = {
         "meta": _meta("mac", smoke, n_workers),
         "engine": engine,
         "sweep": sweep,
         "trials_pool": pool,
+        "observability": _observability_section(registry),
     }
     validate_bench(payload)
     _write(payload, out_path)
@@ -575,10 +610,14 @@ def run_net_bench(
         config = DeploymentConfig(n_aps=9, stas_per_ap=6, duration=3.0,
                                   channels=1)
 
+    with collecting() as registry:
+        deployment = _bench_deployment(config, n_workers, smoke)
+        replay = _bench_replay(config)
     payload = {
         "meta": _meta("net", smoke, n_workers),
-        "deployment": _bench_deployment(config, n_workers, smoke),
-        "replay": _bench_replay(config),
+        "deployment": deployment,
+        "replay": replay,
+        "observability": _observability_section(registry),
     }
     validate_bench(payload)
     _write(payload, out_path)
@@ -676,7 +715,10 @@ def compare_bench(current: dict, baseline: dict, threshold: float = 0.2) -> list
         raise ValueError(f"threshold must be in (0, 1), got {threshold}")
     regressions = []
     for section, body in baseline.items():
-        if section == "meta" or not isinstance(body, dict):
+        # The optional ``observability`` section carries run-dependent
+        # counters (cache hits, pool reuse), not performance metrics:
+        # never compared, and absent from older baselines by design.
+        if section in ("meta", "observability") or not isinstance(body, dict):
             continue
         cur_body = current.get(section)
         if not isinstance(cur_body, dict):

@@ -33,6 +33,11 @@ import tempfile
 from functools import lru_cache
 from types import ModuleType
 
+from ..obs.log import get_logger
+from ..obs.trace import active_recorder, metrics
+
+log = get_logger(__name__)
+
 __all__ = [
     "ResultCache",
     "cache_enabled",
@@ -148,6 +153,7 @@ class ResultCache:
             return None
         if key in self._memory:
             self.hits += 1
+            self._record("hit", key, tier="memory")
             return self._memory[key]
         try:
             with open(self._path(key)) as handle:
@@ -155,10 +161,26 @@ class ResultCache:
         except (OSError, ValueError):
             # Missing, unreadable, or half-written entry: treat as a miss.
             self.misses += 1
+            self._record("miss", key)
             return None
         self._memory[key] = value
         self.hits += 1
+        self._record("hit", key, tier="disk")
         return value
+
+    _COUNTERS = {"hit": "runtime.cache_hits", "miss": "runtime.cache_misses"}
+
+    def _record(self, outcome: str, key: str, tier: str = "") -> None:
+        """Forward one lookup outcome to the obs layer (no-ops when off)."""
+        metrics().counter(self._COUNTERS[outcome]).inc()
+        rec = active_recorder()
+        if rec is not None:
+            fields = {"namespace": self.namespace, "key": key}
+            if tier:
+                fields["tier"] = tier
+            rec.emit("runtime", f"cache_{outcome}", **fields)
+        log.debug("cache %s: %s/%s%s", outcome, self.namespace, key,
+                  f" ({tier})" if tier else "")
 
     def put(self, key: str, value) -> None:
         """Store a JSON-serialisable value under ``key`` (atomic on disk)."""

@@ -44,6 +44,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.log import get_logger
+from ..obs.trace import (
+    active_recorder,
+    chunk_capture,
+    ingest_chunk,
+    metrics,
+    suspended,
+    trial_correlation_id,
+    worker_spec,
+)
+
+log = get_logger(__name__)
+
 __all__ = [
     "resolve_workers",
     "trial_rngs",
@@ -198,6 +211,7 @@ def persistent_pool(n_workers: int, shared=None) -> ProcessPoolExecutor:
     if entry is not None:
         pool, payload = entry
         if shared is None or payload is shared:
+            metrics().counter("runtime.pool_reused").inc()
             return pool
         # New payload for this worker count: the old pool's workers were
         # initialised with the previous tables, so retire it and start
@@ -218,6 +232,9 @@ def persistent_pool(n_workers: int, shared=None) -> ProcessPoolExecutor:
         # everywhere (and serves the n_workers=1 serial path).
         _SHARED = shared
     _POOLS[key] = (pool, shared)
+    metrics().counter("runtime.pool_spawned").inc()
+    log.debug("spawned persistent pool: %d workers, shared=%s",
+              n_workers, shared is not None)
     return pool
 
 
@@ -265,11 +282,14 @@ def autotune_chunk_size(
     children = _trial_seeds(seed, n_trials)
     start = time.perf_counter()
     probed = 0
-    for index in range(min(max_probe_trials, n_trials)):
-        fn(index, np.random.default_rng(children[index]), *args)
-        probed += 1
-        if time.perf_counter() - start >= target_seconds:
-            break
+    # Probe results are discarded and the chunks re-run the same trials,
+    # so any obs events they would emit are duplicates: suspend capture.
+    with suspended():
+        for index in range(min(max_probe_trials, n_trials)):
+            fn(index, np.random.default_rng(children[index]), *args)
+            probed += 1
+            if time.perf_counter() - start >= target_seconds:
+                break
     per_trial = (time.perf_counter() - start) / probed
     upper = max(1, -(-n_trials // n_workers))  # ceil: >= one chunk per worker
     if per_trial <= 0:
@@ -277,18 +297,37 @@ def autotune_chunk_size(
     return int(np.clip(round(target_seconds / per_trial), 1, upper))
 
 
-def _run_trial_chunk(fn, seed, n_trials, start, stop, args):
+def _run_trial_chunk(fn, seed, n_trials, start, stop, args, obs_spec=None):
     """Run trials ``start..stop`` of ``n_trials`` (executes inside a worker).
 
     The full spawn is recomputed here so a chunk's RNGs are identical to
     the ones a serial run hands the same trial indices — ``spawn`` is cheap
     (micro-seconds per child), so this costs nothing measurable.
+
+    ``obs_spec`` (only passed on pool submissions, and only when the
+    parent has observability on) makes the worker capture its own events
+    and metrics under a fresh local recorder/registry and return an
+    ``ObsChunk`` for the parent to fold back in span order. With it
+    ``None`` — every uninstrumented run — the plain results list comes
+    back untouched. Serial in-process calls leave it ``None`` too: there
+    the parent's own ambient recorder is already active.
     """
     children = _trial_seeds(seed, n_trials)[start:stop]
-    return [
-        fn(index, np.random.default_rng(ss), *args)
-        for index, ss in zip(range(start, stop), children)
-    ]
+    with chunk_capture(obs_spec) as wrap:
+        rec = active_recorder()
+        if rec is None:
+            return wrap([
+                fn(index, np.random.default_rng(ss), *args)
+                for index, ss in zip(range(start, stop), children)
+            ])
+        results = []
+        for index, ss in zip(range(start, stop), children):
+            # Correlation ids derive from the run seed and the trial's
+            # SeedSequence spawn position, never id()/clock, so serial
+            # and parallel traces carry identical ids.
+            with rec.correlate(trial_correlation_id(seed, index)):
+                results.append(fn(index, np.random.default_rng(ss), *args))
+        return wrap(results)
 
 
 def _abandon_pool(pool: ProcessPoolExecutor) -> None:
@@ -305,7 +344,7 @@ def _abandon_pool(pool: ProcessPoolExecutor) -> None:
 
 
 def _retry_chunk_isolated(fn, seed, n_trials, start, stop, args,
-                          chunk_timeout, attempts_left):
+                          chunk_timeout, attempts_left, obs_spec=None):
     """Re-run one chunk in fresh single-worker pools until it succeeds.
 
     Each attempt gets its own process, so a crash or hang cannot take other
@@ -321,8 +360,9 @@ def _retry_chunk_isolated(fn, seed, n_trials, start, stop, args,
         attempt += 1
         pool = ProcessPoolExecutor(max_workers=1, mp_context=_mp_context())
         try:
-            future = pool.submit(_run_trial_chunk, fn, seed, n_trials, start, stop, args)
-            results = future.result(timeout=chunk_timeout)
+            future = pool.submit(_run_trial_chunk, fn, seed, n_trials,
+                                 start, stop, args, obs_spec)
+            results = ingest_chunk(future.result(timeout=chunk_timeout))
             pool.shutdown(wait=False)
             return results, attempt, None
         except FutureTimeout:
@@ -342,6 +382,7 @@ def _run_trials_hardened(fn, n_trials, seed, n_workers, chunk_size, args,
     spans = _chunk_spans(n_trials, chunk_size)
     results: list = [None] * n_trials
     pending: list = []  # (start, stop, first_error)
+    rec = active_recorder()
 
     if n_workers == 1:
         # Serial: no pool to time out; catch per-chunk exceptions only.
@@ -353,13 +394,16 @@ def _run_trials_hardened(fn, n_trials, seed, n_workers, chunk_size, args,
             except Exception:
                 pending.append((start, stop, traceback.format_exc(limit=1).strip()))
     else:
+        spec = worker_spec()
         workers = min(n_workers, len(spans))
         pool = ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context())
+        metrics().counter("runtime.pool_spawned").inc()
         abandoned = False
         try:
             futures = [
                 (start, stop,
-                 pool.submit(_run_trial_chunk, fn, seed, n_trials, start, stop, args))
+                 pool.submit(_run_trial_chunk, fn, seed, n_trials,
+                             start, stop, args, spec))
                 for start, stop in spans
             ]
             for start, stop, future in futures:
@@ -367,7 +411,8 @@ def _run_trials_hardened(fn, n_trials, seed, n_workers, chunk_size, args,
                     pending.append((start, stop, "pool abandoned"))
                     continue
                 try:
-                    results[start:stop] = future.result(timeout=chunk_timeout)
+                    results[start:stop] = ingest_chunk(
+                        future.result(timeout=chunk_timeout))
                 except FutureTimeout:
                     # A wedged worker poisons every later wait: abandon the
                     # shared pool and sort the rest out in isolation.
@@ -383,13 +428,25 @@ def _run_trials_hardened(fn, n_trials, seed, n_workers, chunk_size, args,
 
     failures: list = []
     for start, stop, first_error in pending:
+        metrics().counter("runtime.chunk_retries").inc()
+        if rec is not None:
+            rec.emit("runtime", "chunk_retry", start=start, stop=stop,
+                     error=first_error)
+        log.warning("retrying trials %d..%d in isolation: %s",
+                    start, stop - 1, first_error)
         chunk, attempts, error = _retry_chunk_isolated(
             fn, seed, n_trials, start, stop, args,
-            chunk_timeout, max_chunk_retries,
+            chunk_timeout, max_chunk_retries, worker_spec(),
         )
         if chunk is not None:
             results[start:stop] = chunk
         else:
+            metrics().counter("runtime.chunks_failed").inc()
+            if rec is not None:
+                rec.emit("runtime", "chunk_failed", start=start, stop=stop,
+                         attempts=1 + attempts, error=error or first_error)
+            log.error("trials %d..%d lost after %d attempt(s): %s",
+                      start, stop - 1, 1 + attempts, error or first_error)
             failures.append(ChunkFailure(
                 start=start, stop=stop, attempts=1 + attempts,
                 error=error or first_error,
@@ -452,6 +509,18 @@ def run_trials(
         RuntimeError: A chunk exhausted its retries and ``salvage`` is off
             (only possible when the hardened path is active).
     """
+    with metrics().timer("runtime.run_trials").time():
+        return _run_trials_impl(
+            fn, n_trials, seed=seed, n_workers=n_workers,
+            chunk_size=chunk_size, args=args, chunk_timeout=chunk_timeout,
+            max_chunk_retries=max_chunk_retries, salvage=salvage,
+            reuse_pool=reuse_pool, shared=shared,
+        )
+
+
+def _run_trials_impl(fn, n_trials, *, seed, n_workers, chunk_size, args,
+                     chunk_timeout, max_chunk_retries, salvage, reuse_pool,
+                     shared):
     global _SHARED
     if n_trials < 0:
         raise ValueError(f"n_trials must be >= 0, got {n_trials}")
@@ -473,16 +542,20 @@ def run_trials(
             chunk_size = max(1, -(-n_trials // (4 * n_workers)))
         spans = _chunk_spans(n_trials, chunk_size)
         workers = min(n_workers, len(spans))
+        spec = worker_spec()
         if reuse_pool:
             pool = persistent_pool(workers, shared=shared)
             try:
                 futures = [
-                    pool.submit(_run_trial_chunk, fn, seed, n_trials, start, stop, args)
+                    pool.submit(_run_trial_chunk, fn, seed, n_trials,
+                                start, stop, args, spec)
                     for start, stop in spans
                 ]
                 results: list = []
+                # Futures are consumed in span order, so worker-captured
+                # events fold back into the parent trace in trial order.
                 for future in futures:
-                    results.extend(future.result())
+                    results.extend(ingest_chunk(future.result()))
                 return results
             except BrokenProcessPool:
                 # A dead worker poisons the pool for every later call:
@@ -490,17 +563,19 @@ def run_trials(
                 _discard_pool(pool)
                 raise
         init = (_init_worker, (shared,)) if shared is not None else (None, ())
+        metrics().counter("runtime.pool_spawned").inc()
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=_mp_context(),
             initializer=init[0], initargs=init[1],
         ) as pool:
             futures = [
-                pool.submit(_run_trial_chunk, fn, seed, n_trials, start, stop, args)
+                pool.submit(_run_trial_chunk, fn, seed, n_trials,
+                            start, stop, args, spec)
                 for start, stop in spans
             ]
             results = []
             for future in futures:
-                results.extend(future.result())
+                results.extend(ingest_chunk(future.result()))
         return results
 
     if chunk_size is None:
@@ -534,20 +609,67 @@ def parallel_map(
     persistent pool (``reuse_pool=False`` for a disposable one). Items
     should be deterministic units of work (carry their own seeds) so that
     serial and parallel runs agree.
+
+    When observability is active, every item runs under a positional
+    correlation id (``i00042``) — the same id at any worker count — and
+    worker-side captures are folded back in item order.
     """
     items = list(items)
     n_workers = resolve_workers(n_workers)
     if n_workers == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        rec = active_recorder()
+        if rec is None:
+            return [fn(item) for item in items]
+        results = []
+        for index, item in enumerate(items):
+            with rec.correlate(_item_cid(index)):
+                results.append(fn(item))
+        return results
     if chunk_size is None:
         chunk_size = max(1, -(-len(items) // (4 * n_workers)))
     workers = min(n_workers, len(items))
+    spec = worker_spec()
+    mapper = fn if spec is None else _ObservedItem(fn, spec)
+    payload = items if spec is None else list(enumerate(items))
     if reuse_pool:
         pool = persistent_pool(workers)
         try:
-            return list(pool.map(fn, items, chunksize=chunk_size))
+            out = list(pool.map(mapper, payload, chunksize=chunk_size))
         except BrokenProcessPool:
             _discard_pool(pool)
             raise
-    with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as pool:
-        return list(pool.map(fn, items, chunksize=chunk_size))
+    else:
+        metrics().counter("runtime.pool_spawned").inc()
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context()
+        ) as pool:
+            out = list(pool.map(mapper, payload, chunksize=chunk_size))
+    if spec is None:
+        return out
+    # pool.map preserves item order, so ingesting sequentially keeps the
+    # parent trace in item order regardless of worker count.
+    return [ingest_chunk(chunk) for chunk in out]
+
+
+def _item_cid(index: int) -> str:
+    """Positional correlation id for :func:`parallel_map` items (the items
+    carry their own seeds, so position is the stable identity)."""
+    return f"i{index:05d}"
+
+
+class _ObservedItem:
+    """Picklable per-item wrapper: run ``fn(item)`` under a fresh worker
+    capture and return the result wrapped in an ``ObsChunk``."""
+
+    def __init__(self, fn, spec):
+        self.fn = fn
+        self.spec = spec
+
+    def __call__(self, indexed_item):
+        index, item = indexed_item
+        with chunk_capture(self.spec) as wrap:
+            rec = active_recorder()
+            if rec is None:
+                return wrap(self.fn(item))
+            with rec.correlate(_item_cid(index)):
+                return wrap(self.fn(item))

@@ -1,0 +1,53 @@
+"""The library-wide `repro` logger: silent by default, one CLI handler."""
+
+import logging
+
+from repro.obs.log import REPRO_LOGGER, configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_bare_and_module_names_map_to_same_logger(self):
+        assert get_logger("runtime.cache") is get_logger("repro.runtime.cache")
+        assert get_logger("runtime.cache").name == "repro.runtime.cache"
+
+    def test_empty_name_is_root(self):
+        assert get_logger() is REPRO_LOGGER
+        assert get_logger("repro") is REPRO_LOGGER
+
+    def test_null_handler_by_default(self):
+        assert any(isinstance(h, logging.NullHandler)
+                   for h in REPRO_LOGGER.handlers)
+
+
+class TestConfigureLogging:
+    def _cli_handlers(self):
+        return [h for h in REPRO_LOGGER.handlers
+                if getattr(h, "_repro_cli_handler", False)]
+
+    def _cleanup(self):
+        for handler in self._cli_handlers():
+            REPRO_LOGGER.removeHandler(handler)
+        REPRO_LOGGER.setLevel(logging.NOTSET)
+
+    def test_attaches_single_handler_idempotently(self):
+        try:
+            configure_logging("INFO")
+            configure_logging("debug")  # case-insensitive re-level, no stack
+            handlers = self._cli_handlers()
+            assert len(handlers) == 1
+            assert handlers[0].level == logging.DEBUG
+            assert REPRO_LOGGER.level == logging.DEBUG
+        finally:
+            self._cleanup()
+
+    def test_emits_through_configured_handler(self, capsys):
+        import io
+
+        stream = io.StringIO()
+        try:
+            configure_logging("INFO", stream=stream)
+            get_logger("runtime.cache").info("cache hit: %s", "k1")
+            assert "cache hit: k1" in stream.getvalue()
+            assert "repro.runtime.cache" in stream.getvalue()
+        finally:
+            self._cleanup()

@@ -1,0 +1,64 @@
+"""Run manifests: provenance records and config hashing."""
+
+import dataclasses
+import json
+
+import numpy as np
+
+from repro.obs.manifest import config_hash, git_sha, write_manifest
+
+
+@dataclasses.dataclass
+class _Config:
+    trials: int
+    payload: tuple
+
+
+class TestConfigHash:
+    def test_none_is_none(self):
+        assert config_hash(None) is None
+
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_handles_dataclasses_tuples_numpy(self):
+        digest = config_hash(_Config(trials=np.int64(3), payload=(1, 2)))
+        assert digest == config_hash({"trials": 3, "payload": [1, 2]})
+
+
+class TestGitSha:
+    def test_returns_sha_or_none(self):
+        sha = git_sha()
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+
+class TestWriteManifest:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "m.json"
+        manifest = write_manifest(
+            path, kind="trials", seed=42, config={"trials": 8},
+            metrics={"counters": {"n": 8}}, wall_seconds=1.5,
+            cpu_seconds=1.2, trace_path="t.jsonl", n_events=3,
+        )
+        data = json.loads(path.read_text())
+        assert data["kind"] == "trials"
+        assert data["seed"] == 42
+        assert data["config"] == {"trials": 8}
+        assert data["config_hash"] == config_hash({"trials": 8})
+        assert data["metrics"]["counters"]["n"] == 8
+        assert data["n_events"] == 3
+        assert data["python_version"]
+        assert data["numpy_version"] == np.__version__
+        assert manifest.kind == "trials"
+        assert not path.with_suffix(".json.tmp").exists()
+
+    def test_minimal(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_manifest(path, kind="bench")
+        data = json.loads(path.read_text())
+        assert data["kind"] == "bench"
+        assert data["seed"] is None
+        assert data["config_hash"] is None

@@ -1,0 +1,31 @@
+"""Library code must not print.
+
+Diagnostics go through ``repro.obs.log`` (silent by default) or the
+metrics/trace layer; only the CLI owns stdout. CI enforces the same
+rule with ruff's T201 check — this test keeps it enforced locally
+where ruff may not be installed.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: The CLI is the one place allowed to talk to the user on stdout.
+ALLOWED = {SRC / "cli.py"}
+
+#: A call of the ``print`` builtin: not preceded by a word char or a dot
+#: (so ``code_fingerprint(`` and ``obj.print(`` don't count).
+PRINT_CALL = re.compile(r"(?<![\w.])print\(")
+
+
+def test_no_print_calls_outside_cli():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            if PRINT_CALL.search(code):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, "print() in library code:\n" + "\n".join(offenders)

@@ -164,3 +164,112 @@ class TestExperimentDeterminism:
         assert np.array_equal(serial.ber_per_symbol, parallel.ber_per_symbol)
         assert serial.crc_pass_rate == parallel.crc_pass_rate
         assert serial.side_bit_error_rate == parallel.side_bit_error_rate
+
+
+def _emitting_trial(trial_index, rng, scale):
+    # Emits through the ambient recorder/registry so trace determinism
+    # can be asserted across worker counts.
+    from repro.obs.trace import active_recorder, metrics
+
+    value = round(float(rng.random()) * scale, 9)
+    rec = active_recorder()
+    if rec is not None:
+        rec.emit("test", "trial_done", value=value)
+    metrics().counter("test.trials").inc()
+    return (trial_index, value)
+
+
+def _emitting_item(x):
+    from repro.obs.trace import active_recorder
+
+    rec = active_recorder()
+    if rec is not None:
+        rec.emit("test", "map_item", x=x)
+    return x * x
+
+
+class TestTraceDeterminism:
+    """Correlation ids derive from the run seed and the trial's spawn
+    position — never ``id()`` or the clock — so an instrumented run
+    produces the exact same trace at any worker count or chunking."""
+
+    @pytest.fixture(autouse=True)
+    def _pristine_obs(self):
+        from repro.obs.trace import disable_metrics, set_recorder
+
+        set_recorder(None)
+        disable_metrics()
+        yield
+        set_recorder(None)
+        disable_metrics()
+
+    def _traced_run(self, **kwargs):
+        import json
+
+        from repro.obs.trace import TraceRecorder, set_recorder
+
+        recorder = TraceRecorder(None, deterministic=True)
+        set_recorder(recorder)
+        try:
+            results = run_trials(_emitting_trial, 8, seed=5, args=(2.0,),
+                                 **kwargs)
+        finally:
+            set_recorder(None)
+        return results, json.dumps(recorder.events, sort_keys=True)
+
+    def test_trace_byte_identical_across_worker_counts(self):
+        shutdown_pools()
+        serial_results, serial_trace = self._traced_run(n_workers=1)
+        for kwargs in ({"n_workers": 3}, {"n_workers": 2, "chunk_size": 3},
+                       {"n_workers": 3, "chunk_size": 1}):
+            results, trace = self._traced_run(**kwargs)
+            assert results == serial_results, kwargs
+            assert trace == serial_trace, kwargs
+        shutdown_pools()
+
+    def test_cids_derive_from_seed_and_position(self):
+        from repro.obs.trace import trial_correlation_id
+
+        _, trace = self._traced_run(n_workers=1)
+        import json
+
+        events = json.loads(trace)
+        assert [e["cid"] for e in events] == [
+            trial_correlation_id(5, i) for i in range(8)
+        ]
+        # A different run seed yields different ids for the same slots.
+        assert trial_correlation_id(6, 0) != trial_correlation_id(5, 0)
+
+    def test_parallel_map_positional_cids(self):
+        import json
+
+        from repro.obs.trace import TraceRecorder, set_recorder
+
+        traces = []
+        for n_workers in (1, 3):
+            recorder = TraceRecorder(None, deterministic=True)
+            set_recorder(recorder)
+            try:
+                assert parallel_map(_emitting_item, [3, 1, 2],
+                                    n_workers=n_workers) == [9, 1, 4]
+            finally:
+                set_recorder(None)
+            traces.append(json.dumps(recorder.events, sort_keys=True))
+        assert traces[0] == traces[1]
+        events = json.loads(traces[0])
+        assert [e["cid"] for e in events] == ["i00000", "i00001", "i00002"]
+        shutdown_pools()
+
+    def test_worker_metrics_fold_back_only_when_shipped(self):
+        from repro.obs.trace import disable_metrics, enable_metrics
+
+        registry = enable_metrics()  # parent-side only
+        run_trials(_emitting_trial, 6, seed=1, n_workers=2, args=(1.0,))
+        assert registry.counter("test.trials").value == 0
+        disable_metrics()
+
+        registry = enable_metrics(ship_to_workers=True)
+        run_trials(_emitting_trial, 6, seed=1, n_workers=2, args=(1.0,))
+        assert registry.counter("test.trials").value == 6
+        disable_metrics()
+        shutdown_pools()

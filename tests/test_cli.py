@@ -162,3 +162,94 @@ class TestCommands:
         assert main(["bench", "--suite", "mac", "--smoke",
                      "--out", str(run), "--compare", str(empty)]) == 0
         assert "skipping compare" in capsys.readouterr().out
+
+
+class TestObsFlags:
+    def test_trace_and_metrics_flags(self):
+        args = build_parser().parse_args(
+            ["phy", "--trace", "t.jsonl", "--trace-sample", "4", "--metrics"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.trace_sample == 4
+        assert args.metrics
+        defaults = build_parser().parse_args(["phy"])
+        assert defaults.trace is None and not defaults.metrics
+
+    def test_log_level_is_global(self):
+        args = build_parser().parse_args(["--log-level", "debug", "mac"])
+        assert args.log_level == "debug"
+        assert build_parser().parse_args(["mac"]).log_level is None
+
+    def test_report_flags(self):
+        args = build_parser().parse_args(
+            ["report", "t.jsonl", "--top", "5", "--timeline", "10"]
+        )
+        assert args.path == "t.jsonl"
+        assert args.top == 5
+        assert args.timeline == 10
+
+    def test_trace_sample_rejects_nonpositive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["phy", "--trace-sample", "0"])
+
+
+class TestObsCommands:
+    def test_traced_run_then_report(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        code = main(["phy", "--trials", "2", "--payload", "300",
+                     "--trace", str(trace), "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace: {trace}" in out
+        assert "--- metrics: counters ---" in out
+        assert trace.exists()
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert events, "traced run produced no events"
+        assert events[-1]["layer"] == "obs" and events[-1]["event"] == "metrics"
+        manifest = json.loads((tmp_path / "run.jsonl.manifest.json").read_text())
+        assert manifest["kind"] == "phy"
+        assert manifest["n_events"] == len(events)
+
+        code = main(["report", str(trace)])
+        assert code == 0
+        report = capsys.readouterr().out
+        assert "Event counts by layer" in report
+        assert "Top timers" in report
+
+    def test_report_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_report_malformed_trace_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["report", str(bad)]) == 2
+        assert "malformed trace" in capsys.readouterr().err
+
+    def test_report_does_not_truncate_its_input(self, capsys, tmp_path):
+        # Regression: `report` must never be treated as a traced run and
+        # truncate the very file it is asked to render.
+        trace = tmp_path / "run.jsonl"
+        trace.write_text('{"seq": 0, "layer": "mac", "event": "transmit"}\n')
+        assert main(["report", str(trace)]) == 0
+        assert trace.read_text().strip() != ""
+        assert "1 events" in capsys.readouterr().out
+
+    def test_log_level_attaches_handler(self, capsys):
+        import logging
+
+        from repro.obs.log import REPRO_LOGGER
+
+        try:
+            assert main(["--log-level", "warning", "list"]) == 0
+            handlers = [h for h in REPRO_LOGGER.handlers
+                        if getattr(h, "_repro_cli_handler", False)]
+            assert len(handlers) == 1
+            assert REPRO_LOGGER.level == logging.WARNING
+        finally:
+            for handler in list(REPRO_LOGGER.handlers):
+                if getattr(handler, "_repro_cli_handler", False):
+                    REPRO_LOGGER.removeHandler(handler)
+            REPRO_LOGGER.setLevel(logging.NOTSET)
