@@ -1,6 +1,6 @@
 # Convenience targets for the Carpool reproduction.
 
-.PHONY: install test test-all bench bench-smoke bench-phy bench-mac bench-net bench-compare examples clean
+.PHONY: install test test-all bench bench-smoke bench-phy bench-mac bench-net bench-scaling bench-compare examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -29,6 +29,12 @@ bench-mac:
 
 bench-net:
 	PYTHONPATH=src python -m repro bench --suite net --out BENCH_net.json
+
+# Full suites with the speedup-vs-workers curves of every pool section
+# collected into one artifact (bench output goes to a temp dir).
+bench-scaling:
+	PYTHONPATH=src python -m repro bench --suite all \
+		--out-dir "$$(mktemp -d)" --scaling-out BENCH_scaling.json
 
 # Regression gate against the committed baselines: re-runs the full
 # suites into a temp dir (~30 s) and exits non-zero on a >20% drop in

@@ -20,7 +20,10 @@ import numpy as np
 
 from repro.channel.fading import FadingProfile
 from repro.channel.model import ChannelModel
-from repro.core.receiver import decode_subframe_symbols
+from repro.core.receiver import (
+    decode_subframe_symbols,
+    decode_subframe_symbols_frozen_batch,
+)
 from repro.core.symbol_crc import DEFAULT_CRC_CONFIG, SymbolCrcConfig
 from repro.phy import payload_codec
 from repro.phy.frontend import acquire
@@ -33,7 +36,7 @@ from repro.phy.transceiver import (
     SIG_SYMBOL_OFFSET,
     PhyTransmitter,
 )
-from repro.runtime.trials import run_trials
+from repro.runtime.trials import run_trials, shared_payload
 from repro.util.rng import RngStream, derive_seed
 
 __all__ = [
@@ -149,19 +152,98 @@ def _decode_standard_subframe(received, mcs, crc_config, use_rte, rte_rule,
     )
 
 
-def _ber_symbol_trial(trial_index, rng, frame, true_side_bits, link, mcs,
-                      crc_config, use_rte, rte_rule, rte_guard=None):
-    """One Fig. 3/13 trial: returns (per-symbol errors, CRC passes, side errs)."""
+#: Trials decoded per stacked call of the batched executors; bounds the
+#: working set of the (n_trials, n_symbols, 52) intermediates without
+#: changing results (the decode is independent per trial).
+_BATCH_TILE = 64
+
+
+def _frame_tables(frame, true_side_bits) -> dict:
+    """The read-only per-run arrays every trial needs, as a ``shared=``
+    payload (one shared-memory shipment per worker instead of a pickled
+    copy of the frame per chunk)."""
+    return {
+        "frame_symbols": frame.symbols,
+        "payload_bits": frame.payload_bit_matrix,
+        "side_bits": np.asarray(true_side_bits),
+    }
+
+
+def _decode_standard_batch(received_list, mcs, crc_config):
+    """Front-end per trial, then one stacked frozen decode for all trials.
+
+    The cross-trial analogue of :func:`_decode_standard_subframe` with
+    ``use_rte=False``: acquisition and the SIG phase reference stay
+    per-trial (they are RNG-cheap), the payload decode runs as a single
+    (n_trials, n_symbols, 52) block. Bit-identical per trial.
+    """
+    fronts = [acquire(received) for received in received_list]
+    sig_phases = np.empty(len(fronts))
+    for t, front in enumerate(fronts):
+        sig_eq = equalize(front.derotated[SIG_SYMBOL_OFFSET], front.channel_estimate)
+        _, sig_phases[t] = track_and_compensate(sig_eq, 0)
+    payload = np.stack([f.derotated[PAYLOAD_SYMBOL_OFFSET:] for f in fronts])
+    estimates = np.stack([f.channel_estimate for f in fronts])
+    return decode_subframe_symbols_frozen_batch(
+        payload, estimates, mcs, first_pilot_index=1,
+        reference_phases=sig_phases, crc_config=crc_config,
+    )
+
+
+def _ber_symbol_trial(trial_index, rng, link, mcs, crc_config, use_rte,
+                      rte_rule, rte_guard=None):
+    """One Fig. 3/13 trial: returns (per-symbol errors, CRC passes, side errs).
+
+    Reads the frame tables from the run's shared payload
+    (:func:`_frame_tables`), shipped to each worker once.
+    """
+    tables = shared_payload()
     channel = _trial_channel(link, "ber-by-symbol", rng)
-    received = channel.transmit(frame.symbols)
+    received = channel.transmit(tables["frame_symbols"])
     bit_matrix, side_bits, crc_pass, _phases, _est, _eq = _decode_standard_subframe(
         received, mcs, crc_config, use_rte, rte_rule, rte_guard
     )
     return (
-        (bit_matrix != frame.payload_bit_matrix).sum(axis=1),
+        (bit_matrix != tables["payload_bits"]).sum(axis=1),
         int(crc_pass.sum()),
-        int((side_bits != true_side_bits).sum()),
+        int((side_bits != tables["side_bits"]).sum()),
     )
+
+
+def _ber_symbol_batch(start, rngs, link, mcs, crc_config, use_rte, rte_rule,
+                      rte_guard=None):
+    """Cross-trial batched executor for :func:`_ber_symbol_trial` chunks.
+
+    Transmits each trial's channel realisation from its own RNG (the
+    per-trial streams are untouched), then decodes the whole chunk as one
+    stacked frozen call. RTE decoding is sequential within a frame, so
+    ``use_rte=True`` falls back to the per-trial oracle.
+    """
+    if use_rte:
+        return [
+            _ber_symbol_trial(start + offset, rng, link, mcs, crc_config,
+                              use_rte, rte_rule, rte_guard)
+            for offset, rng in enumerate(rngs)
+        ]
+    tables = shared_payload()
+    outcomes = []
+    for tile_start in range(0, len(rngs), _BATCH_TILE):
+        tile = rngs[tile_start:tile_start + _BATCH_TILE]
+        received_list = [
+            _trial_channel(link, "ber-by-symbol", rng).transmit(
+                tables["frame_symbols"])
+            for rng in tile
+        ]
+        bit_matrix, side_bits, crc_pass, _phases, _eq = _decode_standard_batch(
+            received_list, mcs, crc_config
+        )
+        data_errors = (bit_matrix != tables["payload_bits"][None]).sum(axis=2)
+        side_errors = (side_bits != tables["side_bits"][None]).sum(axis=(1, 2))
+        outcomes.extend(
+            (data_errors[t], int(crc_pass[t].sum()), int(side_errors[t]))
+            for t in range(len(tile))
+        )
+    return outcomes
 
 
 def ber_by_symbol_index(
@@ -174,6 +256,8 @@ def ber_by_symbol_index(
     rte_rule="average",
     rte_guard=None,
     n_workers: int | None = 1,
+    batched: bool | None = None,
+    chunk_size: int | str | None = None,
 ) -> SymbolBerResult:
     """BER as a function of OFDM-symbol index within a long frame.
 
@@ -185,16 +269,27 @@ def ber_by_symbol_index(
 
     ``n_workers`` fans the trials out over a process pool (``None``
     auto-detects the core count); results are identical for any value.
+    ``batched`` routes whole chunks of trials through the stacked frozen
+    decode (one vectorised call per chunk instead of one per trial) —
+    ``None`` enables it whenever the frozen path applies
+    (``use_rte=False``); ``False`` forces the per-trial reference
+    executor. Results are bit-identical either way. ``chunk_size`` is
+    forwarded to :func:`run_trials` (``"auto"`` sizes chunks from
+    measured IPC cost — bigger chunks also mean bigger batched calls).
     """
     mcs = mcs_by_name(mcs_name)
     frame, true_side_bits = _make_frame(payload_bytes, mcs, crc_config, True, link.seed)
+    if batched is None:
+        batched = not use_rte
     outcomes = run_trials(
         _ber_symbol_trial,
         trials,
         seed=derive_seed(link.seed, "ber-by-symbol"),
         n_workers=n_workers,
-        args=(frame, true_side_bits, link, mcs, crc_config, use_rte, rte_rule,
-              rte_guard),
+        chunk_size=chunk_size,
+        args=(link, mcs, crc_config, use_rte, rte_rule, rte_guard),
+        shared=_frame_tables(frame, true_side_bits),
+        batch_fn=_ber_symbol_batch if batched else None,
     )
     n_symbols = frame.n_payload_symbols
     bit_errors = np.zeros(n_symbols)
@@ -217,14 +312,36 @@ def ber_by_symbol_index(
     )
 
 
-def _data_ber_trial(trial_index, rng, frame, stream_name, cfg, mcs, crc_config):
+def _data_ber_trial(trial_index, rng, stream_name, cfg, mcs, crc_config):
     """One Fig. 11 trial: returns the number of data-bit errors."""
+    tables = shared_payload()
     channel = _trial_channel(cfg, stream_name, rng)
-    received = channel.transmit(frame.symbols)
+    received = channel.transmit(tables["frame_symbols"])
     bit_matrix, _, _, _, _, _ = _decode_standard_subframe(
         received, mcs, crc_config, use_rte=False, rte_rule="average"
     )
-    return int((bit_matrix != frame.payload_bit_matrix).sum())
+    return int((bit_matrix != tables["payload_bits"]).sum())
+
+
+def _data_ber_batch(start, rngs, stream_name, cfg, mcs, crc_config):
+    """Stacked-decode executor for :func:`_data_ber_trial` chunks."""
+    tables = shared_payload()
+    errors = []
+    for tile_start in range(0, len(rngs), _BATCH_TILE):
+        tile = rngs[tile_start:tile_start + _BATCH_TILE]
+        received_list = [
+            _trial_channel(cfg, stream_name, rng).transmit(
+                tables["frame_symbols"])
+            for rng in tile
+        ]
+        bit_matrix, _, _, _, _ = _decode_standard_batch(
+            received_list, mcs, crc_config
+        )
+        errors.extend(
+            int(n) for n in
+            (bit_matrix != tables["payload_bits"][None]).sum(axis=(1, 2))
+        )
+    return errors
 
 
 def data_ber_with_side_channel(
@@ -256,24 +373,49 @@ def data_ber_with_side_channel(
         trials,
         seed=derive_seed(cfg.seed, stream_name),
         n_workers=n_workers,
-        args=(frame, stream_name, cfg, mcs, crc_config),
+        args=(stream_name, cfg, mcs, crc_config),
+        shared=_frame_tables(frame, np.zeros(0, dtype=np.uint8)),
+        batch_fn=_data_ber_batch,
     )
     total = trials * frame.payload_bit_matrix.size
     return sum(errors) / total
 
 
-def _side_vs_data_trial(trial_index, rng, frame, true_side_bits, stream_name,
-                        cfg, mcs, crc_config):
+def _side_vs_data_trial(trial_index, rng, stream_name, cfg, mcs, crc_config):
     """One Fig. 12 trial: returns (side-bit errors, data-bit errors)."""
+    tables = shared_payload()
     channel = _trial_channel(cfg, stream_name, rng)
-    received = channel.transmit(frame.symbols)
+    received = channel.transmit(tables["frame_symbols"])
     bit_matrix, side_bits, _, _, _, _ = _decode_standard_subframe(
         received, mcs, crc_config, use_rte=False, rte_rule="average"
     )
     return (
-        int((side_bits != true_side_bits).sum()),
-        int((bit_matrix != frame.payload_bit_matrix).sum()),
+        int((side_bits != tables["side_bits"]).sum()),
+        int((bit_matrix != tables["payload_bits"]).sum()),
     )
+
+
+def _side_vs_data_batch(start, rngs, stream_name, cfg, mcs, crc_config):
+    """Stacked-decode executor for :func:`_side_vs_data_trial` chunks."""
+    tables = shared_payload()
+    outcomes = []
+    for tile_start in range(0, len(rngs), _BATCH_TILE):
+        tile = rngs[tile_start:tile_start + _BATCH_TILE]
+        received_list = [
+            _trial_channel(cfg, stream_name, rng).transmit(
+                tables["frame_symbols"])
+            for rng in tile
+        ]
+        bit_matrix, side_bits, _, _, _ = _decode_standard_batch(
+            received_list, mcs, crc_config
+        )
+        side_errors = (side_bits != tables["side_bits"][None]).sum(axis=(1, 2))
+        data_errors = (bit_matrix != tables["payload_bits"][None]).sum(axis=(1, 2))
+        outcomes.extend(
+            (int(side_errors[t]), int(data_errors[t]))
+            for t in range(len(tile))
+        )
+    return outcomes
 
 
 def side_channel_vs_data_ber(
@@ -314,7 +456,9 @@ def side_channel_vs_data_ber(
         trials,
         seed=derive_seed(cfg.seed, stream_name),
         n_workers=n_workers,
-        args=(frame, true_side_bits, stream_name, cfg, mcs, crc_config),
+        args=(stream_name, cfg, mcs, crc_config),
+        shared=_frame_tables(frame, true_side_bits),
+        batch_fn=_side_vs_data_batch,
     )
     side_errors = sum(side for side, _ in outcomes)
     data_errors = sum(data for _, data in outcomes)

@@ -154,6 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 0.2 = 20%%)")
     bench.add_argument("--workers", type=_positive_int, default=None,
                        help="process count for the parallel legs (default: auto)")
+    bench.add_argument("--scaling-out", metavar="PATH", default=None,
+                       help="also write the speedup-vs-workers curves of every "
+                            "pool section to PATH as one JSON artifact")
 
     report = sub.add_parser(
         "report", help="render a JSONL trace into per-layer summary tables")
@@ -325,6 +328,20 @@ def _cmd_net(args) -> int:
     return 0
 
 
+def _print_scaling(label: str, section: dict) -> None:
+    """One-line speedup curve of a pool section's ``scaling`` subsection."""
+    scaling = section.get("scaling")
+    if not scaling:
+        return
+    points = ", ".join(
+        f"{w}w x{body['speedup_vs_serial']:.2f}"
+        for w, body in sorted(scaling["workers"].items(), key=lambda kv: int(kv[0]))
+    )
+    print(f"{label}: {points} vs serial "
+          f"({scaling['serial_seconds']:.3f}s / {section.get('trials', section.get('aps'))} "
+          f"{scaling['unit']})")
+
+
 def _print_phy_bench(payload) -> None:
     enc, vit = payload["encode"], payload["viterbi"]
     rx, mc = payload["rx_chain"], payload["monte_carlo"]
@@ -340,6 +357,7 @@ def _print_phy_bench(payload) -> None:
           f"{mc['parallel_trials_per_s']:.2f} trials/s x{mc['parallel_workers']} "
           f"workers (crossover={mc['crossover_workers']}, "
           f"identical={mc['identical_serial_parallel']})")
+    _print_scaling("  scaling  ", mc)
 
 
 def _print_mac_bench(payload) -> None:
@@ -357,6 +375,7 @@ def _print_mac_bench(payload) -> None:
           f"x{pool['parallel_workers']} workers "
           f"(crossover={pool['crossover_workers']}, "
           f"identical={pool['identical_serial_parallel']})")
+    _print_scaling("  scaling  ", pool)
 
 
 def _print_net_bench(payload) -> None:
@@ -367,6 +386,7 @@ def _print_net_bench(payload) -> None:
           f"({dep['aps']} APs x {dep['stas_per_ap']} STAs, "
           f"crossover={dep['crossover_workers']}, "
           f"identical={dep['identical_serial_parallel']})")
+    _print_scaling("  scaling  ", dep)
     print(f"replay     : cold {rep['cold_seconds']:.2f}s, "
           f"warm cache hit {rep['warm_seconds'] * 1e3:.1f} ms "
           f"(identical={rep['identical_cold_warm']})")
@@ -400,6 +420,7 @@ def _cmd_bench(args) -> int:
     printers = {"phy": _print_phy_bench, "mac": _print_mac_bench,
                 "net": _print_net_bench}
     status = 0
+    scaling_curves = {}
     for suite in suites:
         out_path = args.out or os.path.join(out_dir, f"BENCH_{suite}.json")
         if not os.path.isdir(os.path.dirname(os.path.abspath(out_path))):
@@ -409,6 +430,12 @@ def _cmd_bench(args) -> int:
                                  out_path=out_path)
         print(f"--- {suite} suite ---")
         printers[suite](payload)
+        for section, body in payload.items():
+            if isinstance(body, dict) and "scaling" in body:
+                scaling_curves[f"{suite}.{section}"] = {
+                    "crossover_workers": body.get("crossover_workers"),
+                    **body["scaling"],
+                }
         obs = payload.get("observability")
         if obs:
             print(f"obs        : pools {obs['pool_spawned']} spawned / "
@@ -434,6 +461,12 @@ def _cmd_bench(args) -> int:
         else:
             print(f"no regression vs {baseline_path} "
                   f"(threshold {args.threshold:.0%})")
+    if args.scaling_out:
+        with open(args.scaling_out, "w") as handle:
+            json.dump({"smoke": args.smoke, "curves": scaling_curves},
+                      handle, indent=2)
+            handle.write("\n")
+        print(f"wrote scaling curves to {args.scaling_out}")
     return status
 
 

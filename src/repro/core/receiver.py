@@ -28,11 +28,21 @@ from repro.phy.channel_estimation import equalize
 from repro.phy.constants import pilot_values
 from repro.phy.frontend import acquire
 from repro.phy.mcs import Mcs
-from repro.phy.ofdm import DATA_POSITIONS, assemble_symbol, split_symbol
-from repro.phy.pilots import track_and_compensate, track_and_compensate_block
+from repro.phy.ofdm import DATA_POSITIONS, PILOT_POSITIONS, assemble_symbol, split_symbol
+from repro.phy.pilots import (
+    pilot_reference_matrix,
+    track_and_compensate,
+    track_and_compensate_block,
+)
 from repro.phy.sig import SigDecodeError, SigField, decode_sig
 
-__all__ = ["SubframeRx", "CarpoolRxResult", "CarpoolReceiver", "decode_subframe_symbols"]
+__all__ = [
+    "SubframeRx",
+    "CarpoolRxResult",
+    "CarpoolReceiver",
+    "decode_subframe_symbols",
+    "decode_subframe_symbols_frozen_batch",
+]
 
 
 @dataclass
@@ -241,6 +251,77 @@ def _decode_subframe_symbols_frozen(
             estimator.skip()
 
     return bit_matrix, side_bits, crc_pass, phases, estimator, equalized
+
+
+def decode_subframe_symbols_frozen_batch(
+    received_stack: np.ndarray,
+    channel_estimates: np.ndarray,
+    mcs: Mcs,
+    first_pilot_index: int,
+    reference_phases: np.ndarray,
+    crc_config: SymbolCrcConfig = DEFAULT_CRC_CONFIG,
+):
+    """Frozen-estimate decode of a whole stack of independent subframes.
+
+    The cross-trial form of :func:`decode_subframe_symbols` with
+    ``use_rte=False``: ``received_stack[t]`` is one trial's (n_symbols, 52)
+    payload block, ``channel_estimates[t]`` its LTF estimate and
+    ``reference_phases[t]`` its SIG phase reference. Every step —
+    equalization, pilot phase tracking, demodulation, side-bit extraction,
+    group CRC — is elementwise (or a fixed-order reduction) per trial, so
+    stacking trials along a leading axis is bit-identical to decoding each
+    trial on its own. All trials must share ``n_symbols`` and
+    ``first_pilot_index`` (true for Monte-Carlo repeats of one frame).
+
+    The ``phy.crc_pass``/``phy.crc_fail`` counters advance by the same
+    totals as per-trial decoding; per-symbol trace sampling is not
+    supported here (callers fall back to the scalar path when a recorder
+    is active).
+
+    Returns:
+        (bit_matrix, side_bits, crc_pass, phases, equalized) — each the
+        per-trial result stacked along axis 0.
+    """
+    with metrics().timer("phy.decode_subframe_batch").time():
+        received_stack = np.asarray(received_stack, dtype=np.complex128)
+        n_trials, n_symbols, _ = received_stack.shape
+        scheme = crc_config.scheme
+
+        estimates = np.asarray(channel_estimates, dtype=np.complex128)[:, None, :]
+        safe = np.where(np.abs(estimates) > 1e-12, estimates, 1.0)
+        equalized = received_stack / safe
+
+        expected_pilots = pilot_reference_matrix(first_pilot_index, n_symbols)
+        correlation = np.sum(
+            equalized[:, :, PILOT_POSITIONS] * np.conj(expected_pilots)[None],
+            axis=2,
+        )
+        phases = np.angle(correlation)
+        equalized = equalized * np.exp(-1j * phases)[:, :, None]
+
+        data_points = equalized[:, :, DATA_POSITIONS]
+        bit_matrix = (
+            mcs.modulation.demodulate(data_points.reshape(-1))
+            .reshape(n_trials, n_symbols, mcs.coded_bits_per_symbol)
+        )
+
+        references = np.asarray(reference_phases, dtype=np.float64)[:, None]
+        previous = np.concatenate([references, phases[:, :-1]], axis=1)
+        deltas = np.angle(np.exp(1j * (phases - previous)))
+        side_bits = (
+            scheme.decode_deltas(deltas.reshape(-1))
+            .reshape(n_trials, n_symbols, scheme.bits_per_symbol)
+        )
+
+        crc_pass = crc_config.check_groups_block(bit_matrix, side_bits)
+        groups = crc_pass[:, ::crc_config.granularity]
+        n_groups = n_trials * crc_config.num_groups(n_symbols)
+        n_pass = int(groups.sum())
+        scope = metrics().scope("phy")
+        scope.counter("crc_pass").inc(n_pass)
+        scope.counter("crc_fail").inc(n_groups - n_pass)
+
+        return bit_matrix, side_bits, crc_pass, phases, equalized
 
 
 class CarpoolReceiver:

@@ -16,10 +16,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.side_channel import TWO_BIT_SCHEME, PhaseOffsetScheme
-from repro.phy.crc import crc_bits
+from repro.phy.crc import crc_bits, crc_contribution_table
 from repro.util.bits import int_to_bits
 
-__all__ = ["SymbolCrcConfig", "DEFAULT_CRC_CONFIG", "crc_checksum_bits"]
+__all__ = [
+    "SymbolCrcConfig",
+    "DEFAULT_CRC_CONFIG",
+    "crc_checksum_bits",
+    "crc_checksum_bits_block",
+]
 
 # Small CRC polynomials by width (without the leading term).
 _POLYS = {
@@ -43,6 +48,26 @@ def crc_checksum_bits(bits: np.ndarray, width: int) -> np.ndarray:
         return np.array([int(bits.sum()) & 1], dtype=np.uint8)
     value = crc_bits(bits, poly=_POLYS[width], width=width)
     return int_to_bits(value, width)
+
+
+def crc_checksum_bits_block(bits_matrix: np.ndarray, width: int) -> np.ndarray:
+    """Row-wise :func:`crc_checksum_bits` over an (n, length) bit matrix.
+
+    All the polynomials in ``_POLYS`` run with a zero initial register, so
+    each CRC is GF(2)-linear in its input and the whole batch reduces to
+    one integer matmul against the cached per-bit contribution table —
+    bit-identical to the scalar loop, row by row.
+    """
+    if width not in _POLYS:
+        raise ValueError(f"unsupported CRC width {width}")
+    bits_matrix = np.asarray(bits_matrix, dtype=np.uint8)
+    if bits_matrix.ndim != 2:
+        raise ValueError("expected an (n, length) bit matrix")
+    if width == 1:
+        return (bits_matrix.sum(axis=1, dtype=np.int64) & 1)[:, None].astype(np.uint8)
+    table = crc_contribution_table(bits_matrix.shape[1], _POLYS[width], width)
+    checksums = bits_matrix.astype(np.int64) @ table.astype(np.int64)
+    return (checksums & 1).astype(np.uint8)
 
 
 @dataclass(frozen=True)
@@ -128,6 +153,36 @@ class SymbolCrcConfig:
         expected = crc_checksum_bits(group_bits, self.crc_width)
         received = np.asarray(received_side_bits[start:end], dtype=np.uint8).reshape(-1)
         return bool(np.array_equal(expected, received))
+
+    def check_groups_block(self, bit_matrix_stack: np.ndarray,
+                           side_bits_stack: np.ndarray) -> np.ndarray:
+        """Per-symbol CRC verdicts for a whole stack of subframes at once.
+
+        Args:
+            bit_matrix_stack: (n_frames, n_symbols, n_cbps) hard-decision
+                data bits.
+            side_bits_stack: (n_frames, n_symbols, bits_per_symbol) decoded
+                side-channel bits.
+
+        Returns:
+            (n_frames, n_symbols) boolean array; entry ``[t, i]`` equals
+            ``check_group(group_of(i), bit_matrix_stack[t],
+            side_bits_stack[t])`` — the group verdict broadcast over the
+            group's symbols, ``False`` for partial trailing groups.
+        """
+        bit_matrix_stack = np.asarray(bit_matrix_stack, dtype=np.uint8)
+        side_bits_stack = np.asarray(side_bits_stack, dtype=np.uint8)
+        n_frames, n_symbols = bit_matrix_stack.shape[:2]
+        crc_pass = np.zeros((n_frames, n_symbols), dtype=bool)
+        for start in range(0, n_symbols, self.granularity):
+            end = start + self.granularity
+            if end > n_symbols:  # partial trailing group: unverifiable
+                break
+            group_bits = bit_matrix_stack[:, start:end].reshape(n_frames, -1)
+            expected = crc_checksum_bits_block(group_bits, self.crc_width)
+            received = side_bits_stack[:, start:end].reshape(n_frames, -1)
+            crc_pass[:, start:end] = np.all(expected == received, axis=1)[:, None]
+        return crc_pass
 
 
 DEFAULT_CRC_CONFIG = SymbolCrcConfig()

@@ -15,9 +15,13 @@ the three layers the rest of this package provides:
   :meth:`~repro.mac.engine.WlanSimulator.simulate_batch` draw path
   (``batched=False`` keeps the scalar parity oracle). Metrics are
   bit-identical either way at equal seeds.
-* **persistent parallel trials** — cells fan out through
-  :func:`repro.runtime.run_trials`, which reuses worker pools across
-  cells instead of respawning per call.
+* **persistent parallel trials** — the whole receivers×payload grid
+  flattens into *one* :func:`repro.runtime.run_trials` call with
+  ``granularity=config.trials``: each chunk carries whole cells (tiles)
+  of trials, the per-cell error models ship once per worker as a
+  ``shared=`` payload, and the worker pool is reused across sweeps. The
+  per-cell seeds are derived exactly as the old cell-at-a-time fan-out
+  derived them, so flattening changes wall time only, never results.
 
 ``repro.runtime.bench.run_mac_bench`` times this sweep both ways
 (batched+cached vs scalar+uncached) and asserts the results agree.
@@ -27,7 +31,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.runtime.trials import run_trials
+import numpy as np
+
+from repro.runtime.trials import run_trials, shared_payload
 from repro.util.rng import derive_seed
 
 __all__ = ["SweepConfig", "SweepCell", "goodput_airtime_sweep"]
@@ -101,20 +107,51 @@ def _sweep_trial(trial_index, rng, num_receivers, payload_bytes, config, error_m
     )
 
 
+def _cell_seed(config: SweepConfig, num_receivers: int, payload: int) -> int:
+    """The root seed of one grid cell — same derivation the old
+    cell-at-a-time fan-out used, so flattened sweeps reproduce it."""
+    return derive_seed(config.seed, "mac-sweep",
+                       f"r{num_receivers}", f"p{payload}")
+
+
+def _sweep_flat_trial(trial_index, rng, config):
+    """One trial of the flattened receivers×payload grid.
+
+    ``trial_index`` addresses (cell, repeat) in row-major order; the cell
+    specs (receivers, payload, error model, cell seed) come from the
+    run's shared payload. The per-trial RNG is re-derived from the *cell*
+    seed — ``SeedSequence(cell_seed).spawn(trials)[repeat]`` — exactly as
+    a standalone per-cell ``run_trials`` would hand it out, so the
+    flattened sweep is bit-identical to the historical one. The flat
+    run's own ``rng`` goes unused for the same reason.
+    """
+    cells = shared_payload()["cells"]
+    cell_index, repeat = divmod(trial_index, config.trials)
+    num_receivers, payload, model, cell_seed = cells[cell_index]
+    cell_rng = np.random.default_rng(
+        np.random.SeedSequence(cell_seed).spawn(config.trials)[repeat])
+    return _sweep_trial(repeat, cell_rng, num_receivers, payload, config, model)
+
+
 def goodput_airtime_sweep(
     config: SweepConfig = SweepConfig(),
     n_workers: int | None = 1,
+    chunk_size: int | str | None = None,
 ) -> list:
     """Run the receivers×payload grid; one :class:`SweepCell` per point.
 
     Every point re-derives its error model through the calibration cache
     (the uncached leg of the bench re-runs the PHY chain per point — the
-    cost this subsystem removes). Cell trials are deterministic in
-    ``config.seed`` for any ``n_workers``.
+    cost this subsystem removes), then the whole grid runs as one
+    flattened :func:`run_trials` call with ``granularity=config.trials``:
+    chunks carry whole cells, never fragments of one. Cell results are
+    deterministic in ``config.seed`` for any ``n_workers`` /
+    ``chunk_size`` (pass ``"auto"`` to size chunks from measured IPC
+    cost).
     """
     from repro.analysis.calibration import calibrate_error_model
 
-    cells = []
+    specs = []
     for num_receivers in config.receiver_counts:
         for payload in config.payload_bytes:
             # Per-point calibration, like a sweep whose points vary in
@@ -125,24 +162,31 @@ def goodput_airtime_sweep(
                 trials=config.calibration_trials,
                 cache=config.cache,
             )
-            outcomes = run_trials(
-                _sweep_trial,
-                config.trials,
-                seed=derive_seed(config.seed, "mac-sweep",
-                                 f"r{num_receivers}", f"p{payload}"),
-                n_workers=n_workers,
-                args=(num_receivers, payload, config, model),
-            )
-            goodputs = [o[0] for o in outcomes]
-            cells.append(SweepCell(
-                num_receivers=num_receivers,
-                payload_bytes=payload,
-                goodput_bps=sum(goodputs) / len(goodputs),
-                useful_goodput_bps=sum(o[1] for o in outcomes) / len(outcomes),
-                airtime_fraction=sum(o[2] for o in outcomes) / len(outcomes),
-                mean_delay=sum(o[3] for o in outcomes) / len(outcomes),
-                retransmitted_subframes=sum(o[4] for o in outcomes) / len(outcomes),
-                trials=config.trials,
-                per_trial_goodput=goodputs,
-            ))
+            specs.append((num_receivers, payload, model,
+                          _cell_seed(config, num_receivers, payload)))
+    outcomes = run_trials(
+        _sweep_flat_trial,
+        len(specs) * config.trials,
+        seed=config.seed,
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        args=(config,),
+        shared={"cells": specs},
+        granularity=config.trials,
+    )
+    cells = []
+    for index, (num_receivers, payload, _model, _seed) in enumerate(specs):
+        tile = outcomes[index * config.trials:(index + 1) * config.trials]
+        goodputs = [o[0] for o in tile]
+        cells.append(SweepCell(
+            num_receivers=num_receivers,
+            payload_bytes=payload,
+            goodput_bps=sum(goodputs) / len(goodputs),
+            useful_goodput_bps=sum(o[1] for o in tile) / len(tile),
+            airtime_fraction=sum(o[2] for o in tile) / len(tile),
+            mean_delay=sum(o[3] for o in tile) / len(tile),
+            retransmitted_subframes=sum(o[4] for o in tile) / len(tile),
+            trials=config.trials,
+            per_trial_goodput=goodputs,
+        ))
     return cells

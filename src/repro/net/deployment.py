@@ -560,8 +560,15 @@ def simulate_deployment(
     cache: ResultCache | None = None,
     use_cache: bool = True,
     manifest_path=None,
+    chunk_size: int | str | None = "auto",
 ) -> DeploymentResult:
     """Simulate a whole deployment; cells fan out over the runtime pools.
+
+    Each trial is one whole cell, and ``chunk_size`` defaults to
+    ``"auto"``: the runtime measures the pool's per-submission IPC cost
+    and batches enough cells per chunk to amortise it (cells are coarse,
+    so this usually lands at a few cells per chunk). Chunking never
+    affects results.
 
     Results are cached under the ``deployment`` namespace, keyed by the
     full config payload and a fingerprint of every package that shapes
@@ -605,6 +612,7 @@ def simulate_deployment(
             _cell_trial, len(specs),
             seed=derive_seed(config.seed, "net-cells"),
             n_workers=n_workers,
+            chunk_size=chunk_size,
             shared=specs,
         )
     with metrics().timer("net.aggregate").time():

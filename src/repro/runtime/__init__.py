@@ -21,6 +21,13 @@ from repro.runtime.cache import (
     code_fingerprint,
     content_key,
     default_cache_dir,
+    stable_digest,
+)
+from repro.runtime.shm import (
+    SharedPayload,
+    pack_payload,
+    payload_fingerprint,
+    shm_supported,
 )
 from repro.runtime.trials import (
     ChunkFailure,
@@ -38,17 +45,22 @@ from repro.runtime.trials import (
 __all__ = [
     "ChunkFailure",
     "ResultCache",
+    "SharedPayload",
     "TrialRunResult",
     "autotune_chunk_size",
     "cache_enabled",
     "code_fingerprint",
     "content_key",
     "default_cache_dir",
+    "pack_payload",
     "parallel_map",
+    "payload_fingerprint",
     "persistent_pool",
     "resolve_workers",
     "run_trials",
     "shared_payload",
+    "shm_supported",
     "shutdown_pools",
+    "stable_digest",
     "trial_rngs",
 ]

@@ -47,7 +47,12 @@ __all__ = [
     "SCHEMA_VERSION",
 ]
 
-SCHEMA_VERSION = 2
+# v3: the serial legs of monte_carlo / trials_pool are the per-trial
+# *scalar oracle*, the parallel legs run the production batched chunk
+# path, and each pool section carries a ``scaling`` subsection — the
+# speedup curve over worker counts (``"1"`` = the batched path in-process,
+# no pool) that ``crossover_workers`` is read from.
+SCHEMA_VERSION = 3
 
 # Suite -> section -> keys every BENCH_*.json must carry (the schema family).
 _REQUIRED_KEYS = {
@@ -67,6 +72,7 @@ _REQUIRED_KEYS = {
             "trials", "payload_bytes", "serial_seconds", "serial_trials_per_s",
             "parallel_workers", "parallel_seconds", "parallel_trials_per_s",
             "pool_reused", "crossover_workers", "identical_serial_parallel",
+            "scaling",
         ),
     },
     "mac": {
@@ -84,9 +90,11 @@ _REQUIRED_KEYS = {
             "speedup", "identical_results",
         ),
         "trials_pool": (
-            "trials", "stations", "serial_seconds", "serial_trials_per_s",
+            "trials", "stations", "payload_bytes", "probes_per_tile",
+            "serial_seconds", "serial_trials_per_s",
             "parallel_workers", "parallel_seconds", "parallel_trials_per_s",
             "pool_reused", "crossover_workers", "identical_serial_parallel",
+            "scaling",
         ),
     },
     "net": {
@@ -98,7 +106,7 @@ _REQUIRED_KEYS = {
             "aps", "stas_per_ap", "duration", "serial_seconds",
             "serial_cells_per_s", "parallel_workers", "parallel_seconds",
             "parallel_cells_per_s", "pool_reused", "crossover_workers",
-            "identical_serial_parallel",
+            "identical_serial_parallel", "scaling",
         ),
         "replay": (
             "aps", "stas_per_ap", "duration", "cold_seconds",
@@ -160,6 +168,37 @@ def _best_of(fn, repeats: int) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _scaling_section(serial_seconds: float, n_units: int, timings: dict,
+                     unit: str) -> dict:
+    """The speedup curve of one pool section: worker count -> timings.
+
+    ``timings["1"]`` is the production (batched, where the section has a
+    batch path) code at one worker *in-process* — no pool; higher counts
+    add the pool. ``serial_seconds`` is the per-trial scalar oracle the
+    speedups are measured against.
+    """
+    return {
+        "unit": unit,
+        "serial_seconds": serial_seconds,
+        "workers": {
+            str(w): {
+                "seconds": s,
+                f"{unit}_per_s": n_units / s,
+                "speedup_vs_serial": serial_seconds / s,
+            }
+            for w, s in sorted(timings.items())
+        },
+    }
+
+
+def _crossover(serial_seconds: float, timings: dict) -> int | None:
+    """Smallest *pooled* worker count that beats the serial oracle."""
+    return next(
+        (w for w in sorted(timings) if w >= 2 and timings[w] < serial_seconds),
+        None,
+    )
 
 
 def _meta(suite: str, smoke: bool, n_workers) -> dict:
@@ -245,24 +284,34 @@ def _bench_rx_chain(payload_bytes: int, repeats: int) -> dict:
 
 def _bench_monte_carlo(payload_bytes: int, trials: int, n_workers,
                        smoke: bool) -> dict:
+    """Scalar serial oracle vs the batched chunk path across worker counts.
+
+    The serial leg (``batched=False``) decodes one frame per call — the
+    per-trial reference the bit-identity contract is stated against. The
+    parallel legs run production code: chunks sized from measured IPC
+    cost, each chunk decoded as one stacked vectorised call, frame tables
+    shipped once per worker by shared memory. ``crossover_workers`` is
+    the smallest pooled count that beats the oracle.
+    """
     from repro.analysis.phy_experiments import LinkConfig, ber_by_symbol_index
 
     link = LinkConfig(seed=1)
     repeats = 1 if smoke else 2
 
-    def leg(w):
+    def leg(w, batched=None, chunk_size=None):
         # Best-of-N: pool scheduling jitter on small boxes easily swings
         # one measurement ±30%, which would poison the committed baseline.
         best, result = float("inf"), None
         for _ in range(repeats):
             start = time.perf_counter()
             result = ber_by_symbol_index(
-                "QAM64-3/4", payload_bytes, trials, link=link, n_workers=w
+                "QAM64-3/4", payload_bytes, trials, link=link, n_workers=w,
+                batched=batched, chunk_size=chunk_size,
             )
             best = min(best, time.perf_counter() - start)
         return best, result
 
-    serial_s, serial = leg(1)
+    serial_s, serial = leg(1, batched=False)
 
     # Exercise the pool even on a single-core box: the point of the parallel
     # leg is to regression-check determinism through the process pool. The
@@ -274,15 +323,18 @@ def _bench_monte_carlo(payload_bytes: int, trials: int, n_workers,
     parallel = None
     for w in candidates:
         ber_by_symbol_index("QAM64-3/4", payload_bytes, 2, link=link, n_workers=w)
-        timings[w], result = leg(w)
+        timings[w], result = leg(w, chunk_size="auto")
         if w == workers:
             parallel = result
-    crossover = next((w for w in sorted(timings) if timings[w] < serial_s), None)
+    # The one-worker point of the curve: batched chunks, no pool.
+    timings[1], batched_serial = leg(1)
+    crossover = _crossover(serial_s, timings)
 
     identical = bool(
         np.array_equal(serial.ber_per_symbol, parallel.ber_per_symbol)
         and serial.crc_pass_rate == parallel.crc_pass_rate
         and serial.side_bit_error_rate == parallel.side_bit_error_rate
+        and np.array_equal(serial.ber_per_symbol, batched_serial.ber_per_symbol)
     )
     return {
         "trials": trials,
@@ -295,6 +347,7 @@ def _bench_monte_carlo(payload_bytes: int, trials: int, n_workers,
         "pool_reused": True,
         "crossover_workers": crossover,
         "identical_serial_parallel": identical,
+        "scaling": _scaling_section(serial_s, trials, timings, "trials"),
     }
 
 
@@ -316,7 +369,7 @@ def run_phy_bench(
     else:
         # ~4 KB frame at rate 3/4 (nearest multiple of the puncture period).
         coding_bits, repeats = 32766, 5
-        rx_payload, mc_payload, mc_trials = 4090, 1000, 24
+        rx_payload, mc_payload, mc_trials = 4090, 1000, 48
 
     with collecting() as registry:
         encode, viterbi = _bench_coding(coding_bits, repeats)
@@ -341,8 +394,8 @@ def run_phy_bench(
 # MAC suite
 # --------------------------------------------------------------------------- #
 
-def _mac_pool_trial(trial_index, rng, stations, duration):
-    """One MAC trial for the pool-scaling leg (module-level: pickles)."""
+def _mac_sim(rng, stations, duration):
+    """One VoIP MAC simulation seeded from the trial's RNG."""
     from repro.mac import PROTOCOLS
     from repro.mac.scenarios import VoipScenario
 
@@ -352,6 +405,52 @@ def _mac_pool_trial(trial_index, rng, stations, duration):
     )
     result = scenario.run(PROTOCOLS["Carpool"])
     return result.measured_ap_goodput_bps
+
+
+def _mac_tile_trial(trial_index, rng, link, mcs, crc_config, probes,
+                    stations, duration):
+    """One sweep tile, scalar: ``probes`` PHY error probes + one MAC sim.
+
+    This is the cost shape of a real sweep cell — calibration-style frame
+    probes feeding a trace-driven MAC run. The probes read the frame
+    tables from the run's shared payload and draw their channels from the
+    tile's RNG in order, then the sim seeds itself from the same RNG, so
+    the batched executor below consumes each RNG identically.
+    """
+    from repro.analysis.phy_experiments import _ber_symbol_trial
+
+    crc_passes = side_errors = 0
+    for _ in range(probes):
+        _, passes, side = _ber_symbol_trial(
+            trial_index, rng, link, mcs, crc_config, False, "average")
+        crc_passes += passes
+        side_errors += side
+    return (crc_passes, side_errors, _mac_sim(rng, stations, duration))
+
+
+def _mac_tile_batch(start, rngs, link, mcs, crc_config, probes,
+                    stations, duration):
+    """Batched executor for :func:`_mac_tile_trial` chunks.
+
+    Probe round *r* of every tile in the chunk decodes as one stacked
+    call; each RNG is consumed once per round and then once by its own
+    sim — the same per-RNG draw order as the scalar tile, so results are
+    bit-identical.
+    """
+    from repro.analysis.phy_experiments import _ber_symbol_batch
+
+    crc_passes = [0] * len(rngs)
+    side_errors = [0] * len(rngs)
+    for _ in range(probes):
+        outcomes = _ber_symbol_batch(
+            start, rngs, link, mcs, crc_config, False, "average")
+        for t, (_, passes, side) in enumerate(outcomes):
+            crc_passes[t] += passes
+            side_errors[t] += side
+    return [
+        (crc_passes[t], side_errors[t], _mac_sim(rngs[t], stations, duration))
+        for t in range(len(rngs))
+    ]
 
 
 def _bench_engine(stations: int, duration: float, runs: int) -> dict:
@@ -424,18 +523,40 @@ def _bench_sweep(receivers: tuple, payloads: tuple, trials: int,
 
 
 def _bench_trials_pool(trials: int, stations: int, duration: float,
-                       n_workers, smoke: bool) -> dict:
-    """Serial vs persistent-pool parallel ``run_trials`` on MAC trials."""
+                       payload_bytes: int, probes: int, n_workers,
+                       smoke: bool) -> dict:
+    """Serial scalar vs batched pool ``run_trials`` on MAC sweep tiles.
+
+    Each trial is one sweep *tile*: ``probes`` PHY frame probes plus the
+    MAC simulation they feed (:func:`_mac_tile_trial`). The serial leg
+    runs tiles one probe at a time — the per-trial oracle; the pooled
+    legs batch every chunk's probes into stacked decodes with the frame
+    tables shipped once per worker by shared memory.
+    """
+    from repro.analysis.phy_experiments import (
+        LinkConfig,
+        _frame_tables,
+        _make_frame,
+    )
+    from repro.core.symbol_crc import DEFAULT_CRC_CONFIG
+    from repro.phy.mcs import mcs_by_name
+
     seed = 314159
-    args = (stations, duration)
+    link = LinkConfig(seed=271828)
+    mcs = mcs_by_name("QAM64-3/4")
+    frame, true_side_bits = _make_frame(
+        payload_bytes, mcs, DEFAULT_CRC_CONFIG, True, link.seed)
+    shared = _frame_tables(frame, true_side_bits)
+    args = (link, mcs, DEFAULT_CRC_CONFIG, probes, stations, duration)
     repeats = 1 if smoke else 2
 
-    def leg(w):
+    def leg(w, batch_fn=None, chunk_size=None):
         best, result = float("inf"), None
         for _ in range(repeats):
             start = time.perf_counter()
-            result = run_trials(_mac_pool_trial, trials, seed=seed,
-                                n_workers=w, args=args)
+            result = run_trials(_mac_tile_trial, trials, seed=seed,
+                                n_workers=w, chunk_size=chunk_size,
+                                args=args, shared=shared, batch_fn=batch_fn)
             best = min(best, time.perf_counter() - start)
         return best, result
 
@@ -446,16 +567,23 @@ def _bench_trials_pool(trials: int, stations: int, duration: float,
     timings = {}
     parallel = None
     for w in candidates:
-        # Warm the persistent pool so the timed run sees the steady state.
-        run_trials(_mac_pool_trial, min(2, trials), seed=seed, n_workers=w, args=args)
-        timings[w], result = leg(w)
+        # Warm the persistent pool (same payload content -> same pool) so
+        # the timed run sees the steady state; one chunk per worker keeps
+        # the stacked decodes as large as the tile count allows.
+        chunk = max(1, -(-trials // w))
+        run_trials(_mac_tile_trial, min(2, trials), seed=seed, n_workers=w,
+                   args=args, shared=shared, batch_fn=_mac_tile_batch)
+        timings[w], result = leg(w, batch_fn=_mac_tile_batch, chunk_size=chunk)
         if w == workers:
             parallel = result
-    crossover = next((w for w in sorted(timings) if timings[w] < serial_s), None)
+    timings[1], batched_serial = leg(1, batch_fn=_mac_tile_batch)
+    crossover = _crossover(serial_s, timings)
 
     return {
         "trials": trials,
         "stations": stations,
+        "payload_bytes": payload_bytes,
+        "probes_per_tile": probes,
         "serial_seconds": serial_s,
         "serial_trials_per_s": trials / serial_s,
         "parallel_workers": workers,
@@ -463,7 +591,8 @@ def _bench_trials_pool(trials: int, stations: int, duration: float,
         "parallel_trials_per_s": trials / timings[workers],
         "pool_reused": True,
         "crossover_workers": crossover,
-        "identical_serial_parallel": serial == parallel,
+        "identical_serial_parallel": serial == parallel == batched_serial,
+        "scaling": _scaling_section(serial_s, trials, timings, "trials"),
     }
 
 
@@ -487,8 +616,8 @@ def run_mac_bench(
                 calibration_payload=500, calibration_trials=2,
             )
             pool = _bench_trials_pool(
-                trials=4, stations=4, duration=0.2, n_workers=n_workers,
-                smoke=True,
+                trials=4, stations=4, duration=0.2, payload_bytes=300,
+                probes=2, n_workers=n_workers, smoke=True,
             )
         else:
             engine = _bench_engine(stations=10, duration=2.0, runs=3)
@@ -498,8 +627,8 @@ def run_mac_bench(
                 calibration_payload=4090, calibration_trials=30,
             )
             pool = _bench_trials_pool(
-                trials=8, stations=8, duration=1.0, n_workers=n_workers,
-                smoke=False,
+                trials=8, stations=4, duration=0.3, payload_bytes=1000,
+                probes=6, n_workers=n_workers, smoke=False,
             )
 
     payload = {
@@ -522,7 +651,9 @@ def _bench_deployment(config, n_workers, smoke: bool) -> dict:
     """Serial vs pool-parallel cell fan-out on one deployment config."""
     from repro.net.deployment import simulate_deployment
 
-    repeats = 1 if smoke else 2
+    # Best-of-3 on full runs: each leg is only ~2 s of simulation on the
+    # CI box, and the pooled leg flaps hardest under transient load.
+    repeats = 1 if smoke else 3
 
     def leg(w):
         best, result = float("inf"), None
@@ -545,7 +676,10 @@ def _bench_deployment(config, n_workers, smoke: bool) -> dict:
         timings[w], result = leg(w)
         if w == workers:
             parallel = result
-    crossover = next((w for w in sorted(timings) if timings[w] < serial_s), None)
+    # Deployment cells have no batched path: the serial leg *is* the
+    # production one-worker code, so it doubles as the curve's "1" point.
+    timings[1] = serial_s
+    crossover = _crossover(serial_s, timings)
 
     return {
         "aps": config.n_aps,
@@ -559,6 +693,7 @@ def _bench_deployment(config, n_workers, smoke: bool) -> dict:
         "pool_reused": True,
         "crossover_workers": crossover,
         "identical_serial_parallel": serial.to_dict() == parallel.to_dict(),
+        "scaling": _scaling_section(serial_s, config.n_aps, timings, "cells"),
     }
 
 
@@ -677,7 +812,7 @@ def validate_bench(payload: dict) -> dict:
 _HIGHER_IS_BETTER = ("_per_s", "speedup", "frames_per_s", "mbit_per_s")
 
 # Result keys that are neither gated metrics nor workload descriptors.
-_RESULT_MARKERS = _HIGHER_IS_BETTER + ("seconds", "crossover_workers")
+_RESULT_MARKERS = _HIGHER_IS_BETTER + ("seconds", "crossover_workers", "scaling")
 
 
 def _same_section_workload(current: dict, baseline: dict) -> bool:
@@ -703,6 +838,9 @@ def compare_bench(current: dict, baseline: dict, threshold: float = 0.2) -> list
 
     Returns one message per throughput metric that dropped by more than
     ``threshold`` (fraction, default 20 %); empty list = no regression.
+    A full (non-smoke) candidate whose ``crossover_workers`` went null
+    while the baseline's is numeric is also a regression: the pool no
+    longer beats serial at any worker count.
     Only sections whose workload descriptors (trial counts, grids,
     payload sizes, …) match the baseline are compared — a smoke run
     diffed against a full-run baseline gates nothing, by design; run the
@@ -725,6 +863,23 @@ def compare_bench(current: dict, baseline: dict, threshold: float = 0.2) -> list
             continue
         if not _same_section_workload(cur_body, body):
             continue
+        # Losing the crossover entirely — a baseline where some pooled
+        # worker count beat serial, a candidate where none does — is a
+        # regression in kind, not degree: parallelism stopped winning.
+        # Smoke runs are exempt (tiny workloads rarely amortise a pool).
+        base_cross = body.get("crossover_workers")
+        cur_meta = current.get("meta")
+        cur_smoke = bool(cur_meta.get("smoke")) if isinstance(cur_meta, dict) else False
+        if (
+            isinstance(base_cross, int) and not isinstance(base_cross, bool)
+            and "crossover_workers" in cur_body
+            and cur_body["crossover_workers"] is None
+            and not cur_smoke
+        ):
+            regressions.append(
+                f"{section}.crossover_workers: null vs baseline {base_cross} "
+                "(no pooled worker count beats serial any more)"
+            )
         for key, base_value in body.items():
             if isinstance(base_value, bool) or not isinstance(base_value, (int, float)):
                 continue

@@ -1,0 +1,244 @@
+"""Zero-copy shipping of read-only numpy payloads to worker processes.
+
+``run_trials(shared=...)`` payloads are dominated by numpy arrays — PHY
+frame tables, calibration curves, ``CellSpec`` grids. Pickling those into
+every worker through the pool initializer copies the bytes once per
+worker *and* once more on unpickle; for a sweep respawning pools this is
+pure overhead. This module lifts the arrays out of a payload into a
+single ``multiprocessing.shared_memory`` segment and replaces the
+payload with a small picklable :class:`SharedPayload` descriptor:
+
+* :func:`pack_payload` walks the payload (dicts / lists / tuples, a few
+  levels deep), copies every numpy array into one page-aligned segment,
+  and returns a descriptor holding the segment name, the array layouts,
+  and the non-array *skeleton*. Payloads with no arrays — or too few
+  bytes for the mapping to pay for itself — return ``None`` and keep the
+  plain pickle path.
+* :meth:`SharedPayload.materialize` (worker side) attaches by name and
+  rebuilds the payload with **read-only views** into the mapping — zero
+  copies, under both fork and spawn start methods.
+* The *creating* process owns the segment: :meth:`SharedPayload.release`
+  unlinks it at pool retirement. Attaching workers unregister from
+  ``multiprocessing.resource_tracker`` so a worker exiting cannot yank
+  the segment out from under its siblings, and a PID guard makes
+  ``release`` a no-op everywhere but the owner (forked children inherit
+  the descriptor object, owner flag included).
+
+Payload *content fingerprints* for pool keying come from
+:func:`repro.runtime.cache.stable_digest` and are re-exported here as
+:func:`payload_fingerprint`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+
+from ..obs.log import get_logger
+from .cache import stable_digest
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - stripped-down builds
+    resource_tracker = None
+    shared_memory = None
+
+log = get_logger(__name__)
+
+__all__ = [
+    "MIN_SHARED_BYTES",
+    "SharedPayload",
+    "pack_payload",
+    "payload_fingerprint",
+    "shm_supported",
+]
+
+# Below this many array bytes a second pickle per worker is cheaper than
+# creating and mapping a segment.
+MIN_SHARED_BYTES = 1 << 12
+
+# How deep pack_payload recurses into dict/list/tuple containers looking
+# for arrays before giving up and pickling the remainder as-is.
+_MAX_DEPTH = 6
+
+
+def shm_supported() -> bool:
+    """Whether this platform can create shared-memory segments."""
+    return shared_memory is not None
+
+
+def payload_fingerprint(payload) -> str:
+    """Stable content digest of a shared payload (pool-registry key)."""
+    return stable_digest(payload)
+
+
+class _Slot:
+    """Placeholder left in the payload skeleton where an array was lifted."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index):
+        self.index = index
+
+    def __reduce__(self):
+        return (_Slot, (self.index,))
+
+
+def _lift(obj, arrays, depth=0):
+    """Replace arrays in ``obj`` with :class:`_Slot` markers, collecting them."""
+    if isinstance(obj, np.ndarray) and not obj.dtype.hasobject:
+        arrays.append(np.ascontiguousarray(obj))
+        return _Slot(len(arrays) - 1)
+    if depth < _MAX_DEPTH:
+        # Only plain containers are rebuilt on the far side; subclasses
+        # (namedtuples, dataclasses, ...) pickle whole with the skeleton.
+        if type(obj) is dict:
+            return {k: _lift(v, arrays, depth + 1) for k, v in obj.items()}
+        if type(obj) is list:
+            return [_lift(v, arrays, depth + 1) for v in obj]
+        if type(obj) is tuple:
+            return tuple(_lift(v, arrays, depth + 1) for v in obj)
+    return obj
+
+
+def _plant(obj, arrays):
+    """Inverse of :func:`_lift`: swap :class:`_Slot` markers for views."""
+    if isinstance(obj, _Slot):
+        return arrays[obj.index]
+    if type(obj) is dict:
+        return {k: _plant(v, arrays) for k, v in obj.items()}
+    if type(obj) is list:
+        return [_plant(v, arrays) for v in obj]
+    if type(obj) is tuple:
+        return tuple(_plant(v, arrays) for v in obj)
+    return obj
+
+
+def _attach_untracked(name):
+    """Attach to an existing segment without registering it for cleanup.
+
+    Attaching normally registers the segment with the resource tracker,
+    which would unlink the parent's segment the moment one worker exits —
+    and sibling workers mapping the same name would race the tracker's
+    bookkeeping. Ownership stays with the creating process; everyone else
+    only maps. Python 3.13 has ``track=False`` for exactly this; earlier
+    versions need the registration hook silenced around the attach (the
+    attach path is single-threaded: pool initializers run before any
+    trial work).
+    """
+    if sys.version_info >= (3, 13):  # pragma: no cover
+        return shared_memory.SharedMemory(name=name, track=False)
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedPayload:
+    """Picklable descriptor for a payload whose arrays live in one segment.
+
+    Pickles down to the segment name, per-array ``(offset, dtype, shape)``
+    layouts, and the array-free skeleton. :meth:`materialize` rebuilds the
+    payload with read-only zero-copy views; only the creating process can
+    :meth:`release` the segment.
+    """
+
+    def __init__(self, name, slots, skeleton, total_bytes):
+        self.name = name
+        self.slots = slots
+        self.skeleton = skeleton
+        self.total_bytes = total_bytes
+        self._segment = None
+        self._cached = None
+        self._owner_pid = None
+
+    def __getstate__(self):
+        return {
+            "name": self.name,
+            "slots": self.slots,
+            "skeleton": self.skeleton,
+            "total_bytes": self.total_bytes,
+        }
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._segment = None
+        self._cached = None
+        self._owner_pid = None
+
+    @property
+    def is_owner(self) -> bool:
+        return self._owner_pid == os.getpid()
+
+    def materialize(self):
+        """Attach (once) and rebuild the payload over zero-copy views."""
+        if self._cached is None:
+            if self._segment is None:
+                self._segment = _attach_untracked(self.name)
+            arrays = []
+            for offset, dtype, shape in self.slots:
+                view = np.ndarray(shape, dtype=np.dtype(dtype),
+                                  buffer=self._segment.buf, offset=offset)
+                view.flags.writeable = False
+                arrays.append(view)
+            self._cached = _plant(self.skeleton, arrays)
+        return self._cached
+
+    def release(self) -> None:
+        """Unlink the segment (owner process only; idempotent)."""
+        if self._segment is None or not self.is_owner:
+            return
+        segment, self._segment = self._segment, None
+        self._cached = None
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a live view pins the map
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        log.debug("released shared segment %s (%d bytes)",
+                  self.name, self.total_bytes)
+
+
+def pack_payload(payload, min_bytes: int = MIN_SHARED_BYTES):
+    """Pack ``payload``'s arrays into one shared segment.
+
+    Returns a :class:`SharedPayload` descriptor, or ``None`` when sharing
+    cannot pay for itself — no shared-memory support, no (object-free)
+    arrays in the payload, or fewer than ``min_bytes`` array bytes — in
+    which case callers ship the payload by plain pickle as before.
+    """
+    if shared_memory is None:  # pragma: no cover
+        return None
+    arrays: list = []
+    skeleton = _lift(payload, arrays)
+    total = sum(int(a.nbytes) for a in arrays)
+    if not arrays or total < min_bytes:
+        return None
+    slots = []
+    offset = 0
+    for a in arrays:
+        offset = -(-offset // a.itemsize) * a.itemsize  # dtype-align
+        slots.append((offset, a.dtype.str, a.shape))
+        offset += a.nbytes
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+        return None
+    for a, (off, dtype, shape) in zip(arrays, slots):
+        view = np.ndarray(shape, dtype=np.dtype(dtype),
+                          buffer=segment.buf, offset=off)
+        view[...] = a
+        del view
+    descriptor = SharedPayload(segment.name, slots, skeleton, offset)
+    descriptor._segment = segment
+    descriptor._owner_pid = os.getpid()
+    log.debug("packed %d array(s), %d bytes into shared segment %s",
+              len(arrays), total, segment.name)
+    return descriptor

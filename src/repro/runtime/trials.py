@@ -13,16 +13,33 @@ shared runtime those sweeps go through:
   ``REPRO_WORKERS`` or ``os.cpu_count()``. ``n_workers=1`` (or a single
   trial) short-circuits to a plain loop with zero pool overhead.
 * **Pool persistence** — worker pools are kept alive and reused across
-  :func:`run_trials` / :func:`parallel_map` calls (keyed by worker count
-  and shared payload), so a sweep of many small runs pays process
-  start-up once instead of per call. ``reuse_pool=False`` restores the
-  old per-call pools; :func:`shutdown_pools` tears everything down.
-* **Shared read-only tables** — pass ``shared=...`` to ship one payload
-  to every worker via the pool initializer (pickled once per worker, not
-  per chunk); trial functions read it back with :func:`shared_payload`.
-* **Chunk autotuning** — ``chunk_size="auto"`` times a short serial probe
-  and picks trials-per-chunk so each task runs ~0.25 s: long enough to
-  amortise submission overhead, short enough to load-balance.
+  :func:`run_trials` / :func:`parallel_map` calls, keyed by worker count
+  and a *content fingerprint* of the shared payload
+  (:func:`repro.runtime.cache.stable_digest`): an equal re-created
+  payload maps back onto the warm pool, distinct payloads can never
+  alias one. ``reuse_pool=False`` restores the old per-call pools;
+  :func:`shutdown_pools` tears everything down.
+* **Zero-copy shared tables** — pass ``shared=...`` to ship one payload
+  to every worker; numpy-array payloads travel through one
+  ``multiprocessing.shared_memory`` segment (:mod:`repro.runtime.shm`)
+  and are rebuilt in each worker as read-only views — no per-worker
+  pickle copy. Non-array or tiny payloads fall back to the pool
+  initializer pickle. Trial functions read the payload back with
+  :func:`shared_payload` on every path, serial included.
+* **Batched chunks** — pass ``batch_fn=...`` to run a whole chunk of
+  trials as *one* vectorised call instead of N scalar calls. The batch
+  function receives the same per-trial ``SeedSequence`` children the
+  scalar path would and must return bit-identical per-trial results;
+  traced runs always take the scalar path so correlation ids attach to
+  single trials.
+* **Coarse work units** — ``granularity=k`` aligns chunk boundaries to
+  multiples of *k* trials, so callers whose trials come in tiles (a MAC
+  sweep cell's repeats, a deployment cell's members) never see a tile
+  split across workers.
+* **Chunk autotuning** — ``chunk_size="auto"`` measures the actual
+  round-trip cost of a pool submission (cached per pool) plus a short
+  serial probe of the trial cost, and picks the smallest chunk that
+  keeps IPC overhead to a few percent of useful work.
 * **Generality** — :func:`parallel_map` gives the same chunked, ordered
   semantics for non-trial workloads (e.g. the MAC scenario sweeps, where
   each item is one ``(scenario, protocol)`` cell).
@@ -40,6 +57,7 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,6 +72,7 @@ from ..obs.trace import (
     trial_correlation_id,
     worker_spec,
 )
+from .shm import SharedPayload, pack_payload, payload_fingerprint
 
 log = get_logger(__name__)
 
@@ -161,6 +180,10 @@ def _mp_context():
     return None
 
 
+def _round_up(value: int, granularity: int) -> int:
+    return -(-value // granularity) * granularity
+
+
 def _chunk_spans(n: int, chunk_size: int) -> list:
     return [(start, min(start + chunk_size, n)) for start in range(0, n, chunk_size)]
 
@@ -169,23 +192,48 @@ def _chunk_spans(n: int, chunk_size: int) -> list:
 # Persistent pools and shared read-only payloads.
 # --------------------------------------------------------------------------- #
 
-# Pool registry: (max_workers, shared_token) -> (pool, shared_payload_ref).
-# The token only distinguishes "has a shared payload" from "has none": a
-# worker's payload is fixed at initializer time, so when a caller shows up
-# with a *different* payload object the old pool is replaced rather than
-# leaked alongside a new one (sweeps call run_trials(shared=...) with a
-# fresh payload per invocation).
+
+@dataclass
+class _PoolEntry:
+    """One registered persistent pool and the payload state it was built on."""
+
+    pool: ProcessPoolExecutor
+    shared: object
+    descriptor: SharedPayload | None
+    fingerprint: str | None
+    ipc_seconds: float | None = None
+
+
+# Pool registry: (max_workers, payload_fingerprint | None) -> _PoolEntry.
+# A worker's payload is fixed at initializer time, so the registry keys by
+# *content*: an equal re-created payload (same fingerprint) reuses the warm
+# pool, a different payload at the same worker count retires the old pool
+# rather than leaking it (sweeps call run_trials(shared=...) with a fresh
+# payload per invocation), and two distinct payloads can never alias.
 _POOLS: dict = {}
 
-# The worker-side (and serial-path) shared payload, set once per worker by
-# the pool initializer instead of being pickled into every chunk.
+# The worker-side (and serial-path) shared payload, set per worker by the
+# pool initializer instead of being pickled into every chunk. _SHARED_TOKEN
+# pins the SharedPayload descriptor (and its attached segment) for as long
+# as the materialised views are in use.
 _SHARED = None
+_SHARED_TOKEN = None
 
 
-def _init_worker(payload) -> None:
-    """Pool initializer: stash the shared read-only payload in the worker."""
-    global _SHARED
-    _SHARED = payload
+def _init_worker(token) -> None:
+    """Pool initializer: stash the shared read-only payload in the worker.
+
+    ``token`` is either the payload itself (plain-pickle fallback) or a
+    :class:`~repro.runtime.shm.SharedPayload` descriptor, in which case
+    the worker attaches the segment and rebuilds zero-copy views.
+    """
+    global _SHARED, _SHARED_TOKEN
+    if isinstance(token, SharedPayload):
+        _SHARED_TOKEN = token
+        _SHARED = token.materialize()
+    else:
+        _SHARED_TOKEN = None
+        _SHARED = token
 
 
 def shared_payload():
@@ -193,69 +241,151 @@ def shared_payload():
 
     Trial functions call this instead of taking big read-only tables
     through ``args`` — the payload crosses the process boundary once per
-    worker (at pool start-up) rather than once per chunk.
+    worker (at pool start-up, as shared-memory views where possible)
+    rather than once per chunk.
     """
     return _SHARED
+
+
+@contextmanager
+def _payload_installed(shared):
+    """Expose ``shared`` via :func:`shared_payload` for the duration.
+
+    Serial runs (and the in-parent autotune probe) read the payload
+    through the same accessor the workers use. The previous payload is
+    restored on exit so a nested ``run_trials(shared=...)`` executing
+    *inside* a worker — e.g. a calibration inside a deployment cell —
+    cannot clobber the worker's own initializer payload.
+    """
+    global _SHARED
+    if shared is None:
+        yield
+        return
+    previous = _SHARED
+    _SHARED = shared
+    try:
+        yield
+    finally:
+        _SHARED = previous
 
 
 def persistent_pool(n_workers: int, shared=None) -> ProcessPoolExecutor:
     """A long-lived pool for ``n_workers``, created on first use.
 
-    Pools are keyed by worker count and (identity of) the shared payload;
-    repeated calls return the same executor, so process start-up is paid
-    once per configuration instead of once per ``run_trials`` call.
+    Pools are keyed by worker count and the *content fingerprint* of the
+    shared payload; repeated calls — including with an equal, re-created
+    payload — return the same executor, so process start-up is paid once
+    per configuration instead of once per ``run_trials`` call.
     """
     global _SHARED
-    key = (n_workers, "shared" if shared is not None else None)
+    fingerprint = payload_fingerprint(shared) if shared is not None else None
+    key = (n_workers, fingerprint)
     entry = _POOLS.get(key)
     if entry is not None:
-        pool, payload = entry
-        if shared is None or payload is shared:
-            metrics().counter("runtime.pool_reused").inc()
-            return pool
-        # New payload for this worker count: the old pool's workers were
-        # initialised with the previous tables, so retire it and start
-        # fresh instead of accumulating one pool per payload.
-        del _POOLS[key]
-        _abandon_pool(pool)
+        if shared is not None:
+            # Equal content, possibly a different object: point the
+            # parent-side accessor at the caller's copy.
+            _SHARED = shared
+        metrics().counter("runtime.pool_reused").inc()
+        return entry.pool
+    if shared is not None:
+        # A *different* payload at this worker count: the old pool's
+        # workers were initialised with the previous tables, so retire it
+        # (and unlink its segment) instead of accumulating one pool and
+        # one shm segment per historical payload.
+        for stale in [k for k in _POOLS if k[0] == n_workers and k[1] is not None]:
+            _retire_entry(stale)
+    descriptor = None
     if shared is None:
         pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=_mp_context())
     else:
+        descriptor = pack_payload(shared)
+        if descriptor is not None:
+            metrics().counter("runtime.shm_payloads").inc()
+        token = descriptor if descriptor is not None else shared
         pool = ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=_mp_context(),
             initializer=_init_worker,
-            initargs=(shared,),
+            initargs=(token,),
         )
         # With fork, workers inherit parent globals at spawn time; setting
         # the parent-side payload too keeps shared_payload() consistent
         # everywhere (and serves the n_workers=1 serial path).
         _SHARED = shared
-    _POOLS[key] = (pool, shared)
+    _POOLS[key] = _PoolEntry(pool=pool, shared=shared, descriptor=descriptor,
+                             fingerprint=fingerprint)
     metrics().counter("runtime.pool_spawned").inc()
-    log.debug("spawned persistent pool: %d workers, shared=%s",
-              n_workers, shared is not None)
+    log.debug("spawned persistent pool: %d workers, shared=%s, shm=%s",
+              n_workers, shared is not None, descriptor is not None)
     return pool
+
+
+def _retire_entry(key) -> None:
+    """Drop one registry entry: tear the pool down, unlink its segment."""
+    entry = _POOLS.pop(key, None)
+    if entry is None:
+        return
+    _abandon_pool(entry.pool)
+    if entry.descriptor is not None:
+        entry.descriptor.release()
 
 
 def _discard_pool(pool: ProcessPoolExecutor) -> None:
     """Remove a (broken) pool from the registry and tear it down."""
-    for key, (registered, _payload) in list(_POOLS.items()):
-        if registered is pool:
-            del _POOLS[key]
+    for key, entry in list(_POOLS.items()):
+        if entry.pool is pool:
+            _retire_entry(key)
+            return
     _abandon_pool(pool)
 
 
 def shutdown_pools() -> None:
     """Shut down every persistent pool (registered atexit)."""
-    global _SHARED
-    for pool, _payload in _POOLS.values():
-        pool.shutdown(wait=False, cancel_futures=True)
+    global _SHARED, _SHARED_TOKEN
+    for key in list(_POOLS):
+        _retire_entry(key)
     _POOLS.clear()
     _SHARED = None
+    _SHARED_TOKEN = None
 
 
 atexit.register(shutdown_pools)
+
+
+# --------------------------------------------------------------------------- #
+# Chunk sizing.
+# --------------------------------------------------------------------------- #
+
+# Fallback per-submission IPC cost when no live pool is available to
+# measure (disposable pools, hardened runs): a conservative figure for a
+# local fork-start executor.
+_DEFAULT_IPC_SECONDS = 2e-3
+
+
+def _noop_chunk():
+    return None
+
+
+def _pool_ipc_seconds(pool, entry=None, repeats: int = 3) -> float:
+    """Measured round-trip cost of one no-op pool submission.
+
+    Cached on the registry entry — the cost is a property of the pool and
+    the host, not of the workload, so one measurement serves every
+    subsequent ``chunk_size="auto"`` call on that pool.
+    """
+    if entry is not None and entry.ipc_seconds is not None:
+        return entry.ipc_seconds
+    with suspended():
+        pool.submit(_noop_chunk).result()  # absorb worker start-up
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            pool.submit(_noop_chunk).result()
+            best = min(best, time.perf_counter() - t0)
+    if entry is not None:
+        entry.ipc_seconds = best
+    return best
 
 
 def autotune_chunk_size(
@@ -265,18 +395,24 @@ def autotune_chunk_size(
     seed: int,
     n_workers: int,
     args: tuple = (),
-    target_seconds: float = 0.25,
+    granularity: int = 1,
+    ipc_seconds: float | None = None,
+    target_overhead: float = 0.02,
     max_probe_trials: int = 3,
+    max_probe_seconds: float = 0.25,
 ) -> int:
-    """Pick trials-per-chunk from a quick serial timing probe.
+    """Pick trials-per-chunk so measured IPC cost is amortised.
 
     Runs up to ``max_probe_trials`` leading trials in-process (their
     results are discarded; the chunks re-run them with identical RNGs, so
-    determinism is unaffected) and sizes chunks to ~``target_seconds``
-    each — long enough to amortise submission/pickling overhead, short
-    enough that stragglers cannot idle the other workers. The result is
-    clamped so every worker gets at least one chunk.
+    determinism is unaffected) to estimate per-trial cost, then sizes
+    chunks so the per-chunk submission cost ``ipc_seconds`` — measured on
+    the live pool when the caller has one, a conservative default
+    otherwise — stays below ``target_overhead`` of the chunk's useful
+    work. The result is rounded up to a ``granularity`` multiple and
+    clamped so every worker still gets at least one chunk.
     """
+    granularity = max(1, int(granularity))
     if n_trials <= 1 or n_workers <= 1:
         return max(1, n_trials)
     children = _trial_seeds(seed, n_trials)
@@ -288,16 +424,37 @@ def autotune_chunk_size(
         for index in range(min(max_probe_trials, n_trials)):
             fn(index, np.random.default_rng(children[index]), *args)
             probed += 1
-            if time.perf_counter() - start >= target_seconds:
+            if time.perf_counter() - start >= max_probe_seconds:
                 break
     per_trial = (time.perf_counter() - start) / probed
     upper = max(1, -(-n_trials // n_workers))  # ceil: >= one chunk per worker
+    upper = _round_up(upper, granularity)
     if per_trial <= 0:
         return upper
-    return int(np.clip(round(target_seconds / per_trial), 1, upper))
+    ipc = _DEFAULT_IPC_SECONDS if ipc_seconds is None else max(ipc_seconds, 1e-6)
+    min_work_seconds = ipc * (1.0 - target_overhead) / target_overhead
+    size = max(granularity, int(-(-min_work_seconds // per_trial)))
+    return int(min(_round_up(size, granularity), upper))
 
 
-def _run_trial_chunk(fn, seed, n_trials, start, stop, args, obs_spec=None):
+def _measured_ipc(n_workers: int, shared) -> float | None:
+    """IPC cost of the persistent pool serving ``(n_workers, shared)``."""
+    fingerprint = payload_fingerprint(shared) if shared is not None else None
+    pool = persistent_pool(n_workers, shared=shared)
+    try:
+        return _pool_ipc_seconds(pool, _POOLS.get((n_workers, fingerprint)))
+    except BrokenProcessPool:
+        _discard_pool(pool)
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# Chunk execution.
+# --------------------------------------------------------------------------- #
+
+
+def _run_trial_chunk(fn, seed, n_trials, start, stop, args, obs_spec=None,
+                     batch_fn=None):
     """Run trials ``start..stop`` of ``n_trials`` (executes inside a worker).
 
     The full spawn is recomputed here so a chunk's RNGs are identical to
@@ -311,11 +468,26 @@ def _run_trial_chunk(fn, seed, n_trials, start, stop, args, obs_spec=None):
     ``None`` — every uninstrumented run — the plain results list comes
     back untouched. Serial in-process calls leave it ``None`` too: there
     the parent's own ambient recorder is already active.
+
+    ``batch_fn`` routes the whole chunk through one vectorised call. A
+    *traced* chunk always takes the scalar loop instead: correlation ids
+    wrap exactly one trial's events, which a batched call cannot honour —
+    and since ``batch_fn`` is bit-identical by contract, tracing only
+    changes wall time, never results.
     """
     children = _trial_seeds(seed, n_trials)[start:stop]
     with chunk_capture(obs_spec) as wrap:
         rec = active_recorder()
         if rec is None:
+            if batch_fn is not None:
+                rngs = [np.random.default_rng(ss) for ss in children]
+                results = list(batch_fn(start, rngs, *args))
+                if len(results) != stop - start:
+                    raise RuntimeError(
+                        f"batch_fn returned {len(results)} results for "
+                        f"{stop - start} trials"
+                    )
+                return wrap(results)
             return wrap([
                 fn(index, np.random.default_rng(ss), *args)
                 for index, ss in zip(range(start, stop), children)
@@ -344,24 +516,30 @@ def _abandon_pool(pool: ProcessPoolExecutor) -> None:
 
 
 def _retry_chunk_isolated(fn, seed, n_trials, start, stop, args,
-                          chunk_timeout, attempts_left, obs_spec=None):
+                          chunk_timeout, attempts_left, obs_spec=None,
+                          shared_token=None, batch_fn=None):
     """Re-run one chunk in fresh single-worker pools until it succeeds.
 
     Each attempt gets its own process, so a crash or hang cannot take other
     chunks down with it. The chunk recomputes the same ``SeedSequence``
     children as the original submission, so a retry is bit-identical to a
-    first-time success.
+    first-time success. ``shared_token`` (payload or shm descriptor) is
+    re-shipped through each fresh pool's initializer; the descriptor's
+    segment stays owned — and is eventually unlinked — by the parent.
 
     Returns (results | None, attempts_used, last_error).
     """
     attempt = 0
     error = "never attempted"
+    init = ((_init_worker, (shared_token,)) if shared_token is not None
+            else (None, ()))
     while attempt < attempts_left:
         attempt += 1
-        pool = ProcessPoolExecutor(max_workers=1, mp_context=_mp_context())
+        pool = ProcessPoolExecutor(max_workers=1, mp_context=_mp_context(),
+                                   initializer=init[0], initargs=init[1])
         try:
             future = pool.submit(_run_trial_chunk, fn, seed, n_trials,
-                                 start, stop, args, obs_spec)
+                                 start, stop, args, obs_spec, batch_fn)
             results = ingest_chunk(future.result(timeout=chunk_timeout))
             pool.shutdown(wait=False)
             return results, attempt, None
@@ -377,81 +555,102 @@ def _retry_chunk_isolated(fn, seed, n_trials, start, stop, args,
 
 
 def _run_trials_hardened(fn, n_trials, seed, n_workers, chunk_size, args,
-                         chunk_timeout, max_chunk_retries):
-    """Shared-pool fast path with per-chunk isolated retries on failure."""
+                         chunk_timeout, max_chunk_retries, shared=None,
+                         batch_fn=None):
+    """Disposable-pool fast path with per-chunk isolated retries on failure."""
     spans = _chunk_spans(n_trials, chunk_size)
     results: list = [None] * n_trials
     pending: list = []  # (start, stop, first_error)
     rec = active_recorder()
+    descriptor = None
+    shared_token = None
 
-    if n_workers == 1:
-        # Serial: no pool to time out; catch per-chunk exceptions only.
-        for start, stop in spans:
-            try:
-                results[start:stop] = _run_trial_chunk(
-                    fn, seed, n_trials, start, stop, args
-                )
-            except Exception:
-                pending.append((start, stop, traceback.format_exc(limit=1).strip()))
-    else:
-        spec = worker_spec()
-        workers = min(n_workers, len(spans))
-        pool = ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context())
-        metrics().counter("runtime.pool_spawned").inc()
-        abandoned = False
-        try:
-            futures = [
-                (start, stop,
-                 pool.submit(_run_trial_chunk, fn, seed, n_trials,
-                             start, stop, args, spec))
-                for start, stop in spans
-            ]
-            for start, stop, future in futures:
-                if abandoned:
-                    pending.append((start, stop, "pool abandoned"))
-                    continue
+    try:
+        if n_workers == 1:
+            # Serial: no pool to time out; catch per-chunk exceptions only.
+            for start, stop in spans:
                 try:
-                    results[start:stop] = ingest_chunk(
-                        future.result(timeout=chunk_timeout))
-                except FutureTimeout:
-                    # A wedged worker poisons every later wait: abandon the
-                    # shared pool and sort the rest out in isolation.
-                    pending.append((start, stop, f"timed out after {chunk_timeout}s"))
-                    abandoned = True
-                except BrokenProcessPool:
-                    pending.append((start, stop, "worker process died"))
-                    abandoned = True
-                except Exception as exc:
-                    pending.append((start, stop, f"{type(exc).__name__}: {exc}"))
-        finally:
-            _abandon_pool(pool)
-
-    failures: list = []
-    for start, stop, first_error in pending:
-        metrics().counter("runtime.chunk_retries").inc()
-        if rec is not None:
-            rec.emit("runtime", "chunk_retry", start=start, stop=stop,
-                     error=first_error)
-        log.warning("retrying trials %d..%d in isolation: %s",
-                    start, stop - 1, first_error)
-        chunk, attempts, error = _retry_chunk_isolated(
-            fn, seed, n_trials, start, stop, args,
-            chunk_timeout, max_chunk_retries, worker_spec(),
-        )
-        if chunk is not None:
-            results[start:stop] = chunk
+                    results[start:stop] = _run_trial_chunk(
+                        fn, seed, n_trials, start, stop, args, None, batch_fn
+                    )
+                except Exception:
+                    pending.append(
+                        (start, stop, traceback.format_exc(limit=1).strip()))
         else:
-            metrics().counter("runtime.chunks_failed").inc()
+            if shared is not None:
+                # Pack once; the descriptor is re-shipped to the disposable
+                # pool and to every isolated retry pool, and unlinked in
+                # the outer finally even when chunks fail.
+                descriptor = pack_payload(shared)
+                shared_token = descriptor if descriptor is not None else shared
+            init = ((_init_worker, (shared_token,)) if shared is not None
+                    else (None, ()))
+            spec = worker_spec()
+            workers = min(n_workers, len(spans))
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=_mp_context(),
+                                       initializer=init[0], initargs=init[1])
+            metrics().counter("runtime.pool_spawned").inc()
+            abandoned = False
+            try:
+                futures = [
+                    (start, stop,
+                     pool.submit(_run_trial_chunk, fn, seed, n_trials,
+                                 start, stop, args, spec, batch_fn))
+                    for start, stop in spans
+                ]
+                for start, stop, future in futures:
+                    if abandoned:
+                        pending.append((start, stop, "pool abandoned"))
+                        continue
+                    try:
+                        results[start:stop] = ingest_chunk(
+                            future.result(timeout=chunk_timeout))
+                    except FutureTimeout:
+                        # A wedged worker poisons every later wait: abandon
+                        # the pool and sort the rest out in isolation.
+                        pending.append(
+                            (start, stop, f"timed out after {chunk_timeout}s"))
+                        abandoned = True
+                    except BrokenProcessPool:
+                        pending.append((start, stop, "worker process died"))
+                        abandoned = True
+                    except Exception as exc:
+                        pending.append(
+                            (start, stop, f"{type(exc).__name__}: {exc}"))
+            finally:
+                _abandon_pool(pool)
+
+        failures: list = []
+        for start, stop, first_error in pending:
+            metrics().counter("runtime.chunk_retries").inc()
             if rec is not None:
-                rec.emit("runtime", "chunk_failed", start=start, stop=stop,
-                         attempts=1 + attempts, error=error or first_error)
-            log.error("trials %d..%d lost after %d attempt(s): %s",
-                      start, stop - 1, 1 + attempts, error or first_error)
-            failures.append(ChunkFailure(
-                start=start, stop=stop, attempts=1 + attempts,
-                error=error or first_error,
-            ))
-    return TrialRunResult(results=results, failures=failures)
+                rec.emit("runtime", "chunk_retry", start=start, stop=stop,
+                         error=first_error)
+            log.warning("retrying trials %d..%d in isolation: %s",
+                        start, stop - 1, first_error)
+            chunk, attempts, error = _retry_chunk_isolated(
+                fn, seed, n_trials, start, stop, args,
+                chunk_timeout, max_chunk_retries, worker_spec(),
+                shared_token, batch_fn,
+            )
+            if chunk is not None:
+                results[start:stop] = chunk
+            else:
+                metrics().counter("runtime.chunks_failed").inc()
+                if rec is not None:
+                    rec.emit("runtime", "chunk_failed", start=start, stop=stop,
+                             attempts=1 + attempts, error=error or first_error)
+                log.error("trials %d..%d lost after %d attempt(s): %s",
+                          start, stop - 1, 1 + attempts, error or first_error)
+                failures.append(ChunkFailure(
+                    start=start, stop=stop, attempts=1 + attempts,
+                    error=error or first_error,
+                ))
+        return TrialRunResult(results=results, failures=failures)
+    finally:
+        if descriptor is not None:
+            descriptor.release()
 
 
 def run_trials(
@@ -467,6 +666,8 @@ def run_trials(
     salvage: bool = False,
     reuse_pool: bool = True,
     shared=None,
+    batch_fn=None,
+    granularity: int = 1,
 ) -> list:
     """Run ``fn(trial_index, rng, *args)`` for every trial; ordered results.
 
@@ -478,7 +679,8 @@ def run_trials(
             or CPU count), ``1`` runs serially in-process.
         chunk_size: Trials per task; defaults to ~4 chunks per worker to
             balance scheduling slack against submission overhead. Pass
-            ``"auto"`` to size chunks from a quick serial timing probe
+            ``"auto"`` to size chunks from the measured per-submission IPC
+            cost of the live pool plus a quick serial timing probe
             (:func:`autotune_chunk_size`).
         args: Extra (picklable) positional arguments passed to every trial.
         chunk_timeout: Seconds to wait on one chunk before declaring it
@@ -495,9 +697,22 @@ def run_trials(
             path only; the hardened path always uses disposable pools it
             can abandon). Chunking never affects results, so reuse is
             invisible except in wall time.
-        shared: Optional read-only payload shipped to each worker once via
-            the pool initializer; trial functions retrieve it with
+        shared: Optional read-only payload shipped to each worker once;
+            numpy arrays inside travel through a shared-memory segment
+            and come back as zero-copy read-only views
+            (:mod:`repro.runtime.shm`), everything else through the pool
+            initializer pickle. Trial functions retrieve it with
             :func:`shared_payload`. Serial runs see it too.
+        batch_fn: Optional vectorised executor
+            ``(start_index, rngs, *args) -> sequence of per-trial
+            results``. Untraced chunks call it once per chunk with the
+            same spawned per-trial RNGs the scalar path would use; it must
+            return results bit-identical to ``fn`` trial by trial (traced
+            runs always use ``fn``, so any divergence shows up as a trace
+            vs. plain mismatch).
+        granularity: Align chunk boundaries to multiples of this many
+            trials, so tiles of trials that must share a chunk (one sweep
+            cell's repeats) are never split across workers.
 
     Returns:
         ``[fn(0, rng0, *args), ..., fn(n_trials-1, ...)]`` — identical for
@@ -514,76 +729,92 @@ def run_trials(
             fn, n_trials, seed=seed, n_workers=n_workers,
             chunk_size=chunk_size, args=args, chunk_timeout=chunk_timeout,
             max_chunk_retries=max_chunk_retries, salvage=salvage,
-            reuse_pool=reuse_pool, shared=shared,
+            reuse_pool=reuse_pool, shared=shared, batch_fn=batch_fn,
+            granularity=granularity,
         )
 
 
 def _run_trials_impl(fn, n_trials, *, seed, n_workers, chunk_size, args,
                      chunk_timeout, max_chunk_retries, salvage, reuse_pool,
-                     shared):
-    global _SHARED
+                     shared, batch_fn, granularity):
     if n_trials < 0:
         raise ValueError(f"n_trials must be >= 0, got {n_trials}")
     if n_trials == 0:
         return TrialRunResult(results=[]) if salvage else []
+    granularity = max(1, int(granularity))
     n_workers = resolve_workers(n_workers)
     hardened = salvage or chunk_timeout is not None
-    if chunk_size == "auto":
-        chunk_size = autotune_chunk_size(
-            fn, n_trials, seed=seed, n_workers=n_workers, args=args,
-        )
 
-    if not hardened:
-        if n_workers == 1 or n_trials == 1:
-            if shared is not None:
-                _SHARED = shared
-            return _run_trial_chunk(fn, seed, n_trials, 0, n_trials, args)
-        if chunk_size is None:
-            chunk_size = max(1, -(-n_trials // (4 * n_workers)))
-        spans = _chunk_spans(n_trials, chunk_size)
-        workers = min(n_workers, len(spans))
-        spec = worker_spec()
-        if reuse_pool:
-            pool = persistent_pool(workers, shared=shared)
+    with _payload_installed(shared):
+        if chunk_size == "auto":
+            ipc = None
+            if not hardened and reuse_pool and n_workers > 1 and n_trials > 1:
+                ipc = _measured_ipc(n_workers, shared)
+            chunk_size = autotune_chunk_size(
+                fn, n_trials, seed=seed, n_workers=n_workers, args=args,
+                granularity=granularity, ipc_seconds=ipc,
+            )
+        elif chunk_size is not None:
+            chunk_size = _round_up(max(1, int(chunk_size)), granularity)
+
+        if not hardened:
+            if n_workers == 1 or n_trials == 1:
+                return _run_trial_chunk(fn, seed, n_trials, 0, n_trials,
+                                        args, None, batch_fn)
+            if chunk_size is None:
+                chunk_size = _round_up(
+                    max(1, -(-n_trials // (4 * n_workers))), granularity)
+            spans = _chunk_spans(n_trials, chunk_size)
+            workers = min(n_workers, len(spans))
+            spec = worker_spec()
+            if reuse_pool:
+                pool = persistent_pool(workers, shared=shared)
+                try:
+                    futures = [
+                        pool.submit(_run_trial_chunk, fn, seed, n_trials,
+                                    start, stop, args, spec, batch_fn)
+                        for start, stop in spans
+                    ]
+                    results: list = []
+                    # Futures are consumed in span order, so worker-captured
+                    # events fold back into the parent trace in trial order.
+                    for future in futures:
+                        results.extend(ingest_chunk(future.result()))
+                    return results
+                except BrokenProcessPool:
+                    # A dead worker poisons the pool for every later call:
+                    # evict it so the next run starts fresh, then re-raise.
+                    _discard_pool(pool)
+                    raise
+            descriptor = pack_payload(shared) if shared is not None else None
+            token = descriptor if descriptor is not None else shared
+            init = (_init_worker, (token,)) if shared is not None else (None, ())
+            metrics().counter("runtime.pool_spawned").inc()
             try:
-                futures = [
-                    pool.submit(_run_trial_chunk, fn, seed, n_trials,
-                                start, stop, args, spec)
-                    for start, stop in spans
-                ]
-                results: list = []
-                # Futures are consumed in span order, so worker-captured
-                # events fold back into the parent trace in trial order.
-                for future in futures:
-                    results.extend(ingest_chunk(future.result()))
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=_mp_context(),
+                    initializer=init[0], initargs=init[1],
+                ) as pool:
+                    futures = [
+                        pool.submit(_run_trial_chunk, fn, seed, n_trials,
+                                    start, stop, args, spec, batch_fn)
+                        for start, stop in spans
+                    ]
+                    results = []
+                    for future in futures:
+                        results.extend(ingest_chunk(future.result()))
                 return results
-            except BrokenProcessPool:
-                # A dead worker poisons the pool for every later call:
-                # evict it so the next run starts fresh, then re-raise.
-                _discard_pool(pool)
-                raise
-        init = (_init_worker, (shared,)) if shared is not None else (None, ())
-        metrics().counter("runtime.pool_spawned").inc()
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_mp_context(),
-            initializer=init[0], initargs=init[1],
-        ) as pool:
-            futures = [
-                pool.submit(_run_trial_chunk, fn, seed, n_trials,
-                            start, stop, args, spec)
-                for start, stop in spans
-            ]
-            results = []
-            for future in futures:
-                results.extend(ingest_chunk(future.result()))
-        return results
+            finally:
+                if descriptor is not None:
+                    descriptor.release()
 
-    if chunk_size is None:
-        chunk_size = max(1, -(-n_trials // (4 * n_workers)))
-    outcome = _run_trials_hardened(
-        fn, n_trials, seed, n_workers, chunk_size, args,
-        chunk_timeout, max_chunk_retries,
-    )
+        if chunk_size is None:
+            chunk_size = _round_up(
+                max(1, -(-n_trials // (4 * n_workers))), granularity)
+        outcome = _run_trials_hardened(
+            fn, n_trials, seed, n_workers, chunk_size, args,
+            chunk_timeout, max_chunk_retries, shared, batch_fn,
+        )
     if salvage:
         return outcome
     if not outcome.ok:
@@ -601,6 +832,7 @@ def parallel_map(
     n_workers: int | None = None,
     chunk_size: int | None = None,
     reuse_pool: bool = True,
+    shared=None,
 ) -> list:
     """Order-preserving parallel ``map`` over picklable ``items``.
 
@@ -608,7 +840,10 @@ def parallel_map(
     one item; otherwise a chunked ``ProcessPoolExecutor.map`` on a
     persistent pool (``reuse_pool=False`` for a disposable one). Items
     should be deterministic units of work (carry their own seeds) so that
-    serial and parallel runs agree.
+    serial and parallel runs agree. ``shared=`` ships one read-only
+    payload to every worker exactly as in :func:`run_trials` — array
+    payloads by shared-memory segment, the rest by initializer pickle —
+    readable from ``fn`` via :func:`shared_payload`.
 
     When observability is active, every item runs under a positional
     correlation id (``i00042``) — the same id at any worker count — and
@@ -617,14 +852,15 @@ def parallel_map(
     items = list(items)
     n_workers = resolve_workers(n_workers)
     if n_workers == 1 or len(items) <= 1:
-        rec = active_recorder()
-        if rec is None:
-            return [fn(item) for item in items]
-        results = []
-        for index, item in enumerate(items):
-            with rec.correlate(_item_cid(index)):
-                results.append(fn(item))
-        return results
+        with _payload_installed(shared):
+            rec = active_recorder()
+            if rec is None:
+                return [fn(item) for item in items]
+            results = []
+            for index, item in enumerate(items):
+                with rec.correlate(_item_cid(index)):
+                    results.append(fn(item))
+            return results
     if chunk_size is None:
         chunk_size = max(1, -(-len(items) // (4 * n_workers)))
     workers = min(n_workers, len(items))
@@ -632,18 +868,26 @@ def parallel_map(
     mapper = fn if spec is None else _ObservedItem(fn, spec)
     payload = items if spec is None else list(enumerate(items))
     if reuse_pool:
-        pool = persistent_pool(workers)
+        pool = persistent_pool(workers, shared=shared)
         try:
             out = list(pool.map(mapper, payload, chunksize=chunk_size))
         except BrokenProcessPool:
             _discard_pool(pool)
             raise
     else:
+        descriptor = pack_payload(shared) if shared is not None else None
+        token = descriptor if descriptor is not None else shared
+        init = (_init_worker, (token,)) if shared is not None else (None, ())
         metrics().counter("runtime.pool_spawned").inc()
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_mp_context()
-        ) as pool:
-            out = list(pool.map(mapper, payload, chunksize=chunk_size))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_mp_context(),
+                initializer=init[0], initargs=init[1],
+            ) as pool:
+                out = list(pool.map(mapper, payload, chunksize=chunk_size))
+        finally:
+            if descriptor is not None:
+                descriptor.release()
     if spec is None:
         return out
     # pool.map preserves item order, so ingesting sequentially keeps the

@@ -13,6 +13,21 @@ from repro.runtime.bench import (
     validate_bench,
 )
 
+def _scaling(serial_seconds, units, timings, unit="trials"):
+    return {
+        "unit": unit,
+        "serial_seconds": serial_seconds,
+        "workers": {
+            str(w): {
+                "seconds": s,
+                f"{unit}_per_s": units / s,
+                "speedup_vs_serial": serial_seconds / s,
+            }
+            for w, s in timings.items()
+        },
+    }
+
+
 _VALID = {
     "meta": {
         "schema_version": SCHEMA_VERSION,
@@ -43,6 +58,7 @@ _VALID = {
         "parallel_seconds": 1.0, "parallel_trials_per_s": 4.0,
         "pool_reused": True, "crossover_workers": None,
         "identical_serial_parallel": True,
+        "scaling": _scaling(1.0, 4, {1: 0.8, 2: 1.0}),
     },
 }
 
@@ -68,11 +84,13 @@ _VALID_MAC = {
         "identical_results": True,
     },
     "trials_pool": {
-        "trials": 4, "stations": 4, "serial_seconds": 1.0,
+        "trials": 4, "stations": 4, "payload_bytes": 300,
+        "probes_per_tile": 2, "serial_seconds": 1.0,
         "serial_trials_per_s": 4.0, "parallel_workers": 2,
-        "parallel_seconds": 1.0, "parallel_trials_per_s": 4.0,
+        "parallel_seconds": 0.5, "parallel_trials_per_s": 8.0,
         "pool_reused": True, "crossover_workers": 2,
         "identical_serial_parallel": True,
+        "scaling": _scaling(1.0, 4, {1: 0.6, 2: 0.5}),
     },
 }
 
@@ -206,6 +224,54 @@ class TestCompareBench:
     def test_rejects_bad_threshold(self):
         with pytest.raises(ValueError, match="threshold"):
             compare_bench(_VALID_MAC, _VALID_MAC, threshold=1.5)
+
+
+class TestCrossoverGate:
+    def test_lost_crossover_on_full_run_is_flagged(self):
+        current = copy.deepcopy(_VALID_MAC)
+        current["meta"]["smoke"] = False
+        current["trials_pool"]["crossover_workers"] = None
+        messages = compare_bench(current, _VALID_MAC)
+        assert len(messages) == 1
+        assert "trials_pool.crossover_workers" in messages[0]
+
+    def test_smoke_runs_are_exempt(self):
+        # Tiny smoke workloads rarely amortise a pool; losing the
+        # crossover there says nothing about the full-size run.
+        current = copy.deepcopy(_VALID_MAC)
+        assert current["meta"]["smoke"] is True
+        current["trials_pool"]["crossover_workers"] = None
+        assert compare_bench(current, _VALID_MAC) == []
+
+    def test_null_baseline_never_flags(self):
+        # _VALID's monte_carlo baseline has crossover None: a null
+        # candidate is status quo, not a regression.
+        current = copy.deepcopy(_VALID)
+        current["meta"]["smoke"] = False
+        assert compare_bench(current, _VALID) == []
+
+    def test_crossover_moving_later_is_degree_not_kind(self):
+        # 2 -> 4 still crosses over; the throughput keys gate the degree.
+        current = copy.deepcopy(_VALID_MAC)
+        current["meta"]["smoke"] = False
+        current["trials_pool"]["crossover_workers"] = 4
+        assert compare_bench(current, _VALID_MAC) == []
+
+    def test_mismatched_workload_skips_the_gate(self):
+        current = copy.deepcopy(_VALID_MAC)
+        current["meta"]["smoke"] = False
+        current["trials_pool"]["trials"] = 64
+        current["trials_pool"]["crossover_workers"] = None
+        assert compare_bench(current, _VALID_MAC) == []
+
+    def test_scaling_curves_are_results_not_workload(self):
+        # A changed scaling subsection must not make the section look
+        # like a different workload (which would skip all its gates).
+        current = copy.deepcopy(_VALID_MAC)
+        current["trials_pool"]["scaling"] = _scaling(2.0, 4, {1: 1.0, 2: 1.8})
+        current["trials_pool"]["parallel_trials_per_s"] = 1.0
+        messages = compare_bench(current, _VALID_MAC)
+        assert any("trials_pool.parallel_trials_per_s" in m for m in messages)
 
 
 @pytest.mark.slow

@@ -34,6 +34,20 @@ def _read_shared(trial_index, rng):
     return shared_payload()
 
 
+def _draw_trial(trial_index, rng, scale):
+    return round(float(rng.random()) * scale, 9)
+
+
+def _draw_batch(start, rngs, scale):
+    # Same per-RNG draws as _draw_trial, executed for a whole chunk.
+    return [round(float(rng.random()) * scale, 9) for rng in rngs]
+
+
+def _chunk_width_batch(start, rngs):
+    # Every trial in a chunk reports how many trials shared its chunk.
+    return [len(rngs)] * len(rngs)
+
+
 class TestResolveWorkers:
     def test_explicit_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "7")
@@ -125,6 +139,80 @@ class TestPersistentPools:
         assert values == [{"k": 7}] * 3
 
 
+class TestGranularity:
+    def test_chunks_align_to_granularity(self):
+        shutdown_pools()
+        # 10 trials, chunk_size 3 rounded up to 4: widths 4, 4, 2 (tail).
+        widths = run_trials(_worker_pid, 10, seed=0, n_workers=2,
+                            chunk_size=3, granularity=2,
+                            batch_fn=_chunk_width_batch)
+        assert sorted(set(widths)) == [2, 4]
+        assert widths[:8] == [4] * 8
+        shutdown_pools()
+
+    def test_granularity_does_not_change_results(self):
+        baseline = run_trials(_draw_trial, 12, seed=4, n_workers=1, args=(3.0,))
+        for granularity in (2, 3, 4):
+            tiled = run_trials(_draw_trial, 12, seed=4, n_workers=3,
+                               granularity=granularity, args=(3.0,))
+            assert tiled == baseline
+        shutdown_pools()
+
+    def test_autotune_respects_granularity(self):
+        size = autotune_chunk_size(_draw_trial, 40, seed=0, n_workers=4,
+                                   args=(1.0,), granularity=3)
+        assert size % 3 == 0 or size == 40
+
+
+class TestBatchFn:
+    def test_batch_path_matches_scalar(self):
+        shutdown_pools()
+        scalar = run_trials(_draw_trial, 14, seed=8, n_workers=1, args=(2.0,))
+        for kwargs in ({"n_workers": 1}, {"n_workers": 2},
+                       {"n_workers": 4, "chunk_size": 3}):
+            batched = run_trials(_draw_trial, 14, seed=8, args=(2.0,),
+                                 batch_fn=_draw_batch, **kwargs)
+            assert batched == scalar, kwargs
+        shutdown_pools()
+
+    def test_length_mismatch_is_an_error(self):
+        with pytest.raises(RuntimeError, match="batch"):
+            run_trials(_draw_trial, 5, seed=0, n_workers=1, args=(1.0,),
+                       batch_fn=lambda start, rngs, scale: [0.0])
+
+
+class TestFingerprintKeying:
+    def test_equal_recreated_payload_reuses_pool(self):
+        shutdown_pools()
+        first = set(run_trials(_worker_pid, 6, seed=0, n_workers=2,
+                               shared={"table": [1, 2, 3]}))
+        # A *new* but equal payload object must hit the same warm pool.
+        second = set(run_trials(_worker_pid, 6, seed=1, n_workers=2,
+                                shared={"table": [1, 2, 3]}))
+        assert first & second
+        shutdown_pools()
+
+    def test_different_payload_retires_old_pool(self):
+        shutdown_pools()
+        first = set(run_trials(_worker_pid, 6, seed=0, n_workers=2,
+                               shared={"table": [1, 2, 3]}))
+        second = set(run_trials(_worker_pid, 6, seed=0, n_workers=2,
+                                shared={"table": [4, 5, 6]}))
+        assert first.isdisjoint(second)
+        values = run_trials(_read_shared, 2, seed=0, n_workers=2,
+                            shared={"table": [4, 5, 6]})
+        assert values == [{"table": [4, 5, 6]}] * 2
+        shutdown_pools()
+
+    def test_payload_free_pool_is_kept_separate(self):
+        shutdown_pools()
+        plain = persistent_pool(2)
+        with_payload = persistent_pool(2, shared={"k": 1})
+        assert plain is not with_payload
+        assert persistent_pool(2) is plain
+        shutdown_pools()
+
+
 class TestAutotune:
     def test_bounds_and_serial_shortcut(self):
         assert autotune_chunk_size(_toy_trial, 1, seed=0, n_workers=4,
@@ -179,6 +267,13 @@ def _emitting_trial(trial_index, rng, scale):
     return (trial_index, value)
 
 
+def _silent_batch(start, rngs, scale):
+    # Correct values but no events: using it under tracing would lose
+    # the per-trial emissions (and the test would catch it).
+    return [(start + t, round(float(rng.random()) * scale, 9))
+            for t, rng in enumerate(rngs)]
+
+
 def _emitting_item(x):
     from repro.obs.trace import active_recorder
 
@@ -225,6 +320,19 @@ class TestTraceDeterminism:
             results, trace = self._traced_run(**kwargs)
             assert results == serial_results, kwargs
             assert trace == serial_trace, kwargs
+        shutdown_pools()
+
+    def test_traced_runs_bypass_the_batch_path(self):
+        # A batch executor skips per-trial instrumentation, so a traced
+        # run must fall back to the scalar oracle — same results, same
+        # trace bytes as an untraced-equivalent scalar run, any workers.
+        shutdown_pools()
+        _, serial_trace = self._traced_run(n_workers=1)
+        for n_workers in (1, 3):
+            results, trace = self._traced_run(n_workers=n_workers,
+                                              batch_fn=_silent_batch)
+            assert trace == serial_trace
+            assert results == [(i, v) for i, (_, v) in enumerate(results)]
         shutdown_pools()
 
     def test_cids_derive_from_seed_and_position(self):

@@ -1,0 +1,119 @@
+"""Bit-identity at any worker count, with and without tracing.
+
+The contract the zero-copy/batched execution layer must keep: every
+experiment entry point — PHY Monte-Carlo, MAC sweeps, deployments —
+returns the exact same numbers at 1, 2, or 4 workers, whether chunks run
+through the batched executors or the scalar oracle, and an instrumented
+run produces byte-identical traces while matching the plain run's
+results.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.trace import TraceRecorder, disable_metrics, set_recorder
+from repro.runtime.trials import shutdown_pools
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pools():
+    shutdown_pools()
+    set_recorder(None)
+    disable_metrics()
+    yield
+    shutdown_pools()
+    set_recorder(None)
+    disable_metrics()
+
+
+def _traced(fn):
+    recorder = TraceRecorder(None, deterministic=True)
+    set_recorder(recorder)
+    try:
+        result = fn()
+    finally:
+        set_recorder(None)
+    return result, json.dumps(recorder.events, sort_keys=True)
+
+
+class TestPhyMonteCarlo:
+    def _run(self, n_workers, **kwargs):
+        from repro.analysis.phy_experiments import LinkConfig, ber_by_symbol_index
+
+        return ber_by_symbol_index("QPSK-1/2", 400, trials=4,
+                                   link=LinkConfig(seed=11),
+                                   n_workers=n_workers, **kwargs)
+
+    def test_identical_across_worker_counts(self):
+        serial = self._run(1, batched=False)  # scalar oracle
+        for w in WORKER_COUNTS:
+            result = self._run(w)  # production batched path
+            assert np.array_equal(serial.ber_per_symbol,
+                                  result.ber_per_symbol), w
+            assert serial.crc_pass_rate == result.crc_pass_rate, w
+            assert serial.side_bit_error_rate == result.side_bit_error_rate, w
+
+    def test_traced_runs_match_plain_at_any_worker_count(self):
+        plain = self._run(1)
+        reference_trace = None
+        for w in (1, 2):
+            result, trace = _traced(lambda: self._run(w))
+            assert np.array_equal(plain.ber_per_symbol, result.ber_per_symbol)
+            if reference_trace is None:
+                reference_trace = trace
+            assert trace == reference_trace, w
+
+
+class TestMacSweep:
+    def _config(self):
+        from repro.mac.sweep import SweepConfig
+
+        return SweepConfig(
+            receiver_counts=(2, 3), payload_bytes=(256,), trials=2,
+            duration=0.2, calibration_payload=400, calibration_trials=2,
+        )
+
+    def test_identical_across_worker_counts(self):
+        from repro.mac.sweep import goodput_airtime_sweep
+
+        serial = goodput_airtime_sweep(self._config(), n_workers=1)
+        for w in WORKER_COUNTS:
+            cells = goodput_airtime_sweep(self._config(), n_workers=w)
+            assert [c.per_trial_goodput for c in cells] == \
+                [c.per_trial_goodput for c in serial], w
+            assert [c.mean_delay for c in cells] == \
+                [c.mean_delay for c in serial], w
+
+
+class TestDeployment:
+    def _config(self):
+        from repro.net.deployment import DeploymentConfig
+
+        return DeploymentConfig(n_aps=4, stas_per_ap=2, duration=0.3,
+                                seed=17, channels=1)
+
+    def _run(self, n_workers):
+        from repro.net.deployment import simulate_deployment
+
+        return simulate_deployment(self._config(), n_workers=n_workers,
+                                   use_cache=False)
+
+    def test_identical_across_worker_counts(self):
+        serial = self._run(1)
+        for w in WORKER_COUNTS:
+            assert self._run(w).to_dict() == serial.to_dict(), w
+
+    def test_traced_runs_match_plain_at_any_worker_count(self):
+        plain = self._run(1)
+        reference_trace = None
+        for w in (1, 2):
+            result, trace = _traced(lambda: self._run(w))
+            assert result.to_dict() == plain.to_dict(), w
+            if reference_trace is None:
+                reference_trace = trace
+            assert trace == reference_trace, w
