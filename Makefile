@@ -1,6 +1,6 @@
 # Convenience targets for the Carpool reproduction.
 
-.PHONY: install test test-all bench bench-smoke bench-phy bench-mac bench-net bench-scaling bench-compare examples clean
+.PHONY: install test test-all bench bench-smoke bench-phy bench-mac bench-net bench-scaling bench-compare check-memory examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -42,6 +42,13 @@ bench-scaling:
 # full-run baselines (different workloads), so this runs full.
 bench-compare:
 	PYTHONPATH=src python -m repro bench --suite all --out-dir "$$(mktemp -d)" --compare .
+
+# Constant-memory gate: a sharded deployment sweep in a fresh process
+# must stay flat and under the committed RSS budget
+# (benchmarks/memory_budget.json; re-record with --update after a
+# deliberate change).
+check-memory:
+	PYTHONPATH=src python benchmarks/check_memory_ceiling.py
 
 examples:
 	@for script in examples/*.py; do \

@@ -47,6 +47,7 @@ def deployment_protocol_sweep(
     protocols=DEPLOYMENT_PROTOCOLS,
     n_workers: int | None = None,
     use_cache: bool = True,
+    shards: int | None = None,
 ) -> dict:
     """Run one deployment under each protocol; name → DeploymentResult.
 
@@ -54,11 +55,15 @@ def deployment_protocol_sweep(
     mobility, and interference windows are seed-derived and therefore
     byte-identical across protocols, which is what makes the goodput and
     airtime columns directly comparable.
+
+    ``shards=k`` streams each deployment through worker-side reduction
+    (constant parent memory, no per-cell breakdown); deployment-level
+    columns are bit-identical either way.
     """
     return {
         name: simulate_deployment(
             dataclasses.replace(config, protocol=name),
-            n_workers=n_workers, use_cache=use_cache,
+            n_workers=n_workers, use_cache=use_cache, shards=shards,
         )
         for name in protocols
     }
@@ -81,17 +86,21 @@ def deployment_scaling_sweep(
     protocols=DEPLOYMENT_PROTOCOLS,
     n_workers: int | None = None,
     use_cache: bool = True,
+    shards: int | None = None,
 ) -> dict:
     """n_aps → {protocol → DeploymentResult} over growing deployments.
 
     Station count scales with the AP count (``stas_per_ap`` held fixed),
     the dense-hotspot growth mode where inter-cell coupling matters most.
+    Pass ``shards=`` for large ``ap_counts`` so parent memory stays flat
+    as deployments grow.
     """
     base = base or DeploymentConfig()
     return {
         n_aps: deployment_protocol_sweep(
             dataclasses.replace(base, n_aps=n_aps),
             protocols=protocols, n_workers=n_workers, use_cache=use_cache,
+            shards=shards,
         )
         for n_aps in ap_counts
     }

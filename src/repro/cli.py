@@ -130,6 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "WiFox Carpool (default: 802.11 A-MPDU Carpool)")
     net.add_argument("--no-cache", action="store_true",
                      help="bypass the deployment result cache")
+    net.add_argument("--shards", type=_positive_int, default=None,
+                     help="stream the deployment in K shards: workers "
+                          "reduce cells before IPC, parent memory stays "
+                          "constant (per-cell breakdown is skipped; "
+                          "totals are bit-identical)")
     net.add_argument("--workers", type=_positive_int, default=None,
                      help="process count for the cell fan-out (default: auto)")
     _add_obs_flags(net)
@@ -312,10 +317,12 @@ def _cmd_net(args) -> int:
           f"{args.duration:.1f} s, {args.channels} channel(s), "
           f"placement {args.ap_placement}/{args.sta_placement}, "
           f"mobility={'on' if args.mobility else 'off'}, "
-          f"coupling={'off' if args.no_coupling else 'on'}\n")
+          f"coupling={'off' if args.no_coupling else 'on'}"
+          + (f", {args.shards} shards (streaming)" if args.shards else "")
+          + "\n")
     results = deployment_protocol_sweep(
         config, protocols=names, n_workers=args.workers,
-        use_cache=not args.no_cache,
+        use_cache=not args.no_cache, shards=args.shards,
     )
     baseline = "802.11" if "802.11" in results else names[0]
     print(format_deployment_table(results, baseline=baseline))
@@ -390,6 +397,16 @@ def _print_net_bench(payload) -> None:
     print(f"replay     : cold {rep['cold_seconds']:.2f}s, "
           f"warm cache hit {rep['warm_seconds'] * 1e3:.1f} ms "
           f"(identical={rep['identical_cold_warm']})")
+    stream = payload.get("streaming")
+    if stream:
+        print(f"streaming  : IPC {stream['unsharded_ipc_bytes'] / 1e3:.1f} kB"
+              f" -> {stream['sharded_ipc_bytes'] / 1e3:.1f} kB "
+              f"(x{stream['ipc_reduction_factor']:.1f} reduced, "
+              f"{stream['shards']} shards); peak RSS "
+              f"{stream['small_peak_rss_mb']:.0f} -> "
+              f"{stream['large_peak_rss_mb']:.0f} MB over "
+              f"{stream['small_aps']} -> {stream['large_aps']} APs "
+              f"(identical={stream['identical_sharded_unsharded']})")
 
 
 def _cmd_bench(args) -> int:

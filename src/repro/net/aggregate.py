@@ -1,0 +1,240 @@
+"""Mergeable, exactly-associative deployment-level aggregation.
+
+:class:`DeploymentAggregate` folds per-cell result dicts (the wire form
+``run_cell`` ships) into deployment-wide metrics — goodput/airtime sums,
+per-cell moments, Jain fairness, coupling and error counters, and
+fixed-bin histograms — using the exactly-associative primitives from
+:mod:`repro.runtime.reduction`. That gives the streaming guarantee the
+sharded deployment path rests on::
+
+    shard merge ≡ single-shot, bit for bit, at any worker count or
+    shard size.
+
+Every float statistic is finalised from exact sums (Shewchuk partials) or
+exact integer sums, so *when* and *in what grouping* cells were folded
+cannot leak into the result. Jain fairness follows the
+:class:`repro.mac.fairness.TimeOccupancyTable` conventions (only stations
+that delivered bytes count; empty or all-zero → 1.0) but accumulates
+per-station delivered bytes as exact integers:
+
+* static deployments — each station lives in exactly one cell, so its
+  per-station total is final the moment its cell is folded and only three
+  integers (count, Σv, Σv²) ride in the accumulator;
+* mobility deployments (``track_stations=True``) — a roaming station
+  delivers through several cells, so per-station integer totals are kept
+  and squared only at finalisation.
+
+The accumulator pickles compactly (plain ints and partials lists): it is
+the only thing that crosses the worker pipe in a sharded run, and the
+bench gates on that traffic staying small.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.reduction import ExactSum, MergeableHistogram, StreamMoments
+
+__all__ = [
+    "BUSY_FRACTION_EDGES",
+    "GOODPUT_EDGES_BPS",
+    "DeploymentAggregate",
+    "aggregate_factory",
+    "reduce_cell",
+]
+
+#: Per-cell downlink goodput buckets (bps), log-spaced across the regimes
+#: a hotspot cell can land in — idle, trickle, saturated single-cell.
+GOODPUT_EDGES_BPS = (
+    1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8,
+)
+
+#: Per-cell channel-busy-fraction buckets.
+BUSY_FRACTION_EDGES = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+class DeploymentAggregate:
+    """Streaming deployment aggregate over per-cell result dicts."""
+
+    __slots__ = (
+        "track_stations", "n_cells", "n_coupled_cells",
+        "collisions", "transmissions", "retransmitted_subframes",
+        "dropped_frames",
+        "goodput", "useful_goodput", "busy_airtime",
+        "cell_goodput", "busy_fraction",
+        "goodput_hist", "busy_hist",
+        "fair_n", "fair_total", "fair_squares", "delivered_by_sta",
+    )
+
+    def __init__(self, track_stations: bool = False):
+        self.track_stations = bool(track_stations)
+        self.n_cells = 0
+        self.n_coupled_cells = 0
+        self.collisions = 0
+        self.transmissions = 0
+        self.retransmitted_subframes = 0
+        self.dropped_frames = 0
+        self.goodput = ExactSum()
+        self.useful_goodput = ExactSum()
+        self.busy_airtime = ExactSum()
+        self.cell_goodput = StreamMoments()
+        self.busy_fraction = StreamMoments()
+        self.goodput_hist = MergeableHistogram(GOODPUT_EDGES_BPS)
+        self.busy_hist = MergeableHistogram(BUSY_FRACTION_EDGES)
+        # Static mode: (count, Σbytes, Σbytes²) as exact integers.
+        self.fair_n = 0
+        self.fair_total = 0
+        self.fair_squares = 0
+        # Mobility mode: station name → delivered bytes (exact integer).
+        self.delivered_by_sta: dict = {}
+
+    # -- folding -------------------------------------------------------------
+
+    def observe_cell(self, cell: dict) -> "DeploymentAggregate":
+        """Fold one cell's wire dict (``CellResult.to_dict`` form) in."""
+        self.n_cells += 1
+        goodput = float(cell["goodput_bps"])
+        busy = float(cell["channel_busy_fraction"])
+        self.goodput.add(goodput)
+        self.useful_goodput.add(float(cell["useful_goodput_bps"]))
+        self.busy_airtime.add(float(cell["busy_airtime_s"]))
+        self.cell_goodput.observe(goodput)
+        self.busy_fraction.observe(busy)
+        self.goodput_hist.observe(goodput)
+        self.busy_hist.observe(busy)
+        self.collisions += int(cell["collisions"])
+        self.transmissions += int(cell["transmissions"])
+        self.retransmitted_subframes += int(cell["retransmitted_subframes"])
+        self.dropped_frames += int(cell["dropped_frames"])
+        if cell["coupled"]:
+            self.n_coupled_cells += 1
+        for sta, delivered in cell["delivered_bytes_by_sta"].items():
+            delivered = int(delivered)
+            if self.track_stations:
+                self.delivered_by_sta[sta] = (
+                    self.delivered_by_sta.get(sta, 0) + delivered
+                )
+            else:
+                # Static cells partition the stations, so this station's
+                # per-deployment total is final right here — square it
+                # now and never carry the name across the pipe.
+                self.fair_n += 1
+                self.fair_total += delivered
+                self.fair_squares += delivered * delivered
+        return self
+
+    def merge(self, other: "DeploymentAggregate") -> "DeploymentAggregate":
+        """Fold another shard's accumulator in (exact, any grouping)."""
+        if self.track_stations != other.track_stations:
+            raise ValueError("cannot merge aggregates of different modes")
+        self.n_cells += other.n_cells
+        self.n_coupled_cells += other.n_coupled_cells
+        self.collisions += other.collisions
+        self.transmissions += other.transmissions
+        self.retransmitted_subframes += other.retransmitted_subframes
+        self.dropped_frames += other.dropped_frames
+        self.goodput.merge(other.goodput)
+        self.useful_goodput.merge(other.useful_goodput)
+        self.busy_airtime.merge(other.busy_airtime)
+        self.cell_goodput.merge(other.cell_goodput)
+        self.busy_fraction.merge(other.busy_fraction)
+        self.goodput_hist.merge(other.goodput_hist)
+        self.busy_hist.merge(other.busy_hist)
+        self.fair_n += other.fair_n
+        self.fair_total += other.fair_total
+        self.fair_squares += other.fair_squares
+        for sta, delivered in other.delivered_by_sta.items():
+            self.delivered_by_sta[sta] = (
+                self.delivered_by_sta.get(sta, 0) + delivered
+            )
+        return self
+
+    # -- finalisation --------------------------------------------------------
+
+    def jain_fairness(self) -> float:
+        """Jain index over per-station delivered bytes (conventions of
+        :meth:`repro.mac.fairness.TimeOccupancyTable.jain_index`)."""
+        if self.track_stations:
+            values = self.delivered_by_sta.values()
+            n = len(self.delivered_by_sta)
+            total = sum(values)
+            squares = sum(v * v for v in values)
+        else:
+            n, total, squares = self.fair_n, self.fair_total, self.fair_squares
+        if n == 0 or squares == 0:
+            return 1.0
+        # Exact integers right up to the single final division.
+        return (total * total) / (n * squares)
+
+    def total_goodput_bps(self) -> float:
+        return self.goodput.value()
+
+    def total_useful_goodput_bps(self) -> float:
+        return self.useful_goodput.value()
+
+    def busy_airtime_s(self) -> float:
+        return self.busy_airtime.value()
+
+    # -- transport -----------------------------------------------------------
+
+    def __reduce__(self):
+        # One restore call over plain ints/lists: the accumulator *is*
+        # the sharded path's IPC traffic, so its pickle stays minimal.
+        return (_restore, (
+            self.track_stations, self.n_cells, self.n_coupled_cells,
+            self.collisions, self.transmissions,
+            self.retransmitted_subframes, self.dropped_frames,
+            self.goodput.to_dict()["partials"],
+            self.useful_goodput.to_dict()["partials"],
+            self.busy_airtime.to_dict()["partials"],
+            self.cell_goodput.to_dict(),
+            self.busy_fraction.to_dict(),
+            self.goodput_hist.counts,
+            self.busy_hist.counts,
+            self.fair_n, self.fair_total, self.fair_squares,
+            self.delivered_by_sta,
+        ))
+
+
+def _restore(track_stations, n_cells, n_coupled, collisions, transmissions,
+             retx, dropped, goodput, useful, airtime, cell_goodput,
+             busy_fraction, goodput_counts, busy_counts, fair_n, fair_total,
+             fair_squares, delivered):
+    out = DeploymentAggregate(track_stations=track_stations)
+    out.n_cells = n_cells
+    out.n_coupled_cells = n_coupled
+    out.collisions = collisions
+    out.transmissions = transmissions
+    out.retransmitted_subframes = retx
+    out.dropped_frames = dropped
+    out.goodput = ExactSum.from_dict({"partials": goodput})
+    out.useful_goodput = ExactSum.from_dict({"partials": useful})
+    out.busy_airtime = ExactSum.from_dict({"partials": airtime})
+    out.cell_goodput = StreamMoments.from_dict(cell_goodput)
+    out.busy_fraction = StreamMoments.from_dict(busy_fraction)
+    out.goodput_hist.counts = list(goodput_counts)
+    out.busy_hist.counts = list(busy_counts)
+    out.fair_n = fair_n
+    out.fair_total = fair_total
+    out.fair_squares = fair_squares
+    out.delivered_by_sta = delivered
+    return out
+
+
+def reduce_cell(acc: DeploymentAggregate, trial_index: int,
+                result: dict) -> DeploymentAggregate:
+    """``run_trials`` reduce_fn: fold one cell's wire dict into ``acc``."""
+    return acc.observe_cell(result)
+
+
+class aggregate_factory:
+    """Picklable ``reduce_init``: builds a mode-matched empty aggregate."""
+
+    __slots__ = ("track_stations",)
+
+    def __init__(self, track_stations: bool = False):
+        self.track_stations = bool(track_stations)
+
+    def __call__(self) -> DeploymentAggregate:
+        return DeploymentAggregate(track_stations=self.track_stations)
+
+    def __reduce__(self):
+        return (aggregate_factory, (self.track_stations,))

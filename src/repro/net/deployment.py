@@ -13,16 +13,29 @@ the ``repro net`` CLI drive. It composes the rest of the package:
    unit of work — and the cells fan out over the persistent
    :mod:`repro.runtime` pools via :func:`~repro.runtime.trials.run_trials`
    with the spec list shipped once per worker as the ``shared=`` payload.
-5. Per-cell metrics aggregate into a :class:`DeploymentResult` (total and
-   useful goodput, busy airtime, deployment-wide Jain fairness via
-   :mod:`repro.mac.fairness`, roam statistics), which is stored in the
+5. Per-cell metrics fold through the mergeable
+   :class:`~repro.net.aggregate.DeploymentAggregate` into a
+   :class:`DeploymentResult` (total and useful goodput, busy airtime,
+   deployment-wide Jain fairness, roam statistics, per-cell moments and
+   histograms), which is stored in the
    :class:`~repro.runtime.cache.ResultCache` keyed by the config content
    and a fingerprint of the producing code.
 
+**Sharded mode** (``shards=k``) is the constant-memory variant of steps
+4–5 for large deployments: the parent never materialises the spec list —
+workers regenerate their own shard of specs per chunk from the config
+(``trial_source=``, with the expensive decomposition memoized per worker
+process) — and never collects per-cell results: each worker folds its
+chunk into a :class:`~repro.net.aggregate.DeploymentAggregate` before
+IPC (``reduce_fn=``), so only small accumulators cross the pipe. Because
+the aggregate is exactly associative, a sharded run is bit-identical to
+the unsharded path in every deployment-level number; what it gives up is
+the per-cell breakdown (``result.cells`` is empty).
+
 Determinism: a cell's result is a pure function of its spec, and every
 spec derives its seed from the deployment seed and the AP index — so the
-same config gives bit-identical results for any worker count or chunking.
-A static (no-mobility) cell is executed *through*
+same config gives bit-identical results for any worker count, chunking,
+or shard count. A static (no-mobility) cell is executed *through*
 :class:`repro.mac.scenarios.CbrScenario` with a derived seed
 (:func:`cell_seed`), which makes the degenerate one-AP, coupling-off
 deployment reproduce the existing single-cell machinery bit for bit.
@@ -31,15 +44,16 @@ deployment reproduce the existing single-cell machinery bit for bit.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field
 
 from repro.mac.engine import AP_NAME, WlanSimulator
-from repro.mac.fairness import TimeOccupancyTable
 from repro.mac.parameters import DEFAULT_PARAMETERS
 from repro.mac.protocols import PROTOCOLS
 from repro.mac.protocols.base import AggregationLimits
 from repro.mac.protocols.carpool_mixed import CarpoolMixedProtocol
 from repro.mac.scenarios import CbrScenario
+from repro.net.aggregate import DeploymentAggregate, aggregate_factory, reduce_cell
 from repro.net.interference import (
     background_duty,
     coupling_fault_plans,
@@ -48,6 +62,7 @@ from repro.net.interference import (
 from repro.net.roaming import RandomWaypointMobility, build_association_timeline
 from repro.net.topology import Arena, build_topology
 from repro.obs.log import get_logger
+from repro.obs.manifest import manifest_scope
 from repro.obs.trace import active_recorder, metrics
 from repro.runtime.cache import ResultCache, code_fingerprint, content_key
 from repro.runtime.trials import run_trials, shared_payload
@@ -203,7 +218,15 @@ class CellResult:
 
 @dataclass
 class DeploymentResult:
-    """Deployment-level aggregates plus the per-cell breakdown."""
+    """Deployment-level aggregates plus the per-cell breakdown.
+
+    Every deployment-level number is finalised from the exactly-
+    associative :class:`~repro.net.aggregate.DeploymentAggregate`, so it
+    is identical whether the run was sharded or not. ``cells`` holds the
+    per-cell breakdown in the unsharded path and is empty for sharded
+    runs (the constant-memory trade: shard mode never materialises
+    per-cell results anywhere).
+    """
 
     config: dict
     cells: list
@@ -214,13 +237,14 @@ class DeploymentResult:
     n_roams: int
     interruption_time_s: float
     n_coupled_cells: int
-
-    @property
-    def mean_cell_busy_fraction(self) -> float:
-        """Average channel-busy fraction across cells."""
-        if not self.cells:
-            return 0.0
-        return sum(c.channel_busy_fraction for c in self.cells) / len(self.cells)
+    # Streaming-aggregate fields (defaults keep pre-streaming cached
+    # payloads loadable).
+    n_cells: int = 0
+    mean_cell_goodput_bps: float = 0.0
+    cell_goodput_stddev_bps: float = 0.0
+    mean_cell_busy_fraction: float = 0.0
+    goodput_histogram: dict = field(default_factory=dict)
+    busy_fraction_histogram: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (the cached value)."""
@@ -445,12 +469,25 @@ def _build_roaming_cell_arrivals(config: DeploymentConfig, timeline) -> dict:
 # --------------------------------------------------------------------------- #
 
 
-def build_cell_specs(config: DeploymentConfig) -> tuple:
-    """(specs, timeline, fault_plans) for a deployment config.
+@dataclass
+class _DeploymentPlan:
+    """The expensive, cell-independent decomposition of a config.
 
-    Exposed separately so tests can inspect the decomposition without
-    running the cells.
+    Everything :func:`_make_cell_spec` needs to mint any single cell's
+    spec: built once per process (parent, or each worker in sharded mode)
+    and reused for every cell of the deployment.
     """
+
+    timeline: object
+    members: dict
+    plans: dict
+    cell_arrivals: dict
+    mixed: bool
+    ap_order: tuple
+
+
+def _deployment_plan(config: DeploymentConfig) -> _DeploymentPlan:
+    """Topology → associations → coupling plans → routed arrivals."""
     topology = build_topology(
         config.n_aps, config.n_stas, config.seed,
         arena=config.arena,
@@ -489,69 +526,160 @@ def build_cell_specs(config: DeploymentConfig) -> tuple:
         {} if not config.mobility
         else _build_roaming_cell_arrivals(config, timeline)
     )
-    specs = []
-    for ap in topology.aps:
-        common = dict(
-            ap_index=ap.index,
-            protocol=config.protocol,
-            seed=cell_seed(config.seed, ap.index),
-            duration=config.duration,
-            frame_bytes=config.frame_bytes,
-            frames_per_second=config.frames_per_second,
-            latency_requirement=config.latency_requirement,
-            with_background=config.with_background,
-            background_intensity=config.background_intensity,
-            fault_plan=plans[ap.index],
+    return _DeploymentPlan(
+        timeline=timeline,
+        members=members,
+        plans=plans,
+        cell_arrivals=cell_arrivals,
+        mixed=mixed,
+        ap_order=tuple(ap.index for ap in topology.aps),
+    )
+
+
+def _make_cell_spec(config: DeploymentConfig, plan: _DeploymentPlan,
+                    ap_index: int) -> CellSpec:
+    """Mint one cell's spec from the shared deployment plan."""
+    timeline, members = plan.timeline, plan.members
+    common = dict(
+        ap_index=ap_index,
+        protocol=config.protocol,
+        seed=cell_seed(config.seed, ap_index),
+        duration=config.duration,
+        frame_bytes=config.frame_bytes,
+        frames_per_second=config.frames_per_second,
+        latency_requirement=config.latency_requirement,
+        with_background=config.with_background,
+        background_intensity=config.background_intensity,
+        fault_plan=plan.plans[ap_index],
+    )
+    if not config.mobility:
+        # Static: local names sta0..n-1 (the CbrScenario convention)
+        # mapped back to the deployment's global indices.
+        cell_members = members[ap_index]
+        name_map = tuple(
+            (f"sta{local}", f"sta{global_index}")
+            for local, global_index in enumerate(cell_members)
         )
-        if not config.mobility:
-            # Static: local names sta0..n-1 (the CbrScenario convention)
-            # mapped back to the deployment's global indices.
-            cell_members = members[ap.index]
-            name_map = tuple(
-                (f"sta{local}", f"sta{global_index}")
-                for local, global_index in enumerate(cell_members)
+        carpool = None
+        if plan.mixed:
+            to_local = {g: l for l, g in name_map}
+            carpool = tuple(
+                to_local[name]
+                for name in timeline.carpool_stations(ap_index)
             )
-            carpool = None
-            if mixed:
-                to_local = {g: l for l, g in name_map}
-                carpool = tuple(
-                    to_local[name]
-                    for name in timeline.carpool_stations(ap.index)
-                )
-            specs.append(CellSpec(
-                n_stations=len(cell_members), static=True,
-                name_map=name_map, carpool_stations=carpool, **common,
-            ))
-        else:
-            names = tuple(f"sta{i}" for i in members[ap.index])
-            carpool = (
-                tuple(timeline.carpool_stations(ap.index)) if mixed else None
-            )
-            specs.append(CellSpec(
-                n_stations=len(names), static=False,
-                arrivals=tuple(cell_arrivals.get(ap.index, ())),
-                station_names=names, carpool_stations=carpool, **common,
-            ))
-    return specs, timeline, plans
+        return CellSpec(
+            n_stations=len(cell_members), static=True,
+            name_map=name_map, carpool_stations=carpool, **common,
+        )
+    names = tuple(f"sta{i}" for i in members[ap_index])
+    carpool = (
+        tuple(timeline.carpool_stations(ap_index)) if plan.mixed else None
+    )
+    return CellSpec(
+        n_stations=len(names), static=False,
+        arrivals=tuple(plan.cell_arrivals.get(ap_index, ())),
+        station_names=names, carpool_stations=carpool, **common,
+    )
 
 
-def _aggregate(config: DeploymentConfig, cells: list, timeline,
-               plans: dict) -> DeploymentResult:
-    table = TimeOccupancyTable()
-    for cell in cells:
-        for sta, delivered in cell.delivered_bytes_by_sta.items():
-            table.charge(sta, float(delivered))
+def build_cell_specs(config: DeploymentConfig) -> tuple:
+    """(specs, timeline, fault_plans) for a deployment config.
+
+    Exposed separately so tests can inspect the decomposition without
+    running the cells.
+    """
+    plan = _deployment_plan(config)
+    specs = [_make_cell_spec(config, plan, i) for i in plan.ap_order]
+    return specs, plan.timeline, plan.plans
+
+
+# Worker-side plan memo for sharded runs: a worker serving several chunks
+# of the same deployment rebuilds the decomposition once, not per chunk.
+# Single entry (keyed by the frozen config) so a worker recycled across
+# different deployments cannot accumulate plans — that would breach the
+# constant-memory contract shards exist for.
+_PLAN_MEMO: dict = {}
+
+
+def _plan_for(config: DeploymentConfig) -> _DeploymentPlan:
+    plan = _PLAN_MEMO.get(config)
+    if plan is None:
+        _PLAN_MEMO.clear()
+        plan = _deployment_plan(config)
+        _PLAN_MEMO[config] = plan
+    return plan
+
+
+class _SpecSource:
+    """``run_trials`` trial_source: lazily mint one shard of cell specs.
+
+    Pickles as just the config — workers regenerate their own shard of
+    specs from the memoized plan, so the parent never materialises (or
+    ships) the full spec list.
+    """
+
+    __slots__ = ("config",)
+
+    def __init__(self, config: DeploymentConfig):
+        self.config = config
+
+    def __call__(self, start: int, stop: int) -> list:
+        plan = _plan_for(self.config)
+        return [
+            _make_cell_spec(self.config, plan, plan.ap_order[i])
+            for i in range(start, stop)
+        ]
+
+    def __reduce__(self):
+        return (_SpecSource, (self.config,))
+
+
+def _cell_trial_sharded(trial_index: int, rng, spec: CellSpec) -> dict:
+    """Sharded run_trials adapter: the spec arrives from the trial source.
+
+    The handed RNG is deliberately unused, exactly as in :func:`_cell_trial`.
+    """
+    return run_cell(spec).to_dict()
+
+
+def _finalize(config: DeploymentConfig, agg: DeploymentAggregate, timeline,
+              plans: dict, cells: list) -> DeploymentResult:
+    """One :class:`DeploymentResult` from the folded aggregate.
+
+    Both execution paths end here with an identical aggregate (the
+    primitives are exactly associative), so every deployment-level field
+    is bit-identical whether cells were folded in the parent or reduced
+    shard-by-shard inside workers.
+    """
     return DeploymentResult(
         config=config.to_payload(),
         cells=cells,
-        total_goodput_bps=sum(c.goodput_bps for c in cells),
-        total_useful_goodput_bps=sum(c.useful_goodput_bps for c in cells),
-        busy_airtime_s=sum(c.busy_airtime_s for c in cells),
-        jain_fairness=table.jain_index(),
+        total_goodput_bps=agg.total_goodput_bps(),
+        total_useful_goodput_bps=agg.total_useful_goodput_bps(),
+        busy_airtime_s=agg.busy_airtime_s(),
+        jain_fairness=agg.jain_fairness(),
         n_roams=timeline.n_roams,
         interruption_time_s=timeline.interruption_time,
         n_coupled_cells=sum(1 for plan in plans.values() if plan is not None),
+        n_cells=agg.n_cells,
+        mean_cell_goodput_bps=agg.cell_goodput.mean(),
+        cell_goodput_stddev_bps=agg.cell_goodput.stddev(),
+        mean_cell_busy_fraction=agg.busy_fraction.mean(),
+        goodput_histogram=agg.goodput_hist.to_dict(),
+        busy_fraction_histogram=agg.busy_hist.to_dict(),
     )
+
+
+def _emit_handoffs(config: DeploymentConfig, timeline) -> None:
+    rec = active_recorder()
+    if rec is None or not config.mobility:
+        return
+    for sta_index in range(config.n_stas):
+        segments = timeline.segments_for(sta_index)
+        for prev, nxt in zip(segments, segments[1:]):
+            rec.emit("net", "handoff", sta=sta_index,
+                     t=round(nxt.start, 6),
+                     from_ap=prev.ap_index, to_ap=nxt.ap_index)
 
 
 def simulate_deployment(
@@ -561,6 +689,7 @@ def simulate_deployment(
     use_cache: bool = True,
     manifest_path=None,
     chunk_size: int | str | None = "auto",
+    shards: int | None = None,
 ) -> DeploymentResult:
     """Simulate a whole deployment; cells fan out over the runtime pools.
 
@@ -570,21 +699,36 @@ def simulate_deployment(
     so this usually lands at a few cells per chunk). Chunking never
     affects results.
 
+    ``shards=k`` selects the streaming path: cells are generated and
+    reduced in ~``n_aps / k`` sized shards, workers fold their shard into
+    a :class:`~repro.net.aggregate.DeploymentAggregate` before IPC, and
+    the parent merges accumulators instead of collecting per-cell
+    results. Deployment-level numbers are bit-identical to the unsharded
+    path at any ``shards``/worker combination; ``result.cells`` is empty
+    (the memory being saved is exactly that list).
+
     Results are cached under the ``deployment`` namespace, keyed by the
     full config payload and a fingerprint of every package that shapes
     the outcome — editing the MAC, traffic, fault, or net code invalidates
-    stale entries automatically. ``use_cache=False`` forces a recompute
-    (the fresh result is still stored).
+    stale entries automatically. Sharded results cache under a distinct
+    key: the two paths return differently-shaped results (with and
+    without ``cells``), so neither may satisfy the other's lookup.
+    ``use_cache=False`` forces a recompute (the fresh result is still
+    stored).
 
     ``manifest_path`` writes a provenance record (seed, git SHA, config
     hash, versions, timing) next to wherever the caller stores the result.
     """
-    import time as _time
-
-    t_wall = _time.perf_counter()
-    t_cpu = _time.process_time()
+    if shards is not None:
+        shards = int(shards)
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+    streaming = shards is not None
+    key_payload = config.to_payload()
+    if streaming:
+        key_payload = dict(key_payload, result_shape="aggregate-only")
     key = content_key(
-        "deployment", config.to_payload(),
+        "deployment", key_payload,
         code_fingerprint("repro.net", "repro.mac", "repro.traffic",
                          "repro.faults"),
     )
@@ -595,40 +739,49 @@ def simulate_deployment(
             log.info("deployment cache hit (%d APs, seed %d)",
                      config.n_aps, config.seed)
             return DeploymentResult.from_dict(cached)
-    log.info("simulating deployment: %d APs x %d STAs, %s, seed %d",
-             config.n_aps, config.stas_per_ap, config.protocol, config.seed)
-    with metrics().timer("net.build_specs").time():
-        specs, timeline, plans = build_cell_specs(config)
-    rec = active_recorder()
-    if rec is not None and config.mobility:
-        for sta_index in range(config.n_stas):
-            segments = timeline.segments_for(sta_index)
-            for prev, nxt in zip(segments, segments[1:]):
-                rec.emit("net", "handoff", sta=sta_index,
-                         t=round(nxt.start, 6),
-                         from_ap=prev.ap_index, to_ap=nxt.ap_index)
-    with metrics().timer("net.run_cells").time():
-        raw = run_trials(
-            _cell_trial, len(specs),
-            seed=derive_seed(config.seed, "net-cells"),
-            n_workers=n_workers,
-            chunk_size=chunk_size,
-            shared=specs,
-        )
-    with metrics().timer("net.aggregate").time():
-        cells = [CellResult.from_dict(r) for r in raw]
-        result = _aggregate(config, cells, timeline, plans)
-    cache.put(key, result.to_dict())
-    if manifest_path is not None:
-        from repro.obs.manifest import write_manifest
-
-        write_manifest(
-            manifest_path,
-            kind="deployment",
-            seed=config.seed,
-            config=config.to_payload(),
-            metrics=metrics().to_dict(),
-            wall_seconds=_time.perf_counter() - t_wall,
-            cpu_seconds=_time.process_time() - t_cpu,
-        )
+    log.info("simulating deployment: %d APs x %d STAs, %s, seed %d%s",
+             config.n_aps, config.stas_per_ap, config.protocol, config.seed,
+             f" ({shards} shards)" if streaming else "")
+    with manifest_scope(manifest_path, kind="deployment", seed=config.seed,
+                        config=config.to_payload()):
+        seed = derive_seed(config.seed, "net-cells")
+        if streaming:
+            with metrics().timer("net.build_specs").time():
+                # The parent builds the plan once too — for timeline
+                # statistics and handoff events — but never the spec list.
+                plan = _deployment_plan(config)
+            _emit_handoffs(config, plan.timeline)
+            with metrics().timer("net.run_cells").time():
+                agg = run_trials(
+                    _cell_trial_sharded, config.n_aps,
+                    seed=seed,
+                    n_workers=n_workers,
+                    chunk_size=max(1, math.ceil(config.n_aps / shards)),
+                    trial_source=_SpecSource(config),
+                    reduce_fn=reduce_cell,
+                    reduce_init=aggregate_factory(config.mobility),
+                )
+            with metrics().timer("net.aggregate").time():
+                result = _finalize(config, agg, plan.timeline, plan.plans, [])
+        else:
+            with metrics().timer("net.build_specs").time():
+                specs, timeline, plans = build_cell_specs(config)
+            _emit_handoffs(config, timeline)
+            with metrics().timer("net.run_cells").time():
+                raw = run_trials(
+                    _cell_trial, len(specs),
+                    seed=seed,
+                    n_workers=n_workers,
+                    chunk_size=chunk_size,
+                    shared=specs,
+                )
+            with metrics().timer("net.aggregate").time():
+                # Fold the same wire dicts the sharded path reduces —
+                # identity between the paths holds by construction.
+                agg = DeploymentAggregate(track_stations=config.mobility)
+                for r in raw:
+                    agg.observe_cell(r)
+                cells = [CellResult.from_dict(r) for r in raw]
+                result = _finalize(config, agg, timeline, plans, cells)
+        cache.put(key, result.to_dict())
     return result

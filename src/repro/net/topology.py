@@ -197,6 +197,7 @@ class DeploymentTopology:
         self._shadowing_db = gen.normal(
             0.0, self.shadowing_sigma_db, size=(len(self.aps), len(self.stas))
         ) if self.aps and self.stas else np.zeros((len(self.aps), len(self.stas)))
+        self._snr_matrix_cache: np.ndarray | None = None
 
     def distance(self, ap_index: int, sta_index: int,
                  sta_xy: tuple | None = None) -> float:
@@ -218,14 +219,30 @@ class DeploymentTopology:
         return base + float(self._shadowing_db[ap_index, sta_index])
 
     def snr_matrix(self) -> np.ndarray:
-        """(n_aps, n_stas) SNR of every link at the initial positions."""
-        return np.array([
-            [self.snr_db(a, s) for s in range(len(self.stas))]
-            for a in range(len(self.aps))
-        ])
+        """(n_aps, n_stas) SNR of every link at the initial positions.
+
+        Positions and shadowing are frozen at construction, so the matrix
+        is computed once and memoized — association sweeps (and the
+        sharded deployment path, which rebuilds the topology in every
+        worker process) reuse it instead of re-deriving every link
+        budget. A copy is returned so callers cannot corrupt the cache.
+        """
+        if self._snr_matrix_cache is None:
+            self._snr_matrix_cache = np.array([
+                [self.snr_db(a, s) for s in range(len(self.stas))]
+                for a in range(len(self.aps))
+            ])
+        return self._snr_matrix_cache.copy()
 
     def strongest_ap(self, sta_index: int, sta_xy: tuple | None = None) -> int:
         """The AP with the best SNR to a station (ties → lowest index)."""
+        if sta_xy is None and self.aps and self.stas:
+            # Initial-position query: one memoized matrix column instead
+            # of n_aps fresh link-budget evaluations. The entries are the
+            # exact floats snr_db would return, so selection is unchanged.
+            if self._snr_matrix_cache is None:
+                self.snr_matrix()
+            return int(np.argmax(self._snr_matrix_cache[:, sta_index]))
         snrs = [self.snr_db(a, sta_index, sta_xy) for a in range(len(self.aps))]
         return int(np.argmax(snrs))
 

@@ -23,6 +23,11 @@ from repro.runtime.cache import (
     default_cache_dir,
     stable_digest,
 )
+from repro.runtime.reduction import (
+    ExactSum,
+    MergeableHistogram,
+    StreamMoments,
+)
 from repro.runtime.shm import (
     SharedPayload,
     pack_payload,
@@ -44,8 +49,11 @@ from repro.runtime.trials import (
 
 __all__ = [
     "ChunkFailure",
+    "ExactSum",
+    "MergeableHistogram",
     "ResultCache",
     "SharedPayload",
+    "StreamMoments",
     "TrialRunResult",
     "autotune_chunk_size",
     "cache_enabled",

@@ -52,7 +52,11 @@ __all__ = [
 # path, and each pool section carries a ``scaling`` subsection — the
 # speedup curve over worker counts (``"1"`` = the batched path in-process,
 # no pool) that ``crossover_workers`` is read from.
-SCHEMA_VERSION = 3
+# v4: the net suite gains a ``streaming`` section — bytes shipped over
+# IPC and parent peak RSS for sharded (worker-side reduced) vs unsharded
+# deployments at identical results — and the ``observability`` section
+# carries ``ipc_result_bytes`` / ``shm_bytes`` / ``peak_rss_mb``.
+SCHEMA_VERSION = 4
 
 # Suite -> section -> keys every BENCH_*.json must carry (the schema family).
 _REQUIRED_KEYS = {
@@ -112,6 +116,13 @@ _REQUIRED_KEYS = {
             "aps", "stas_per_ap", "duration", "cold_seconds",
             "warm_seconds", "identical_cold_warm",
         ),
+        "streaming": (
+            "small_aps", "large_aps", "stas_per_ap", "duration", "shards",
+            "unsharded_ipc_bytes", "sharded_ipc_bytes",
+            "ipc_reduction_factor", "small_peak_rss_mb", "large_peak_rss_mb",
+            "rss_growth_factor", "ipc_reduction_ok", "rss_flat_ok",
+            "identical_sharded_unsharded",
+        ),
     },
 }
 
@@ -129,8 +140,26 @@ _TRUE_GATES = {
     "net": (
         ("deployment", "identical_serial_parallel"),
         ("replay", "identical_cold_warm"),
+        ("streaming", "identical_sharded_unsharded"),
+        ("streaming", "ipc_reduction_ok"),
+        ("streaming", "rss_flat_ok"),
     ),
 }
+
+
+def _peak_rss_mb() -> float:
+    """This process's lifetime peak resident set size, in MiB.
+
+    ``ru_maxrss`` is a monotone high-water mark (kilobytes on Linux,
+    bytes on macOS): it can only ever grow, which is exactly the property
+    the streaming section leans on — measure after a small leg, then
+    after a large leg, and any growth is attributable to the large leg.
+    """
+    import resource
+    import sys
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak / ((1 << 20) if sys.platform == "darwin" else (1 << 10))
 
 
 def _observability_section(registry) -> dict:
@@ -139,7 +168,9 @@ def _observability_section(registry) -> dict:
     Collected with worker shipping off, so the timed chunk path inside the
     pools is exactly what an uninstrumented run executes. Informational
     only: :func:`compare_bench` never gates on it, and committed baselines
-    written before the section existed stay valid.
+    written before the section existed (or before individual counters
+    like ``ipc_result_bytes`` / ``shm_bytes`` / ``peak_rss_mb`` were
+    added) stay valid.
     """
     def count(name: str) -> int:
         instrument = registry.get(name)
@@ -156,6 +187,9 @@ def _observability_section(registry) -> dict:
         "cache_hit_ratio": hits / lookups if lookups else None,
         "chunk_retries": count("runtime.chunk_retries"),
         "chunks_failed": count("runtime.chunks_failed"),
+        "ipc_result_bytes": count("runtime.ipc_result_bytes"),
+        "shm_bytes": count("runtime.shm_bytes"),
+        "peak_rss_mb": _peak_rss_mb(),
     }
 
 
@@ -724,6 +758,87 @@ def _bench_replay(config) -> dict:
     }
 
 
+def _bench_streaming(small, large, shards: int, n_workers, registry,
+                     smoke: bool) -> dict:
+    """Sharded (worker-side reduced) vs unsharded deployments: IPC bytes
+    and parent peak RSS at identical results.
+
+    Leg order is load-bearing. ``ru_maxrss`` is a monotone high-water
+    mark, so the sharded legs run first, small before large: any RSS
+    growth between the two measurements was caused by growing the
+    deployment ~an order of magnitude under shards — the constant-memory
+    claim, stated as a one-sided gate. The unsharded leg (which *does*
+    materialise the spec list and every per-cell dict in the parent) runs
+    last, purely to count its IPC traffic and to check bit-identity of
+    the deployment-level numbers.
+
+    Gates (thresholds relaxed under ``smoke``):
+
+    * ``ipc_reduction_ok`` — reducing in workers must cut bytes shipped
+      over the pipe by at least the threshold factor,
+    * ``rss_flat_ok`` — parent peak RSS must stay flat as the AP count
+      grows (the authoritative fresh-process ceiling check lives in
+      ``benchmarks/check_memory_ceiling.py``; this in-suite gate catches
+      gross leaks without a subprocess),
+    * ``identical_sharded_unsharded`` — fixed result quality: every
+      deployment-level field bit-identical between the paths.
+    """
+    from repro.net.deployment import simulate_deployment
+    from repro.runtime.trials import shutdown_pools
+
+    def ipc_bytes() -> int:
+        instrument = registry.get("runtime.ipc_result_bytes")
+        return int(instrument.value) if instrument is not None else 0
+
+    workers = max(2, resolve_workers(n_workers))
+    ipc_threshold = 2.0 if smoke else 5.0
+    rss_threshold = 1.25 if smoke else 1.10
+
+    # Fresh pools so the legs below pay (and amortise) the same costs.
+    shutdown_pools()
+    simulate_deployment(small, n_workers=workers, use_cache=False,
+                        shards=shards)
+    small_rss = _peak_rss_mb()
+
+    base = ipc_bytes()
+    sharded = simulate_deployment(large, n_workers=workers, use_cache=False,
+                                  shards=shards)
+    sharded_bytes = ipc_bytes() - base
+    large_rss = _peak_rss_mb()
+
+    base = ipc_bytes()
+    unsharded = simulate_deployment(large, n_workers=workers, use_cache=False)
+    unsharded_bytes = ipc_bytes() - base
+
+    # Identity is over every deployment-level field; the per-cell list is
+    # exactly what sharding trades away, so it is excluded by contract.
+    sharded_dict = dict(sharded.to_dict(), cells=None)
+    unsharded_dict = dict(unsharded.to_dict(), cells=None)
+    reduction = (
+        unsharded_bytes / sharded_bytes if sharded_bytes else float("inf")
+    )
+    growth = large_rss / small_rss if small_rss else float("inf")
+    return {
+        "small_aps": small.n_aps,
+        "large_aps": large.n_aps,
+        "stas_per_ap": large.stas_per_ap,
+        "duration": large.duration,
+        "shards": shards,
+        "parallel_workers": workers,
+        "unsharded_ipc_bytes": unsharded_bytes,
+        "sharded_ipc_bytes": sharded_bytes,
+        "ipc_reduction_factor": reduction,
+        "ipc_reduction_threshold": ipc_threshold,
+        "small_peak_rss_mb": small_rss,
+        "large_peak_rss_mb": large_rss,
+        "rss_growth_factor": growth,
+        "rss_growth_threshold": rss_threshold,
+        "ipc_reduction_ok": bool(reduction >= ipc_threshold),
+        "rss_flat_ok": bool(growth <= rss_threshold),
+        "identical_sharded_unsharded": sharded_dict == unsharded_dict,
+    }
+
+
 def run_net_bench(
     smoke: bool = False,
     n_workers: int | None = None,
@@ -734,24 +849,38 @@ def run_net_bench(
     The ``deployment`` section times cell fan-out over the persistent
     pools serial vs parallel (gated on bit-identical aggregates); the
     ``replay`` section times a cold compute vs a warm
-    :class:`~repro.runtime.cache.ResultCache` hit of the same config.
+    :class:`~repro.runtime.cache.ResultCache` hit of the same config; the
+    ``streaming`` section measures bytes shipped over IPC and parent peak
+    RSS for sharded (worker-side reduced) vs unsharded runs of the same
+    deployment, gated on bit-identical deployment-level results.
     """
     from repro.net.deployment import DeploymentConfig
 
     if smoke:
         config = DeploymentConfig(n_aps=4, stas_per_ap=2, duration=0.5,
                                   channels=1)
+        stream_small = DeploymentConfig(n_aps=4, stas_per_ap=2, duration=0.3,
+                                        channels=1)
+        stream_large = replace(stream_small, n_aps=16)
+        shards = 4
     else:
         config = DeploymentConfig(n_aps=9, stas_per_ap=6, duration=3.0,
                                   channels=1)
+        stream_small = DeploymentConfig(n_aps=9, stas_per_ap=4, duration=0.5,
+                                        channels=1)
+        stream_large = replace(stream_small, n_aps=100)
+        shards = 10
 
     with collecting() as registry:
         deployment = _bench_deployment(config, n_workers, smoke)
         replay = _bench_replay(config)
+        streaming = _bench_streaming(stream_small, stream_large, shards,
+                                     n_workers, registry, smoke)
     payload = {
         "meta": _meta("net", smoke, n_workers),
         "deployment": deployment,
         "replay": replay,
+        "streaming": streaming,
         "observability": _observability_section(registry),
     }
     validate_bench(payload)
@@ -809,10 +938,17 @@ def validate_bench(payload: dict) -> dict:
 
 
 # Key substrings whose values are throughputs/ratios (higher is better).
-_HIGHER_IS_BETTER = ("_per_s", "speedup", "frames_per_s", "mbit_per_s")
+_HIGHER_IS_BETTER = ("_per_s", "speedup", "frames_per_s", "mbit_per_s",
+                     "reduction_factor")
 
 # Result keys that are neither gated metrics nor workload descriptors.
-_RESULT_MARKERS = _HIGHER_IS_BETTER + ("seconds", "crossover_workers", "scaling")
+# ``_bytes`` / ``_rss_mb`` / ``_factor`` cover the streaming section's
+# measurements (lower is better, so not regression-gated numerically —
+# the section's own ``*_ok`` booleans gate them instead).
+_RESULT_MARKERS = _HIGHER_IS_BETTER + (
+    "seconds", "crossover_workers", "scaling", "_bytes", "_rss_mb", "_factor",
+    "_ok",
+)
 
 
 def _same_section_workload(current: dict, baseline: dict) -> bool:

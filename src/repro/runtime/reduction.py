@@ -1,0 +1,242 @@
+"""Mergeable, exactly-associative accumulators for worker-side reduction.
+
+``run_trials(reduce_fn=..., reduce_init=...)`` folds each chunk's trial
+results into one small accumulator *inside the worker*, so only the
+accumulator crosses the pipe. For that to be invisible — the headline
+promise that shard merge ≡ single-shot at any worker count or chunk
+size — the accumulators must be **exactly associative**: merging partial
+accumulators in any grouping must produce bit-identical finalised values.
+Plain float ``+`` is not associative (rounding depends on order), so this
+module provides primitives that are:
+
+* :class:`ExactSum` — Shewchuk exact-partials accumulation (the
+  ``math.fsum`` algorithm, kept mergeable). Every ``add`` is exact; the
+  partials represent the true mathematical sum, and :meth:`ExactSum.value`
+  rounds that exact sum once. Since the exact sum of a multiset of floats
+  does not depend on order, neither does the rounded result.
+* :class:`StreamMoments` — count / mean / variance over a stream, built
+  on exact Σx and Σx² rather than Welford updates (Welford's running
+  mean is order-dependent; exact power sums are not).
+* :class:`MergeableHistogram` — fixed-edge integer-count histogram;
+  integer addition is exact, so merged counts match single-shot counts.
+
+All three serialise to/from JSON-safe dicts (``to_dict`` / ``from_dict``)
+so they can ride inside cached results.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ExactSum",
+    "StreamMoments",
+    "MergeableHistogram",
+]
+
+
+def _grow_partials(partials: list, x: float) -> None:
+    """Fold one float into a Shewchuk non-overlapping partials list.
+
+    Each two-sum step is exact (``hi + lo == x + y`` in real arithmetic),
+    so the list always represents the true sum with zero rounding error.
+    """
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
+class ExactSum:
+    """Order-independent float accumulation via exact partials.
+
+    >>> left, right = ExactSum(), ExactSum()
+    >>> for v in (1e16, 1.0, -1e16):
+    ...     left.add(v)
+    >>> for v in (-1e16, 1e16, 1.0):
+    ...     right.add(v)
+    >>> left.value() == right.value() == 1.0
+    True
+    """
+
+    __slots__ = ("_partials",)
+
+    def __init__(self, values=()):
+        self._partials: list = []
+        for v in values:
+            self.add(v)
+
+    def add(self, x) -> None:
+        x = float(x)
+        if math.isnan(x) or math.isinf(x):
+            raise ValueError(f"ExactSum requires finite values, got {x!r}")
+        _grow_partials(self._partials, x)
+
+    def merge(self, other: "ExactSum") -> "ExactSum":
+        """Fold ``other`` in (exact, so grouping cannot matter)."""
+        for p in other._partials:
+            _grow_partials(self._partials, p)
+        return self
+
+    def value(self) -> float:
+        """The correctly rounded sum of everything added so far."""
+        return math.fsum(self._partials)
+
+    def __reduce__(self):
+        # Accumulators exist to shrink IPC: pickle down to the bare
+        # partials instead of the default slot-state dance.
+        return (_restore_exact_sum, (self._partials,))
+
+    def to_dict(self) -> dict:
+        return {"partials": list(self._partials)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExactSum":
+        out = cls()
+        out._partials = [float(p) for p in data["partials"]]
+        return out
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"ExactSum({self.value()!r})"
+
+
+def _restore_exact_sum(partials):
+    out = ExactSum()
+    out._partials = partials
+    return out
+
+
+class StreamMoments:
+    """Mergeable count/mean/variance over a stream of floats.
+
+    Finalised statistics derive from exact Σx and Σx² — both
+    order-independent — so ``merge`` in any order matches a single-shot
+    pass bit for bit (unlike Welford's recurrence, whose running mean
+    depends on arrival order).
+    """
+
+    __slots__ = ("n", "_sum", "_sumsq")
+
+    def __init__(self):
+        self.n = 0
+        self._sum = ExactSum()
+        self._sumsq = ExactSum()
+
+    def observe(self, x) -> None:
+        x = float(x)
+        self.n += 1
+        self._sum.add(x)
+        self._sumsq.add(x * x)
+
+    def merge(self, other: "StreamMoments") -> "StreamMoments":
+        self.n += other.n
+        self._sum.merge(other._sum)
+        self._sumsq.merge(other._sumsq)
+        return self
+
+    def sum(self) -> float:
+        return self._sum.value()
+
+    def mean(self) -> float:
+        return self._sum.value() / self.n if self.n else 0.0
+
+    def variance(self) -> float:
+        """Population variance (non-negative even under cancellation)."""
+        if self.n == 0:
+            return 0.0
+        mean = self.mean()
+        return max(0.0, self._sumsq.value() / self.n - mean * mean)
+
+    def stddev(self) -> float:
+        return math.sqrt(self.variance())
+
+    def __reduce__(self):
+        return (_restore_moments,
+                (self.n, self._sum._partials, self._sumsq._partials))
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "sum": self._sum.to_dict(),
+            "sumsq": self._sumsq.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamMoments":
+        out = cls()
+        out.n = int(data["n"])
+        out._sum = ExactSum.from_dict(data["sum"])
+        out._sumsq = ExactSum.from_dict(data["sumsq"])
+        return out
+
+
+def _restore_moments(n, sum_partials, sumsq_partials):
+    out = StreamMoments()
+    out.n = n
+    out._sum = _restore_exact_sum(sum_partials)
+    out._sumsq = _restore_exact_sum(sumsq_partials)
+    return out
+
+
+class MergeableHistogram:
+    """Fixed-edge histogram with integer counts (exactly mergeable).
+
+    Values below the first edge land in the first bucket, values at or
+    above the last edge in the overflow bucket — the same conventions as
+    the observability histograms, kept dependency-free so accumulators
+    can cross process boundaries as plain data.
+    """
+
+    __slots__ = ("edges", "counts")
+
+    def __init__(self, edges):
+        self.edges = tuple(float(e) for e in edges)
+        if len(self.edges) < 1 or list(self.edges) != sorted(set(self.edges)):
+            raise ValueError("edges must be a strictly increasing sequence")
+        self.counts = [0] * (len(self.edges) + 1)
+
+    def observe(self, x) -> None:
+        x = float(x)
+        for i, edge in enumerate(self.edges):
+            if x < edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def merge(self, other: "MergeableHistogram") -> "MergeableHistogram":
+        if self.edges != other.edges:
+            raise ValueError("cannot merge histograms with different edges")
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        return self
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def __reduce__(self):
+        return (_restore_histogram, (self.edges, self.counts))
+
+    def to_dict(self) -> dict:
+        return {"edges": list(self.edges), "counts": list(self.counts)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MergeableHistogram":
+        out = cls(data["edges"])
+        counts = [int(c) for c in data["counts"]]
+        if len(counts) != len(out.counts):
+            raise ValueError("counts length does not match edges")
+        out.counts = counts
+        return out
+
+
+def _restore_histogram(edges, counts):
+    out = MergeableHistogram(edges)
+    out.counts = counts
+    return out

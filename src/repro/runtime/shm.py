@@ -37,6 +37,7 @@ import sys
 import numpy as np
 
 from ..obs.log import get_logger
+from ..obs.trace import metrics
 from .cache import stable_digest
 
 try:  # pragma: no cover - present on every supported platform
@@ -239,6 +240,10 @@ def pack_payload(payload, min_bytes: int = MIN_SHARED_BYTES):
     descriptor = SharedPayload(segment.name, slots, skeleton, offset)
     descriptor._segment = segment
     descriptor._owner_pid = os.getpid()
+    # Sibling counter to runtime.ipc_result_bytes (repro.runtime.trials):
+    # together they say how many payload bytes took the zero-copy segment
+    # route versus the pickle pipe.
+    metrics().counter("runtime.shm_bytes").inc(total)
     log.debug("packed %d array(s), %d bytes into shared segment %s",
               len(arrays), total, segment.name)
     return descriptor

@@ -36,6 +36,23 @@ shared runtime those sweeps go through:
   multiples of *k* trials, so callers whose trials come in tiles (a MAC
   sweep cell's repeats, a deployment cell's members) never see a tile
   split across workers.
+* **Worker-side reduction** — pass ``reduce_fn=`` / ``reduce_init=`` and
+  each worker folds its chunk's per-trial results into one small
+  mergeable accumulator *before* IPC: only accumulators cross the pipe,
+  and the parent merges them in span order. The scalar per-trial path
+  stays the oracle — traced runs bypass worker reduction (the parent
+  folds instead) so traces stay byte-identical — which is only sound
+  when the accumulator is exactly associative; see
+  :mod:`repro.runtime.reduction` for primitives that are.
+* **Lazy trial specs** — pass ``trial_source=`` (a picklable
+  ``(start, stop) -> sequence``) and each chunk *generates* its own
+  shard of work items inside the worker instead of the parent
+  materialising (and shipping) the whole list up front; the trial
+  function then receives the item as ``fn(index, rng, item, *args)``.
+* **IPC accounting** — when metrics are being collected, the parent
+  counts the pickled size of every chunk result it receives under
+  ``runtime.ipc_result_bytes``, which is how the bench proves reduction
+  actually shrinks the pipe traffic.
 * **Chunk autotuning** — ``chunk_size="auto"`` measures the actual
   round-trip cost of a pool submission (cached per pool) plus a short
   serial probe of the trial cost, and picks the smallest chunk that
@@ -53,6 +70,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import pickle
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
@@ -68,6 +86,7 @@ from ..obs.trace import (
     chunk_capture,
     ingest_chunk,
     metrics,
+    metrics_enabled,
     suspended,
     trial_correlation_id,
     worker_spec,
@@ -400,6 +419,7 @@ def autotune_chunk_size(
     target_overhead: float = 0.02,
     max_probe_trials: int = 3,
     max_probe_seconds: float = 0.25,
+    trial_source=None,
 ) -> int:
     """Pick trials-per-chunk so measured IPC cost is amortised.
 
@@ -416,13 +436,19 @@ def autotune_chunk_size(
     if n_trials <= 1 or n_workers <= 1:
         return max(1, n_trials)
     children = _trial_seeds(seed, n_trials)
+    probe_n = min(max_probe_trials, n_trials)
+    items = None if trial_source is None else list(trial_source(0, probe_n))
     start = time.perf_counter()
     probed = 0
     # Probe results are discarded and the chunks re-run the same trials,
     # so any obs events they would emit are duplicates: suspend capture.
     with suspended():
-        for index in range(min(max_probe_trials, n_trials)):
-            fn(index, np.random.default_rng(children[index]), *args)
+        for index in range(probe_n):
+            rng = np.random.default_rng(children[index])
+            if items is not None:
+                fn(index, rng, items[index], *args)
+            else:
+                fn(index, rng, *args)
             probed += 1
             if time.perf_counter() - start >= max_probe_seconds:
                 break
@@ -453,8 +479,32 @@ def _measured_ipc(n_workers: int, shared) -> float | None:
 # --------------------------------------------------------------------------- #
 
 
+class _Reduced:
+    """Marks a chunk result as an accumulator rather than per-trial list."""
+
+    __slots__ = ("acc",)
+
+    def __init__(self, acc):
+        self.acc = acc
+
+    def __reduce__(self):
+        return (_Reduced, (self.acc,))
+
+
+def _chunk_items(trial_source, start, stop):
+    """Materialise one chunk's work items from a lazy trial source."""
+    items = list(trial_source(start, stop))
+    if len(items) != stop - start:
+        raise RuntimeError(
+            f"trial_source({start}, {stop}) returned {len(items)} items "
+            f"for {stop - start} trials"
+        )
+    return items
+
+
 def _run_trial_chunk(fn, seed, n_trials, start, stop, args, obs_spec=None,
-                     batch_fn=None):
+                     batch_fn=None, trial_source=None, reduce_fn=None,
+                     reduce_init=None):
     """Run trials ``start..stop`` of ``n_trials`` (executes inside a worker).
 
     The full spawn is recomputed here so a chunk's RNGs are identical to
@@ -474,32 +524,131 @@ def _run_trial_chunk(fn, seed, n_trials, start, stop, args, obs_spec=None,
     wrap exactly one trial's events, which a batched call cannot honour —
     and since ``batch_fn`` is bit-identical by contract, tracing only
     changes wall time, never results.
+
+    ``trial_source`` generates this chunk's work items in-process; the
+    trial function then runs as ``fn(index, rng, item, *args)``.
+
+    ``reduce_fn`` / ``reduce_init`` fold the chunk's results into one
+    accumulator, returned wrapped in :class:`_Reduced` so the parent can
+    tell it from a per-trial list. A *traced* chunk skips the fold and
+    returns per-trial results — the parent folds them instead, which is
+    result-identical exactly because the accumulators are associative —
+    so the trace carries the same per-trial events at any worker count.
     """
     children = _trial_seeds(seed, n_trials)[start:stop]
+    items = (None if trial_source is None
+             else _chunk_items(trial_source, start, stop))
+
+    def one(index, ss):
+        rng = np.random.default_rng(ss)
+        if items is not None:
+            return fn(index, rng, items[index - start], *args)
+        return fn(index, rng, *args)
+
     with chunk_capture(obs_spec) as wrap:
         rec = active_recorder()
         if rec is None:
             if batch_fn is not None:
                 rngs = [np.random.default_rng(ss) for ss in children]
-                results = list(batch_fn(start, rngs, *args))
+                if items is not None:
+                    results = list(batch_fn(start, rngs, items, *args))
+                else:
+                    results = list(batch_fn(start, rngs, *args))
                 if len(results) != stop - start:
                     raise RuntimeError(
                         f"batch_fn returned {len(results)} results for "
                         f"{stop - start} trials"
                     )
+                if reduce_fn is not None:
+                    acc = reduce_init()
+                    for index, result in zip(range(start, stop), results):
+                        acc = reduce_fn(acc, index, result)
+                    return wrap(_Reduced(acc))
                 return wrap(results)
-            return wrap([
-                fn(index, np.random.default_rng(ss), *args)
-                for index, ss in zip(range(start, stop), children)
-            ])
+            if reduce_fn is not None:
+                acc = reduce_init()
+                for index, ss in zip(range(start, stop), children):
+                    acc = reduce_fn(acc, index, one(index, ss))
+                return wrap(_Reduced(acc))
+            return wrap([one(index, ss)
+                         for index, ss in zip(range(start, stop), children)])
         results = []
         for index, ss in zip(range(start, stop), children):
             # Correlation ids derive from the run seed and the trial's
             # SeedSequence spawn position, never id()/clock, so serial
             # and parallel traces carry identical ids.
             with rec.correlate(trial_correlation_id(seed, index)):
-                results.append(fn(index, np.random.default_rng(ss), *args))
+                results.append(one(index, ss))
         return wrap(results)
+
+
+def _count_ipc_result(raw) -> None:
+    """Charge one received chunk result to ``runtime.ipc_result_bytes``.
+
+    Only measured while metrics are being collected: re-pickling the
+    result is pure overhead otherwise, and the counter exists for the
+    bench and observability reports, not for steady-state runs. The
+    pickled size of what crossed the pipe is re-measured parent-side —
+    equivalent to what the executor shipped, without reaching into it.
+    """
+    if metrics_enabled():
+        try:
+            size = len(pickle.dumps(raw, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:  # pragma: no cover - unpicklable results cannot
+            return  # have crossed a pipe in the first place
+        metrics().counter("runtime.ipc_result_bytes").inc(size)
+
+
+def _merge_accumulators(acc, other, merge_fn):
+    """Merge two chunk accumulators (parent side, span order)."""
+    if merge_fn is not None:
+        merged = merge_fn(acc, other)
+    else:
+        merged = acc.merge(other)
+    return acc if merged is None else merged
+
+
+def _fold_chunk(acc, chunk, span, reduce_fn, reduce_init, merge_fn):
+    """Fold one ingested chunk result into the running accumulator.
+
+    ``chunk`` is either a :class:`_Reduced` accumulator (worker already
+    folded) or a per-trial list (traced runs bypass worker reduction);
+    either way the outcome is identical for associative accumulators.
+    """
+    if isinstance(chunk, _Reduced):
+        if acc is None:
+            return chunk.acc
+        return _merge_accumulators(acc, chunk.acc, merge_fn)
+    if acc is None:
+        acc = reduce_init()
+    start, _stop = span
+    for offset, result in enumerate(chunk):
+        acc = reduce_fn(acc, start + offset, result)
+    return acc
+
+
+def _consume_futures(futures, spans, reduce_fn, reduce_init, merge_fn):
+    """Consume chunk futures in span order; list out, or merged accumulator.
+
+    Span order matters twice: worker-captured obs events fold back into
+    the parent trace in trial order, and — although associative
+    accumulators make any merge order *result*-identical — a fixed order
+    keeps the engine deterministic by construction rather than by proof.
+    """
+    if reduce_fn is None:
+        results: list = []
+        for future in futures:
+            raw = future.result()
+            _count_ipc_result(raw)
+            results.extend(ingest_chunk(raw))
+        return results
+    acc = None
+    for span, future in zip(spans, futures):
+        raw = future.result()
+        _count_ipc_result(raw)
+        acc = _fold_chunk(acc, ingest_chunk(raw), span, reduce_fn,
+                          reduce_init, merge_fn)
+    return acc
 
 
 def _abandon_pool(pool: ProcessPoolExecutor) -> None:
@@ -517,7 +666,7 @@ def _abandon_pool(pool: ProcessPoolExecutor) -> None:
 
 def _retry_chunk_isolated(fn, seed, n_trials, start, stop, args,
                           chunk_timeout, attempts_left, obs_spec=None,
-                          shared_token=None, batch_fn=None):
+                          shared_token=None, batch_fn=None, trial_source=None):
     """Re-run one chunk in fresh single-worker pools until it succeeds.
 
     Each attempt gets its own process, so a crash or hang cannot take other
@@ -539,7 +688,8 @@ def _retry_chunk_isolated(fn, seed, n_trials, start, stop, args,
                                    initializer=init[0], initargs=init[1])
         try:
             future = pool.submit(_run_trial_chunk, fn, seed, n_trials,
-                                 start, stop, args, obs_spec, batch_fn)
+                                 start, stop, args, obs_spec, batch_fn,
+                                 trial_source)
             results = ingest_chunk(future.result(timeout=chunk_timeout))
             pool.shutdown(wait=False)
             return results, attempt, None
@@ -556,7 +706,7 @@ def _retry_chunk_isolated(fn, seed, n_trials, start, stop, args,
 
 def _run_trials_hardened(fn, n_trials, seed, n_workers, chunk_size, args,
                          chunk_timeout, max_chunk_retries, shared=None,
-                         batch_fn=None):
+                         batch_fn=None, trial_source=None):
     """Disposable-pool fast path with per-chunk isolated retries on failure."""
     spans = _chunk_spans(n_trials, chunk_size)
     results: list = [None] * n_trials
@@ -571,7 +721,8 @@ def _run_trials_hardened(fn, n_trials, seed, n_workers, chunk_size, args,
             for start, stop in spans:
                 try:
                     results[start:stop] = _run_trial_chunk(
-                        fn, seed, n_trials, start, stop, args, None, batch_fn
+                        fn, seed, n_trials, start, stop, args, None, batch_fn,
+                        trial_source,
                     )
                 except Exception:
                     pending.append(
@@ -596,7 +747,8 @@ def _run_trials_hardened(fn, n_trials, seed, n_workers, chunk_size, args,
                 futures = [
                     (start, stop,
                      pool.submit(_run_trial_chunk, fn, seed, n_trials,
-                                 start, stop, args, spec, batch_fn))
+                                 start, stop, args, spec, batch_fn,
+                                 trial_source))
                     for start, stop in spans
                 ]
                 for start, stop, future in futures:
@@ -604,8 +756,9 @@ def _run_trials_hardened(fn, n_trials, seed, n_workers, chunk_size, args,
                         pending.append((start, stop, "pool abandoned"))
                         continue
                     try:
-                        results[start:stop] = ingest_chunk(
-                            future.result(timeout=chunk_timeout))
+                        raw = future.result(timeout=chunk_timeout)
+                        _count_ipc_result(raw)
+                        results[start:stop] = ingest_chunk(raw)
                     except FutureTimeout:
                         # A wedged worker poisons every later wait: abandon
                         # the pool and sort the rest out in isolation.
@@ -632,7 +785,7 @@ def _run_trials_hardened(fn, n_trials, seed, n_workers, chunk_size, args,
             chunk, attempts, error = _retry_chunk_isolated(
                 fn, seed, n_trials, start, stop, args,
                 chunk_timeout, max_chunk_retries, worker_spec(),
-                shared_token, batch_fn,
+                shared_token, batch_fn, trial_source,
             )
             if chunk is not None:
                 results[start:stop] = chunk
@@ -668,6 +821,10 @@ def run_trials(
     shared=None,
     batch_fn=None,
     granularity: int = 1,
+    reduce_fn=None,
+    reduce_init=None,
+    merge_fn=None,
+    trial_source=None,
 ) -> list:
     """Run ``fn(trial_index, rng, *args)`` for every trial; ordered results.
 
@@ -713,12 +870,32 @@ def run_trials(
         granularity: Align chunk boundaries to multiples of this many
             trials, so tiles of trials that must share a chunk (one sweep
             cell's repeats) are never split across workers.
+        reduce_fn: Optional fold ``(acc, trial_index, result) -> acc``.
+            Untraced workers fold their own chunk before IPC and ship one
+            accumulator; the parent merges chunk accumulators in span
+            order and :func:`run_trials` returns the merged accumulator
+            instead of a results list. Traced runs ship per-trial results
+            as usual and the parent folds — identical by construction
+            when the accumulator is *exactly associative*
+            (:mod:`repro.runtime.reduction`). Incompatible with the
+            hardened path (``salvage`` / ``chunk_timeout``), whose
+            retry bookkeeping needs per-trial slots.
+        reduce_init: Picklable zero-argument factory for a fresh
+            accumulator (required with ``reduce_fn``).
+        merge_fn: Optional ``(acc_a, acc_b) -> merged`` used by the
+            parent to combine chunk accumulators; defaults to
+            ``acc_a.merge(acc_b)``.
+        trial_source: Optional picklable ``(start, stop) -> sequence`` of
+            per-trial work items, generated *inside* the worker per chunk
+            instead of materialised and shipped whole by the parent. With
+            it, the trial function runs as ``fn(index, rng, item, *args)``
+            (and ``batch_fn`` as ``batch_fn(start, rngs, items, *args)``).
 
     Returns:
         ``[fn(0, rng0, *args), ..., fn(n_trials-1, ...)]`` — identical for
         every worker count. With ``salvage=True`` a
         :class:`TrialRunResult` wrapping the same list (lost trials
-        ``None``).
+        ``None``). With ``reduce_fn`` the merged accumulator.
 
     Raises:
         RuntimeError: A chunk exhausted its retries and ``salvage`` is off
@@ -730,20 +907,35 @@ def run_trials(
             chunk_size=chunk_size, args=args, chunk_timeout=chunk_timeout,
             max_chunk_retries=max_chunk_retries, salvage=salvage,
             reuse_pool=reuse_pool, shared=shared, batch_fn=batch_fn,
-            granularity=granularity,
+            granularity=granularity, reduce_fn=reduce_fn,
+            reduce_init=reduce_init, merge_fn=merge_fn,
+            trial_source=trial_source,
         )
 
 
 def _run_trials_impl(fn, n_trials, *, seed, n_workers, chunk_size, args,
                      chunk_timeout, max_chunk_retries, salvage, reuse_pool,
-                     shared, batch_fn, granularity):
+                     shared, batch_fn, granularity, reduce_fn=None,
+                     reduce_init=None, merge_fn=None, trial_source=None):
     if n_trials < 0:
         raise ValueError(f"n_trials must be >= 0, got {n_trials}")
+    hardened = salvage or chunk_timeout is not None
+    reducing = reduce_fn is not None
+    if reducing and reduce_init is None:
+        raise ValueError("reduce_fn requires reduce_init (accumulator factory)")
+    if reduce_init is not None and not reducing:
+        raise ValueError("reduce_init without reduce_fn does nothing")
+    if reducing and hardened:
+        raise ValueError(
+            "reduce_fn is incompatible with salvage/chunk_timeout: the "
+            "hardened path tracks per-trial slots to report what was lost"
+        )
     if n_trials == 0:
+        if reducing:
+            return reduce_init()
         return TrialRunResult(results=[]) if salvage else []
     granularity = max(1, int(granularity))
     n_workers = resolve_workers(n_workers)
-    hardened = salvage or chunk_timeout is not None
 
     with _payload_installed(shared):
         if chunk_size == "auto":
@@ -753,17 +945,34 @@ def _run_trials_impl(fn, n_trials, *, seed, n_workers, chunk_size, args,
             chunk_size = autotune_chunk_size(
                 fn, n_trials, seed=seed, n_workers=n_workers, args=args,
                 granularity=granularity, ipc_seconds=ipc,
+                trial_source=trial_source,
             )
         elif chunk_size is not None:
             chunk_size = _round_up(max(1, int(chunk_size)), granularity)
 
+        if chunk_size is None:
+            chunk_size = _round_up(
+                max(1, -(-n_trials // (4 * n_workers))), granularity)
+
         if not hardened:
             if n_workers == 1 or n_trials == 1:
+                if reducing:
+                    # Chunk-at-a-time even in-process: with a lazy
+                    # trial_source only one chunk's items are ever alive,
+                    # which is the constant-memory contract sharded
+                    # callers rely on.
+                    acc = None
+                    for span in _chunk_spans(n_trials, chunk_size):
+                        chunk = _run_trial_chunk(
+                            fn, seed, n_trials, span[0], span[1], args,
+                            None, batch_fn, trial_source, reduce_fn,
+                            reduce_init,
+                        )
+                        acc = _fold_chunk(acc, chunk, span, reduce_fn,
+                                          reduce_init, merge_fn)
+                    return acc
                 return _run_trial_chunk(fn, seed, n_trials, 0, n_trials,
-                                        args, None, batch_fn)
-            if chunk_size is None:
-                chunk_size = _round_up(
-                    max(1, -(-n_trials // (4 * n_workers))), granularity)
+                                        args, None, batch_fn, trial_source)
             spans = _chunk_spans(n_trials, chunk_size)
             workers = min(n_workers, len(spans))
             spec = worker_spec()
@@ -772,15 +981,12 @@ def _run_trials_impl(fn, n_trials, *, seed, n_workers, chunk_size, args,
                 try:
                     futures = [
                         pool.submit(_run_trial_chunk, fn, seed, n_trials,
-                                    start, stop, args, spec, batch_fn)
+                                    start, stop, args, spec, batch_fn,
+                                    trial_source, reduce_fn, reduce_init)
                         for start, stop in spans
                     ]
-                    results: list = []
-                    # Futures are consumed in span order, so worker-captured
-                    # events fold back into the parent trace in trial order.
-                    for future in futures:
-                        results.extend(ingest_chunk(future.result()))
-                    return results
+                    return _consume_futures(futures, spans, reduce_fn,
+                                            reduce_init, merge_fn)
                 except BrokenProcessPool:
                     # A dead worker poisons the pool for every later call:
                     # evict it so the next run starts fresh, then re-raise.
@@ -797,23 +1003,19 @@ def _run_trials_impl(fn, n_trials, *, seed, n_workers, chunk_size, args,
                 ) as pool:
                     futures = [
                         pool.submit(_run_trial_chunk, fn, seed, n_trials,
-                                    start, stop, args, spec, batch_fn)
+                                    start, stop, args, spec, batch_fn,
+                                    trial_source, reduce_fn, reduce_init)
                         for start, stop in spans
                     ]
-                    results = []
-                    for future in futures:
-                        results.extend(ingest_chunk(future.result()))
-                return results
+                    return _consume_futures(futures, spans, reduce_fn,
+                                            reduce_init, merge_fn)
             finally:
                 if descriptor is not None:
                     descriptor.release()
 
-        if chunk_size is None:
-            chunk_size = _round_up(
-                max(1, -(-n_trials // (4 * n_workers))), granularity)
         outcome = _run_trials_hardened(
             fn, n_trials, seed, n_workers, chunk_size, args,
-            chunk_timeout, max_chunk_retries, shared, batch_fn,
+            chunk_timeout, max_chunk_retries, shared, batch_fn, trial_source,
         )
     if salvage:
         return outcome

@@ -11,6 +11,7 @@ from hypothesis import strategies as st
 
 from repro.mac.protocols import PROTOCOLS
 from repro.mac.scenarios import CbrScenario
+from repro.net.aggregate import DeploymentAggregate
 from repro.net.deployment import (
     CellResult,
     DeploymentConfig,
@@ -246,6 +247,174 @@ class TestDeploymentBehaviour:
         assert [s.n_stations for s in a_specs] == [s.n_stations for s in b_specs]
         assert [s.seed for s in a_specs] == [s.seed for s in b_specs]
         assert a_plans == b_plans
+
+
+_WIRE_FLOAT = st.floats(min_value=0.0, max_value=1e9,
+                        allow_nan=False, allow_infinity=False)
+_WIRE_COUNT = st.integers(0, 10_000)
+
+#: A synthetic per-cell wire dict covering every key `observe_cell` reads.
+_CELL_WIRE = st.fixed_dictionaries({
+    "goodput_bps": _WIRE_FLOAT,
+    "useful_goodput_bps": _WIRE_FLOAT,
+    "busy_airtime_s": st.floats(0.0, 100.0, allow_nan=False),
+    "channel_busy_fraction": st.floats(0.0, 1.0, allow_nan=False),
+    "collisions": _WIRE_COUNT,
+    "transmissions": _WIRE_COUNT,
+    "retransmitted_subframes": _WIRE_COUNT,
+    "dropped_frames": _WIRE_COUNT,
+    "coupled": st.booleans(),
+    "delivered_bytes_by_sta": st.dictionaries(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+        st.integers(0, 10**9), max_size=4,
+    ),
+})
+
+
+@st.composite
+def _sharding_plan(draw):
+    cells = draw(st.lists(_CELL_WIRE, min_size=1, max_size=10))
+    order = draw(st.permutations(range(len(cells))))
+    n_shards = draw(st.integers(1, len(cells)))
+    track = draw(st.booleans())
+    return cells, order, n_shards, track
+
+
+def _finalized(agg):
+    """Every externally visible number the aggregate finalises to."""
+    return {
+        "n_cells": agg.n_cells,
+        "n_coupled_cells": agg.n_coupled_cells,
+        "collisions": agg.collisions,
+        "transmissions": agg.transmissions,
+        "retransmitted_subframes": agg.retransmitted_subframes,
+        "dropped_frames": agg.dropped_frames,
+        "total_goodput_bps": agg.total_goodput_bps(),
+        "total_useful_goodput_bps": agg.total_useful_goodput_bps(),
+        "busy_airtime_s": agg.busy_airtime_s(),
+        "jain_fairness": agg.jain_fairness(),
+        "mean_cell_goodput": agg.cell_goodput.mean(),
+        "stddev_cell_goodput": agg.cell_goodput.stddev(),
+        "mean_busy_fraction": agg.busy_fraction.mean(),
+        "goodput_hist": agg.goodput_hist.to_dict(),
+        "busy_hist": agg.busy_hist.to_dict(),
+    }
+
+
+class TestAggregateAssociativity:
+    """The streaming guarantee, stated directly on the accumulator: any
+    partition of the cells into shards, folded in any order and merged in
+    any grouping, finalises bit-identically to one sequential fold.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(plan=_sharding_plan())
+    def test_any_partition_and_order_matches_single_shot(self, plan):
+        cells, order, n_shards, track = plan
+
+        single = DeploymentAggregate(track_stations=track)
+        for cell in cells:
+            single.observe_cell(cell)
+
+        # Fold a *permutation* of the cells, split into contiguous shards,
+        # then merge the shard accumulators left to right.
+        permuted = [cells[i] for i in order]
+        size = -(-len(permuted) // n_shards)
+        shards = []
+        for start in range(0, len(permuted), size):
+            shard = DeploymentAggregate(track_stations=track)
+            for cell in permuted[start:start + size]:
+                shard.observe_cell(cell)
+            shards.append(shard)
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged.merge(shard)
+
+        assert _finalized(merged) == _finalized(single)
+
+    @settings(max_examples=15, deadline=None)
+    @given(cells=st.lists(_CELL_WIRE, min_size=1, max_size=6),
+           track=st.booleans())
+    def test_pickle_round_trip_preserves_everything(self, cells, track):
+        # The accumulator is the sharded path's IPC payload; the trip
+        # through the pipe must be lossless.
+        import pickle
+
+        agg = DeploymentAggregate(track_stations=track)
+        for cell in cells:
+            agg.observe_cell(cell)
+        rebuilt = pickle.loads(pickle.dumps(agg))
+        assert _finalized(rebuilt) == _finalized(agg)
+        assert rebuilt.track_stations == agg.track_stations
+
+    def test_refuses_to_merge_mismatched_modes(self):
+        with pytest.raises(ValueError):
+            DeploymentAggregate(track_stations=True).merge(
+                DeploymentAggregate(track_stations=False))
+
+    def test_empty_aggregate_finalises_to_neutral_values(self):
+        agg = DeploymentAggregate()
+        assert agg.n_cells == 0
+        assert agg.total_goodput_bps() == 0.0
+        assert agg.jain_fairness() == 1.0
+        assert agg.goodput_hist.total == 0
+
+
+class TestShardedDeployment:
+    def test_rejects_bad_shards(self, cache):
+        with pytest.raises(ValueError):
+            simulate_deployment(_fast_config(), n_workers=1, use_cache=False,
+                                cache=cache, shards=0)
+
+    def test_sharded_matches_unsharded_aggregates(self, cache):
+        config = _fast_config()
+        full = simulate_deployment(config, n_workers=1, use_cache=False,
+                                   cache=cache)
+        sharded = simulate_deployment(config, n_workers=2, use_cache=False,
+                                      cache=cache, shards=2)
+        assert sharded.cells == []
+        assert sharded.n_cells == config.n_aps
+        assert dict(sharded.to_dict(), cells=None) == \
+            dict(full.to_dict(), cells=None)
+
+    def test_sharded_and_unsharded_cache_separately(self, cache):
+        # A sharded result has no per-cell breakdown; it must never
+        # satisfy (or be satisfied by) the unsharded cache entry.
+        config = _fast_config()
+        full = simulate_deployment(config, n_workers=1, cache=cache)
+        assert full.cells != []
+        sharded = simulate_deployment(config, n_workers=1, cache=cache,
+                                      shards=2)
+        assert cache.hits == 0
+        assert sharded.cells == []
+        warm = simulate_deployment(config, n_workers=1, cache=cache, shards=2)
+        assert cache.hits == 1
+        assert warm.to_dict() == sharded.to_dict()
+
+    def test_sharded_result_round_trips_through_json(self, cache):
+        import json
+
+        result = simulate_deployment(_fast_config(mobility=True), n_workers=1,
+                                     use_cache=False, cache=cache, shards=3)
+        rebuilt = DeploymentResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.cells == []
+
+    def test_aggregate_fields_consistent_with_cells(self, cache):
+        # The new deployment-level statistics must agree with the
+        # retained per-cell breakdown on the unsharded path.
+        result = simulate_deployment(_fast_config(), n_workers=1,
+                                     use_cache=False, cache=cache)
+        goodputs = [c.goodput_bps for c in result.cells]
+        assert result.n_cells == len(result.cells)
+        assert result.mean_cell_goodput_bps == pytest.approx(
+            sum(goodputs) / len(goodputs))
+        assert result.mean_cell_busy_fraction == pytest.approx(
+            sum(c.channel_busy_fraction for c in result.cells)
+            / len(result.cells))
+        assert sum(result.goodput_histogram["counts"]) == result.n_cells
+        assert sum(result.busy_fraction_histogram["counts"]) == result.n_cells
 
 
 @pytest.mark.slow

@@ -95,6 +95,42 @@ _VALID_MAC = {
 }
 
 
+_VALID_NET = {
+    "meta": {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "net",
+        "python": "3.11.0",
+        "numpy": "2.0.0",
+        "platform": "test",
+        "smoke": True,
+        "n_workers": 2,
+    },
+    "deployment": {
+        "aps": 4, "stas_per_ap": 2, "duration": 0.3,
+        "serial_seconds": 1.0, "serial_cells_per_s": 4.0,
+        "parallel_workers": 2, "parallel_seconds": 0.5,
+        "parallel_cells_per_s": 8.0, "pool_reused": True,
+        "crossover_workers": 2, "identical_serial_parallel": True,
+        "scaling": _scaling(1.0, 4, {1: 0.6, 2: 0.5}, unit="cells"),
+    },
+    "replay": {
+        "aps": 4, "stas_per_ap": 2, "duration": 0.3,
+        "cold_seconds": 1.0, "warm_seconds": 0.01,
+        "identical_cold_warm": True,
+    },
+    "streaming": {
+        "small_aps": 4, "large_aps": 16, "stas_per_ap": 2,
+        "duration": 0.3, "shards": 4,
+        "unsharded_ipc_bytes": 50_000, "sharded_ipc_bytes": 5_000,
+        "ipc_reduction_factor": 10.0,
+        "small_peak_rss_mb": 40.0, "large_peak_rss_mb": 41.0,
+        "rss_growth_factor": 1.025,
+        "ipc_reduction_ok": True, "rss_flat_ok": True,
+        "identical_sharded_unsharded": True,
+    },
+}
+
+
 class TestValidateBench:
     def test_accepts_valid_payload(self):
         assert validate_bench(copy.deepcopy(_VALID)) == _VALID
@@ -272,6 +308,87 @@ class TestCrossoverGate:
         current["trials_pool"]["parallel_trials_per_s"] = 1.0
         messages = compare_bench(current, _VALID_MAC)
         assert any("trials_pool.parallel_trials_per_s" in m for m in messages)
+
+
+class TestStreamingSection:
+    def test_accepts_valid_net_payload(self):
+        assert validate_bench(copy.deepcopy(_VALID_NET)) == _VALID_NET
+
+    @pytest.mark.parametrize("gate", [
+        "identical_sharded_unsharded", "ipc_reduction_ok", "rss_flat_ok",
+    ])
+    def test_rejects_failed_streaming_gates(self, gate):
+        broken = copy.deepcopy(_VALID_NET)
+        broken["streaming"][gate] = False
+        with pytest.raises(ValueError, match=gate):
+            validate_bench(broken)
+
+    def test_rejects_missing_streaming_key(self):
+        broken = copy.deepcopy(_VALID_NET)
+        del broken["streaming"]["ipc_reduction_factor"]
+        with pytest.raises(ValueError, match="streaming.ipc_reduction_factor"):
+            validate_bench(broken)
+
+    def test_ipc_reduction_drop_is_flagged(self):
+        current = copy.deepcopy(_VALID_NET)
+        current["streaming"]["ipc_reduction_factor"] = 4.0  # 10x -> 4x
+        messages = compare_bench(current, _VALID_NET)
+        assert len(messages) == 1
+        assert "streaming.ipc_reduction_factor" in messages[0]
+
+    def test_measured_bytes_and_rss_are_results_not_workload(self):
+        # Byte counts and RSS marks vary run to run; they must neither
+        # make the section look like a different workload (which would
+        # skip its gates) nor flag on their own — only the reduction
+        # factor and the *_ok booleans gate.
+        current = copy.deepcopy(_VALID_NET)
+        current["streaming"]["unsharded_ipc_bytes"] = 80_000
+        current["streaming"]["sharded_ipc_bytes"] = 9_000
+        current["streaming"]["small_peak_rss_mb"] = 55.0
+        current["streaming"]["large_peak_rss_mb"] = 60.0
+        current["streaming"]["rss_growth_factor"] = 1.09
+        assert compare_bench(current, _VALID_NET) == []
+        # ...and the section is still live for real regressions:
+        current["streaming"]["ipc_reduction_factor"] = 1.0
+        assert any("ipc_reduction_factor" in m
+                   for m in compare_bench(current, _VALID_NET))
+
+
+class TestObservabilityBackCompat:
+    """Pre-streaming baselines know nothing of the new counters
+    (ipc_result_bytes, shm_bytes, peak_rss_mb) or the streaming section;
+    comparing against them must keep working unchanged.
+    """
+
+    def _observability(self):
+        return {
+            "cache_hits": 3, "cache_misses": 1, "pool_reuses": 2,
+            "ipc_result_bytes": 123_456, "shm_bytes": 789,
+            "peak_rss_mb": 41.5,
+        }
+
+    def test_baseline_without_new_counters_is_accepted(self):
+        # Old baseline: no observability section at all.
+        current = copy.deepcopy(_VALID_MAC)
+        current["observability"] = self._observability()
+        assert compare_bench(current, _VALID_MAC) == []
+
+    def test_baseline_with_partial_observability_is_accepted(self):
+        # Old baseline recorded *some* counters but predates the
+        # IPC/RSS ones; the section is never compared either way.
+        baseline = copy.deepcopy(_VALID_MAC)
+        baseline["observability"] = {"cache_hits": 0, "pool_reuses": 0}
+        current = copy.deepcopy(_VALID_MAC)
+        current["observability"] = self._observability()
+        assert compare_bench(current, baseline) == []
+        assert compare_bench(copy.deepcopy(baseline), current) == []
+
+    def test_baseline_without_streaming_section_is_accepted(self):
+        # A net baseline recorded before the streaming bench existed
+        # simply has nothing to say about it.
+        baseline = copy.deepcopy(_VALID_NET)
+        del baseline["streaming"]
+        assert compare_bench(copy.deepcopy(_VALID_NET), baseline) == []
 
 
 @pytest.mark.slow

@@ -117,3 +117,35 @@ class TestDeployment:
             if reference_trace is None:
                 reference_trace = trace
             assert trace == reference_trace, w
+
+    def _run_sharded(self, n_workers, shards):
+        from repro.net.deployment import simulate_deployment
+
+        return simulate_deployment(self._config(), n_workers=n_workers,
+                                   use_cache=False, shards=shards)
+
+    def test_sharded_identical_to_unsharded_at_any_worker_count(self):
+        # The streaming contract: worker-side reduction changes what
+        # crosses the pipe, never the deployment-level numbers. Only the
+        # per-cell breakdown (cells) is traded away.
+        serial = self._run(1)
+        expected = dict(serial.to_dict(), cells=None)
+        for w in WORKER_COUNTS:
+            for shards in (1, 2, 4):
+                result = self._run_sharded(w, shards)
+                assert result.cells == [], (w, shards)
+                got = dict(result.to_dict(), cells=None)
+                assert got == expected, (w, shards)
+
+    def test_sharded_traced_runs_match_unsharded_trace(self):
+        # Tracing bypasses worker-side reduction (per-cell results cross
+        # the pipe so every cell event is captured); the trace must be
+        # byte-identical to the unsharded run's, and the aggregate
+        # numbers must still match the plain run.
+        plain = self._run(1)
+        expected = dict(plain.to_dict(), cells=None)
+        _, reference_trace = _traced(lambda: self._run(1))
+        for w in (1, 2):
+            result, trace = _traced(lambda: self._run_sharded(w, 2))
+            assert dict(result.to_dict(), cells=None) == expected, w
+            assert trace == reference_trace, w
