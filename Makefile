@@ -1,6 +1,6 @@
 # Convenience targets for the Carpool reproduction.
 
-.PHONY: install test test-all bench bench-smoke bench-phy bench-mac bench-net bench-scaling bench-compare check-memory examples clean
+.PHONY: install test test-all bench bench-smoke bench-phy bench-mac bench-net bench-soak bench-scaling bench-compare check-memory soak-smoke examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,6 +30,9 @@ bench-mac:
 bench-net:
 	PYTHONPATH=src python -m repro bench --suite net --out BENCH_net.json
 
+bench-soak:
+	PYTHONPATH=src python -m repro bench --suite soak --out BENCH_soak.json
+
 # Full suites with the speedup-vs-workers curves of every pool section
 # collected into one artifact (bench output goes to a temp dir).
 bench-scaling:
@@ -49,6 +52,13 @@ bench-compare:
 # deliberate change).
 check-memory:
 	PYTHONPATH=src python benchmarks/check_memory_ceiling.py
+
+# End-to-end kill/resume gate: a real `repro soak` process is SIGTERMed
+# mid-run, resumed in a fresh process at different worker/shard counts,
+# and its checkpoint artifacts must come out byte-identical to an
+# uninterrupted run's.
+soak-smoke:
+	PYTHONPATH=src python benchmarks/soak_smoke.py
 
 examples:
 	@for script in examples/*.py; do \

@@ -27,15 +27,12 @@ the flatness bound across the AP sweep.
 import argparse
 import json
 import os
-import resource
 import sys
 import tempfile
 
-
-def peak_rss_mb() -> float:
-    """Lifetime peak RSS of this process in MiB (monotone high-water)."""
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    return peak / ((1 << 20) if sys.platform == "darwin" else (1 << 10))
+# Platform-aware ru_maxrss -> MiB conversion lives in one place so the
+# committed absolute budgets mean the same thing on Linux and macOS.
+from repro.runtime.bench import peak_rss_mb
 
 
 def run_curve(ap_counts, stas_per_ap, duration, shards, workers, seed):

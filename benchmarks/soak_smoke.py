@@ -1,0 +1,177 @@
+"""Process-level kill/resume gate for the soak service (CI: soak-smoke).
+
+The in-process tests already byte-compare checkpoints; this script is the
+authoritative end-to-end check because it exercises the real contract an
+operator relies on: a separate ``repro soak`` process, a real SIGTERM
+landing mid-run, a graceful drain, and a ``--resume`` in a *fresh*
+process — after which every deterministic artifact must be byte-identical
+to an uninterrupted run.
+
+Three legs:
+
+1. straight   — ``repro soak --epochs N`` runs to completion;
+2. interrupted — the same run in a second directory is SIGTERMed once its
+   first epoch record lands; the drain must exit cleanly (code 0) with a
+   resumable checkpoint;
+3. resumed    — ``repro soak --epochs N --resume`` finishes the job, with
+   different worker/shard counts to prove they cannot leak into state.
+
+Then ``state.json`` and ``metrics.jsonl`` are compared byte for byte and
+the manifests' ``config_hash`` fields for equality.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/soak_smoke.py            # gate
+    PYTHONPATH=src python benchmarks/soak_smoke.py --keep DIR # inspect
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+_WORKLOAD_FLAGS = [
+    "--seed", "11", "--aps", "3", "--max-stas-per-ap", "6",
+    "--target-active-stas", "2.5", "--epoch-duration", "0.4",
+    "--channels", "1", "--fault-profile", "mixed",
+]
+
+
+def _soak_cmd(checkpoint, epochs, *extra):
+    return [sys.executable, "-m", "repro", "soak",
+            "--checkpoint", checkpoint, "--epochs", str(epochs),
+            *_WORKLOAD_FLAGS, *extra]
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _run(cmd):
+    proc = subprocess.run(cmd, env=_env(), capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(f"FAIL: {' '.join(cmd)} exited {proc.returncode}")
+    return proc
+
+
+def _wait_for_first_epoch(checkpoint, timeout=60.0):
+    """Block until the run has appended at least one epoch record."""
+    metrics = os.path.join(checkpoint, "metrics.jsonl")
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(metrics) as handle:
+                if any(line.strip() for line in handle):
+                    return
+        except FileNotFoundError:
+            pass
+        time.sleep(0.02)
+    raise SystemExit(f"FAIL: no epoch record in {metrics} after {timeout}s")
+
+
+def _kill_mid_run(checkpoint, epochs):
+    """Start a soak, SIGTERM it after the first epoch lands, expect drain."""
+    proc = subprocess.Popen(_soak_cmd(checkpoint, epochs), env=_env(),
+                            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                            text=True)
+    try:
+        _wait_for_first_epoch(checkpoint)
+        proc.send_signal(signal.SIGTERM)
+        stdout, stderr = proc.communicate(timeout=120)
+    except BaseException:
+        proc.kill()
+        raise
+    if proc.returncode != 0:
+        print(stdout)
+        print(stderr, file=sys.stderr)
+        raise SystemExit(
+            f"FAIL: SIGTERMed soak exited {proc.returncode}, expected a "
+            "graceful drain (exit 0)")
+    state = json.load(open(os.path.join(checkpoint, "state.json")))
+    done = state["next_epoch"]
+    print(f"  interrupted leg drained cleanly at epoch {done}/{epochs}")
+    if done >= epochs:
+        raise SystemExit(
+            "FAIL: the interrupted leg finished before the SIGTERM landed; "
+            "raise --epochs so the kill hits mid-run")
+
+
+def _read(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _compare(straight, resumed):
+    failures = []
+    for name in ("state.json", "metrics.jsonl"):
+        a = _read(os.path.join(straight, name))
+        b = _read(os.path.join(resumed, name))
+        verdict = "identical" if a == b else "DIFFER"
+        print(f"  {name:<14} {verdict} ({len(a)} bytes vs {len(b)} bytes)")
+        if a != b:
+            failures.append(name)
+    hashes = [json.load(open(os.path.join(d, "manifest.json")))["config_hash"]
+              for d in (straight, resumed)]
+    verdict = "identical" if hashes[0] == hashes[1] else "DIFFER"
+    print(f"  {'config_hash':<14} {verdict} ({hashes[0]} vs {hashes[1]})")
+    if hashes[0] != hashes[1]:
+        failures.append("manifest config_hash")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--epochs", type=int, default=6,
+                        help="total epochs per leg (default 6)")
+    parser.add_argument("--keep", metavar="DIR", default=None,
+                        help="copy the three checkpoint dirs here for "
+                             "artifact upload / inspection")
+    args = parser.parse_args(argv)
+
+    work = tempfile.mkdtemp(prefix="repro-soak-smoke-")
+    straight = os.path.join(work, "straight")
+    killed = os.path.join(work, "killed")
+    try:
+        print(f"[1/3] straight run: {args.epochs} epochs")
+        _run(_soak_cmd(straight, args.epochs, "--workers", "1"))
+
+        print("[2/3] interrupted run: SIGTERM after the first epoch")
+        _kill_mid_run(killed, args.epochs)
+
+        print("[3/3] resume with different worker/shard counts")
+        _run(_soak_cmd(killed, args.epochs, "--resume",
+                       "--workers", "2", "--shards", "2"))
+
+        print("comparing deterministic artifacts:")
+        failures = _compare(straight, killed)
+        if args.keep:
+            os.makedirs(args.keep, exist_ok=True)
+            for leg in (straight, killed):
+                dest = os.path.join(args.keep, os.path.basename(leg))
+                shutil.rmtree(dest, ignore_errors=True)
+                shutil.copytree(leg, dest)
+            print(f"checkpoints copied to {args.keep}")
+        if failures:
+            print(f"FAIL: kill/resume identity broken: {failures}",
+                  file=sys.stderr)
+            return 1
+        print("PASS: killed-and-resumed run is byte-identical to the "
+              "uninterrupted run")
+        return 0
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

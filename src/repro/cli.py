@@ -139,9 +139,57 @@ def build_parser() -> argparse.ArgumentParser:
                      help="process count for the cell fan-out (default: auto)")
     _add_obs_flags(net)
 
+    soak = sub.add_parser(
+        "soak", help="long-running resumable soak service: epoch workloads "
+                     "replayed through sharded deployments with rolling faults")
+    soak.add_argument("--checkpoint", default="soak-checkpoint", metavar="DIR",
+                      help="checkpoint directory (state.json / metrics.jsonl / "
+                           "manifest.json); default: ./soak-checkpoint")
+    soak.add_argument("--resume", action="store_true",
+                      help="continue from the checkpoint (bit-identical to an "
+                           "uninterrupted run of the same budgets)")
+    soak.add_argument("--epochs", type=int, default=None,
+                      help="stop once this many epochs have completed "
+                           "(absolute count; default: no cap)")
+    soak.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                      help="wall-clock budget for this invocation; the epoch "
+                           "in flight finishes and the run stays resumable")
+    soak.add_argument("--users", type=int, default=None,
+                      help="stop once this many cumulative users "
+                           "(station-epochs) have been served")
+    soak.add_argument("--fault-profile", default="none",
+                      choices=("none", "bursty-loss", "hidden-terminal",
+                               "deep-fade", "mixed"),
+                      help="rolling impairment schedule sliding across epochs")
+    soak.add_argument("--traffic", choices=("cbr", "voip", "trace-mixed"),
+                      default="cbr", help="epoch traffic shape")
+    soak.add_argument("--trace-model", default="SIGCOMM'08",
+                      help="trace CDF for --traffic trace-mixed "
+                           "(SIGCOMM'04 / SIGCOMM'08 / Library)")
+    soak.add_argument("--seed", type=int, default=42)
+    soak.add_argument("--aps", type=_positive_int, default=9)
+    soak.add_argument("--max-stas-per-ap", type=_positive_int, default=16)
+    soak.add_argument("--target-active-stas", type=float, default=6.0,
+                      help="mean active STAs per AP the churn model targets")
+    soak.add_argument("--epoch-duration", type=float, default=2.0,
+                      help="simulated seconds per epoch")
+    soak.add_argument("--channels", type=_positive_int, default=1)
+    soak.add_argument("--protocol", default="Carpool")
+    soak.add_argument("--background", action="store_true",
+                      help="inject background uplink traffic in every cell")
+    soak.add_argument("--shards", type=_positive_int, default=None,
+                      help="stream each epoch's deployment in K shards "
+                           "(constant parent memory)")
+    soak.add_argument("--workers", type=_positive_int, default=None,
+                      help="process count per epoch (default: auto)")
+    soak.add_argument("--checkpoint-every", type=_positive_int, default=1,
+                      metavar="N", help="rewrite state.json every N epochs")
+    _add_obs_flags(soak)
+
     bench = sub.add_parser(
         "bench", help="timing harness → BENCH_phy.json / BENCH_mac.json / BENCH_net.json")
-    bench.add_argument("--suite", choices=("phy", "mac", "net", "all"), default="phy",
+    bench.add_argument("--suite", choices=("phy", "mac", "net", "soak", "all"),
+                       default="phy",
                        help="which benchmark suite to run (default: phy)")
     bench.add_argument("--smoke", action="store_true",
                        help="tiny workloads; validates the schema in seconds "
@@ -409,6 +457,64 @@ def _print_net_bench(payload) -> None:
               f"(identical={stream['identical_sharded_unsharded']})")
 
 
+def _print_soak_bench(payload) -> None:
+    sus, res = payload["sustained"], payload["resume"]
+    print(f"sustained  : {sus['frames_per_s']:8.1f} frames/s over "
+          f"{sus['epochs']} epochs x{sus['shards']} shards "
+          f"({sus['cumulative_users']} users; RSS "
+          f"{sus['warm_peak_rss_mb']:.0f} -> {sus['end_peak_rss_mb']:.0f} MB, "
+          f"x{sus['rss_growth_factor']:.2f} <= "
+          f"x{sus['rss_growth_threshold']:.2f}: {sus['rss_flat_ok']})")
+    print(f"resume     : kill at epoch {res['resume_epoch']}/{res['epochs']}, "
+          f"bit-identical={res['identical_resume']}")
+
+
+def _cmd_soak(args) -> int:
+    from repro.serve import SoakConfig, SoakWorkload, run_soak
+
+    workload = SoakWorkload(
+        seed=args.seed,
+        n_aps=args.aps,
+        max_stas_per_ap=args.max_stas_per_ap,
+        target_active_stas=args.target_active_stas,
+        epoch_duration=args.epoch_duration,
+        traffic=args.traffic,
+        trace_model=args.trace_model,
+        protocol=args.protocol,
+        channels=args.channels,
+        with_background=args.background,
+    )
+    config = SoakConfig(
+        workload=workload,
+        fault_profile=args.fault_profile,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
+        epochs=args.epochs,
+        max_users=args.users,
+        max_wall_seconds=args.duration,
+        n_workers=args.workers,
+        shards=args.shards,
+        checkpoint_every=args.checkpoint_every,
+    )
+    try:
+        summary = run_soak(config)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"soak: {exc}", file=sys.stderr)
+        return 2
+    print(f"soak {summary.config_hash}: "
+          f"{summary.epochs_this_run} epoch(s) this run, "
+          f"{summary.epochs_completed} total")
+    print(f"  users      : {summary.cumulative_users} cumulative")
+    print(f"  frames     : {summary.cumulative_frames} transmissions")
+    print(f"  goodput    : {summary.total_goodput_bps / 1e6:.2f} Mbit/s "
+          f"(useful {summary.total_useful_goodput_bps / 1e6:.2f})")
+    print(f"  fairness   : {summary.jain_fairness:.4f} (Jain)")
+    print(f"  wall       : {summary.wall_seconds:.2f}s; checkpoint "
+          f"{summary.checkpoint_dir}"
+          f"{' [interrupted: resumable]' if summary.interrupted else ''}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import json
     import os
@@ -419,9 +525,11 @@ def _cmd_bench(args) -> int:
         run_mac_bench,
         run_net_bench,
         run_phy_bench,
+        run_soak_bench,
     )
 
-    suites = ("phy", "mac", "net") if args.suite == "all" else (args.suite,)
+    suites = (("phy", "mac", "net", "soak") if args.suite == "all"
+              else (args.suite,))
     if args.out and len(suites) > 1:
         print("--out takes a single suite; use --out-dir with --suite all",
               file=sys.stderr)
@@ -433,9 +541,10 @@ def _cmd_bench(args) -> int:
         # them overwrite the committed full-run baselines in-place.
         out_dir = tempfile.mkdtemp(prefix="repro-bench-") if args.smoke else os.getcwd()
 
-    runners = {"phy": run_phy_bench, "mac": run_mac_bench, "net": run_net_bench}
+    runners = {"phy": run_phy_bench, "mac": run_mac_bench,
+               "net": run_net_bench, "soak": run_soak_bench}
     printers = {"phy": _print_phy_bench, "mac": _print_mac_bench,
-                "net": _print_net_bench}
+                "net": _print_net_bench, "soak": _print_soak_bench}
     status = 0
     scaling_curves = {}
     for suite in suites:
@@ -555,6 +664,8 @@ def _dispatch(args) -> int:
         return _cmd_faults(args)
     if args.command == "net":
         return _cmd_net(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "report":

@@ -175,6 +175,62 @@ class DeploymentAggregate:
 
     # -- transport -----------------------------------------------------------
 
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of the full accumulator state.
+
+        Everything is plain ints, floats in Shewchuk-partial lists, and
+        strings, so ``json.dumps`` of the dict round-trips the aggregate
+        exactly: ``from_dict(json.loads(json.dumps(a.to_dict())))`` folds
+        on bit-identically to ``a``. This is the soak checkpoint format —
+        a resumed run restores the rolling aggregate from it and must end
+        byte-identical to an uninterrupted one.
+        """
+        return {
+            "track_stations": self.track_stations,
+            "n_cells": self.n_cells,
+            "n_coupled_cells": self.n_coupled_cells,
+            "collisions": self.collisions,
+            "transmissions": self.transmissions,
+            "retransmitted_subframes": self.retransmitted_subframes,
+            "dropped_frames": self.dropped_frames,
+            "goodput": self.goodput.to_dict(),
+            "useful_goodput": self.useful_goodput.to_dict(),
+            "busy_airtime": self.busy_airtime.to_dict(),
+            "cell_goodput": self.cell_goodput.to_dict(),
+            "busy_fraction": self.busy_fraction.to_dict(),
+            "goodput_hist": self.goodput_hist.to_dict(),
+            "busy_hist": self.busy_hist.to_dict(),
+            "fair_n": self.fair_n,
+            "fair_total": self.fair_total,
+            "fair_squares": self.fair_squares,
+            "delivered_by_sta": dict(self.delivered_by_sta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeploymentAggregate":
+        """Rebuild an aggregate from :meth:`to_dict` output (exact)."""
+        out = cls(track_stations=data["track_stations"])
+        out.n_cells = int(data["n_cells"])
+        out.n_coupled_cells = int(data["n_coupled_cells"])
+        out.collisions = int(data["collisions"])
+        out.transmissions = int(data["transmissions"])
+        out.retransmitted_subframes = int(data["retransmitted_subframes"])
+        out.dropped_frames = int(data["dropped_frames"])
+        out.goodput = ExactSum.from_dict(data["goodput"])
+        out.useful_goodput = ExactSum.from_dict(data["useful_goodput"])
+        out.busy_airtime = ExactSum.from_dict(data["busy_airtime"])
+        out.cell_goodput = StreamMoments.from_dict(data["cell_goodput"])
+        out.busy_fraction = StreamMoments.from_dict(data["busy_fraction"])
+        out.goodput_hist = MergeableHistogram.from_dict(data["goodput_hist"])
+        out.busy_hist = MergeableHistogram.from_dict(data["busy_hist"])
+        out.fair_n = int(data["fair_n"])
+        out.fair_total = int(data["fair_total"])
+        out.fair_squares = int(data["fair_squares"])
+        out.delivered_by_sta = {
+            sta: int(v) for sta, v in data["delivered_by_sta"].items()
+        }
+        return out
+
     def __reduce__(self):
         # One restore call over plain ints/lists: the accumulator *is*
         # the sharded path's IPC traffic, so its pickle stays minimal.

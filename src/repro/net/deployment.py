@@ -53,6 +53,7 @@ from repro.mac.protocols import PROTOCOLS
 from repro.mac.protocols.base import AggregationLimits
 from repro.mac.protocols.carpool_mixed import CarpoolMixedProtocol
 from repro.mac.scenarios import CbrScenario
+from repro.faults.plan import FaultPlan
 from repro.net.aggregate import DeploymentAggregate, aggregate_factory, reduce_cell
 from repro.net.interference import (
     background_duty,
@@ -123,6 +124,11 @@ class DeploymentConfig:
     # Inter-cell coupling ----------------------------------------------------
     coupling: bool = True
     hit_probability: float = 0.35
+    #: Deployment-wide :class:`~repro.faults.plan.FaultPlan` applied to
+    #: every cell on top of the coupling-derived plan (the soak
+    #: scheduler's rolling impairment episodes enter here). ``None`` = no
+    #: extra faults; part of the frozen config, so it keys the cache.
+    extra_faults: object = None
 
     def __post_init__(self):
         if self.n_aps < 1:
@@ -536,6 +542,21 @@ def _deployment_plan(config: DeploymentConfig) -> _DeploymentPlan:
     )
 
 
+def _cell_fault_plan(config: DeploymentConfig, coupling_plan):
+    """Compose a cell's coupling plan with the deployment-wide extras.
+
+    Stream independence holds by construction: coupling specs are salted
+    ``ap{i}-w{k}`` while soak episodes are salted per epoch, so composing
+    the two never collides a fault RNG stream.
+    """
+    extra = config.extra_faults
+    if not extra:
+        return coupling_plan
+    if not coupling_plan:
+        return extra
+    return FaultPlan.of(*coupling_plan.specs, *extra.specs)
+
+
 def _make_cell_spec(config: DeploymentConfig, plan: _DeploymentPlan,
                     ap_index: int) -> CellSpec:
     """Mint one cell's spec from the shared deployment plan."""
@@ -550,7 +571,7 @@ def _make_cell_spec(config: DeploymentConfig, plan: _DeploymentPlan,
         latency_requirement=config.latency_requirement,
         with_background=config.with_background,
         background_intensity=config.background_intensity,
-        fault_plan=plan.plans[ap_index],
+        fault_plan=_cell_fault_plan(config, plan.plans[ap_index]),
     )
     if not config.mobility:
         # Static: local names sta0..n-1 (the CbrScenario convention)
@@ -690,6 +711,7 @@ def simulate_deployment(
     manifest_path=None,
     chunk_size: int | str | None = "auto",
     shards: int | None = None,
+    return_aggregate: bool = False,
 ) -> DeploymentResult:
     """Simulate a whole deployment; cells fan out over the runtime pools.
 
@@ -718,7 +740,18 @@ def simulate_deployment(
 
     ``manifest_path`` writes a provenance record (seed, git SHA, config
     hash, versions, timing) next to wherever the caller stores the result.
+
+    ``return_aggregate=True`` returns ``(result, aggregate)`` — the live
+    :class:`~repro.net.aggregate.DeploymentAggregate` the result was
+    finalised from, so streaming callers (the :mod:`repro.serve` epoch
+    loop) can keep folding it into a rolling deployment-of-deployments
+    accumulator. It requires ``use_cache=False`` (a cache hit has no
+    aggregate to hand back) and skips the cache write: epoch configs are
+    one-shot, and persisting thousands of them would grow the cache
+    without a future hit ever reading them.
     """
+    if return_aggregate and use_cache:
+        raise ValueError("return_aggregate=True requires use_cache=False")
     if shards is not None:
         shards = int(shards)
         if shards < 1:
@@ -783,5 +816,8 @@ def simulate_deployment(
                     agg.observe_cell(r)
                 cells = [CellResult.from_dict(r) for r in raw]
                 result = _finalize(config, agg, timeline, plans, cells)
-        cache.put(key, result.to_dict())
+        if not return_aggregate:
+            cache.put(key, result.to_dict())
+    if return_aggregate:
+        return result, agg
     return result

@@ -42,8 +42,10 @@ __all__ = [
     "run_phy_bench",
     "run_mac_bench",
     "run_net_bench",
+    "run_soak_bench",
     "validate_bench",
     "compare_bench",
+    "peak_rss_mb",
     "SCHEMA_VERSION",
 ]
 
@@ -56,7 +58,12 @@ __all__ = [
 # IPC and parent peak RSS for sharded (worker-side reduced) vs unsharded
 # deployments at identical results — and the ``observability`` section
 # carries ``ipc_result_bytes`` / ``shm_bytes`` / ``peak_rss_mb``.
-SCHEMA_VERSION = 4
+# v5: new ``soak`` suite — sustained frames-per-wall-second of the
+# :mod:`repro.serve` epoch loop at a flat parent RSS ceiling, plus a
+# kill/resume identity gate. Older baselines lacking the suite (or any
+# section) stay comparable: :func:`compare_bench` only diffs sections
+# present in both documents.
+SCHEMA_VERSION = 5
 
 # Suite -> section -> keys every BENCH_*.json must carry (the schema family).
 _REQUIRED_KEYS = {
@@ -124,6 +131,21 @@ _REQUIRED_KEYS = {
             "identical_sharded_unsharded",
         ),
     },
+    "soak": {
+        "meta": (
+            "schema_version", "suite", "python", "numpy", "platform",
+            "smoke", "n_workers",
+        ),
+        "sustained": (
+            "epochs", "aps", "max_stas_per_ap", "epoch_duration", "shards",
+            "cumulative_users", "frames", "wall_seconds", "frames_per_s",
+            "warm_peak_rss_mb", "end_peak_rss_mb", "rss_growth_factor",
+            "rss_flat_ok",
+        ),
+        "resume": (
+            "epochs", "resume_epoch", "identical_resume",
+        ),
+    },
 }
 
 # Correctness gates: (suite, section, key) that must be True.
@@ -144,16 +166,27 @@ _TRUE_GATES = {
         ("streaming", "ipc_reduction_ok"),
         ("streaming", "rss_flat_ok"),
     ),
+    "soak": (
+        ("sustained", "rss_flat_ok"),
+        ("resume", "identical_resume"),
+    ),
 }
 
 
-def _peak_rss_mb() -> float:
+def peak_rss_mb() -> float:
     """This process's lifetime peak resident set size, in MiB.
 
-    ``ru_maxrss`` is a monotone high-water mark (kilobytes on Linux,
-    bytes on macOS): it can only ever grow, which is exactly the property
-    the streaming section leans on — measure after a small leg, then
-    after a large leg, and any growth is attributable to the large leg.
+    The single place ``ru_maxrss`` units are normalised: the kernel
+    reports kilobytes on Linux but *bytes* on macOS, so every consumer
+    (the streaming and soak bench gates, ``benchmarks/
+    check_memory_ceiling.py`` and its committed ``memory_budget.json``
+    ceilings) must read the figure through this helper for absolute MB
+    budgets to be portable.
+
+    ``ru_maxrss`` is a monotone high-water mark: it can only ever grow,
+    which is exactly the property the delta-based gates lean on — measure
+    after a small leg, then after a large leg, and any growth is
+    attributable to the large leg.
     """
     import resource
     import sys
@@ -189,7 +222,7 @@ def _observability_section(registry) -> dict:
         "chunks_failed": count("runtime.chunks_failed"),
         "ipc_result_bytes": count("runtime.ipc_result_bytes"),
         "shm_bytes": count("runtime.shm_bytes"),
-        "peak_rss_mb": _peak_rss_mb(),
+        "peak_rss_mb": peak_rss_mb(),
     }
 
 
@@ -798,13 +831,13 @@ def _bench_streaming(small, large, shards: int, n_workers, registry,
     shutdown_pools()
     simulate_deployment(small, n_workers=workers, use_cache=False,
                         shards=shards)
-    small_rss = _peak_rss_mb()
+    small_rss = peak_rss_mb()
 
     base = ipc_bytes()
     sharded = simulate_deployment(large, n_workers=workers, use_cache=False,
                                   shards=shards)
     sharded_bytes = ipc_bytes() - base
-    large_rss = _peak_rss_mb()
+    large_rss = peak_rss_mb()
 
     base = ipc_bytes()
     unsharded = simulate_deployment(large, n_workers=workers, use_cache=False)
@@ -881,6 +914,166 @@ def run_net_bench(
         "deployment": deployment,
         "replay": replay,
         "streaming": streaming,
+        "observability": _observability_section(registry),
+    }
+    validate_bench(payload)
+    _write(payload, out_path)
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# SOAK suite
+# --------------------------------------------------------------------------- #
+
+def _bench_soak_sustained(workload, epochs: int, shards, n_workers,
+                          smoke: bool) -> dict:
+    """Sustained epoch throughput at a flat parent memory ceiling.
+
+    One warm-up epoch first (pays imports, pool spawn, and the allocator
+    high-water of a single epoch), then the RSS reading; the remaining
+    epochs run through the resumable service exactly as production does,
+    and the end-of-run reading must not have grown past the threshold —
+    ``ru_maxrss`` is monotone, so any growth happened *during* the
+    sustained leg. Frames are the aggregate's MAC transmissions: the
+    actual simulated work, not the offered load.
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve.service import SoakConfig, run_soak
+
+    directory = tempfile.mkdtemp(prefix="repro-bench-soak-")
+    try:
+        warm = run_soak(SoakConfig(
+            workload=workload, checkpoint_dir=directory, epochs=1,
+            n_workers=n_workers, shards=shards,
+        ))
+        warm_rss = peak_rss_mb()
+        start = time.perf_counter()
+        done = run_soak(SoakConfig(
+            workload=workload, checkpoint_dir=directory, epochs=epochs,
+            n_workers=n_workers, shards=shards, resume=True,
+        ))
+        wall = time.perf_counter() - start
+        end_rss = peak_rss_mb()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    frames = done.cumulative_frames - warm.cumulative_frames
+    growth = end_rss / warm_rss if warm_rss else float("inf")
+    threshold = 1.5 if smoke else 1.25
+    return {
+        "epochs": epochs,
+        "aps": workload.n_aps,
+        "max_stas_per_ap": workload.max_stas_per_ap,
+        "epoch_duration": workload.epoch_duration,
+        "shards": shards,
+        "cumulative_users": done.cumulative_users,
+        "frames": frames,
+        "wall_seconds": wall,
+        "frames_per_s": frames / wall if wall else float("inf"),
+        "warm_peak_rss_mb": warm_rss,
+        "end_peak_rss_mb": end_rss,
+        "rss_growth_factor": growth,
+        "rss_growth_threshold": threshold,
+        "rss_flat_ok": bool(growth <= threshold),
+    }
+
+
+def _bench_soak_resume(workload, epochs: int, resume_epoch: int,
+                       shards, n_workers) -> dict:
+    """Kill/resume identity: interrupted-and-resumed == uninterrupted.
+
+    The straight leg runs ``epochs`` in one invocation; the resumed leg
+    stops at ``resume_epoch`` and continues under a *different* worker
+    and shard count — the strongest form of the contract: neither the
+    interruption point nor the execution geometry may leak into the
+    deterministic artifacts. Identity is a byte compare of ``state.json``
+    and ``metrics.jsonl`` plus equality of the manifest ``config_hash``.
+    """
+    import json
+    import shutil
+    import tempfile
+
+    from repro.serve.service import SoakConfig, run_soak
+
+    straight_dir = tempfile.mkdtemp(prefix="repro-bench-soak-a-")
+    resumed_dir = tempfile.mkdtemp(prefix="repro-bench-soak-b-")
+    try:
+        run_soak(SoakConfig(
+            workload=workload, checkpoint_dir=straight_dir, epochs=epochs,
+            n_workers=1, shards=None,
+        ))
+        run_soak(SoakConfig(
+            workload=workload, checkpoint_dir=resumed_dir,
+            epochs=resume_epoch, n_workers=1, shards=None,
+        ))
+        run_soak(SoakConfig(
+            workload=workload, checkpoint_dir=resumed_dir, epochs=epochs,
+            n_workers=max(2, resolve_workers(n_workers)), shards=2,
+            resume=True,
+        ))
+
+        def artifact(directory, name):
+            with open(f"{directory}/{name}", "rb") as handle:
+                return handle.read()
+
+        identical = (
+            artifact(straight_dir, "state.json")
+            == artifact(resumed_dir, "state.json")
+            and artifact(straight_dir, "metrics.jsonl")
+            == artifact(resumed_dir, "metrics.jsonl")
+            and json.loads(artifact(straight_dir, "manifest.json"))["config_hash"]
+            == json.loads(artifact(resumed_dir, "manifest.json"))["config_hash"]
+        )
+    finally:
+        shutil.rmtree(straight_dir, ignore_errors=True)
+        shutil.rmtree(resumed_dir, ignore_errors=True)
+    return {
+        "epochs": epochs,
+        "resume_epoch": resume_epoch,
+        "identical_resume": identical,
+    }
+
+
+def run_soak_bench(
+    smoke: bool = False,
+    n_workers: int | None = None,
+    out_path: str | None = None,
+) -> dict:
+    """Run the soak-service timing suite; optionally write JSON.
+
+    The ``sustained`` section is the ISSUE's gate: frames simulated per
+    wall-second across a ≥20-epoch run with parent peak RSS flat
+    (≤ ×1.25 growth after warm-up); the ``resume`` section asserts the
+    kill/resume identity contract end to end through the public service.
+    """
+    from repro.serve.workload import SoakWorkload
+
+    if smoke:
+        workload = SoakWorkload(
+            seed=11, n_aps=3, max_stas_per_ap=6, target_active_stas=2.5,
+            epoch_duration=0.3, channels=1,
+        )
+        sustained_epochs, shards = 4, 3
+        resume_epochs, resume_at = 2, 1
+    else:
+        workload = SoakWorkload(
+            seed=11, n_aps=4, max_stas_per_ap=8, target_active_stas=3.0,
+            epoch_duration=0.5, channels=1,
+        )
+        sustained_epochs, shards = 20, 4
+        resume_epochs, resume_at = 6, 3
+
+    with collecting() as registry:
+        sustained = _bench_soak_sustained(
+            workload, sustained_epochs, shards, n_workers, smoke)
+        resume = _bench_soak_resume(
+            workload, resume_epochs, resume_at, shards, n_workers)
+    payload = {
+        "meta": _meta("soak", smoke, n_workers),
+        "sustained": sustained,
+        "resume": resume,
         "observability": _observability_section(registry),
     }
     validate_bench(payload)

@@ -1,0 +1,123 @@
+"""Rolling fault schedules: impairment episodes that slide across epochs.
+
+A soak run is only a stress test if the channel misbehaves on a schedule
+the run cannot adapt its seeds to. Each named profile composes
+:class:`~repro.faults.plan.FaultSpec` episodes — bursty MAC loss, a
+hidden terminal, deep fades — whose activation window *slides* across
+the epoch as the epoch index advances: episode phase is
+``epoch_index % period_epochs``, so over one period the window sweeps
+from the start of the epoch to its end and every part of the epoch
+eventually soaks under every impairment.
+
+Everything here is a pure function of ``(profile, epoch_index,
+epoch_duration)``:
+
+* the schedule needs no state, so the checkpoint only records the next
+  epoch index — :func:`schedule_position` reconstructs the exact window
+  a resumed run is about to enter;
+* fault RNG streams are salted per epoch (``soak-e{index}``), so episode
+  draws are independent across epochs and never collide with the
+  coupling-derived ``ap{i}-w{k}`` streams a deployment already carries.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_PROFILES",
+    "rolling_fault_plan",
+    "schedule_position",
+]
+
+#: Episode templates per profile: (kind, period_epochs, duty, kwargs).
+#: ``duty`` is the fraction of the epoch the window covers; the window's
+#: start sweeps the remaining ``(1 - duty)`` of the epoch over
+#: ``period_epochs`` epochs.
+_PROFILE_EPISODES = {
+    "none": (),
+    "bursty-loss": (
+        ("mac_burst", 4, 0.50,
+         dict(probability=1.0, mean_good=0.030, mean_bad=0.004)),
+    ),
+    "hidden-terminal": (
+        ("hidden_window", 5, 0.40, dict(probability=0.6)),
+    ),
+    "deep-fade": (
+        ("deep_fade", 3, 0.35,
+         dict(probability=0.02, magnitude=18.0, length=4)),
+    ),
+    "mixed": (
+        ("mac_burst", 4, 0.40,
+         dict(probability=1.0, mean_good=0.040, mean_bad=0.004)),
+        ("hidden_window", 5, 0.30, dict(probability=0.5)),
+        ("deep_fade", 3, 0.25,
+         dict(probability=0.015, magnitude=15.0, length=3)),
+    ),
+}
+
+FAULT_PROFILES = tuple(sorted(_PROFILE_EPISODES))
+
+
+def _window(epoch_index: int, epoch_duration: float, period: int,
+            duty: float) -> tuple:
+    """This epoch's ``[start, stop)`` activation window for one episode."""
+    phase = (epoch_index % period) / period
+    width = duty * epoch_duration
+    start = phase * (epoch_duration - width)
+    return start, start + width
+
+
+def rolling_fault_plan(profile: str, epoch_index: int,
+                       epoch_duration: float):
+    """The :class:`FaultPlan` epoch ``epoch_index`` runs under.
+
+    ``None`` for the ``"none"`` profile (no plan beats an empty plan:
+    cells skip injector setup entirely and stay bit-identical to a run
+    that never imported this module).
+    """
+    episodes = _episodes(profile)
+    if not episodes:
+        return None
+    specs = [
+        FaultSpec.make(
+            kind,
+            start=start, stop=stop,
+            seed_salt=f"soak-e{epoch_index}",
+            **kwargs,
+        )
+        for kind, (start, stop), kwargs in (
+            (kind, _window(epoch_index, epoch_duration, period, duty), kwargs)
+            for kind, period, duty, kwargs in episodes
+        )
+    ]
+    return FaultPlan.of(*specs)
+
+
+def schedule_position(profile: str, epoch_index: int,
+                      epoch_duration: float) -> dict:
+    """Where the rolling schedule stands at ``epoch_index`` (JSON-safe).
+
+    Recorded in each checkpoint so an operator inspecting ``state.json``
+    sees exactly which impairment windows the next epoch re-enters; the
+    scheduler itself needs none of it (pure function of the index).
+    """
+    windows = []
+    for kind, period, duty, _ in _episodes(profile):
+        start, stop = _window(epoch_index, epoch_duration, period, duty)
+        windows.append({
+            "kind": kind,
+            "period_epochs": period,
+            "phase": (epoch_index % period) / period,
+            "window": [start, stop],
+        })
+    return {"profile": profile, "epoch": epoch_index, "episodes": windows}
+
+
+def _episodes(profile: str) -> tuple:
+    try:
+        return _PROFILE_EPISODES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {profile!r}; known: {FAULT_PROFILES}"
+        ) from None

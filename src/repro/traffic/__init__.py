@@ -1,7 +1,12 @@
 """Traffic substrate: VoIP (Brady), SIGCOMM/library trace synthesizers, CBR."""
 
 from repro.traffic.background import background_uplink_arrivals, trace_mixed_arrivals
-from repro.traffic.flows import cbr_downlink_arrivals, merge_arrivals, offered_load_bps
+from repro.traffic.flows import (
+    cbr_downlink_arrivals,
+    iter_merge_arrivals,
+    merge_arrivals,
+    offered_load_bps,
+)
 from repro.traffic.trace_models import (
     LIBRARY,
     SIGCOMM04,
@@ -17,6 +22,7 @@ __all__ = [
     "background_uplink_arrivals",
     "trace_mixed_arrivals",
     "cbr_downlink_arrivals",
+    "iter_merge_arrivals",
     "merge_arrivals",
     "offered_load_bps",
     "LIBRARY",

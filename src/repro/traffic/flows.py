@@ -7,7 +7,12 @@ import heapq
 from repro.mac.frames import Arrival, Direction
 from repro.util.rng import RngStream
 
-__all__ = ["cbr_downlink_arrivals", "merge_arrivals", "offered_load_bps"]
+__all__ = [
+    "cbr_downlink_arrivals",
+    "iter_merge_arrivals",
+    "merge_arrivals",
+    "offered_load_bps",
+]
 
 
 def cbr_downlink_arrivals(station_names: list, duration: float, frame_bytes: int,
@@ -43,9 +48,21 @@ def cbr_downlink_arrivals(station_names: list, duration: float, frame_bytes: int
     return arrivals
 
 
+def iter_merge_arrivals(*streams):
+    """Lazily merge time-sorted arrival streams into one sorted iterator.
+
+    Accepts any mix of lists and iterators; holds only one pending arrival
+    per input stream, so merging unbounded generators (the soak workload
+    streamer) never materialises a whole epoch. The merge is stable:
+    arrivals with equal timestamps come out in stream order, matching
+    :func:`merge_arrivals` element for element.
+    """
+    return heapq.merge(*streams, key=lambda a: a.time)
+
+
 def merge_arrivals(*streams) -> list:
     """Merge time-sorted arrival lists into one time-sorted list."""
-    return list(heapq.merge(*streams, key=lambda a: a.time))
+    return list(iter_merge_arrivals(*streams))
 
 
 def offered_load_bps(arrivals: list, duration: float, direction: str | None = None) -> float:

@@ -391,6 +391,94 @@ class TestObservabilityBackCompat:
         assert compare_bench(copy.deepcopy(_VALID_NET), baseline) == []
 
 
+_VALID_SOAK = {
+    "meta": {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "soak",
+        "python": "3.11.0",
+        "numpy": "2.0.0",
+        "platform": "test",
+        "smoke": True,
+        "n_workers": 1,
+    },
+    "sustained": {
+        "epochs": 4, "aps": 3, "max_stas_per_ap": 6,
+        "epoch_duration": 0.3, "shards": 3, "cumulative_users": 24,
+        "frames": 400, "wall_seconds": 2.0, "frames_per_s": 200.0,
+        "warm_peak_rss_mb": 40.0, "end_peak_rss_mb": 42.0,
+        "rss_growth_factor": 1.05, "rss_growth_threshold": 1.5,
+        "rss_flat_ok": True,
+    },
+    "resume": {
+        "epochs": 2, "resume_epoch": 1, "identical_resume": True,
+    },
+}
+
+
+class TestSoakSuite:
+    def test_accepts_valid_soak_payload(self):
+        assert validate_bench(copy.deepcopy(_VALID_SOAK)) == _VALID_SOAK
+
+    @pytest.mark.parametrize("section,gate", [
+        ("sustained", "rss_flat_ok"), ("resume", "identical_resume"),
+    ])
+    def test_rejects_failed_soak_gates(self, section, gate):
+        broken = copy.deepcopy(_VALID_SOAK)
+        broken[section][gate] = False
+        with pytest.raises(ValueError, match=gate):
+            validate_bench(broken)
+
+    def test_rejects_missing_soak_key(self):
+        broken = copy.deepcopy(_VALID_SOAK)
+        del broken["sustained"]["frames_per_s"]
+        with pytest.raises(ValueError, match="sustained.frames_per_s"):
+            validate_bench(broken)
+
+    def test_throughput_drop_is_flagged(self):
+        current = copy.deepcopy(_VALID_SOAK)
+        current["sustained"]["frames_per_s"] = 100.0  # 200 -> 100
+        messages = compare_bench(current, _VALID_SOAK)
+        assert len(messages) == 1
+        assert "sustained.frames_per_s" in messages[0]
+
+    def test_rss_marks_are_results_not_workload(self):
+        # RSS readings vary run to run: they must neither flag on their
+        # own nor disguise the section as a different workload.
+        current = copy.deepcopy(_VALID_SOAK)
+        current["sustained"]["warm_peak_rss_mb"] = 55.0
+        current["sustained"]["end_peak_rss_mb"] = 58.0
+        current["sustained"]["rss_growth_factor"] = 1.055
+        current["sustained"]["wall_seconds"] = 1.9
+        assert compare_bench(current, _VALID_SOAK) == []
+        current["sustained"]["frames_per_s"] = 50.0
+        assert any("frames_per_s" in m
+                   for m in compare_bench(current, _VALID_SOAK))
+
+    def test_baseline_without_soak_suite_is_accepted(self):
+        # compare_bench must accept older baselines that predate the
+        # soak suite entirely (cross-suite payloads share no sections).
+        assert compare_bench(copy.deepcopy(_VALID_SOAK), _VALID_NET) == []
+
+    def test_baseline_without_resume_section_is_accepted(self):
+        baseline = copy.deepcopy(_VALID_SOAK)
+        del baseline["resume"]
+        assert compare_bench(copy.deepcopy(_VALID_SOAK), baseline) == []
+
+
+@pytest.mark.slow
+def test_soak_smoke_bench_emits_valid_json(tmp_path):
+    from repro.runtime.bench import run_soak_bench
+
+    out = tmp_path / "BENCH_soak.json"
+    payload = run_soak_bench(smoke=True, out_path=str(out))
+    on_disk = json.loads(out.read_text())
+    assert validate_bench(on_disk) == on_disk
+    assert payload["meta"]["suite"] == "soak"
+    assert payload["sustained"]["rss_flat_ok"] is True
+    assert payload["sustained"]["frames"] > 0
+    assert payload["resume"]["identical_resume"] is True
+
+
 @pytest.mark.slow
 def test_smoke_bench_emits_valid_json(tmp_path):
     out = tmp_path / "BENCH_phy.json"

@@ -1,0 +1,123 @@
+"""Checkpoint atomicity, round-trips, identity checks, and orphan trim."""
+
+import json
+import os
+
+import pytest
+
+from repro.net.aggregate import DeploymentAggregate
+from repro.net.deployment import DeploymentConfig, simulate_deployment
+from repro.serve.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    append_epoch_record,
+    load_state,
+    read_epoch_records,
+    save_state,
+    state_paths,
+    trim_epoch_records,
+)
+
+_IDENTITY = {"kind": "soak", "workload": {"seed": 7}, "fault_profile": "none"}
+
+
+def _live_aggregate():
+    """A real aggregate with non-trivial exact-sum partials."""
+    config = DeploymentConfig(n_aps=2, stas_per_ap=2, duration=0.3, seed=5,
+                              protocol="Carpool", channels=1)
+    _, agg = simulate_deployment(config, n_workers=1, use_cache=False,
+                                 return_aggregate=True)
+    return agg
+
+
+def _save(directory, agg, next_epoch=3):
+    return save_state(directory, identity=_IDENTITY, next_epoch=next_epoch,
+                      cumulative_users=12, cumulative_frames=90,
+                      aggregate=agg, schedule={"profile": "none"})
+
+
+class TestStateRoundTrip:
+    def test_round_trip_restores_aggregate_exactly(self, tmp_path):
+        agg = _live_aggregate()
+        _save(tmp_path, agg)
+        state = load_state(tmp_path, identity=_IDENTITY)
+        restored = state["aggregate"]
+        assert restored.total_goodput_bps() == agg.total_goodput_bps()
+        assert restored.jain_fairness() == agg.jain_fairness()
+        assert restored.to_dict() == agg.to_dict()
+        assert state["next_epoch"] == 3
+        assert state["cumulative_users"] == 12
+        assert state["cumulative_frames"] == 90
+
+    def test_restored_aggregate_keeps_merging_exactly(self, tmp_path):
+        # The point of serialising ExactSum partials: merge-after-resume
+        # must equal merge-without-interruption, bitwise.
+        a, b = _live_aggregate(), _live_aggregate()
+        straight = DeploymentAggregate(track_stations=False)
+        straight.merge(a)
+        straight.merge(b)
+        _save(tmp_path, a)
+        resumed = load_state(tmp_path)["aggregate"]
+        resumed.merge(b)
+        assert resumed.to_dict() == straight.to_dict()
+
+    def test_save_is_deterministic_bytes(self, tmp_path):
+        agg = _live_aggregate()
+        path = _save(tmp_path / "one", agg)
+        path2 = _save(tmp_path / "two", agg)
+        with open(path, "rb") as f1, open(path2, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        _save(tmp_path, _live_aggregate())
+        assert not os.path.exists(state_paths(tmp_path)["state"] + ".tmp")
+
+
+class TestLoadGuards:
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(tmp_path / "nowhere")
+
+    def test_identity_mismatch_refused(self, tmp_path):
+        _save(tmp_path, _live_aggregate())
+        other = {**_IDENTITY, "fault_profile": "mixed"}
+        with pytest.raises(ValueError, match="identity mismatch"):
+            load_state(tmp_path, identity=other)
+
+    def test_schema_mismatch_refused(self, tmp_path):
+        _save(tmp_path, _live_aggregate())
+        path = state_paths(tmp_path)["state"]
+        with open(path) as handle:
+            state = json.load(handle)
+        state["schema"] = CHECKPOINT_SCHEMA + 1
+        with open(path, "w") as handle:
+            json.dump(state, handle)
+        with pytest.raises(ValueError, match="schema"):
+            load_state(tmp_path)
+
+
+class TestEpochRecords:
+    def test_append_and_read_in_order(self, tmp_path):
+        for epoch in range(4):
+            append_epoch_record(tmp_path, {"epoch": epoch, "tx": epoch * 10})
+        records = list(read_epoch_records(tmp_path))
+        assert [r["epoch"] for r in records] == [0, 1, 2, 3]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert list(read_epoch_records(tmp_path)) == []
+
+    def test_trim_drops_orphans_past_cursor(self, tmp_path):
+        # A hard kill between record-append and state-rewrite leaves one
+        # record ahead of the cursor; resume must drop exactly that.
+        for epoch in range(5):
+            append_epoch_record(tmp_path, {"epoch": epoch})
+        dropped = trim_epoch_records(tmp_path, next_epoch=3)
+        assert dropped == 2
+        assert [r["epoch"] for r in read_epoch_records(tmp_path)] == [0, 1, 2]
+
+    def test_trim_is_noop_when_consistent(self, tmp_path):
+        for epoch in range(3):
+            append_epoch_record(tmp_path, {"epoch": epoch})
+        before = open(state_paths(tmp_path)["metrics"], "rb").read()
+        assert trim_epoch_records(tmp_path, next_epoch=3) == 0
+        after = open(state_paths(tmp_path)["metrics"], "rb").read()
+        assert before == after

@@ -1,0 +1,82 @@
+"""Rolling fault schedules: deterministic windows that slide with epochs."""
+
+import json
+
+import pytest
+
+from repro.serve.scheduler import (
+    FAULT_PROFILES,
+    rolling_fault_plan,
+    schedule_position,
+)
+
+_D = 2.0  # epoch duration used throughout
+
+
+class TestRollingPlan:
+    def test_none_profile_has_no_plan(self):
+        assert rolling_fault_plan("none", 0, _D) is None
+        assert rolling_fault_plan("none", 17, _D) is None
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            rolling_fault_plan("quakes", 0, _D)
+
+    @pytest.mark.parametrize("profile",
+                             [p for p in FAULT_PROFILES if p != "none"])
+    def test_deterministic(self, profile):
+        a = rolling_fault_plan(profile, 3, _D)
+        b = rolling_fault_plan(profile, 3, _D)
+        assert [s.stream_name for s in a.specs] \
+            == [s.stream_name for s in b.specs]
+        assert [(s.start, s.stop) for s in a.specs] \
+            == [(s.start, s.stop) for s in b.specs]
+
+    @pytest.mark.parametrize("profile",
+                             [p for p in FAULT_PROFILES if p != "none"])
+    def test_windows_inside_epoch(self, profile):
+        for epoch in range(24):
+            plan = rolling_fault_plan(profile, epoch, _D)
+            for spec in plan.specs:
+                assert 0.0 <= spec.start < spec.stop <= _D
+
+    def test_window_slides_across_epochs(self):
+        # Within one period the window's start must move monotonically —
+        # the "rolling" in rolling fault plan.
+        starts = [rolling_fault_plan("bursty-loss", e, _D).specs[0].start
+                  for e in range(4)]  # bursty-loss period is 4 epochs
+        assert starts == sorted(starts)
+        assert len(set(starts)) == len(starts)
+
+    def test_window_is_periodic(self):
+        first = rolling_fault_plan("bursty-loss", 1, _D).specs[0]
+        later = rolling_fault_plan("bursty-loss", 5, _D).specs[0]
+        assert (first.start, first.stop) == (later.start, later.stop)
+
+    def test_seed_salt_differs_per_epoch(self):
+        s0 = rolling_fault_plan("mixed", 0, _D).specs[0].stream_name
+        s1 = rolling_fault_plan("mixed", 1, _D).specs[0].stream_name
+        assert s0 != s1
+        assert "soak-e0" in s0 and "soak-e1" in s1
+
+    def test_salts_disjoint_from_coupling_plans(self):
+        # Deployment coupling plans salt streams "ap{i}-w{k}"; soak
+        # episodes must never collide with them inside FaultPlan.of.
+        for spec in rolling_fault_plan("mixed", 2, _D).specs:
+            assert "soak-e" in spec.stream_name
+            assert not spec.stream_name.startswith("ap")
+
+
+class TestSchedulePosition:
+    def test_json_serialisable(self):
+        pos = schedule_position("mixed", 7, _D)
+        assert json.loads(json.dumps(pos)) == pos
+
+    def test_reflects_epoch_and_profile(self):
+        pos = schedule_position("deep-fade", 9, _D)
+        assert pos["profile"] == "deep-fade"
+        assert pos["epoch"] == 9
+        assert pos["episodes"]
+
+    def test_none_profile_has_empty_episodes(self):
+        assert schedule_position("none", 3, _D)["episodes"] == []

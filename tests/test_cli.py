@@ -49,6 +49,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "--suite", "dsp"])
 
+    def test_soak_flags(self):
+        args = build_parser().parse_args(
+            ["soak", "--epochs", "5", "--checkpoint", "ckpt", "--resume",
+             "--fault-profile", "mixed", "--shards", "2", "--users", "100"])
+        assert args.epochs == 5
+        assert args.checkpoint == "ckpt"
+        assert args.resume
+        assert args.fault_profile == "mixed"
+        assert args.shards == 2
+        assert args.users == 100
+        defaults = build_parser().parse_args(["soak"])
+        assert defaults.epochs is None
+        assert defaults.duration is None
+        assert not defaults.resume
+        assert defaults.fault_profile == "none"
+
+    def test_soak_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["soak", "--fault-profile", "quakes"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -88,6 +108,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cProfile: top 20 by cumulative time" in out
         assert "cumulative" in out  # the pstats column header
+
+    def test_soak_run_and_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "soak")
+        base = ["soak", "--checkpoint", ckpt, "--aps", "2",
+                "--max-stas-per-ap", "4", "--target-active-stas", "2.0",
+                "--epoch-duration", "0.25", "--seed", "11"]
+        assert main(base + ["--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 epoch(s) this run" in out and "goodput" in out
+        assert main(base + ["--epochs", "3", "--resume", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1 epoch(s) this run" in out and "3 total" in out
+
+    def test_soak_refuses_overwrite_without_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "soak")
+        base = ["soak", "--checkpoint", ckpt, "--aps", "2",
+                "--max-stas-per-ap", "4", "--target-active-stas", "2.0",
+                "--epoch-duration", "0.25", "--epochs", "1"]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_soak_resume_without_checkpoint_fails(self, capsys, tmp_path):
+        code = main(["soak", "--checkpoint", str(tmp_path / "ghost"),
+                     "--epochs", "1", "--resume"])
+        assert code == 2
+        assert "no checkpoint" in capsys.readouterr().err
 
     @pytest.mark.slow
     def test_bench_smoke(self, capsys, tmp_path, monkeypatch):
