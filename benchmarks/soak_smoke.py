@@ -19,6 +19,12 @@ Three legs:
 Then ``state.json`` and ``metrics.jsonl`` are compared byte for byte and
 the manifests' ``config_hash`` fields for equality.
 
+Every leg runs with ``--telemetry`` and one SLO watchdog, so the gate
+also covers the live-observability contract: the killed-and-resumed
+run's *deterministic telemetry view* (epoch + ``det`` namespace, wall
+fields stripped) must be byte-identical to the straight run's, and
+``health.json`` must report ``ok`` on both sides.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/soak_smoke.py            # gate
@@ -41,18 +47,26 @@ _WORKLOAD_FLAGS = [
     "--channels", "1", "--fault-profile", "mixed",
 ]
 
+# Never breaches on a live workload (goodput below 1 bps); the point is
+# exercising the watchdog + health.json machinery, not tripping it.
+_TELEMETRY_FLAGS = ["--telemetry", "--slo", "goodput_bps<1"]
+
 
 def _soak_cmd(checkpoint, epochs, *extra):
     return [sys.executable, "-m", "repro", "soak",
             "--checkpoint", checkpoint, "--epochs", str(epochs),
-            *_WORKLOAD_FLAGS, *extra]
+            *_WORKLOAD_FLAGS, *_TELEMETRY_FLAGS, *extra]
+
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # the det-view compare imports repro.obs
+    sys.path.insert(0, _SRC)
 
 
 def _env():
     env = dict(os.environ)
-    src = os.path.join(os.path.dirname(os.path.dirname(
-        os.path.abspath(__file__))), "src")
-    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
     return env
 
 
@@ -127,6 +141,21 @@ def _compare(straight, resumed):
     print(f"  {'config_hash':<14} {verdict} ({hashes[0]} vs {hashes[1]})")
     if hashes[0] != hashes[1]:
         failures.append("manifest config_hash")
+
+    from repro.obs.telemetry import deterministic_view_bytes
+
+    views = [deterministic_view_bytes(d) for d in (straight, resumed)]
+    verdict = "identical" if views[0] and views[0] == views[1] else "DIFFER"
+    print(f"  {'det telemetry':<14} {verdict} "
+          f"({len(views[0])} bytes vs {len(views[1])} bytes)")
+    if not views[0] or views[0] != views[1]:
+        failures.append("deterministic telemetry view")
+
+    for directory in (straight, resumed):
+        health = json.load(open(os.path.join(directory, "health.json")))
+        if health.get("status") != "ok":
+            print(f"  health.json in {directory}: {health.get('status')}")
+            failures.append("health status")
     return failures
 
 

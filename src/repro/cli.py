@@ -184,7 +184,35 @@ def build_parser() -> argparse.ArgumentParser:
                       help="process count per epoch (default: auto)")
     soak.add_argument("--checkpoint-every", type=_positive_int, default=1,
                       metavar="N", help="rewrite state.json every N epochs")
+    soak.add_argument("--telemetry", action="store_true",
+                      help="write per-epoch telemetry.jsonl + health.json "
+                           "beside the checkpoint (watch with `repro status`)")
+    soak.add_argument("--slo", action="append", default=[], metavar="SPEC",
+                      dest="slos",
+                      help="SLO rule evaluated each epoch (implies "
+                           "--telemetry); e.g. 'goodput_bps<2e6', "
+                           "'mean:goodput_bps<2e6@5', "
+                           "'trend:goodput_bps<-1e5@5!drain'; policies: "
+                           "log (default) / checkpoint / drain; repeatable")
+    soak.add_argument("--profile", action="store_true",
+                      help="capture cross-worker profiles; aggregated into "
+                           "the manifest's profile section")
     _add_obs_flags(soak)
+
+    status = sub.add_parser(
+        "status", help="render a soak checkpoint's live health, telemetry "
+                       "tail, and cross-worker profile")
+    status.add_argument("dir", help="soak checkpoint directory")
+    status.add_argument("--follow", action="store_true",
+                        help="re-render every --interval seconds until "
+                             "interrupted")
+    status.add_argument("--interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="polling period for --follow (default: 2)")
+    status.add_argument("--tail", type=_positive_int, default=8,
+                        help="telemetry epochs to show (default: 8)")
+    status.add_argument("--top", type=_positive_int, default=10,
+                        help="profile function rows (default: 10)")
 
     bench = sub.add_parser(
         "bench", help="timing harness → BENCH_phy.json / BENCH_mac.json / BENCH_net.json")
@@ -212,8 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "pool section to PATH as one JSON artifact")
 
     report = sub.add_parser(
-        "report", help="render a JSONL trace into per-layer summary tables")
-    report.add_argument("path", help="trace file written by --trace")
+        "report", help="render a JSONL trace into per-layer summary tables "
+                       "(or, given a soak checkpoint directory, its status)")
+    report.add_argument("path", help="trace file written by --trace, or a "
+                                     "soak checkpoint directory")
     report.add_argument("--top", type=_positive_int, default=15,
                         help="timer-table rows (default: 15)")
     report.add_argument("--timeline", type=_positive_int, default=60,
@@ -465,8 +495,16 @@ def _print_soak_bench(payload) -> None:
           f"{sus['warm_peak_rss_mb']:.0f} -> {sus['end_peak_rss_mb']:.0f} MB, "
           f"x{sus['rss_growth_factor']:.2f} <= "
           f"x{sus['rss_growth_threshold']:.2f}: {sus['rss_flat_ok']})")
+    tel = payload.get("telemetry")
+    if tel:
+        print(f"telemetry  : x{tel['overhead_factor']:.3f} overhead "
+              f"(<= x{tel['overhead_threshold']:.2f}: {tel['overhead_ok']}; "
+              f"{tel['telemetry_records']} records, "
+              f"health {tel['health_status']})")
     print(f"resume     : kill at epoch {res['resume_epoch']}/{res['epochs']}, "
-          f"bit-identical={res['identical_resume']}")
+          f"bit-identical={res['identical_resume']}"
+          + (f", telemetry={res['identical_telemetry']}"
+             if "identical_telemetry" in res else ""))
 
 
 def _cmd_soak(args) -> int:
@@ -495,6 +533,9 @@ def _cmd_soak(args) -> int:
         n_workers=args.workers,
         shards=args.shards,
         checkpoint_every=args.checkpoint_every,
+        telemetry=args.telemetry,
+        slos=tuple(args.slos),
+        profile=args.profile,
     )
     try:
         summary = run_soak(config)
@@ -509,6 +550,10 @@ def _cmd_soak(args) -> int:
     print(f"  goodput    : {summary.total_goodput_bps / 1e6:.2f} Mbit/s "
           f"(useful {summary.total_useful_goodput_bps / 1e6:.2f})")
     print(f"  fairness   : {summary.jain_fairness:.4f} (Jain)")
+    if args.telemetry or args.slos:
+        print(f"  slo        : {summary.slo_status} "
+              f"({len(args.slos)} rule(s); status: repro status "
+              f"{summary.checkpoint_dir})")
     print(f"  wall       : {summary.wall_seconds:.2f}s; checkpoint "
           f"{summary.checkpoint_dir}"
           f"{' [interrupted: resumable]' if summary.interrupted else ''}")
@@ -597,17 +642,73 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.obs.report import format_report
+    import os
 
+    from repro.obs.report import format_report, format_status
+
+    if os.path.isdir(args.path):
+        # A soak checkpoint directory: render its live status instead.
+        try:
+            print(format_status(args.path, top=args.top), end="")
+        except ValueError as exc:
+            print(f"malformed telemetry: {exc}", file=sys.stderr)
+            return 2
+        return 0
     try:
         print(format_report(args.path, top=args.top,
                             timeline_limit=args.timeline), end="")
+    except FileNotFoundError as exc:
+        print(f"trace file not found: {exc}", file=sys.stderr)
+        return 2
     except OSError as exc:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 2
     except ValueError as exc:
         print(f"malformed trace: {exc}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import os
+    import time
+
+    from repro.obs.report import format_status
+    from repro.obs.slo import read_health
+    from repro.obs.telemetry import telemetry_paths
+
+    if not os.path.isdir(args.dir):
+        print(f"no checkpoint directory at {args.dir}", file=sys.stderr)
+        return 2
+    paths = telemetry_paths(args.dir)
+    has_artifacts = (os.path.exists(paths["telemetry"])
+                     or os.path.exists(paths["health"])
+                     or os.path.exists(os.path.join(args.dir, "state.json")))
+    if not has_artifacts:
+        print(f"no soak artifacts in {args.dir} "
+              "(expected telemetry.jsonl / health.json / state.json)",
+              file=sys.stderr)
+        return 2
+    try:
+        while True:
+            try:
+                rendered = format_status(args.dir, tail=args.tail,
+                                         top=args.top)
+            except ValueError as exc:
+                print(f"malformed telemetry: {exc}", file=sys.stderr)
+                return 2
+            if args.follow:
+                # Clear-screen render, like `watch`: cursor home + erase.
+                print("\033[H\033[J" + rendered, end="", flush=True)
+                time.sleep(args.interval)
+            else:
+                print(rendered, end="")
+                break
+    except KeyboardInterrupt:
+        pass
+    health = read_health(args.dir)
+    if health is not None and health.get("status") == "breached":
+        return 1
     return 0
 
 
@@ -670,6 +771,8 @@ def _dispatch(args) -> int:
         return _cmd_bench(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "status":
+        return _cmd_status(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

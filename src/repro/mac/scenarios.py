@@ -56,6 +56,11 @@ class ScenarioResult:
     #: Destination → delivered payload bytes; feeds per-station fairness
     #: accounting (e.g. deployment-wide Jain index in ``repro.net``).
     delivered_bytes_by_destination: dict = field(default_factory=dict)
+    #: Fallback-protocol state transitions (0 for protocols without a
+    #: demote/re-promote cycle) — deterministic simulation outputs, so
+    #: they ride the result rather than the metrics registry.
+    demotions: int = 0
+    repromotions: int = 0
 
 
 def _ap_station_names(ap_index: int, count: int) -> list:
@@ -171,6 +176,8 @@ class VoipScenario:
             dropped_frames=summary.dropped_frames,
             channel_busy_fraction=summary.channel_busy_fraction,
             delivered_bytes_by_destination=sim.metrics.delivered_bytes_by_destination(),
+            demotions=int(getattr(protocol, "demotions", 0)),
+            repromotions=int(getattr(protocol, "repromotions", 0)),
         )
 
 
@@ -271,4 +278,6 @@ class CbrScenario:
             dropped_frames=summary.dropped_frames,
             channel_busy_fraction=summary.channel_busy_fraction,
             delivered_bytes_by_destination=sim.metrics.delivered_bytes_by_destination(),
+            demotions=int(getattr(protocol, "demotions", 0)),
+            repromotions=int(getattr(protocol, "repromotions", 0)),
         )

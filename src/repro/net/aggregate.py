@@ -57,7 +57,7 @@ class DeploymentAggregate:
     __slots__ = (
         "track_stations", "n_cells", "n_coupled_cells",
         "collisions", "transmissions", "retransmitted_subframes",
-        "dropped_frames",
+        "dropped_frames", "demotions", "repromotions",
         "goodput", "useful_goodput", "busy_airtime",
         "cell_goodput", "busy_fraction",
         "goodput_hist", "busy_hist",
@@ -72,6 +72,8 @@ class DeploymentAggregate:
         self.transmissions = 0
         self.retransmitted_subframes = 0
         self.dropped_frames = 0
+        self.demotions = 0
+        self.repromotions = 0
         self.goodput = ExactSum()
         self.useful_goodput = ExactSum()
         self.busy_airtime = ExactSum()
@@ -104,6 +106,9 @@ class DeploymentAggregate:
         self.transmissions += int(cell["transmissions"])
         self.retransmitted_subframes += int(cell["retransmitted_subframes"])
         self.dropped_frames += int(cell["dropped_frames"])
+        # .get(): wire dicts cached before the counters existed lack them.
+        self.demotions += int(cell.get("demotions", 0))
+        self.repromotions += int(cell.get("repromotions", 0))
         if cell["coupled"]:
             self.n_coupled_cells += 1
         for sta, delivered in cell["delivered_bytes_by_sta"].items():
@@ -131,6 +136,8 @@ class DeploymentAggregate:
         self.transmissions += other.transmissions
         self.retransmitted_subframes += other.retransmitted_subframes
         self.dropped_frames += other.dropped_frames
+        self.demotions += other.demotions
+        self.repromotions += other.repromotions
         self.goodput.merge(other.goodput)
         self.useful_goodput.merge(other.useful_goodput)
         self.busy_airtime.merge(other.busy_airtime)
@@ -193,6 +200,8 @@ class DeploymentAggregate:
             "transmissions": self.transmissions,
             "retransmitted_subframes": self.retransmitted_subframes,
             "dropped_frames": self.dropped_frames,
+            "demotions": self.demotions,
+            "repromotions": self.repromotions,
             "goodput": self.goodput.to_dict(),
             "useful_goodput": self.useful_goodput.to_dict(),
             "busy_airtime": self.busy_airtime.to_dict(),
@@ -216,6 +225,9 @@ class DeploymentAggregate:
         out.transmissions = int(data["transmissions"])
         out.retransmitted_subframes = int(data["retransmitted_subframes"])
         out.dropped_frames = int(data["dropped_frames"])
+        # .get(): checkpoints written before the counters existed.
+        out.demotions = int(data.get("demotions", 0))
+        out.repromotions = int(data.get("repromotions", 0))
         out.goodput = ExactSum.from_dict(data["goodput"])
         out.useful_goodput = ExactSum.from_dict(data["useful_goodput"])
         out.busy_airtime = ExactSum.from_dict(data["busy_airtime"])
@@ -238,6 +250,7 @@ class DeploymentAggregate:
             self.track_stations, self.n_cells, self.n_coupled_cells,
             self.collisions, self.transmissions,
             self.retransmitted_subframes, self.dropped_frames,
+            self.demotions, self.repromotions,
             self.goodput.to_dict()["partials"],
             self.useful_goodput.to_dict()["partials"],
             self.busy_airtime.to_dict()["partials"],
@@ -251,9 +264,9 @@ class DeploymentAggregate:
 
 
 def _restore(track_stations, n_cells, n_coupled, collisions, transmissions,
-             retx, dropped, goodput, useful, airtime, cell_goodput,
-             busy_fraction, goodput_counts, busy_counts, fair_n, fair_total,
-             fair_squares, delivered):
+             retx, dropped, demotions, repromotions, goodput, useful,
+             airtime, cell_goodput, busy_fraction, goodput_counts,
+             busy_counts, fair_n, fair_total, fair_squares, delivered):
     out = DeploymentAggregate(track_stations=track_stations)
     out.n_cells = n_cells
     out.n_coupled_cells = n_coupled
@@ -261,6 +274,8 @@ def _restore(track_stations, n_cells, n_coupled, collisions, transmissions,
     out.transmissions = transmissions
     out.retransmitted_subframes = retx
     out.dropped_frames = dropped
+    out.demotions = demotions
+    out.repromotions = repromotions
     out.goodput = ExactSum.from_dict({"partials": goodput})
     out.useful_goodput = ExactSum.from_dict({"partials": useful})
     out.busy_airtime = ExactSum.from_dict({"partials": airtime})

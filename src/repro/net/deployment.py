@@ -211,6 +211,10 @@ class CellResult:
     #: Global station name → delivered payload bytes.
     delivered_bytes_by_sta: dict = field(default_factory=dict)
     coupled: bool = False
+    #: Fallback demote/re-promote transitions (0 for protocols without
+    #: the cycle). Defaults keep pre-telemetry cached payloads loadable.
+    demotions: int = 0
+    repromotions: int = 0
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (cache / cross-process transport)."""
@@ -251,6 +255,10 @@ class DeploymentResult:
     mean_cell_busy_fraction: float = 0.0
     goodput_histogram: dict = field(default_factory=dict)
     busy_fraction_histogram: dict = field(default_factory=dict)
+    #: Deployment-wide fallback transition totals (defaults keep
+    #: pre-telemetry cached payloads loadable).
+    demotions: int = 0
+    repromotions: int = 0
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (the cached value)."""
@@ -327,6 +335,8 @@ def _run_static_cell(spec: CellSpec) -> CellResult:
         busy_airtime_s=result.channel_busy_fraction * spec.duration,
         delivered_bytes_by_sta=delivered,
         coupled=spec.fault_plan is not None,
+        demotions=result.demotions,
+        repromotions=result.repromotions,
     )
 
 
@@ -370,6 +380,8 @@ def _run_roaming_cell(spec: CellSpec) -> CellResult:
         busy_airtime_s=summary.channel_busy_fraction * spec.duration,
         delivered_bytes_by_sta=delivered,
         coupled=spec.fault_plan is not None,
+        demotions=int(getattr(protocol, "demotions", 0)),
+        repromotions=int(getattr(protocol, "repromotions", 0)),
     )
 
 
@@ -688,6 +700,8 @@ def _finalize(config: DeploymentConfig, agg: DeploymentAggregate, timeline,
         mean_cell_busy_fraction=agg.busy_fraction.mean(),
         goodput_histogram=agg.goodput_hist.to_dict(),
         busy_fraction_histogram=agg.busy_hist.to_dict(),
+        demotions=agg.demotions,
+        repromotions=agg.repromotions,
     )
 
 

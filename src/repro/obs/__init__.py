@@ -10,12 +10,45 @@ Three pieces, all zero-dependency and disabled by default:
 * **run manifests** (:mod:`repro.obs.manifest`) recording seed, git SHA,
   config hash, versions and timing next to run output,
 
-plus a renderer (:mod:`repro.obs.report`) behind the CLI ``report``
-subcommand and the library-wide ``repro`` logger (:mod:`repro.obs.log`).
+plus the live-run layer grown for soak-scale service:
+
+* **telemetry** (:mod:`repro.obs.telemetry`) — append-only, mergeable
+  per-epoch samples with deterministic fields segregated from wall-clock
+  ones, written beside the soak checkpoint,
+* **SLO watchdogs** (:mod:`repro.obs.slo`) — declarative threshold /
+  rolling-window / trend rules over those series, driving ``health.json``
+  and breach policies (log / checkpoint / drain),
+* **cross-worker profiling** (:mod:`repro.obs.profile`) — mergeable
+  per-stage timings and top-function cProfile stats folded back from
+  ``runtime.trials`` workers like trace chunks,
+
+and a renderer (:mod:`repro.obs.report`) behind the CLI ``report``/
+``status`` subcommands plus the library-wide ``repro`` logger
+(:mod:`repro.obs.log`).
 """
 
 from .log import configure_logging, get_logger
 from .manifest import RunManifest, config_hash, git_sha, write_manifest
+from .profile import (
+    ProfileCollector,
+    disable_profiling,
+    enable_profiling,
+    profile_capture,
+    profile_collector,
+    profiling_enabled,
+)
+from .slo import SloBreach, SloSpec, SloWatchdog, read_health, write_health
+from .telemetry import (
+    TelemetrySeries,
+    append_telemetry_record,
+    deterministic_view,
+    deterministic_view_bytes,
+    fault_occupancy,
+    make_record,
+    read_telemetry_records,
+    telemetry_paths,
+    trim_telemetry_records,
+)
 from .metrics import (
     NULL_INSTRUMENT,
     NULL_REGISTRY,
@@ -73,6 +106,26 @@ __all__ = [
     "write_manifest",
     "git_sha",
     "config_hash",
+    "ProfileCollector",
+    "enable_profiling",
+    "disable_profiling",
+    "profiling_enabled",
+    "profile_collector",
+    "profile_capture",
+    "SloSpec",
+    "SloBreach",
+    "SloWatchdog",
+    "write_health",
+    "read_health",
+    "TelemetrySeries",
+    "telemetry_paths",
+    "make_record",
+    "append_telemetry_record",
+    "read_telemetry_records",
+    "trim_telemetry_records",
+    "deterministic_view",
+    "deterministic_view_bytes",
+    "fault_occupancy",
     "get_logger",
     "configure_logging",
     "format_report",

@@ -90,6 +90,10 @@ class RunManifest:
     trace_path: Optional[str] = None
     n_events: int = 0
     metrics: dict = field(default_factory=dict)
+    #: Aggregated cross-worker profile (see
+    #: :meth:`repro.obs.profile.ProfileCollector.to_manifest_section`),
+    #: or ``None`` when the run was not profiled.
+    profile: Optional[dict] = None
     manifest_version: int = MANIFEST_VERSION
     argv: list = field(default_factory=lambda: list(sys.argv))
 
@@ -99,7 +103,7 @@ class RunManifest:
 
 def write_manifest(path, *, kind, seed=None, config=None, metrics=None,
                    wall_seconds=None, cpu_seconds=None, trace_path=None,
-                   n_events=0) -> RunManifest:
+                   n_events=0, profile=None) -> RunManifest:
     """Build a :class:`RunManifest` and write it to ``path`` atomically."""
     try:
         import numpy
@@ -118,6 +122,7 @@ def write_manifest(path, *, kind, seed=None, config=None, metrics=None,
         trace_path=os.fspath(trace_path) if trace_path is not None else None,
         n_events=n_events,
         metrics=metrics or {},
+        profile=profile,
     )
     path = os.fspath(path)
     tmp = path + ".tmp"

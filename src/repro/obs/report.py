@@ -15,6 +15,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 __all__ = [
     "load_events",
@@ -24,6 +25,7 @@ __all__ = [
     "fault_timeline",
     "fallback_transitions",
     "format_report",
+    "format_status",
 ]
 
 #: Event names (beyond the ``fault-*`` family) that belong on the fault
@@ -39,17 +41,32 @@ TRANSITION_EVENT_NAMES = frozenset({"demote", "repromote"})
 
 
 def load_events(path) -> list:
-    """Parse a JSONL trace file into a list of event dicts."""
+    """Parse a JSONL trace file into a list of event dicts.
+
+    A *final* line that opens a JSON object but fails to parse is
+    tolerated and skipped — that is the ≤1-orphan artifact a hard kill
+    mid-append leaves, the same one ``trim_epoch_records`` trims on
+    resume. A malformed line anywhere else (or a final line that is not
+    even truncated JSON) is corruption and raises ``ValueError``.
+    """
     events = []
+    held: tuple | None = None  # (line_no, line, exc) awaiting tail check
     with open(path, "r", encoding="utf-8") as fh:
         for line_no, line in enumerate(fh, 1):
             line = line.strip()
             if not line:
                 continue
+            if held is not None:
+                bad_no, bad_line, exc = held
+                raise ValueError(
+                    f"{path}:{bad_no}: not valid JSON: {exc}") from exc
             try:
                 events.append(json.loads(line))
             except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{line_no}: not valid JSON: {exc}") from exc
+                held = (line_no, line, exc)
+    if held is not None and not held[1].startswith("{"):
+        bad_no, _bad_line, exc = held
+        raise ValueError(f"{path}:{bad_no}: not valid JSON: {exc}") from exc
     return events
 
 
@@ -165,4 +182,112 @@ def format_report(path, *, top: int = 15, timeline_limit: int = 60) -> str:
 
     if len(lines) == 3:
         lines.append("(empty trace)")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _fmt_rate(bps: float) -> str:
+    return f"{bps / 1e6:.2f}"
+
+
+def format_status(directory, *, tail: int = 8, top: int = 10) -> str:
+    """One render of a soak checkpoint's live state: ``health.json``
+    verdict, the last ``tail`` telemetry epochs, and the manifest's
+    cross-worker profile — what ``repro status <dir>`` prints.
+
+    Reads only the atomic / append-only artifacts, so it is safe to run
+    against a directory a live soak is actively writing.
+    """
+    from .slo import read_health
+    from .telemetry import read_telemetry_records, telemetry_paths
+
+    directory = os.fspath(directory)
+    lines = [f"Soak status: {directory}"]
+
+    health = read_health(directory)
+    if health is not None:
+        lines.append(
+            f"  health: {health.get('status', '?')} "
+            f"(epoch {health.get('epoch', '?')}, "
+            f"{health.get('epochs_completed', '?')} epochs completed)")
+        for slo in health.get("slos", ()):
+            lines.append(f"  slo: {slo}")
+        for breach in health.get("breaches", ()):
+            lines.append(
+                f"  BREACH {breach.get('slo', '?')}: value "
+                f"{breach.get('value', float('nan')):.6g} at epoch "
+                f"{breach.get('epoch', '?')} (policy "
+                f"{breach.get('policy', '?')})")
+    else:
+        lines.append("  health: (no health.json — run without SLO watchdogs?)")
+    lines.append("")
+
+    if os.path.exists(telemetry_paths(directory)["telemetry"]):
+        window: list = []
+        for record in read_telemetry_records(directory):
+            window.append(record)
+            if len(window) > tail:
+                window.pop(0)
+        if window:
+            lines.append(f"Last {len(window)} epoch(s)")
+            lines.append(
+                f"  {'epoch':>6}  {'goodput':>9}  {'useful':>9}  "
+                f"{'tx':>7}  {'coll':>6}  {'dem':>4}  {'rep':>4}  "
+                f"{'fault%':>6}  {'wall':>7}  {'fr/s':>8}  {'rss':>7}")
+            lines.append(
+                f"  {'':>6}  {'Mbit/s':>9}  {'Mbit/s':>9}  "
+                f"{'':>7}  {'':>6}  {'':>4}  {'':>4}  "
+                f"{'':>6}  {'s':>7}  {'':>8}  {'MiB':>7}")
+            for record in window:
+                det, wall = record.get("det", {}), record.get("wall", {})
+                lines.append(
+                    f"  {record.get('epoch', '?'):>6}"
+                    f"  {_fmt_rate(det.get('goodput_bps', 0.0)):>9}"
+                    f"  {_fmt_rate(det.get('useful_goodput_bps', 0.0)):>9}"
+                    f"  {det.get('transmissions', 0):>7}"
+                    f"  {det.get('collisions', 0):>6}"
+                    f"  {det.get('demotions', 0):>4}"
+                    f"  {det.get('repromotions', 0):>4}"
+                    f"  {det.get('fault_occupancy', 0.0) * 100:>5.1f}%"
+                    f"  {wall.get('wall_seconds', 0.0):>6.2f}s"
+                    f"  {wall.get('frames_per_wall_s', 0.0):>8.0f}"
+                    f"  {wall.get('rss_mb', 0.0):>7.1f}")
+            lines.append("")
+    else:
+        lines.append("(no telemetry.jsonl — run with --telemetry)")
+        lines.append("")
+
+    manifest_path = os.path.join(directory, "manifest.json")
+    profile = None
+    if os.path.exists(manifest_path):
+        with open(manifest_path, encoding="utf-8") as fh:
+            profile = json.load(fh).get("profile")
+    if profile:
+        stages = profile.get("stages", {})
+        if stages:
+            lines.append("Profile stages")
+            width = max(len(s) for s in stages)
+            for stage in sorted(stages):
+                data = stages[stage]
+                lines.append(
+                    f"  {stage:<{width}}  {data['count']:>7}x  "
+                    f"wall {data['wall_s']:>9.4f}s  cpu {data['cpu_s']:>9.4f}s")
+            lines.append("")
+        layers = profile.get("layers", {})
+        if layers:
+            lines.append("Profile by layer (tottime)")
+            width = max(len(layer) for layer in layers)
+            for layer, seconds in layers.items():
+                lines.append(f"  {layer:<{width}}  {seconds:>9.4f}s")
+            lines.append("")
+        functions = profile.get("top_functions", ())[:top]
+        if functions:
+            lines.append(f"Top functions (by tottime, top {len(functions)})")
+            for row in functions:
+                name = row["function"]
+                if len(name) > 72:
+                    name = "…" + name[-71:]
+                lines.append(
+                    f"  {row['tottime']:>9.4f}s  {row['ncalls']:>9}  {name}")
+            lines.append("")
+
     return "\n".join(lines).rstrip() + "\n"

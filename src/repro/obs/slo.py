@@ -1,0 +1,270 @@
+"""Declarative SLO watchdogs over the telemetry series.
+
+A soak run that only logs is a run nobody is watching. :class:`SloSpec`
+states an objective over the deterministic telemetry fields — three rule
+kinds:
+
+``threshold``
+    Breach when the latest epoch's value violates the bound.
+``window``
+    Breach when the **mean over the last N epochs** violates the bound
+    (evaluated only once N samples exist — one bad epoch under a fault
+    window is weather, N bad epochs are climate).
+``trend``
+    Breach when the **per-epoch slope** over the last N epochs violates
+    the bound (``(last - first) / (N - 1)``) — the rule that catches a
+    slow leak long before a threshold trips.
+
+Specs parse from a compact CLI string form::
+
+    goodput_bps<2e6                  threshold, policy log
+    mean:goodput_bps<2e6@5           5-epoch rolling mean
+    trend:goodput_bps<-1e5@5!drain   slope rule with a drain policy
+
+The watchdog (:class:`SloWatchdog`) is evaluated each epoch inside
+``run_soak``; every breach emits an ``slo_breach`` trace event and the
+run's ``health.json`` is atomically rewritten with the overall status:
+
+* ``ok`` — no rule currently breached,
+* ``degraded`` — only ``log``-policy rules breached,
+* ``breached`` — a ``checkpoint``- or ``drain``-policy rule breached.
+
+Policies: ``log`` (default) records and continues; ``checkpoint`` forces
+a ``state.json`` rewrite this epoch regardless of cadence; ``drain``
+requests the same graceful stop as SIGTERM — the epoch finishes, the
+checkpoint lands, the run stays resumable.
+
+Watchdog history is rebuilt from ``telemetry.jsonl`` on resume, so a
+rolling-window rule sees the same samples whether the run was
+interrupted or not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Iterable, Optional
+
+__all__ = [
+    "HEALTH_SCHEMA",
+    "SloSpec",
+    "SloBreach",
+    "SloWatchdog",
+    "write_health",
+    "read_health",
+]
+
+HEALTH_SCHEMA = 1
+
+_OPS = {
+    "<": lambda value, bound: value < bound,
+    "<=": lambda value, bound: value <= bound,
+    ">": lambda value, bound: value > bound,
+    ">=": lambda value, bound: value >= bound,
+}
+
+_KINDS = ("threshold", "window", "trend")
+_POLICIES = ("log", "checkpoint", "drain")
+
+_SPEC_RE = re.compile(
+    r"^(?:(?P<kind>mean|trend):)?"
+    r"(?P<metric>[A-Za-z_][\w.]*)"
+    r"(?P<op><=|>=|<|>)"
+    r"(?P<bound>[-+0-9.eE]+)"
+    r"(?:@(?P<window>\d+))?"
+    r"(?:!(?P<policy>\w+))?$"
+)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective over a deterministic telemetry field."""
+
+    metric: str
+    op: str
+    bound: float
+    kind: str = "threshold"
+    window: int = 1
+    policy: str = "log"
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(f"unknown SLO operator {self.op!r}")
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}; "
+                             f"known: {_KINDS}")
+        if self.policy not in _POLICIES:
+            raise ValueError(f"unknown SLO policy {self.policy!r}; "
+                             f"known: {_POLICIES}")
+        if self.window < 1:
+            raise ValueError("SLO window must be >= 1")
+        if self.kind == "trend" and self.window < 2:
+            raise ValueError("trend rules need a window of >= 2 epochs")
+
+    @classmethod
+    def parse(cls, text: str) -> "SloSpec":
+        """Parse the compact CLI form (see module docstring)."""
+        match = _SPEC_RE.match(text.strip())
+        if match is None:
+            raise ValueError(
+                f"cannot parse SLO spec {text!r}; expected e.g. "
+                "'goodput_bps<2e6', 'mean:goodput_bps<2e6@5' or "
+                "'trend:goodput_bps<-1e5@5!drain'"
+            )
+        groups = match.groupdict()
+        window = int(groups["window"]) if groups["window"] else 1
+        prefix = groups["kind"]
+        if prefix == "trend":
+            kind = "trend"
+        elif prefix == "mean" or window > 1:
+            kind = "window"
+        else:
+            kind = "threshold"
+        if kind == "trend" and not groups["window"]:
+            window = 2
+        return cls(
+            metric=groups["metric"],
+            op=groups["op"],
+            bound=float(groups["bound"]),
+            kind=kind,
+            window=window,
+            policy=groups["policy"] or "log",
+        )
+
+    def describe(self) -> str:
+        """The canonical compact form (round-trips through :meth:`parse`)."""
+        prefix = {"threshold": "", "window": "mean:", "trend": "trend:"}[self.kind]
+        suffix = f"@{self.window}" if self.window > 1 else ""
+        policy = f"!{self.policy}" if self.policy != "log" else ""
+        return f"{prefix}{self.metric}{self.op}{self.bound:g}{suffix}{policy}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class SloBreach:
+    """One rule violation at one epoch (JSON-safe)."""
+
+    epoch: int
+    spec: SloSpec
+    value: float
+
+    def to_dict(self) -> dict:
+        return {"epoch": self.epoch, "slo": self.spec.describe(),
+                "metric": self.spec.metric, "kind": self.spec.kind,
+                "policy": self.spec.policy, "value": self.value,
+                "bound": self.spec.bound, "op": self.spec.op}
+
+
+class SloWatchdog:
+    """Evaluate a set of :class:`SloSpec` rules epoch by epoch."""
+
+    def __init__(self, specs: Iterable):
+        self.specs = tuple(
+            spec if isinstance(spec, SloSpec) else SloSpec.parse(spec)
+            for spec in specs
+        )
+        depth = max((s.window for s in self.specs), default=1)
+        self._history: deque = deque(maxlen=depth)
+        self._last_breaches: list = []
+        self._last_epoch: Optional[int] = None
+
+    def seed_history(self, det_samples: Iterable[dict]) -> None:
+        """Rebuild rolling state from prior telemetry records (resume)."""
+        for sample in det_samples:
+            self._history.append(sample)
+
+    def _evaluate(self, spec: SloSpec, epoch: int) -> Optional[SloBreach]:
+        samples = [s.get(spec.metric) for s in self._history]
+        samples = [s for s in samples if isinstance(s, (int, float))]
+        if not samples:
+            return None
+        if spec.kind == "threshold":
+            value = samples[-1]
+        elif spec.kind == "window":
+            if len(samples) < spec.window:
+                return None
+            tail = samples[-spec.window:]
+            value = sum(tail) / len(tail)
+        else:  # trend
+            if len(samples) < spec.window:
+                return None
+            tail = samples[-spec.window:]
+            value = (tail[-1] - tail[0]) / (spec.window - 1)
+        if _OPS[spec.op](value, spec.bound):
+            return SloBreach(epoch=epoch, spec=spec, value=value)
+        return None
+
+    def observe(self, epoch: int, det: dict) -> list:
+        """Fold one epoch's deterministic sample in; return its breaches."""
+        self._history.append(det)
+        self._last_epoch = epoch
+        self._last_breaches = [
+            breach for spec in self.specs
+            if (breach := self._evaluate(spec, epoch)) is not None
+        ]
+        return self._last_breaches
+
+    def status(self) -> str:
+        """``ok`` / ``degraded`` / ``breached`` for the latest epoch."""
+        if not self._last_breaches:
+            return "ok"
+        if any(b.spec.policy in ("checkpoint", "drain")
+               for b in self._last_breaches):
+            return "breached"
+        return "degraded"
+
+    def wants_drain(self) -> bool:
+        return any(b.spec.policy == "drain" for b in self._last_breaches)
+
+    def wants_checkpoint(self) -> bool:
+        return any(b.spec.policy in ("checkpoint", "drain")
+                   for b in self._last_breaches)
+
+    def health_payload(self, *, epoch: int, det: dict,
+                       epochs_completed: int) -> dict:
+        """The ``health.json`` body (wall-domain: carries a timestamp)."""
+        return {
+            "schema_version": HEALTH_SCHEMA,
+            "status": self.status(),
+            "epoch": epoch,
+            "epochs_completed": epochs_completed,
+            "slos": [spec.describe() for spec in self.specs],
+            "breaches": [b.to_dict() for b in self._last_breaches],
+            "last_sample": dict(det),
+            "updated_unix": time.time(),
+        }
+
+
+def write_health(directory, payload: dict) -> str:
+    """Atomically (tmp + rename) write ``health.json`` — a monitor may be
+    reading it mid-write, and must never see a torn file.
+
+    No fsync: the rename already guarantees a reader sees old-or-new,
+    never torn, and the file is advisory wall-domain state rewritten
+    every epoch — after a power loss the next epoch regenerates it.
+    Syncing here would put ~1ms of disk latency on every epoch of a
+    telemetry-enabled soak for nothing the crash story needs.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(os.fspath(directory), "health.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_health(directory) -> Optional[dict]:
+    """The current ``health.json`` payload, or ``None`` when absent."""
+    path = os.path.join(os.fspath(directory), "health.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,267 @@
+"""Append-only, mergeable per-epoch telemetry for soak-scale runs.
+
+``telemetry.jsonl`` lives beside the soak checkpoint: one record per
+completed epoch, written with the same crash discipline as
+``metrics.jsonl`` (append + fsync *before* the state cursor advances, a
+streaming trim of at-most-one orphan on resume).
+
+Every record segregates its fields into two namespaces:
+
+``det``
+    Values that are a **pure function of (workload, fault profile,
+    epoch index)** — goodput, transmissions, demote/re-promote counts,
+    fault-window occupancy. The *deterministic view* (``det`` plus the
+    epoch key, canonical JSON) must be byte-identical across kill/resume
+    at any worker/shard count: the same contract ``state.json`` and
+    ``metrics.jsonl`` already honour, extended to live telemetry.
+
+``wall``
+    Everything the machine and the execution geometry leak into — epoch
+    wall seconds, frames per wall-second, parent RSS, pool/IPC counters,
+    worker and shard counts. Legitimately different between runs;
+    excluded from every identity gate.
+
+:class:`TelemetrySeries` makes the layer mergeable: series from disjoint
+shards of a run (any partition, any order) merge bit-identically to the
+single-shot series, mirroring the ``DeploymentAggregate`` fold contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "TELEMETRY_FILE",
+    "HEALTH_FILE",
+    "TelemetrySeries",
+    "telemetry_paths",
+    "make_record",
+    "append_telemetry_record",
+    "read_telemetry_records",
+    "trim_telemetry_records",
+    "deterministic_view",
+    "deterministic_view_bytes",
+    "fault_occupancy",
+    "rss_mb",
+]
+
+TELEMETRY_SCHEMA = 1
+
+TELEMETRY_FILE = "telemetry.jsonl"
+HEALTH_FILE = "health.json"
+
+
+def telemetry_paths(directory) -> dict:
+    """Absolute paths of the telemetry artifacts in a checkpoint dir."""
+    directory = os.fspath(directory)
+    return {
+        "telemetry": os.path.join(directory, TELEMETRY_FILE),
+        "health": os.path.join(directory, HEALTH_FILE),
+    }
+
+
+def fault_occupancy(schedule: dict, epoch_duration: float) -> float:
+    """Fraction of the epoch covered by ≥1 impairment window.
+
+    Computed from :func:`repro.serve.scheduler.schedule_position` output —
+    a pure function of (profile, epoch index, epoch duration), so the
+    figure belongs in the deterministic namespace. Overlapping episode
+    windows are unioned, keeping the fraction in ``[0, 1]``.
+    """
+    episodes = schedule.get("episodes", ())
+    if not episodes or epoch_duration <= 0:
+        return 0.0
+    intervals = sorted(tuple(e["window"]) for e in episodes)
+    covered = 0.0
+    span_start, span_stop = intervals[0]
+    for start, stop in intervals[1:]:
+        if start > span_stop:
+            covered += span_stop - span_start
+            span_start, span_stop = start, stop
+        else:
+            span_stop = max(span_stop, stop)
+    covered += span_stop - span_start
+    return min(1.0, covered / epoch_duration)
+
+
+def rss_mb() -> float:
+    """Parent-process peak RSS in MiB (the ``wall.rss_mb`` sample).
+
+    Same unit normalisation as ``repro.runtime.bench.peak_rss_mb`` —
+    ``ru_maxrss`` is kilobytes on Linux, bytes on macOS — duplicated here
+    rather than imported because the bench module pulls the whole suite
+    in, and telemetry must stay import-light on the hot service path.
+    """
+    import resource
+    import sys
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def make_record(*, epoch: int, det: dict, wall: dict) -> dict:
+    """One telemetry record with the det/wall segregation made explicit."""
+    return {
+        "schema_version": TELEMETRY_SCHEMA,
+        "epoch": int(epoch),
+        "det": dict(det),
+        "wall": dict(wall),
+    }
+
+
+def append_telemetry_record(directory, record: dict) -> None:
+    """Append one record (fsynced), mirroring ``append_epoch_record``:
+    called *before* the state cursor advances, so a hard kill leaves at
+    most one orphan for :func:`trim_telemetry_records` to drop."""
+    os.makedirs(directory, exist_ok=True)
+    path = telemetry_paths(directory)["telemetry"]
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_telemetry_records(directory) -> Iterator[dict]:
+    """Yield records in file order (streaming, constant memory).
+
+    A truncated *final* line — what a kill mid-append leaves — is
+    skipped silently: it is the same ≤1-orphan artifact the resume path
+    trims, and a live ``repro status`` reader must tolerate it.
+    """
+    path = telemetry_paths(directory)["telemetry"]
+    if not os.path.exists(path):
+        return
+    bad: Optional[str] = None
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if bad is not None:
+                # A malformed line *followed by more data* is corruption,
+                # not a truncated tail.
+                raise ValueError(
+                    f"{path}: malformed telemetry record: {bad[:80]!r}")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                bad = line
+                continue
+            yield record
+    if bad is not None and not line_is_tail_tolerable(bad):
+        raise ValueError(f"{path}: malformed telemetry record: {bad[:80]!r}")
+
+
+def line_is_tail_tolerable(line: str) -> bool:
+    """True when a non-parsing final line looks like a truncated record
+    (a kill mid-append) rather than corruption: it must at least open a
+    JSON object."""
+    return line.startswith("{")
+
+
+def trim_telemetry_records(directory, next_epoch: int) -> int:
+    """Drop records at or past the cursor; return how many were dropped.
+
+    The telemetry twin of ``trim_epoch_records``: streaming rewrite, one
+    atomic rename. Unparsable lines (the truncated tail a kill leaves)
+    are dropped as orphans too.
+    """
+    path = telemetry_paths(directory)["telemetry"]
+    if not os.path.exists(path):
+        return 0
+    dropped = 0
+    tmp = path + ".tmp"
+    with open(path, encoding="utf-8") as src, \
+            open(tmp, "w", encoding="utf-8") as dst:
+        for line in src:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                dropped += 1
+                continue
+            if record["epoch"] >= next_epoch:
+                dropped += 1
+                continue
+            dst.write(stripped + "\n")
+        dst.flush()
+        os.fsync(dst.fileno())
+    os.replace(tmp, path)
+    return dropped
+
+
+def deterministic_view(records: Iterable[dict]) -> list:
+    """The identity-gated projection: epoch + ``det`` fields only."""
+    return [
+        {"schema_version": r["schema_version"], "epoch": r["epoch"],
+         "det": r["det"]}
+        for r in records
+    ]
+
+
+def deterministic_view_bytes(directory) -> bytes:
+    """Canonical JSONL bytes of the deterministic view of a checkpoint's
+    telemetry — what the kill/resume gates byte-compare."""
+    lines = [json.dumps(entry, sort_keys=True)
+             for entry in deterministic_view(read_telemetry_records(directory))]
+    return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+
+
+class TelemetrySeries:
+    """An in-memory, mergeable slice of a run's telemetry.
+
+    Merging series from disjoint epoch ranges — any partition of the
+    run, folded in any order — yields the same sorted record list as
+    reading the single-shot file, bit for bit. Duplicate epochs are an
+    error: two shards claiming the same epoch means the partition was
+    not a partition.
+    """
+
+    def __init__(self, records: Optional[Iterable[dict]] = None):
+        self.records: list = []
+        self._epochs: set = set()
+        if records is not None:
+            for record in records:
+                self.append(record)
+
+    def append(self, record: dict) -> None:
+        epoch = record["epoch"]
+        if epoch in self._epochs:
+            raise ValueError(f"duplicate telemetry record for epoch {epoch}")
+        self._epochs.add(epoch)
+        self.records.append(record)
+        # Keep sorted: appends are in-order in the service loop, so this
+        # is O(1) there; merges re-sort below.
+        if len(self.records) > 1 and self.records[-2]["epoch"] > epoch:
+            self.records.sort(key=lambda r: r["epoch"])
+
+    def merge(self, other: "TelemetrySeries") -> "TelemetrySeries":
+        """Fold ``other`` in (disjoint epochs required); returns self."""
+        for record in other.records:
+            self.append(record)
+        return self
+
+    @classmethod
+    def from_directory(cls, directory) -> "TelemetrySeries":
+        return cls(read_telemetry_records(directory))
+
+    def deterministic_view(self) -> list:
+        return deterministic_view(self.records)
+
+    def det_bytes(self) -> bytes:
+        lines = [json.dumps(entry, sort_keys=True)
+                 for entry in self.deterministic_view()]
+        return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+
+    def tail(self, n: int) -> list:
+        return self.records[-n:]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -49,6 +49,13 @@ from typing import Optional
 
 from ..util.rng import derive_seed
 from .metrics import NULL_REGISTRY, MetricsRegistry
+from .profile import (
+    ProfileCollector,
+    disable_profiling,
+    enable_profiling,
+    profile_collector,
+    profiling_enabled,
+)
 
 __all__ = [
     "TraceRecorder",
@@ -273,11 +280,12 @@ def suspended():
 @dataclass
 class ObsChunk:
     """What an instrumented worker chunk returns: the trial results plus
-    the events/metrics captured while computing them."""
+    the events/metrics/profile captured while computing them."""
 
     results: list
     events: Optional[list] = None
     metrics: Optional[dict] = None
+    profile: Optional[dict] = None
 
 
 def worker_spec() -> Optional[dict]:
@@ -286,13 +294,16 @@ def worker_spec() -> Optional[dict]:
 
     Tracing always ships (a trace with holes where the workers ran is
     useless); metrics ship only when :func:`enable_metrics` was called
-    with ``ship_to_workers=True``.
+    with ``ship_to_workers=True``; profile capture ships whenever the
+    ambient profile collector is installed.
     """
     want_trace = _RECORDER is not None
     want_metrics = metrics_enabled() and _SHIP_METRICS
-    if not want_trace and not want_metrics:
+    want_profile = profiling_enabled()
+    if not want_trace and not want_metrics and not want_profile:
         return None
     spec = {"trace": want_trace, "metrics": want_metrics,
+            "profile": want_profile,
             "sample_every": 0, "deterministic": False}
     if want_trace:
         spec["sample_every"] = _RECORDER.sample_every
@@ -318,21 +329,32 @@ def chunk_capture(spec: Optional[dict]):
         recorder = TraceRecorder(None, sample_every=spec["sample_every"],
                                  deterministic=spec["deterministic"])
     registry = MetricsRegistry() if spec.get("metrics") else None
+    collector = ProfileCollector() if spec.get("profile") else None
 
     global _REGISTRY, _SHIP_METRICS
     prev_recorder = set_recorder(recorder)
     prev_registry, prev_ship = _REGISTRY, _SHIP_METRICS
     if registry is not None:
         _REGISTRY, _SHIP_METRICS = registry, False
+    prev_collector = None
+    if collector is not None:
+        prev_collector = disable_profiling()
+        enable_profiling(collector)
     try:
         yield lambda results: ObsChunk(
             results=results,
             events=recorder.events if recorder is not None else None,
             metrics=registry.to_dict() if registry is not None else None,
+            profile=collector.snapshot() if collector is not None else None,
         )
     finally:
         set_recorder(prev_recorder)
         _REGISTRY, _SHIP_METRICS = prev_registry, prev_ship
+        if collector is not None:
+            if prev_collector is not None:
+                enable_profiling(prev_collector)
+            else:
+                disable_profiling()
 
 
 def ingest_chunk(chunk):
@@ -346,6 +368,10 @@ def ingest_chunk(chunk):
             recorder.ingest(chunk.events)
     if chunk.metrics:
         metrics().merge_dict(chunk.metrics)
+    if chunk.profile:
+        collector = profile_collector()
+        if collector is not None:
+            collector.merge_snapshot(chunk.profile)
     return chunk.results
 
 

@@ -81,6 +81,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..obs.log import get_logger
+from ..obs.profile import profile_capture
 from ..obs.trace import (
     active_recorder,
     chunk_capture,
@@ -512,8 +513,8 @@ def _run_trial_chunk(fn, seed, n_trials, start, stop, args, obs_spec=None,
     (micro-seconds per child), so this costs nothing measurable.
 
     ``obs_spec`` (only passed on pool submissions, and only when the
-    parent has observability on) makes the worker capture its own events
-    and metrics under a fresh local recorder/registry and return an
+    parent has observability on) makes the worker capture its own events,
+    metrics, and profile spans under a fresh local capture state and return an
     ``ObsChunk`` for the parent to fold back in span order. With it
     ``None`` — every uninstrumented run — the plain results list comes
     back untouched. Serial in-process calls leave it ``None`` too: there
@@ -545,7 +546,7 @@ def _run_trial_chunk(fn, seed, n_trials, start, stop, args, obs_spec=None,
             return fn(index, rng, items[index - start], *args)
         return fn(index, rng, *args)
 
-    with chunk_capture(obs_spec) as wrap:
+    def payload():
         rec = active_recorder()
         if rec is None:
             if batch_fn is not None:
@@ -563,15 +564,15 @@ def _run_trial_chunk(fn, seed, n_trials, start, stop, args, obs_spec=None,
                     acc = reduce_init()
                     for index, result in zip(range(start, stop), results):
                         acc = reduce_fn(acc, index, result)
-                    return wrap(_Reduced(acc))
-                return wrap(results)
+                    return _Reduced(acc)
+                return results
             if reduce_fn is not None:
                 acc = reduce_init()
                 for index, ss in zip(range(start, stop), children):
                     acc = reduce_fn(acc, index, one(index, ss))
-                return wrap(_Reduced(acc))
-            return wrap([one(index, ss)
-                         for index, ss in zip(range(start, stop), children)])
+                return _Reduced(acc)
+            return [one(index, ss)
+                    for index, ss in zip(range(start, stop), children)]
         results = []
         for index, ss in zip(range(start, stop), children):
             # Correlation ids derive from the run seed and the trial's
@@ -579,7 +580,15 @@ def _run_trial_chunk(fn, seed, n_trials, start, stop, args, obs_spec=None,
             # and parallel traces carry identical ids.
             with rec.correlate(trial_correlation_id(seed, index)):
                 results.append(one(index, ss))
-        return wrap(results)
+        return results
+
+    with chunk_capture(obs_spec) as wrap:
+        # The profiled span must close before wrap() snapshots the
+        # worker-side collector, so the chunk's own timing is complete
+        # in the profile it ships home.
+        with profile_capture("trials.chunk"):
+            out = payload()
+        return wrap(out)
 
 
 def _count_ipc_result(raw) -> None:
@@ -1115,7 +1124,10 @@ class _ObservedItem:
         index, item = indexed_item
         with chunk_capture(self.spec) as wrap:
             rec = active_recorder()
-            if rec is None:
-                return wrap(self.fn(item))
-            with rec.correlate(_item_cid(index)):
-                return wrap(self.fn(item))
+            with profile_capture("map.item"):
+                if rec is None:
+                    out = self.fn(item)
+                else:
+                    with rec.correlate(_item_cid(index)):
+                        out = self.fn(item)
+            return wrap(out)

@@ -83,7 +83,8 @@ def save_state(directory, *, identity: dict, next_epoch: int,
     os.makedirs(directory, exist_ok=True)
     path = state_paths(directory)["state"]
     payload = {
-        "schema": CHECKPOINT_SCHEMA,
+        "schema": CHECKPOINT_SCHEMA,  # legacy name, kept for old readers
+        "schema_version": CHECKPOINT_SCHEMA,
         "identity": identity,
         "config_hash": config_hash(identity),
         "next_epoch": int(next_epoch),
@@ -119,10 +120,17 @@ def load_state(directory, *, identity: dict | None = None) -> dict:
         )
     with open(path, encoding="utf-8") as handle:
         state = json.load(handle)
-    if state.get("schema") != CHECKPOINT_SCHEMA:
-        raise ValueError(
-            f"checkpoint schema {state.get('schema')!r} != {CHECKPOINT_SCHEMA}"
-        )
+    # ``schema_version`` is the canonical field; old checkpoints carry
+    # only the legacy ``schema`` key, and absent-entirely is accepted so
+    # formats can evolve without stranding resumable runs. Whichever of
+    # the two is present must match — a mismatch in either means the
+    # file was written by an incompatible version.
+    for key in ("schema_version", "schema"):
+        version = state.get(key)
+        if version is not None and version != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"checkpoint schema {version!r} != {CHECKPOINT_SCHEMA}"
+            )
     if identity is not None:
         expected = config_hash(identity)
         if state.get("config_hash") != expected:
@@ -144,6 +152,8 @@ def append_epoch_record(directory, record: dict) -> None:
     """
     os.makedirs(directory, exist_ok=True)
     path = state_paths(directory)["metrics"]
+    if "schema_version" not in record:
+        record = dict(record, schema_version=CHECKPOINT_SCHEMA)
     with open(path, "a", encoding="utf-8") as handle:
         handle.write(json.dumps(record, sort_keys=True) + "\n")
         handle.flush()

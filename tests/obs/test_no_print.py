@@ -19,6 +19,15 @@ ALLOWED = {SRC / "cli.py"}
 PRINT_CALL = re.compile(r"(?<![\w.])print\(")
 
 
+#: Only the logging facade itself may touch the stdlib logger factory —
+#: everything else (the long-running serve/obs layers especially) must
+#: go through ``repro.obs.log.get_logger`` so the silent-by-default
+#: NullHandler policy holds everywhere.
+LOG_FACADE = SRC / "obs" / "log.py"
+
+RAW_LOGGING = re.compile(r"logging\.(getLogger|basicConfig)\(")
+
+
 def test_no_print_calls_outside_cli():
     offenders = []
     for path in sorted(SRC.rglob("*.py")):
@@ -29,3 +38,17 @@ def test_no_print_calls_outside_cli():
             if PRINT_CALL.search(code):
                 offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
     assert not offenders, "print() in library code:\n" + "\n".join(offenders)
+
+
+def test_no_raw_logging_outside_facade():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path == LOG_FACADE:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            if RAW_LOGGING.search(code):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "raw logging.getLogger/basicConfig outside repro.obs.log:\n"
+        + "\n".join(offenders))

@@ -1,0 +1,154 @@
+"""SLO spec parsing and watchdog evaluation semantics.
+
+A spec string *describes the breach condition*: ``goodput_bps<2e6``
+breaches when the latest goodput drops below 2 Mbit/s. Kinds: latest
+value (threshold), rolling mean (``mean:``/``@N``), per-epoch slope
+(``trend:``). Policies: ``log`` (default), ``checkpoint``, ``drain``.
+"""
+
+import pytest
+
+from repro.obs.slo import (
+    SloSpec,
+    SloWatchdog,
+    read_health,
+    write_health,
+)
+
+
+class TestSpecParsing:
+    @pytest.mark.parametrize("text", [
+        "goodput_bps<2e6",
+        "collisions>100",
+        "mean:goodput_bps<2e6@5",
+        "trend:goodput_bps<-1e5@5!drain",
+        "jain_fairness<=0.5!checkpoint",
+    ])
+    def test_describe_round_trips(self, text):
+        spec = SloSpec.parse(text)
+        assert SloSpec.parse(spec.describe()) == spec
+
+    def test_threshold_defaults(self):
+        spec = SloSpec.parse("goodput_bps<2e6")
+        assert spec.kind == "threshold"
+        assert spec.window == 1
+        assert spec.policy == "log"
+
+    def test_window_via_prefix(self):
+        spec = SloSpec.parse("mean:goodput_bps<2e6@5")
+        assert spec.kind == "window"
+        assert spec.window == 5
+
+    def test_window_via_at_alone(self):
+        assert SloSpec.parse("goodput_bps<2e6@3").kind == "window"
+
+    def test_trend_default_window(self):
+        assert SloSpec.parse("trend:goodput_bps<0").window == 2
+
+    def test_policy_suffix(self):
+        assert SloSpec.parse("goodput_bps<1!drain").policy == "drain"
+
+    @pytest.mark.parametrize("bad", [
+        "", "goodput_bps", "goodput_bps<", "<2e6", "goodput_bps=2e6",
+        "goodput_bps<2e6!explode", "trend:goodput_bps<0@1",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            SloSpec.parse(bad)
+
+    def test_spec_instances_pass_through_watchdog(self):
+        spec = SloSpec.parse("goodput_bps<1")
+        assert SloWatchdog([spec]).specs == (spec,)
+
+
+class TestWatchdogEvaluation:
+    def test_threshold_breaches_on_latest(self):
+        dog = SloWatchdog(["goodput_bps<100"])
+        assert dog.observe(0, {"goodput_bps": 150.0}) == []
+        breaches = dog.observe(1, {"goodput_bps": 50.0})
+        assert len(breaches) == 1
+        assert breaches[0].value == 50.0
+        assert breaches[0].epoch == 1
+
+    def test_missing_metric_is_not_a_breach(self):
+        dog = SloWatchdog(["goodput_bps<100"])
+        assert dog.observe(0, {"collisions": 5}) == []
+
+    def test_window_needs_full_history(self):
+        dog = SloWatchdog(["mean:goodput_bps<100@3"])
+        assert dog.observe(0, {"goodput_bps": 10.0}) == []
+        assert dog.observe(1, {"goodput_bps": 10.0}) == []
+        breaches = dog.observe(2, {"goodput_bps": 10.0})
+        assert len(breaches) == 1
+        assert breaches[0].value == pytest.approx(10.0)
+
+    def test_window_means(self):
+        dog = SloWatchdog(["mean:goodput_bps<100@2"])
+        dog.observe(0, {"goodput_bps": 250.0})
+        # mean(250, 50) = 150: no breach even though the latest is low.
+        assert dog.observe(1, {"goodput_bps": 50.0}) == []
+
+    def test_trend_slope(self):
+        dog = SloWatchdog(["trend:goodput_bps<-50@3"])
+        dog.observe(0, {"goodput_bps": 300.0})
+        dog.observe(1, {"goodput_bps": 200.0})
+        breaches = dog.observe(2, {"goodput_bps": 100.0})
+        assert len(breaches) == 1
+        assert breaches[0].value == pytest.approx(-100.0)
+
+    def test_seed_history_resumes_windows(self):
+        """A resumed watchdog re-fed prior det samples must evaluate
+        window rules exactly as an uninterrupted one."""
+        straight = SloWatchdog(["mean:goodput_bps<100@3"])
+        for epoch, g in enumerate([10.0, 10.0]):
+            straight.observe(epoch, {"goodput_bps": g})
+
+        resumed = SloWatchdog(["mean:goodput_bps<100@3"])
+        resumed.seed_history([{"goodput_bps": 10.0}, {"goodput_bps": 10.0}])
+        assert len(resumed.observe(2, {"goodput_bps": 10.0})) \
+            == len(straight.observe(2, {"goodput_bps": 10.0})) == 1
+
+    def test_status_and_policies(self):
+        dog = SloWatchdog(["goodput_bps<100",
+                           "collisions>10!drain"])
+        assert dog.status() == "ok"
+        dog.observe(0, {"goodput_bps": 50.0, "collisions": 0})
+        assert dog.status() == "degraded"
+        assert not dog.wants_drain()
+        assert not dog.wants_checkpoint()
+        dog.observe(1, {"goodput_bps": 500.0, "collisions": 99})
+        assert dog.status() == "breached"
+        assert dog.wants_drain()
+        assert dog.wants_checkpoint()
+        dog.observe(2, {"goodput_bps": 500.0, "collisions": 0})
+        assert dog.status() == "ok"
+
+    def test_checkpoint_policy_without_drain(self):
+        dog = SloWatchdog(["goodput_bps<100!checkpoint"])
+        dog.observe(0, {"goodput_bps": 1.0})
+        assert dog.wants_checkpoint()
+        assert not dog.wants_drain()
+
+
+class TestHealthFile:
+    def test_round_trip(self, tmp_path):
+        dog = SloWatchdog(["goodput_bps<100"])
+        dog.observe(4, {"goodput_bps": 50.0})
+        write_health(tmp_path, dog.health_payload(
+            epoch=4, det={"goodput_bps": 50.0}, epochs_completed=5))
+        health = read_health(tmp_path)
+        assert health["status"] == "degraded"
+        assert health["epoch"] == 4
+        assert health["epochs_completed"] == 5
+        assert health["breaches"][0]["metric"] == "goodput_bps"
+        assert health["slos"] == ["goodput_bps<100"]
+
+    def test_read_missing_is_none(self, tmp_path):
+        assert read_health(tmp_path) is None
+
+    def test_write_is_atomic_no_tmp_left(self, tmp_path):
+        dog = SloWatchdog([])
+        write_health(tmp_path, dog.health_payload(
+            epoch=0, det={}, epochs_completed=1))
+        assert (tmp_path / "health.json").exists()
+        assert not (tmp_path / "health.json.tmp").exists()

@@ -409,8 +409,17 @@ _VALID_SOAK = {
         "rss_growth_factor": 1.05, "rss_growth_threshold": 1.5,
         "rss_flat_ok": True,
     },
+    "telemetry": {
+        "epochs": 4, "slo": "goodput_bps<1",
+        "plain_wall_seconds": 2.0, "telemetry_wall_seconds": 2.05,
+        "plain_frames_per_s": 200.0, "telemetry_frames_per_s": 195.0,
+        "overhead_factor": 1.026, "overhead_threshold": 2.5,
+        "overhead_ok": True, "telemetry_records": 4,
+        "health_status": "ok",
+    },
     "resume": {
         "epochs": 2, "resume_epoch": 1, "identical_resume": True,
+        "identical_telemetry": True,
     },
 }
 
@@ -420,7 +429,8 @@ class TestSoakSuite:
         assert validate_bench(copy.deepcopy(_VALID_SOAK)) == _VALID_SOAK
 
     @pytest.mark.parametrize("section,gate", [
-        ("sustained", "rss_flat_ok"), ("resume", "identical_resume"),
+        ("sustained", "rss_flat_ok"), ("telemetry", "overhead_ok"),
+        ("resume", "identical_resume"), ("resume", "identical_telemetry"),
     ])
     def test_rejects_failed_soak_gates(self, section, gate):
         broken = copy.deepcopy(_VALID_SOAK)
@@ -454,6 +464,21 @@ class TestSoakSuite:
         assert any("frames_per_s" in m
                    for m in compare_bench(current, _VALID_SOAK))
 
+    def test_telemetry_throughput_drop_is_flagged(self):
+        current = copy.deepcopy(_VALID_SOAK)
+        current["telemetry"]["telemetry_frames_per_s"] = 50.0
+        assert any("telemetry.telemetry_frames_per_s" in m
+                   for m in compare_bench(current, _VALID_SOAK))
+
+    def test_telemetry_overhead_factor_is_result_not_workload(self):
+        # The factor jitters run to run; it must not disguise the section
+        # as a different workload (which would silently skip comparison).
+        current = copy.deepcopy(_VALID_SOAK)
+        current["telemetry"]["overhead_factor"] = 1.04
+        current["telemetry"]["plain_frames_per_s"] = 100.0
+        assert any("plain_frames_per_s" in m
+                   for m in compare_bench(current, _VALID_SOAK))
+
     def test_baseline_without_soak_suite_is_accepted(self):
         # compare_bench must accept older baselines that predate the
         # soak suite entirely (cross-suite payloads share no sections).
@@ -476,7 +501,10 @@ def test_soak_smoke_bench_emits_valid_json(tmp_path):
     assert payload["meta"]["suite"] == "soak"
     assert payload["sustained"]["rss_flat_ok"] is True
     assert payload["sustained"]["frames"] > 0
+    assert payload["telemetry"]["overhead_ok"] is True
+    assert payload["telemetry"]["health_status"] == "ok"
     assert payload["resume"]["identical_resume"] is True
+    assert payload["resume"]["identical_telemetry"] is True
 
 
 @pytest.mark.slow

@@ -10,9 +10,16 @@ runs across real processes and signals.
 
 import dataclasses
 import json
+from pathlib import Path
 
 import pytest
 
+from repro.obs.slo import read_health
+from repro.obs.telemetry import (
+    deterministic_view_bytes,
+    read_telemetry_records,
+    telemetry_paths,
+)
 from repro.serve.checkpoint import state_paths
 from repro.serve.service import SoakConfig, SoakSummary, run_soak
 from repro.serve.workload import SoakWorkload
@@ -140,6 +147,88 @@ class TestGuards:
             SoakConfig(workload=_WORKLOAD, epochs=-1)
         with pytest.raises(ValueError):
             SoakConfig(workload=_WORKLOAD, checkpoint_every=0)
+
+
+class TestTelemetry:
+    def test_artifacts_produced(self, tmp_path):
+        run_soak(_config(tmp_path, "run", epochs=3, telemetry=True,
+                         slos=("goodput_bps<1",)))
+        paths = telemetry_paths(tmp_path / "run")
+        records = list(read_telemetry_records(tmp_path / "run"))
+        assert Path(paths["telemetry"]).exists()
+        assert [r["epoch"] for r in records] == [0, 1, 2]
+        health = read_health(tmp_path / "run")
+        assert health["status"] == "ok"
+        assert health["epochs_completed"] == 3
+        assert health["slos"] == ["goodput_bps<1"]
+
+    def test_telemetry_is_not_identity(self, tmp_path):
+        """Turning telemetry on adds files beside the checkpoint but
+        must not perturb a single deterministic byte of it."""
+        plain = run_soak(_config(tmp_path, "plain", epochs=3))
+        with_tel = run_soak(_config(tmp_path, "tel", epochs=3,
+                                    telemetry=True))
+        assert with_tel.total_goodput_bps == plain.total_goodput_bps
+        assert _artifact_bytes(tmp_path / "plain") \
+            == _artifact_bytes(tmp_path / "tel")
+        assert not Path(
+            telemetry_paths(tmp_path / "plain")["telemetry"]).exists()
+
+    def test_det_view_identical_across_resume(self, tmp_path):
+        straight = run_soak(_config(tmp_path, "straight", epochs=4,
+                                    telemetry=True))
+        assert straight.epochs_completed == 4
+        run_soak(_config(tmp_path, "resumed", epochs=2, telemetry=True))
+        run_soak(_config(tmp_path, "resumed", epochs=4, resume=True,
+                         telemetry=True, n_workers=2, shards=2))
+        assert deterministic_view_bytes(tmp_path / "straight") \
+            == deterministic_view_bytes(tmp_path / "resumed")
+        assert _artifact_bytes(tmp_path / "straight") \
+            == _artifact_bytes(tmp_path / "resumed")
+
+    def test_slos_imply_telemetry(self, tmp_path):
+        run_soak(_config(tmp_path, "run", epochs=2,
+                         slos=("goodput_bps<1",)))
+        assert Path(
+            telemetry_paths(tmp_path / "run")["telemetry"]).exists()
+
+    def test_slo_drain_policy_stops_the_run(self, tmp_path):
+        # goodput_bps>0 breaches on every epoch of a live workload, so
+        # the drain policy must stop the soak after the first one.
+        summary = run_soak(_config(tmp_path, "drain", epochs=5,
+                                   slos=("goodput_bps>0!drain",)))
+        assert summary.epochs_completed == 1
+        assert summary.interrupted
+        assert summary.slo_status == "breached"
+        health = read_health(tmp_path / "drain")
+        assert health["status"] == "breached"
+        assert health["breaches"][0]["policy"] == "drain"
+        # The drained checkpoint resumes cleanly once the rule is gone.
+        resumed = run_soak(_config(tmp_path, "drain", epochs=5,
+                                   resume=True, telemetry=True))
+        assert resumed.epochs_completed == 5
+        assert not resumed.interrupted
+
+    def test_degraded_health_without_drain(self, tmp_path):
+        summary = run_soak(_config(tmp_path, "run", epochs=2,
+                                   slos=("goodput_bps>0",)))
+        assert summary.epochs_completed == 2
+        assert summary.slo_status in ("degraded", "breached")
+        assert read_health(tmp_path / "run")["status"] != "ok"
+
+    def test_profile_lands_in_manifest(self, tmp_path):
+        run_soak(_config(tmp_path, "run", epochs=2, profile=True))
+        paths = state_paths(tmp_path / "run")
+        with open(paths["manifest"]) as handle:
+            section = json.load(handle)["profile"]
+        assert section["stages"]["serve.epoch"]["count"] == 2
+        assert section["top_functions"]
+
+    def test_no_profile_section_by_default(self, tmp_path):
+        run_soak(_config(tmp_path, "run", epochs=1))
+        paths = state_paths(tmp_path / "run")
+        with open(paths["manifest"]) as handle:
+            assert json.load(handle).get("profile") is None
 
 
 class TestSummary:

@@ -268,7 +268,7 @@ class TestObsCommands:
 
     def test_report_missing_file_exits_2(self, capsys, tmp_path):
         assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
-        assert "cannot read trace" in capsys.readouterr().err
+        assert "trace file not found" in capsys.readouterr().err
 
     def test_report_malformed_trace_exits_2(self, capsys, tmp_path):
         bad = tmp_path / "bad.jsonl"
@@ -284,6 +284,70 @@ class TestObsCommands:
         assert main(["report", str(trace)]) == 0
         assert trace.read_text().strip() != ""
         assert "1 events" in capsys.readouterr().out
+
+    def _soak_dir(self, tmp_path, **overrides):
+        from repro.serve.service import SoakConfig, run_soak
+        from repro.serve.workload import SoakWorkload
+
+        workload = SoakWorkload(seed=11, n_aps=2, max_stas_per_ap=4,
+                                target_active_stas=2.0, epoch_duration=0.25,
+                                channels=1)
+        base = dict(workload=workload, fault_profile="none",
+                    checkpoint_dir=str(tmp_path / "soak"), n_workers=1,
+                    epochs=2, telemetry=True, slos=("goodput_bps<1",))
+        base.update(overrides)
+        run_soak(SoakConfig(**base))
+        return str(tmp_path / "soak")
+
+    def test_status_missing_dir_exits_2(self, capsys, tmp_path):
+        assert main(["status", str(tmp_path / "absent")]) == 2
+        assert "no checkpoint directory" in capsys.readouterr().err
+
+    def test_status_empty_dir_exits_2(self, capsys, tmp_path):
+        (tmp_path / "empty").mkdir()
+        assert main(["status", str(tmp_path / "empty")]) == 2
+        assert "no soak artifacts" in capsys.readouterr().err
+
+    def test_status_healthy_run_exits_0(self, capsys, tmp_path):
+        directory = self._soak_dir(tmp_path)
+        assert main(["status", directory]) == 0
+        out = capsys.readouterr().out
+        assert "health: ok" in out
+        assert "slo: goodput_bps<1" in out
+        assert "Last 2 epoch(s)" in out
+
+    def test_status_breached_run_exits_1(self, capsys, tmp_path):
+        directory = self._soak_dir(tmp_path,
+                                   slos=("goodput_bps>0!drain",))
+        assert main(["status", directory]) == 1
+        assert "BREACH goodput_bps>0!drain" in capsys.readouterr().out
+
+    def test_report_on_soak_directory_renders_status(self, capsys, tmp_path):
+        directory = self._soak_dir(tmp_path)
+        assert main(["report", directory]) == 0
+        assert "Soak status" in capsys.readouterr().out
+
+    def test_status_tolerates_truncated_tail(self, capsys, tmp_path):
+        # A hard kill mid-append leaves one truncated JSON line at the
+        # telemetry tail; status/report must render what precedes it.
+        directory = self._soak_dir(tmp_path)
+        from repro.obs.telemetry import telemetry_paths
+
+        with open(telemetry_paths(directory)["telemetry"], "a") as handle:
+            handle.write('{"schema_version": 1, "epoch": 2, "de')
+        assert main(["status", directory]) == 0
+        assert "Last 2 epoch(s)" in capsys.readouterr().out
+
+    def test_status_garbage_telemetry_exits_2(self, capsys, tmp_path):
+        directory = self._soak_dir(tmp_path)
+        from repro.obs.telemetry import telemetry_paths
+
+        with open(telemetry_paths(directory)["telemetry"], "a") as handle:
+            handle.write("not json\n")
+        assert main(["status", directory]) == 2
+        assert "malformed telemetry" in capsys.readouterr().err
+        # report distinguishes the same two outcomes on directories.
+        assert main(["report", directory]) == 2
 
     def test_log_level_attaches_handler(self, capsys):
         import logging
